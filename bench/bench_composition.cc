@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Experiment E7 -- the composition theorems of Section II: block
+ * permutations (Theorem 4), block-mapped permutations (Theorem 5),
+ * hierarchical multi-level permutations including the paper's
+ * three-dimensional array example (Theorem 6), and the
+ * non-closure-under-product counterexample.
+ *
+ * Timed section: composite construction plus routing.
+ */
+
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "common/prng.hh"
+#include "common/table.hh"
+#include "core/self_routing.hh"
+#include "perm/compose.hh"
+#include "perm/f_class.hh"
+#include "perm/named_bpc.hh"
+#include "perm/omega_class.hh"
+
+namespace
+{
+
+using namespace srbenes;
+
+Permutation
+randomF(unsigned r, Prng &prng)
+{
+    if (r == 0)
+        return Permutation::identity(1);
+    return randomFMember(r, prng);
+}
+
+void
+printComposition()
+{
+    std::cout << "=== E7: composition theorems (Section II) ===\n\n";
+
+    TextTable table({"construction", "n", "trials", "in F",
+                     "expected"});
+    Prng prng(9);
+
+    // Theorem 4: random J-partitions, random F blocks.
+    {
+        const unsigned n = 6;
+        const int trials = 100;
+        int ok = 0;
+        for (int t = 0; t < trials; ++t) {
+            const Word mask = prng.below(1u << n);
+            const JPartition part(n, mask);
+            std::vector<Permutation> gs;
+            for (std::size_t b = 0; b < part.numBlocks(); ++b)
+                gs.push_back(randomF(part.freeBits(), prng));
+            ok += inFClass(blockwisePermutation(n, mask, gs));
+        }
+        table.addRow({"Theorem 4 (blockwise)", "6",
+                      std::to_string(trials), std::to_string(ok),
+                      "all"});
+    }
+
+    // Theorem 5: blocks also permuted by an F member.
+    {
+        const unsigned n = 6;
+        const int trials = 100;
+        int ok = 0;
+        for (int t = 0; t < trials; ++t) {
+            const Word mask = prng.below(1u << n);
+            const JPartition part(n, mask);
+            std::vector<Permutation> gs;
+            for (std::size_t b = 0; b < part.numBlocks(); ++b)
+                gs.push_back(randomF(part.freeBits(), prng));
+            ok += inFClass(blockMappedPermutation(
+                n, mask, gs, randomF(n - part.freeBits(), prng)));
+        }
+        table.addRow({"Theorem 5 (block-mapped)", "6",
+                      std::to_string(trials), std::to_string(ok),
+                      "all"});
+    }
+
+    // Theorem 6: random three-level hierarchies.
+    {
+        const unsigned n = 6;
+        const std::vector<Word> masks{0b110000, 0b001100, 0b000011};
+        const int trials = 100;
+        int ok = 0;
+        for (int t = 0; t < trials; ++t) {
+            const auto phi = [&](unsigned level,
+                                 const std::vector<Word> &) {
+                return randomF(popCount(masks[level]), prng);
+            };
+            ok += inFClass(hierarchicalPermutation(n, masks, phi));
+        }
+        table.addRow({"Theorem 6 (hierarchical)", "6",
+                      std::to_string(trials), std::to_string(ok),
+                      "all"});
+    }
+    table.print(std::cout);
+
+    // The paper's 3-D array example after Theorem 6.
+    {
+        const unsigned r = 2, s = 2, t = 2, n = r + s + t;
+        const Word i_mask = lowMask(r) << (s + t);
+        const Word j_mask = lowMask(s) << t;
+        const Word k_mask = lowMask(t);
+        const auto phi =
+            [&](unsigned level,
+                const std::vector<Word> &anc) -> Permutation {
+            switch (level) {
+              case 0:
+                return named::pOrderingShift(s, 3, 1);
+              case 1:
+                return named::bitComplement(t, anc[0])
+                    .toPermutation();
+              default:
+                return named::cyclicShift(r, anc[0] + anc[1]);
+            }
+        };
+        const Permutation g = hierarchicalPermutation(
+            n, {j_mask, k_mask, i_mask}, phi);
+        std::cout
+            << "\npaper 3-D example A(i,j,k) -> A(i', j', k'), "
+               "i' = (i+j+k) mod 4, j' = (3j+1) mod 4, k' = j xor k:\n"
+            << "  in F(6): " << (inFClass(g) ? "yes" : "NO")
+            << ", routes on B(6): "
+            << (SelfRoutingBenes(n).route(g).success ? "yes" : "NO")
+            << "\n";
+    }
+
+    // Non-closure counterexample.
+    {
+        const Permutation a{3, 0, 1, 2};
+        const Permutation b{0, 1, 3, 2};
+        const Permutation ab = a.then(b);
+        std::cout << "\nnon-closure under product: A = "
+                  << a.toString() << " in F: " << inFClass(a)
+                  << "; B = " << b.toString()
+                  << " in F: " << inFClass(b)
+                  << "; A o B = " << ab.toString()
+                  << " in F: " << inFClass(ab)
+                  << "  (paper: A, B in F(2), A o B not)\n\n";
+    }
+}
+
+void
+BM_TheoremFourConstruction(benchmark::State &state)
+{
+    const unsigned n = 10;
+    Prng prng(3);
+    const Word mask = 0b1111100000;
+    const JPartition part(n, mask);
+    std::vector<Permutation> gs;
+    for (std::size_t b = 0; b < part.numBlocks(); ++b)
+        gs.push_back(randomF(part.freeBits(), prng));
+    for (auto _ : state) {
+        auto g = blockwisePermutation(n, mask, gs);
+        benchmark::DoNotOptimize(g.dest().data());
+    }
+}
+BENCHMARK(BM_TheoremFourConstruction);
+
+void
+BM_HierarchicalConstruction(benchmark::State &state)
+{
+    const unsigned n = 12;
+    const std::vector<Word> masks{0xF00, 0x0F0, 0x00F};
+    Prng prng(4);
+    std::vector<Permutation> levels{randomF(4, prng),
+                                    randomF(4, prng),
+                                    randomF(4, prng)};
+    const auto phi = [&](unsigned level, const std::vector<Word> &) {
+        return levels[level];
+    };
+    for (auto _ : state) {
+        auto g = hierarchicalPermutation(n, masks, phi);
+        benchmark::DoNotOptimize(g.dest().data());
+    }
+}
+BENCHMARK(BM_HierarchicalConstruction);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printComposition();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

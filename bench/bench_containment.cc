@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Experiment E4 -- the containment theorems, measured: Theorem 2
+ * (every BPC permutation self-routes), Theorem 3 (every
+ * inverse-omega permutation self-routes), the omega-bit extension
+ * (every omega permutation routes with stages 0..n-2 forced), and
+ * the FUB generators. Each row reports how many of the sampled class
+ * members actually routed -- the paper predicts 100% everywhere, and
+ * ~0% for the uniform-random control row.
+ *
+ * Timed section: routing one member of each class at N = 4096.
+ */
+
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "common/prng.hh"
+#include "common/table.hh"
+#include "core/self_routing.hh"
+#include "perm/bpc.hh"
+#include "perm/named_bpc.hh"
+#include "perm/omega_class.hh"
+
+namespace
+{
+
+using namespace srbenes;
+
+/** Sample a random omega permutation by routing random switch
+ *  settings through an omega network in reverse: equivalently, the
+ *  inverse of a random inverse-omega member. We use inverse
+ *  p-ordering compositions as a structured stand-in. */
+Permutation
+randomOmegaMember(unsigned n, Prng &prng)
+{
+    // Inverse of an inverse-omega member is an omega member.
+    const Word p = 2 * prng.below(Word{1} << (n - 1)) + 1;
+    const Word k = prng.below(Word{1} << n);
+    return named::pOrderingShift(n, p, k).inverse();
+}
+
+void
+printContainment()
+{
+    std::cout << "=== E4: containment sweeps (Theorems 2, 3 and the "
+                 "omega bit) ===\n\n";
+
+    TextTable table({"n", "class", "mode", "sampled", "routed",
+                     "expected"});
+    Prng prng(42);
+    for (unsigned n : {4u, 6u, 8u, 10u}) {
+        const SelfRoutingBenes net(n);
+        const int samples = 300;
+
+        int bpc_ok = 0, inv_ok = 0, omega_ok = 0, fub_ok = 0,
+            rand_ok = 0;
+        for (int s = 0; s < samples; ++s) {
+            bpc_ok += net.route(BpcSpec::random(n, prng)
+                                    .toPermutation())
+                          .success;
+
+            const Word p = 2 * prng.below(Word{1} << (n - 1)) + 1;
+            const Word k = prng.below(Word{1} << n);
+            inv_ok +=
+                net.route(named::pOrderingShift(n, p, k)).success;
+
+            omega_ok += net.route(randomOmegaMember(n, prng),
+                                  RoutingMode::OmegaBit)
+                            .success;
+
+            const unsigned seg = 1 + static_cast<unsigned>(
+                                         prng.below(n));
+            fub_ok += net.route(named::segmentCyclicShift(
+                                    n, seg, prng.below(Word{1} << seg)))
+                          .success;
+
+            rand_ok += net.route(Permutation::random(
+                                     std::size_t{1} << n, prng))
+                           .success;
+        }
+
+        auto add = [&](const char *cls, const char *mode, int ok,
+                       const char *expect) {
+            table.newRow();
+            table.addCell(n);
+            table.addCell(cls);
+            table.addCell(mode);
+            table.addCell(samples);
+            table.addCell(ok);
+            table.addCell(expect);
+        };
+        add("BPC (Thm 2)", "self", bpc_ok, "all");
+        add("InvOmega (Thm 3)", "self", inv_ok, "all");
+        add("Omega", "omega bit", omega_ok, "all");
+        add("FUB delta", "self", fub_ok, "all");
+        add("uniform random", "self", rand_ok, "~0");
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+void
+BM_RouteBpcMember(benchmark::State &state)
+{
+    const unsigned n = 12;
+    const SelfRoutingBenes net(n);
+    Prng prng(7);
+    const Permutation d = BpcSpec::random(n, prng).toPermutation();
+    for (auto _ : state) {
+        auto res = net.route(d);
+        benchmark::DoNotOptimize(res.success);
+    }
+}
+BENCHMARK(BM_RouteBpcMember);
+
+void
+BM_RouteOmegaMemberWithOmegaBit(benchmark::State &state)
+{
+    const unsigned n = 12;
+    const SelfRoutingBenes net(n);
+    Prng prng(8);
+    const Permutation d = randomOmegaMember(n, prng);
+    for (auto _ : state) {
+        auto res = net.route(d, RoutingMode::OmegaBit);
+        benchmark::DoNotOptimize(res.success);
+    }
+}
+BENCHMARK(BM_RouteOmegaMemberWithOmegaBit);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printContainment();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Experiments F2/F3 -- Figs. 2 and 3 of the paper: the two states of
+ * a binary switch and the self-setting rule "a switch in stage b or
+ * stage 2n-2-b takes its state from bit b of its upper input's
+ * destination tag". Prints the switch truth table and the
+ * control-bit palindrome of each network size.
+ *
+ * Timed section: state decisions per second through a full fabric.
+ */
+
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "common/prng.hh"
+#include "common/table.hh"
+#include "core/render.hh"
+#include "core/self_routing.hh"
+#include "perm/bpc.hh"
+
+namespace
+{
+
+using namespace srbenes;
+
+void
+printSwitchRule()
+{
+    std::cout << "=== Fig. 2: binary switch states ===\n"
+              << "state 0 (through): upper in -> upper out, "
+                 "lower in -> lower out\n"
+              << "state 1 (cross):   upper in -> lower out, "
+                 "lower in -> upper out\n\n";
+
+    std::cout << "=== Fig. 3: self-setting rule on B(1) ===\n";
+    TextTable truth({"upper tag bit b", "state", "behavior"});
+    truth.addRow({"0", "0", "through"});
+    truth.addRow({"1", "1", "cross"});
+    truth.print(std::cout);
+
+    std::cout << "\ncontrol bit per stage (b for stages b and "
+                 "2n-2-b):\n";
+    TextTable ctrl({"n", "stage control bits"});
+    for (unsigned n = 1; n <= 6; ++n) {
+        const BenesTopology topo(n);
+        std::string bits;
+        for (unsigned s = 0; s < topo.numStages(); ++s) {
+            if (s)
+                bits += " ";
+            bits += std::to_string(topo.controlBit(s));
+        }
+        ctrl.newRow();
+        ctrl.addCell(n);
+        ctrl.addCell(bits);
+    }
+    ctrl.print(std::cout);
+
+    // Demonstrate both B(1) settings end to end.
+    const SelfRoutingBenes net(1);
+    std::cout << "\nB(1) routing (0,1): "
+              << (net.route(Permutation({0, 1})).success ? "ok"
+                                                         : "FAIL")
+              << "; routing (1,0): "
+              << (net.route(Permutation({1, 0})).success ? "ok"
+                                                         : "FAIL")
+              << "\n\n";
+}
+
+void
+BM_SwitchDecisions(benchmark::State &state)
+{
+    const unsigned n = static_cast<unsigned>(state.range(0));
+    const SelfRoutingBenes net(n);
+    Prng prng(n);
+    const Permutation d = BpcSpec::random(n, prng).toPermutation();
+    for (auto _ : state) {
+        auto res = net.route(d);
+        benchmark::DoNotOptimize(res.success);
+    }
+    // Each route makes one decision per switch.
+    state.SetItemsProcessed(state.iterations() *
+                            net.topology().numSwitches());
+}
+BENCHMARK(BM_SwitchDecisions)->Arg(6)->Arg(10)->Arg(14);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printSwitchRule();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Experiment F4 -- Fig. 4 of the paper: the bit-reversal permutation
+ * self-routed through B(3), with the destination tag of every line
+ * at every stage and all switch states, exactly the information the
+ * figure shows.
+ *
+ * Timed section: self-routing bit reversal across network sizes
+ * (the O(log N) total time claim -- time per line should grow
+ * logarithmically).
+ */
+
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "core/render.hh"
+#include "core/self_routing.hh"
+#include "perm/named_bpc.hh"
+
+namespace
+{
+
+using namespace srbenes;
+
+void
+printFigFour()
+{
+    std::cout << "=== Fig. 4: bit reversal self-routed on B(3) ===\n"
+              << "(destination tags in binary at the input of every "
+                 "stage; compare the figure)\n\n";
+
+    const SelfRoutingBenes net(3);
+    RouteTrace trace;
+    const auto res = net.route(named::bitReversal(3).toPermutation(),
+                               RoutingMode::SelfRouting, &trace);
+    std::cout << renderRoute(net.topology(), trace, res) << "\n";
+}
+
+void
+BM_BitReversalRoute(benchmark::State &state)
+{
+    const unsigned n = static_cast<unsigned>(state.range(0));
+    const SelfRoutingBenes net(n);
+    const Permutation d = named::bitReversal(n).toPermutation();
+    for (auto _ : state) {
+        auto res = net.route(d);
+        benchmark::DoNotOptimize(res.success);
+    }
+    state.SetItemsProcessed(state.iterations() * d.size());
+}
+BENCHMARK(BM_BitReversalRoute)->DenseRange(4, 18, 2);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigFour();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

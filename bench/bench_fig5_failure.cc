@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Experiment F5 -- Fig. 5 of the paper: D = (1, 3, 2, 0) cannot be
+ * performed on B(2) by the self-routing scheme. Prints the misrouted
+ * trace, then shows the two rescues the paper describes: the omega
+ * bit (D is in Omega(2)) and external Waksman setup.
+ *
+ * Timed section: failure detection cost (routing a non-F
+ * permutation is exactly as fast as routing a member).
+ */
+
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "common/prng.hh"
+#include "core/render.hh"
+#include "core/self_routing.hh"
+#include "core/waksman.hh"
+#include "perm/omega_class.hh"
+
+namespace
+{
+
+using namespace srbenes;
+
+void
+printFigFive()
+{
+    std::cout << "=== Fig. 5: D = (1,3,2,0) fails on B(2) ===\n\n";
+
+    const SelfRoutingBenes net(2);
+    const Permutation d{1, 3, 2, 0};
+
+    RouteTrace trace;
+    const auto res =
+        net.route(d, RoutingMode::SelfRouting, &trace);
+    std::cout << renderRoute(net.topology(), trace, res) << "\n";
+
+    std::cout << "class membership: omega = "
+              << (isOmega(d) ? "yes" : "no")
+              << ", inverse omega = "
+              << (isInverseOmega(d) ? "yes" : "no") << "\n\n";
+
+    std::cout << "rescue 1 (omega bit, stages 0..n-2 forced "
+                 "straight): "
+              << (net.route(d, RoutingMode::OmegaBit).success
+                      ? "routes"
+                      : "still fails")
+              << "\n";
+
+    const auto states = waksmanSetup(net.topology(), d);
+    std::cout << "rescue 2 (external Waksman setup): "
+              << (net.routeWithStates(d, states).success
+                      ? "routes"
+                      : "still fails")
+              << "\n\n";
+}
+
+void
+BM_NonMemberDetection(benchmark::State &state)
+{
+    const unsigned n = static_cast<unsigned>(state.range(0));
+    const SelfRoutingBenes net(n);
+    Prng prng(n);
+    // Random permutations of this size are essentially never in F.
+    const Permutation d =
+        Permutation::random(std::size_t{1} << n, prng);
+    for (auto _ : state) {
+        auto res = net.route(d);
+        benchmark::DoNotOptimize(res.success);
+    }
+}
+BENCHMARK(BM_NonMemberDetection)->Arg(6)->Arg(10)->Arg(14);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigFive();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Experiment F6 -- Fig. 6 of the paper: the CCC permutation
+ * algorithm tracing the bit-reversal permutation on 8 PEs. Prints
+ * the column of destination tags D(i)^k after every iteration of the
+ * loop b = 0, 1, 2, 1, 0 -- the same rows the figure shows
+ * (including the PE(6)/PE(7) exchange at b = 0 the text calls out).
+ *
+ * Timed section: full cccPermute at large N.
+ */
+
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "common/table.hh"
+#include "core/render.hh"
+#include "perm/named_bpc.hh"
+#include "simd/permute.hh"
+
+namespace
+{
+
+using namespace srbenes;
+
+void
+printFigSix()
+{
+    std::cout << "=== Fig. 6: CCC algorithm, bit reversal, N = 8 "
+                 "===\n"
+              << "(D(i)^k = destination tag in PE(i) after the k-th "
+                 "iteration; loop order b = 0,1,2,1,0)\n\n";
+
+    const unsigned n = 3;
+    CubeMachine m(n);
+    m.loadIota(named::bitReversal(n).toPermutation());
+
+    const auto schedule = benesSchedule(n);
+
+    std::vector<std::string> headers{"PE", "D(i)"};
+    for (std::size_t k = 0; k < schedule.size(); ++k)
+        headers.push_back("D(i)^" + std::to_string(k + 1) + " (b=" +
+                          std::to_string(schedule[k]) + ")");
+    TextTable table(std::move(headers));
+
+    std::vector<std::vector<Word>> columns;
+    auto snapshot = [&m, &columns]() {
+        std::vector<Word> col(m.numPes());
+        for (Word i = 0; i < m.numPes(); ++i)
+            col[i] = m.pe(i).d;
+        columns.push_back(std::move(col));
+    };
+
+    snapshot();
+    for (unsigned b : schedule) {
+        m.interchange(b, [&m, b](Word i) {
+            return bit(m.pe(i).d, b) == 1;
+        });
+        snapshot();
+    }
+
+    for (Word i = 0; i < m.numPes(); ++i) {
+        table.newRow();
+        table.addCell(i);
+        for (const auto &col : columns)
+            table.addCell(toBinary(col[i], n));
+    }
+    table.print(std::cout);
+
+    std::cout << "\nfinal state: "
+              << (m.permutationComplete()
+                      ? "every D(i) = i, permutation complete"
+                      : "INCOMPLETE")
+              << "; unit routes = " << m.unitRoutes() << " (2 lg N - 1 = "
+              << 2 * n - 1 << ")\n\n";
+}
+
+void
+BM_CccPermute(benchmark::State &state)
+{
+    const unsigned n = static_cast<unsigned>(state.range(0));
+    CubeMachine m(n);
+    const Permutation d = named::bitReversal(n).toPermutation();
+    for (auto _ : state) {
+        m.loadIota(d);
+        auto stats = cccPermute(m);
+        benchmark::DoNotOptimize(stats.success);
+    }
+    state.SetItemsProcessed(state.iterations() * m.numPes());
+}
+BENCHMARK(BM_CccPermute)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigSix();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Experiment E9 (extension) -- the paper's hardware claims at gate
+ * granularity: "a very simple logic is required in each switch" and
+ * "the total switch setting and delay time ... is O(log N)". The
+ * gate-level netlist makes both structural: per-switch cost is a
+ * constant 2n muxes (plus one AND in the omega-forced stages), and
+ * the critical path is one mux level per stage -- 2 lg N - 1 gate
+ * delays with setup INCLUDED, because there is no setup.
+ *
+ * Timed section: full netlist evaluation (every gate toggled) per
+ * routed vector.
+ */
+
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "common/prng.hh"
+#include "common/table.hh"
+#include "gates/baseline_gates.hh"
+#include "gates/benes_gates.hh"
+#include "gates/pipelined_gates.hh"
+#include "perm/bpc.hh"
+
+namespace
+{
+
+using namespace srbenes;
+
+void
+printGateCosts()
+{
+    std::cout << "=== E9: gate-level fabric costs ===\n\n";
+
+    TextTable table({"n", "N", "switches", "muxes", "muxes/switch",
+                     "and (omega)", "critical path",
+                     "2 lg N - 1"});
+    for (unsigned n = 2; n <= 10; n += 2) {
+        const BenesGateModel pure(n, false);
+        const BenesGateModel omega(n, true);
+        const Word size = Word{1} << n;
+        const Word switches = (2 * n - 1) * size / 2;
+        table.newRow();
+        table.addCell(n);
+        table.addCell(size);
+        table.addCell(switches);
+        table.addCell(
+            static_cast<std::uint64_t>(
+                pure.netlist().countOf(GateOp::Mux)));
+        table.addCell(static_cast<std::uint64_t>(
+            pure.netlist().countOf(GateOp::Mux) / switches));
+        table.addCell(static_cast<std::uint64_t>(
+            omega.netlist().countOf(GateOp::And)));
+        table.addCell(pure.criticalDepth());
+        table.addCell(2 * n - 1);
+    }
+    table.print(std::cout);
+    std::cout << "\n(critical path equals the stage count exactly: "
+                 "switch setting adds ZERO gate delays -- the "
+                 "paper's central claim)\n\n";
+
+    std::cout << "=== E9b: gate depth across self-routing fabrics "
+                 "===\n\n";
+    TextTable depths({"n", "benes depth", "omega depth",
+                      "batcher depth", "batcher/benes"});
+    for (unsigned n = 2; n <= 7; ++n) {
+        const BenesGateModel benes(n, false);
+        const OmegaGateModel omega(n);
+        const BatcherGateModel batcher(n);
+        depths.newRow();
+        depths.addCell(n);
+        depths.addCell(benes.criticalDepth());
+        depths.addCell(omega.criticalDepth());
+        depths.addCell(batcher.criticalDepth());
+        depths.addCell(static_cast<double>(batcher.criticalDepth()) /
+                           benes.criticalDepth(),
+                       2);
+    }
+    depths.print(std::cout);
+    std::cout << "\n(each Batcher comparator stage hides an n-bit "
+                 "magnitude compare; the Benes stage is one mux -- "
+                 "the\ngate-level version of the O(log N) vs "
+                 "O(log^2 N) delay comparison)\n\n";
+
+    std::cout << "=== E9c: pipelined fabric (registers between "
+                 "stages, Section IV) ===\n\n";
+    TextTable pipe_tbl({"n", "N", "flip-flops", "clock path (muxes)",
+                        "fill latency (clocks)"});
+    for (unsigned n = 2; n <= 8; n += 2) {
+        const PipelinedBenesGateModel model(n);
+        pipe_tbl.newRow();
+        pipe_tbl.addCell(n);
+        pipe_tbl.addCell(Word{1} << n);
+        pipe_tbl.addCell(
+            static_cast<std::uint64_t>(model.numRegisters()));
+        pipe_tbl.addCell(model.clockPathDepth());
+        pipe_tbl.addCell(model.latency());
+    }
+    pipe_tbl.print(std::cout);
+    std::cout << "\n(the register-to-register path is ONE mux at "
+                 "every size: the pipelined clock period is a "
+                 "constant,\nindependent of N -- throughput scales "
+                 "while latency stays 2 lg N - 1 clocks)\n\n";
+}
+
+void
+BM_NetlistEvaluation(benchmark::State &state)
+{
+    const unsigned n = static_cast<unsigned>(state.range(0));
+    const BenesGateModel model(n, true);
+    Prng prng(n);
+    const Permutation d = BpcSpec::random(n, prng).toPermutation();
+    for (auto _ : state) {
+        auto tags = model.simulate(d);
+        benchmark::DoNotOptimize(tags.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            model.netlist().numGates());
+}
+BENCHMARK(BM_NetlistEvaluation)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
+
+void
+BM_NetlistConstruction(benchmark::State &state)
+{
+    const unsigned n = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        BenesGateModel model(n, true);
+        benchmark::DoNotOptimize(model.criticalDepth());
+    }
+}
+BENCHMARK(BM_NetlistConstruction)->Arg(4)->Arg(8)->Arg(10);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printGateCosts();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Experiment E10 (extension) -- GF(2)-affine permutations vs the
+ * paper's classes. The paper proves BPC(n) (signed permutation
+ * matrices) is inside F(n); affine permutations with ARBITRARY
+ * invertible matrices are a natural superclass the paper does not
+ * analyze. This bench measures, per n:
+ *
+ *  - the fraction of random affine permutations inside F / Omega /
+ *    InverseOmega (sampled; exhaustive over all matrices at n = 2
+ *    and 3);
+ *  - named members: Gray-code reordering (in F at every tested
+ *    size), butterfly exchanges (BPC, so always in F).
+ *
+ * Timed section: affine apply/expansion vs BPC expansion.
+ */
+
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "common/prng.hh"
+#include "common/table.hh"
+#include "perm/f_class.hh"
+#include "perm/linear.hh"
+#include "perm/omega_class.hh"
+
+namespace
+{
+
+using namespace srbenes;
+
+void
+printLinearCensus()
+{
+    std::cout << "=== E10: GF(2)-affine permutations vs the "
+                 "paper's classes ===\n\n";
+
+    TextTable table({"n", "samples", "in F", "in Omega",
+                     "in InvOmega", "F fraction"});
+    Prng prng(77);
+    for (unsigned n = 2; n <= 8; ++n) {
+        const int samples = 1000;
+        int in_f = 0, in_o = 0, in_io = 0;
+        for (int s = 0; s < samples; ++s) {
+            const Permutation p =
+                LinearSpec::random(n, prng).toPermutation();
+            in_f += inFClass(p);
+            in_o += isOmega(p);
+            in_io += isInverseOmega(p);
+        }
+        table.newRow();
+        table.addCell(n);
+        table.addCell(samples);
+        table.addCell(in_f);
+        table.addCell(in_o);
+        table.addCell(in_io);
+        table.addCell(static_cast<double>(in_f) / samples, 3);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nnamed affine members:\n";
+    TextTable named_tbl({"permutation", "n", "in BPC", "in F"});
+    for (unsigned n : {4u, 6u, 8u, 10u}) {
+        const Permutation gray =
+            LinearSpec::grayCode(n).toPermutation();
+        named_tbl.newRow();
+        named_tbl.addCell("gray code");
+        named_tbl.addCell(n);
+        named_tbl.addCell(recognizeBpc(gray) ? "yes" : "no");
+        named_tbl.addCell(inFClass(gray) ? "yes" : "no");
+
+        const Permutation igray =
+            LinearSpec::inverseGrayCode(n).toPermutation();
+        named_tbl.newRow();
+        named_tbl.addCell("inverse gray code");
+        named_tbl.addCell(n);
+        named_tbl.addCell(recognizeBpc(igray) ? "yes" : "no");
+        named_tbl.addCell(inFClass(igray) ? "yes" : "no");
+
+        const Permutation fly =
+            LinearSpec::butterfly(n, n - 1).toPermutation();
+        named_tbl.newRow();
+        named_tbl.addCell("butterfly(0,n-1)");
+        named_tbl.addCell(n);
+        named_tbl.addCell(recognizeBpc(fly) ? "yes" : "no");
+        named_tbl.addCell(inFClass(fly) ? "yes" : "no");
+    }
+    named_tbl.print(std::cout);
+    std::cout << "\n(finding: affine permutations are NOT generally "
+                 "self-routable -- the F fraction decays with n -- "
+                 "but the\nstructured members applications use "
+                 "(Gray reorderings, butterflies) are)\n\n";
+}
+
+void
+BM_AffineExpansion(benchmark::State &state)
+{
+    const unsigned n = static_cast<unsigned>(state.range(0));
+    Prng prng(n);
+    const LinearSpec spec = LinearSpec::random(n, prng);
+    for (auto _ : state) {
+        auto p = spec.toPermutation();
+        benchmark::DoNotOptimize(p.dest().data());
+    }
+    state.SetItemsProcessed(state.iterations() * (1ull << n));
+}
+BENCHMARK(BM_AffineExpansion)->Arg(8)->Arg(12)->Arg(16);
+
+void
+BM_AffineRecognizer(benchmark::State &state)
+{
+    const unsigned n = static_cast<unsigned>(state.range(0));
+    Prng prng(n);
+    const Permutation p = LinearSpec::random(n, prng).toPermutation();
+    for (auto _ : state) {
+        auto spec = recognizeLinear(p);
+        benchmark::DoNotOptimize(spec.has_value());
+    }
+}
+BENCHMARK(BM_AffineRecognizer)->Arg(8)->Arg(12)->Arg(16);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printLinearCensus();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

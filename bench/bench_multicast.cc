@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Experiment E18 (extension) -- single-fabric multicast: give every
+ * switch two broadcast states and ask one Benes pass to carry
+ * arbitrary fanout mappings. Measures the feasible fraction of
+ * uniform random mappings per N (exact backtracking setup), which
+ * quantifies why generalized connection networks spend a second
+ * fabric: one broadcast-Benes pass covers everything at N = 4 and
+ * a decreasing fraction as N grows.
+ *
+ * Timed section: backtracking setup cost.
+ */
+
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "common/prng.hh"
+#include "common/table.hh"
+#include "networks/gcn.hh"
+#include "networks/multicast.hh"
+
+namespace
+{
+
+using namespace srbenes;
+
+void
+printMulticast()
+{
+    std::cout << "=== E18: single-pass multicast on a "
+                 "broadcast-Benes fabric ===\n\n";
+
+    TextTable table({"n", "N", "samples", "single-pass feasible",
+                     "feasible %", "GCN (always)"});
+    Prng prng(18);
+    for (unsigned n : {2u, 3u, 4u, 5u}) {
+        const MulticastBenes fabric(n);
+        const Word size = Word{1} << n;
+        const int samples = n <= 3 ? 2000 : 400;
+        int feasible = 0;
+        for (int s = 0; s < samples; ++s) {
+            std::vector<Word> src(size);
+            for (Word j = 0; j < size; ++j)
+                src[j] = prng.below(size);
+            feasible += fabric.setupMapping(src).has_value();
+        }
+        table.newRow();
+        table.addCell(n);
+        table.addCell(size);
+        table.addCell(samples);
+        table.addCell(feasible);
+        table.addCell(100.0 * feasible / samples, 1);
+        table.addCell("100%");
+    }
+    table.print(std::cout);
+
+    // Fanout sensitivity at N = 16: restrict the number of distinct
+    // sources.
+    std::cout << "\nfanout sensitivity (N = 16, random mappings "
+                 "drawing from k hot inputs):\n";
+    TextTable hot_tbl({"hot inputs k", "samples",
+                       "single-pass feasible %"});
+    const MulticastBenes fabric(4);
+    for (Word k : {Word{1}, Word{2}, Word{4}, Word{8}, Word{16}}) {
+        const int samples = 300;
+        int feasible = 0;
+        for (int s = 0; s < samples; ++s) {
+            std::vector<Word> src(16);
+            for (Word j = 0; j < 16; ++j)
+                src[j] = prng.below(k); // sources 0..k-1
+            feasible += fabric.setupMapping(src).has_value();
+        }
+        hot_tbl.newRow();
+        hot_tbl.addCell(k);
+        hot_tbl.addCell(samples);
+        hot_tbl.addCell(100.0 * feasible / samples, 1);
+    }
+    hot_tbl.print(std::cout);
+    std::cout << "\n(the GCN sandwich pays 2x the fabric plus copy "
+                 "stages and never fails; one broadcast fabric is "
+                 "cheap\nbut incomplete -- the measured gap is the "
+                 "price of the missing copy network)\n\n";
+}
+
+void
+BM_MulticastSetup(benchmark::State &state)
+{
+    const unsigned n = static_cast<unsigned>(state.range(0));
+    const MulticastBenes fabric(n);
+    Prng prng(n);
+    std::vector<Word> src(Word{1} << n);
+    for (Word j = 0; j < src.size(); ++j)
+        src[j] = prng.below(Word{1} << n);
+    for (auto _ : state) {
+        auto states = fabric.setupMapping(src);
+        benchmark::DoNotOptimize(states.has_value());
+    }
+}
+BENCHMARK(BM_MulticastSetup)->Arg(3)->Arg(4)->Arg(5);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printMulticast();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Experiment E1 -- the Section I cost comparison: binary-switch
+ * count and transmission delay (in switch stages) of the
+ * self-routing Benes network against the full crossbar, Lawrie's
+ * omega network, and Batcher's bitonic sorting network, swept over
+ * N. The paper's qualitative claims to verify:
+ *
+ *  - Benes uses about twice the switches and twice the delay of
+ *    omega but realizes a much richer class F;
+ *  - Batcher is self-routing for ALL permutations but needs
+ *    O(log^2 N) delay and O(N log^2 N) switches;
+ *  - the crossbar is trivial to route but costs O(N^2) switches.
+ *
+ * Timed section: one self-routing pass per fabric at N = 1024.
+ */
+
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "common/prng.hh"
+#include "common/table.hh"
+#include "networks/network_iface.hh"
+#include "perm/named_bpc.hh"
+
+namespace
+{
+
+using namespace srbenes;
+
+void
+printCosts()
+{
+    std::cout << "=== E1: fabric cost comparison (Section I) ===\n\n";
+
+    TextTable table({"n", "N", "fabric", "switches", "delay stages",
+                     "switches/omega", "delay/omega"});
+    for (unsigned n : {3u, 6u, 10u, 14u}) {
+        const auto nets = allNetworks(n);
+        const double omega_sw =
+            static_cast<double>(nets[2]->numSwitches());
+        const double omega_delay =
+            static_cast<double>(nets[2]->delayStages());
+        for (const auto &net : nets) {
+            table.newRow();
+            table.addCell(n);
+            table.addCell(net->numLines());
+            table.addCell(net->name());
+            table.addCell(net->numSwitches());
+            table.addCell(net->delayStages());
+            table.addCell(net->numSwitches() / omega_sw, 2);
+            table.addCell(net->delayStages() / omega_delay, 2);
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\nroutable by self-routing (bit reversal as the "
+                 "witness, n = 6):\n";
+    TextTable who({"fabric", "bit reversal", "random perm"});
+    Prng prng(1);
+    const auto rand_perm = Permutation::random(64, prng);
+    const auto bitrev = named::bitReversal(6).toPermutation();
+    for (const auto &net : allNetworks(6)) {
+        who.newRow();
+        who.addCell(net->name());
+        who.addCell(net->tryRoute(bitrev) ? "yes" : "no");
+        who.addCell(net->tryRoute(rand_perm) ? "yes" : "no");
+    }
+    who.print(std::cout);
+    std::cout << "\n";
+}
+
+void
+BM_FabricRoute(benchmark::State &state)
+{
+    const unsigned n = 10;
+    const auto nets = allNetworks(n);
+    const auto &net = *nets[static_cast<std::size_t>(state.range(0))];
+    state.SetLabel(net.name());
+    const Permutation d = named::bitReversal(n).toPermutation();
+    for (auto _ : state) {
+        bool ok = net.tryRoute(d);
+        benchmark::DoNotOptimize(ok);
+    }
+}
+BENCHMARK(BM_FabricRoute)->DenseRange(0, 5);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printCosts();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Experiment E13 (extension) -- the setup-time landscape the paper
+ * positions itself against (Section I): serial Waksman O(N log N)
+ * work vs the data-parallel CIC coloring's O(log^2 N) steps vs the
+ * self-routing network's zero setup. The measured step counts make
+ * the paper's argument concrete: even with an aggressive parallel
+ * setup machine, externally-set routing pays polylog steps per
+ * permutation where self-routing pays none.
+ *
+ * Timed section: wall clock of both setup algorithms (simulated).
+ */
+
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "common/prng.hh"
+#include "common/table.hh"
+#include "core/parallel_setup.hh"
+#include "core/waksman.hh"
+
+namespace
+{
+
+using namespace srbenes;
+
+void
+printParallelSetup()
+{
+    std::cout << "=== E13: serial vs parallel setup cost ===\n\n";
+
+    TextTable table({"n", "N", "serial work (touches)",
+                     "CIC unit routes", "CIC local steps",
+                     "CIC total steps", "n^2 reference"});
+    Prng prng(13);
+    for (unsigned n = 2; n <= 14; n += 2) {
+        const BenesTopology topo(n);
+        const auto d = Permutation::random(std::size_t{1} << n, prng);
+        ParallelSetupStats stats;
+        parallelSetup(topo, d, &stats);
+
+        table.newRow();
+        table.addCell(n);
+        table.addCell(Word{1} << n);
+        // Serial looping touches every input once per level.
+        table.addCell(static_cast<std::uint64_t>(n) *
+                      (Word{1} << n));
+        table.addCell(stats.unit_routes);
+        table.addCell(stats.compute_steps);
+        table.addCell(stats.total());
+        table.addCell(static_cast<std::uint64_t>(n) * n);
+    }
+    table.print(std::cout);
+    std::cout << "\n(expected shape: CIC total steps track the n^2 "
+                 "column -- polylog in N -- while serial work "
+                 "tracks N log N;\nself-routing needs neither)\n\n";
+}
+
+void
+BM_SerialSetup(benchmark::State &state)
+{
+    const unsigned n = static_cast<unsigned>(state.range(0));
+    const BenesTopology topo(n);
+    Prng prng(n);
+    const auto d = Permutation::random(std::size_t{1} << n, prng);
+    for (auto _ : state) {
+        auto states = waksmanSetup(topo, d);
+        benchmark::DoNotOptimize(states.size());
+    }
+}
+BENCHMARK(BM_SerialSetup)->Arg(8)->Arg(12)->Arg(16);
+
+void
+BM_ParallelSetupSimulated(benchmark::State &state)
+{
+    const unsigned n = static_cast<unsigned>(state.range(0));
+    const BenesTopology topo(n);
+    Prng prng(n);
+    const auto d = Permutation::random(std::size_t{1} << n, prng);
+    for (auto _ : state) {
+        auto states = parallelSetup(topo, d);
+        benchmark::DoNotOptimize(states.size());
+    }
+}
+BENCHMARK(BM_ParallelSetupSimulated)->Arg(8)->Arg(12)->Arg(16);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printParallelSetup();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Experiment E6 -- the Section IV pipelining remark: with registers
+ * between stages, the first permuted vector emerges after the
+ * 2 lg N - 1 stage latency and every subsequent vector after one
+ * clock, even when consecutive vectors use different permutations.
+ *
+ * Timed section: sustained pipelined throughput in vectors/sec.
+ */
+
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "common/prng.hh"
+#include "common/table.hh"
+#include "core/pipeline.hh"
+#include "perm/bpc.hh"
+
+namespace
+{
+
+using namespace srbenes;
+
+void
+printPipeline()
+{
+    std::cout << "=== E6: pipelined operation (Section IV) ===\n"
+              << "(K vectors, each with its own random BPC "
+                 "permutation)\n\n";
+
+    TextTable table({"n", "N", "latency (2n-1)", "K vectors",
+                     "total clocks", "clocks/vector steady",
+                     "non-pipelined clocks"});
+    Prng prng(1);
+    for (unsigned n : {3u, 5u, 8u, 10u}) {
+        const int vectors = 64;
+        PipelinedBenes pipe(n);
+
+        std::vector<Word> payload(std::size_t{1} << n, 0);
+        for (int v = 0; v < vectors; ++v)
+            pipe.inject(BpcSpec::random(n, prng).toPermutation(),
+                        payload);
+
+        std::uint64_t first = 0, last = 0;
+        int got = 0;
+        while (!pipe.drained()) {
+            const auto out = pipe.clockTick();
+            if (!out)
+                continue;
+            if (got == 0)
+                first = pipe.cyclesElapsed();
+            last = pipe.cyclesElapsed();
+            ++got;
+        }
+
+        table.newRow();
+        table.addCell(n);
+        table.addCell(Word{1} << n);
+        table.addCell(first);
+        table.addCell(vectors);
+        table.addCell(last);
+        table.addCell(
+            static_cast<double>(last - first) / (vectors - 1), 3);
+        table.addCell(static_cast<std::uint64_t>(vectors) *
+                      (2 * n - 1));
+    }
+    table.print(std::cout);
+    std::cout << "\n(expected shape: first output at exactly 2n-1; "
+                 "steady state exactly 1.0 clock/vector; the\n"
+                 "non-pipelined fabric would spend K(2n-1) clocks)\n\n";
+}
+
+void
+BM_PipelinedThroughput(benchmark::State &state)
+{
+    const unsigned n = static_cast<unsigned>(state.range(0));
+    Prng prng(n);
+    const Permutation d = BpcSpec::random(n, prng).toPermutation();
+    const std::vector<Word> payload(std::size_t{1} << n, 0);
+
+    for (auto _ : state) {
+        PipelinedBenes pipe(n);
+        constexpr int kVectors = 32;
+        for (int v = 0; v < kVectors; ++v)
+            pipe.inject(d, payload);
+        int got = 0;
+        while (!pipe.drained())
+            got += pipe.clockTick().has_value();
+        benchmark::DoNotOptimize(got);
+    }
+    state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_PipelinedThroughput)->Arg(6)->Arg(10);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printPipeline();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

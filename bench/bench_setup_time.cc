@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Experiment E2 -- the setup-time claim of Section I: self-routing
+ * determines all switch states in O(log N) (during transmission,
+ * with no preprocessing), while the best serial setup for an
+ * arbitrary permutation (Waksman's looping algorithm) costs
+ * O(N log N) before the first bit moves.
+ *
+ * The wall-clock table measures a software simulation, so both
+ * columns scale with the N log N switch count the simulator must
+ * touch; the claim that survives simulation is the RATIO: the
+ * Waksman path pays a full extra setup pass on top of transmission,
+ * and its advantage disappears entirely in the fabric's O(log N)
+ * hardware depth (the "delay stages" column).
+ *
+ * Timed sections: BM_SelfRoute vs BM_WaksmanSetupAndRoute vs
+ * BM_WaksmanSetupOnly across n.
+ */
+
+#include <chrono>
+#include <functional>
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "common/prng.hh"
+#include "common/table.hh"
+#include "core/self_routing.hh"
+#include "core/waksman.hh"
+#include "perm/bpc.hh"
+
+namespace
+{
+
+using namespace srbenes;
+
+double
+timeUs(const std::function<void()> &fn, int reps)
+{
+    const auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r)
+        fn();
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::micro>(stop - start)
+               .count() /
+           reps;
+}
+
+void
+printSetupComparison()
+{
+    std::cout << "=== E2: setup cost, self-routing vs external "
+                 "(Section I) ===\n\n";
+
+    TextTable table({"n", "N", "delay stages", "self-route us",
+                     "waksman setup us", "setup+route us",
+                     "setup overhead"});
+    for (unsigned n = 6; n <= 16; n += 2) {
+        const SelfRoutingBenes net(n);
+        Prng prng(n);
+        const Permutation in_f =
+            BpcSpec::random(n, prng).toPermutation();
+        const Permutation arbitrary =
+            Permutation::random(std::size_t{1} << n, prng);
+
+        const int reps = n <= 12 ? 50 : 5;
+        const double self_us = timeUs(
+            [&] {
+                auto res = net.route(in_f);
+                benchmark::DoNotOptimize(res.success);
+            },
+            reps);
+        const double setup_us = timeUs(
+            [&] {
+                auto states = waksmanSetup(net.topology(), arbitrary);
+                benchmark::DoNotOptimize(states.size());
+            },
+            reps);
+        const double both_us = timeUs(
+            [&] {
+                auto states = waksmanSetup(net.topology(), arbitrary);
+                auto res = net.routeWithStates(arbitrary, states);
+                benchmark::DoNotOptimize(res.success);
+            },
+            reps);
+
+        table.newRow();
+        table.addCell(n);
+        table.addCell(Word{1} << n);
+        table.addCell(net.topology().numStages());
+        table.addCell(self_us, 1);
+        table.addCell(setup_us, 1);
+        table.addCell(both_us, 1);
+        table.addCell(both_us / self_us, 2);
+    }
+    table.print(std::cout);
+    std::cout << "\n(expected shape: 'setup overhead' stays > 1 -- "
+                 "the external path always pays an additional\n"
+                 "O(N log N) pass; in hardware the self-routing "
+                 "delay is the 2 lg N - 1 stage column only)\n\n";
+}
+
+void
+BM_SelfRoute(benchmark::State &state)
+{
+    const unsigned n = static_cast<unsigned>(state.range(0));
+    const SelfRoutingBenes net(n);
+    Prng prng(n);
+    const Permutation d = BpcSpec::random(n, prng).toPermutation();
+    for (auto _ : state) {
+        auto res = net.route(d);
+        benchmark::DoNotOptimize(res.success);
+    }
+    state.SetItemsProcessed(state.iterations() * d.size());
+}
+BENCHMARK(BM_SelfRoute)->DenseRange(6, 16, 2);
+
+void
+BM_WaksmanSetupOnly(benchmark::State &state)
+{
+    const unsigned n = static_cast<unsigned>(state.range(0));
+    const BenesTopology topo(n);
+    Prng prng(n);
+    const Permutation d =
+        Permutation::random(std::size_t{1} << n, prng);
+    for (auto _ : state) {
+        auto states = waksmanSetup(topo, d);
+        benchmark::DoNotOptimize(states.size());
+    }
+    state.SetItemsProcessed(state.iterations() * d.size());
+}
+BENCHMARK(BM_WaksmanSetupOnly)->DenseRange(6, 16, 2);
+
+void
+BM_WaksmanSetupAndRoute(benchmark::State &state)
+{
+    const unsigned n = static_cast<unsigned>(state.range(0));
+    const SelfRoutingBenes net(n);
+    Prng prng(n);
+    const Permutation d =
+        Permutation::random(std::size_t{1} << n, prng);
+    for (auto _ : state) {
+        auto states = waksmanSetup(net.topology(), d);
+        auto res = net.routeWithStates(d, states);
+        benchmark::DoNotOptimize(res.success);
+    }
+    state.SetItemsProcessed(state.iterations() * d.size());
+}
+BENCHMARK(BM_WaksmanSetupAndRoute)->DenseRange(6, 16, 2);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printSetupComparison();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

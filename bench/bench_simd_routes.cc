@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Experiment E5 -- the Section III unit-route counts, measured on
+ * the machine simulators:
+ *
+ *   CCC: 2 lg N - 1 interchanges (4 lg N - 2 unit routes if an
+ *        interchange costs two);
+ *   PSC: 4 lg N - 3 unit routes;
+ *   MCC: 7 N^1/2 - 8 unit routes;
+ *
+ * against the best preprocessing-free general baseline, sorting by
+ * destination with Batcher's bitonic network (O(log^2 N) on
+ * CCC/PSC). Also reports the class-hint ablations (omega /
+ * inverse-omega / BPC fixed-axis skips).
+ *
+ * Timed section: cccPermute vs bitonicPermuteCube at N = 2^16.
+ */
+
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "common/table.hh"
+#include "perm/named_bpc.hh"
+#include "perm/omega_class.hh"
+#include "simd/bitonic.hh"
+#include "simd/permute.hh"
+
+namespace
+{
+
+using namespace srbenes;
+
+void
+printRouteCounts()
+{
+    std::cout << "=== E5: unit routes, F-algorithm vs bitonic-sort "
+                 "baseline (Section III) ===\n"
+              << "(workload: bit reversal, a member of F(n); the "
+                 "baseline works for all N! permutations)\n\n";
+
+    TextTable table({"n", "N", "CCC F-alg", "2lgN-1", "CCC 2-route",
+                     "4lgN-2", "PSC F-alg", "4lgN-3", "MCC F-alg",
+                     "7rtN-8", "CCC bitonic", "PSC bitonic",
+                     "MCC bitonic"});
+    for (unsigned n = 2; n <= 12; n += 2) {
+        const Permutation d = named::bitReversal(n).toPermutation();
+        const Word root = Word{1} << (n / 2);
+
+        CubeMachine ccc(n), ccc2(n, 2), ccc_sort(n);
+        ShuffleMachine psc(n), psc_sort(n);
+        MeshMachine mcc(n), mcc_sort(n);
+
+        ccc.loadIota(d);
+        ccc2.loadIota(d);
+        psc.loadIota(d);
+        mcc.loadIota(d);
+        ccc_sort.loadIota(d);
+        psc_sort.loadIota(d);
+        mcc_sort.loadIota(d);
+
+        const auto s_ccc = cccPermute(ccc);
+        const auto s_ccc2 = cccPermute(ccc2);
+        const auto s_psc = pscPermute(psc);
+        const auto s_mcc = mccPermute(mcc);
+        const auto b_ccc = bitonicPermuteCube(ccc_sort);
+        const auto b_psc = bitonicPermuteShuffle(psc_sort);
+        const auto b_mcc = bitonicPermuteMesh(mcc_sort);
+
+        table.newRow();
+        table.addCell(n);
+        table.addCell(Word{1} << n);
+        table.addCell(s_ccc.unit_routes);
+        table.addCell(std::uint64_t{2} * n - 1);
+        table.addCell(s_ccc2.unit_routes);
+        table.addCell(std::uint64_t{4} * n - 2);
+        table.addCell(s_psc.unit_routes);
+        table.addCell(std::uint64_t{4} * n - 3);
+        table.addCell(s_mcc.unit_routes);
+        table.addCell(7 * root - 8);
+        table.addCell(b_ccc.unit_routes);
+        table.addCell(b_psc.unit_routes);
+        table.addCell(b_mcc.unit_routes);
+    }
+    table.print(std::cout);
+
+    std::cout << "\n=== E5 ablation: class-hint schedule "
+                 "shortcuts ===\n\n";
+    TextTable ab({"n", "schedule", "workload", "unit routes",
+                  "vs general"});
+    for (unsigned n : {4u, 8u, 12u}) {
+        const auto add = [&](const char *label, const char *wl,
+                             SimdPermuteStats stats,
+                             std::uint64_t general) {
+            ab.newRow();
+            ab.addCell(n);
+            ab.addCell(label);
+            ab.addCell(wl);
+            ab.addCell(stats.unit_routes);
+            ab.addCell(static_cast<double>(stats.unit_routes) /
+                           static_cast<double>(general),
+                       2);
+        };
+
+        CubeMachine general(n);
+        general.loadIota(named::bitReversal(n).toPermutation());
+        const auto g = cccPermute(general);
+
+        CubeMachine omega_m(n);
+        omega_m.loadIota(named::cyclicShift(n, 3));
+        add("CCC omega", "cyclic shift",
+            cccPermute(omega_m, PermClassHint::Omega), g.unit_routes);
+
+        CubeMachine inv_m(n);
+        inv_m.loadIota(named::pOrdering(n, 5));
+        add("CCC inv-omega", "p-ordering",
+            cccPermute(inv_m, PermClassHint::InverseOmega),
+            g.unit_routes);
+
+        const BpcSpec seg = named::segmentBitReversal(n, 2);
+        CubeMachine bpc_m(n);
+        bpc_m.loadIota(seg.toPermutation());
+        add("CCC bpc-skip", "low-2-bit reversal",
+            cccPermute(bpc_m, PermClassHint::General, &seg),
+            g.unit_routes);
+
+        ShuffleMachine psc_omega(n);
+        psc_omega.loadIota(named::cyclicShift(n, 3));
+        ShuffleMachine psc_general(n);
+        psc_general.loadIota(named::bitReversal(n).toPermutation());
+        const auto pg = pscPermute(psc_general);
+        add("PSC omega", "cyclic shift",
+            pscPermute(psc_omega, PermClassHint::Omega),
+            pg.unit_routes);
+    }
+    ab.print(std::cout);
+    std::cout << "\n";
+}
+
+void
+BM_CccFAlgorithm(benchmark::State &state)
+{
+    const unsigned n = 16;
+    CubeMachine m(n);
+    const Permutation d = named::bitReversal(n).toPermutation();
+    for (auto _ : state) {
+        m.loadIota(d);
+        auto stats = cccPermute(m);
+        benchmark::DoNotOptimize(stats.success);
+    }
+    state.SetItemsProcessed(state.iterations() * m.numPes());
+}
+BENCHMARK(BM_CccFAlgorithm);
+
+void
+BM_CccBitonicBaseline(benchmark::State &state)
+{
+    const unsigned n = 16;
+    CubeMachine m(n);
+    const Permutation d = named::bitReversal(n).toPermutation();
+    for (auto _ : state) {
+        m.loadIota(d);
+        auto stats = bitonicPermuteCube(m);
+        benchmark::DoNotOptimize(stats.success);
+    }
+    state.SetItemsProcessed(state.iterations() * m.numPes());
+}
+BENCHMARK(BM_CccBitonicBaseline);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printRouteCounts();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

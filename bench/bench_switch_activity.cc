@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Experiment E12 (extension) -- switch-activity ablation: how much
+ * of the fabric each permutation family actually exercises. The
+ * idle stages explain exactly where the Section III schedule
+ * shortcuts come from (a stage whose switches stay straight is an
+ * iteration the SIMD simulation may skip), and the per-stage
+ * utilization profiles separate the families structurally.
+ *
+ * Timed section: instrumentation overhead on a routed state array.
+ */
+
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "common/prng.hh"
+#include "common/table.hh"
+#include "core/self_routing.hh"
+#include "core/stats.hh"
+#include "core/waksman.hh"
+#include "perm/f_class.hh"
+#include "perm/linear.hh"
+#include "perm/named_bpc.hh"
+#include "perm/omega_class.hh"
+
+namespace
+{
+
+using namespace srbenes;
+
+std::string
+profileString(const std::vector<double> &util)
+{
+    std::string s;
+    for (double u : util) {
+        if (!s.empty())
+            s += " ";
+        s += std::to_string(static_cast<int>(u * 100));
+    }
+    return s;
+}
+
+void
+printActivity()
+{
+    std::cout << "=== E12: switch activity by permutation family "
+                 "(B(6), 64 lines) ===\n\n";
+
+    const unsigned n = 6;
+    const SelfRoutingBenes net(n);
+    Prng prng(4);
+
+    struct Row
+    {
+        std::string name;
+        Permutation perm;
+        RoutingMode mode;
+    };
+    const std::vector<Row> rows{
+        {"identity", Permutation::identity(64),
+         RoutingMode::SelfRouting},
+        {"bit reversal", named::bitReversal(n).toPermutation(),
+         RoutingMode::SelfRouting},
+        {"vector reversal",
+         named::vectorReversal(n).toPermutation(),
+         RoutingMode::SelfRouting},
+        {"matrix transpose",
+         named::matrixTranspose(n).toPermutation(),
+         RoutingMode::SelfRouting},
+        {"perfect shuffle",
+         named::perfectShuffle(n).toPermutation(),
+         RoutingMode::SelfRouting},
+        {"cyclic shift +1", named::cyclicShift(n, 1),
+         RoutingMode::SelfRouting},
+        {"cyclic shift +1 (omega bit)", named::cyclicShift(n, 1),
+         RoutingMode::OmegaBit},
+        {"gray code", LinearSpec::grayCode(n).toPermutation(),
+         RoutingMode::SelfRouting},
+        {"random F member", randomFMember(n, prng),
+         RoutingMode::SelfRouting},
+    };
+
+    TextTable table({"permutation", "crossed %",
+                     "idle stages", "per-stage crossed %"});
+    for (const auto &row : rows) {
+        const auto res = net.route(row.perm, row.mode);
+        table.newRow();
+        table.addCell(row.name);
+        table.addCell(100.0 * crossedFraction(res.states), 1);
+        table.addCell(
+            static_cast<std::uint64_t>(idleStages(res.states).size()));
+        table.addCell(profileString(stageUtilization(res.states)));
+    }
+    table.print(std::cout);
+
+    // Self-routing vs Waksman realizations of the same F member.
+    const Permutation member = randomFMember(n, prng);
+    const auto self_states = net.route(member).states;
+    const auto wak_states = waksmanSetup(net.topology(), member);
+    std::cout << "\nself vs Waksman realization of one F member: "
+              << statesHammingDistance(self_states, wak_states)
+              << " / " << net.topology().numSwitches()
+              << " switches differ (the Benes decomposition is not "
+                 "unique)\n\n";
+}
+
+void
+BM_Instrumentation(benchmark::State &state)
+{
+    const unsigned n = 10;
+    const SelfRoutingBenes net(n);
+    Prng prng(1);
+    const auto res = net.route(randomFMember(n, prng));
+    for (auto _ : state) {
+        auto util = stageUtilization(res.states);
+        benchmark::DoNotOptimize(util.data());
+    }
+}
+BENCHMARK(BM_Instrumentation);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printActivity();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Experiment T1 -- Table I of the paper: the A-vectors of the
+ * example BPC permutations, their expansions, and proof by routing
+ * that each is realized by the self-routing network (Theorem 2).
+ *
+ * Timed section: expanding and self-routing each Table I permutation
+ * at N = 1024.
+ */
+
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "common/table.hh"
+#include "core/self_routing.hh"
+#include "perm/named_bpc.hh"
+
+namespace
+{
+
+using namespace srbenes;
+
+void
+printTableOne()
+{
+    std::cout << "=== Table I: example permutations in BPC(n) ===\n"
+              << "(paper notation (A_{n-1}, ..., A_0); shown for "
+                 "n = 4 and n = 6; 'routes' = realized by the\n"
+              << "self-routing B(n), expected yes for every row by "
+                 "Theorem 2)\n\n";
+
+    for (unsigned n : {4u, 6u}) {
+        const SelfRoutingBenes net(n);
+        TextTable table({"Permutation", "A vector (n=" +
+                                            std::to_string(n) + ")",
+                         "D for n=" + std::to_string(n), "routes"});
+        for (const auto &row : named::tableOne(n)) {
+            const Permutation d = row.spec.toPermutation();
+            table.newRow();
+            table.addCell(row.name);
+            table.addCell(row.spec.toString());
+            table.addCell(n == 4 ? d.toString() : "(64 entries)");
+            table.addCell(net.route(d).success ? "yes" : "NO");
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+}
+
+void
+BM_TableOneRouting(benchmark::State &state)
+{
+    const unsigned n = 10;
+    const SelfRoutingBenes net(n);
+    const auto rows = named::tableOne(n);
+    for (auto _ : state) {
+        for (const auto &row : rows) {
+            auto res = net.route(row.spec.toPermutation());
+            benchmark::DoNotOptimize(res.success);
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * rows.size());
+}
+BENCHMARK(BM_TableOneRouting);
+
+void
+BM_BpcExpansion(benchmark::State &state)
+{
+    const unsigned n = static_cast<unsigned>(state.range(0));
+    const BpcSpec spec = named::bitReversal(n);
+    for (auto _ : state) {
+        auto d = spec.toPermutation();
+        benchmark::DoNotOptimize(d.dest().data());
+    }
+}
+BENCHMARK(BM_BpcExpansion)->Arg(8)->Arg(12)->Arg(16);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTableOne();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Conflict-free matrix access through the network -- the
+ * PE-to-memory configuration of Section I ("the Benes network can
+ * be used to connect the N PE's to N memory modules").
+ *
+ * A classic SIMD problem (Lawrie): store an 8x8 matrix across 8
+ * memory modules so that any row, any column, and the main
+ * diagonals can each be fetched with one parallel access (one
+ * element per module), then let the network unscramble the skewed
+ * layout. With the skew scheme module(i, j) = (i + j) mod 8, the
+ * unscrambling permutations are cyclic shifts and p-orderings --
+ * inverse-omega members, so the self-routing network handles every
+ * access pattern with zero setup.
+ *
+ * Build & run:  ./build/examples/matrix_access
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "core/self_routing.hh"
+#include "perm/omega_class.hh"
+
+namespace
+{
+
+using namespace srbenes;
+
+constexpr unsigned kLogSide = 3;
+constexpr Word kSide = 8;
+
+/** Memory: module m, offset t. Skewed layout: element (i, j) lives
+ *  in module (i + j) mod 8 at offset i. */
+struct Memory
+{
+    Word cell[kSide][kSide]; // [module][offset]
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace srbenes;
+
+    // Fill the skewed store with the matrix a(i, j) = 10 i + j.
+    Memory mem{};
+    for (Word i = 0; i < kSide; ++i)
+        for (Word j = 0; j < kSide; ++j)
+            mem.cell[(i + j) % kSide][i] = 10 * i + j;
+
+    const SelfRoutingBenes net(kLogSide);
+    std::cout << "8x8 matrix, skewed storage module(i,j) = (i+j) "
+                 "mod 8; every access is one parallel fetch +\none "
+                 "self-routed pass through B(3).\n";
+
+    auto show = [](const char *what, const std::vector<Word> &v) {
+        std::cout << std::left << std::setw(26) << what << ":";
+        for (Word x : v)
+            std::cout << " " << std::setw(2) << x;
+        std::cout << "\n";
+    };
+
+    // --- fetch row i: element (i, j) is in module (i+j)%8 ---------
+    for (Word i : {Word{0}, Word{3}}) {
+        // Module m holds column j = (m - i) mod 8 of this row; to
+        // deliver element j to PE j, module m's word goes to PE
+        // (m - i) mod 8: a cyclic shift by -i, an inverse-omega
+        // member.
+        std::vector<Word> fetched(kSide);
+        for (Word m = 0; m < kSide; ++m)
+            fetched[m] = mem.cell[m][i];
+        const Permutation unscramble =
+            named::cyclicShift(kLogSide, kSide - i);
+        const auto row = net.permutePayloads(unscramble, fetched);
+        if (!row) {
+            std::cerr << "row unscramble not self-routable!\n";
+            return 1;
+        }
+        show(("row " + std::to_string(i)).c_str(), *row);
+    }
+
+    // --- fetch column j: element (i, j) is in module (i+j)%8 at
+    //     offset i -------------------------------------------------
+    for (Word j : {Word{1}, Word{6}}) {
+        // Module m holds row i = (m - j) mod 8 of this column.
+        std::vector<Word> fetched(kSide);
+        for (Word m = 0; m < kSide; ++m)
+            fetched[m] = mem.cell[m][(m + kSide - j) % kSide];
+        const Permutation unscramble =
+            named::cyclicShift(kLogSide, kSide - j);
+        const auto col = net.permutePayloads(unscramble, fetched);
+        if (!col) {
+            std::cerr << "column unscramble not self-routable!\n";
+            return 1;
+        }
+        show(("column " + std::to_string(j)).c_str(), *col);
+    }
+
+    // --- fetch the anti-diagonal (i, (c - i) mod 8): module c -----
+    // Every anti-diagonal element sits in the SAME module under
+    // this skew -- the worst case -- while the main diagonal
+    // (i, i) maps to module (2i) mod 8, hitting modules 0,2,4,6
+    // twice each. The skew trades diagonal bandwidth for perfect
+    // row/column bandwidth; Lawrie's prime-skew stores fix
+    // diagonals at the cost of non-power-of-two module counts.
+    {
+        // Main diagonal in two conflict-free half accesses
+        // (i = 0..3 touch modules 0,2,4,6 once; i = 4..7 again).
+        std::vector<Word> diag(kSide);
+        for (Word half = 0; half < 2; ++half)
+            for (Word i = 4 * half; i < 4 * (half + 1); ++i)
+                diag[i] = mem.cell[(2 * i) % kSide][i];
+        show("main diagonal (2 fetches)", diag);
+
+        // The half-access data arrives 2-ordered across modules;
+        // unscrambling a 2-ordering ... note stride-2 patterns are
+        // exactly where the inverse-p-ordering permutations of
+        // Section II would be used with a conflict-free skew.
+        std::cout << "(the (i+j) mod 8 skew serializes diagonals: "
+                     "2 accesses for the main diagonal, 8 for the "
+                     "anti-diagonal)\n";
+    }
+    return 0;
+}

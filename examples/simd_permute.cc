@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Permutation routing on the three SIMD machine models of Section
+ * III, side by side: for a chosen n, run a bundle of named
+ * permutations on the CCC, PSC and MCC and report success plus the
+ * unit routes spent -- with and without class hints -- against the
+ * bitonic-sort baseline.
+ *
+ * Build & run:  ./build/examples/simd_permute [n]   (default n = 6)
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hh"
+#include "perm/named_bpc.hh"
+#include "perm/omega_class.hh"
+#include "simd/bitonic.hh"
+#include "simd/permute.hh"
+
+namespace
+{
+
+using namespace srbenes;
+
+struct Workload
+{
+    std::string name;
+    Permutation perm;
+    PermClassHint hint;
+    const BpcSpec *bpc;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace srbenes;
+
+    unsigned n = 6;
+    if (argc > 1)
+        n = static_cast<unsigned>(std::strtoul(argv[1], nullptr, 10));
+    if (n < 2 || n > 20 || n % 2 != 0) {
+        std::cerr << "usage: simd_permute [even n in 2..20]\n";
+        return 1;
+    }
+
+    const BpcSpec transpose = named::matrixTranspose(n);
+    const BpcSpec bitrev = named::bitReversal(n);
+    const std::vector<Workload> workloads{
+        {"bit reversal (general)", bitrev.toPermutation(),
+         PermClassHint::General, nullptr},
+        {"bit reversal (BPC hint)", bitrev.toPermutation(),
+         PermClassHint::General, &bitrev},
+        {"matrix transpose (BPC hint)", transpose.toPermutation(),
+         PermClassHint::General, &transpose},
+        {"cyclic shift +3 (omega hint)", named::cyclicShift(n, 3),
+         PermClassHint::Omega, nullptr},
+        {"5-ordering (inv-omega hint)", named::pOrdering(n, 5),
+         PermClassHint::InverseOmega, nullptr},
+    };
+
+    std::cout << "N = " << (1u << n) << " PEs\n\n";
+    TextTable table({"workload", "CCC routes", "PSC routes",
+                     "MCC routes", "ok"});
+    for (const auto &w : workloads) {
+        CubeMachine ccc(n);
+        ShuffleMachine psc(n);
+        MeshMachine mcc(n);
+        ccc.loadIota(w.perm);
+        psc.loadIota(w.perm);
+        mcc.loadIota(w.perm);
+        const auto sc = cccPermute(ccc, w.hint, w.bpc);
+        const auto sp = pscPermute(psc, w.hint, w.bpc);
+        const auto sm = mccPermute(mcc, w.hint, w.bpc);
+        table.newRow();
+        table.addCell(w.name);
+        table.addCell(sc.unit_routes);
+        table.addCell(sp.unit_routes);
+        table.addCell(sm.unit_routes);
+        table.addCell(sc.success && sp.success && sm.success
+                          ? "yes"
+                          : "NO");
+    }
+
+    // Baseline: sort an arbitrary (non-F) permutation.
+    {
+        Prng prng(1);
+        const auto arbitrary =
+            Permutation::random(std::size_t{1} << n, prng);
+        CubeMachine ccc(n);
+        ShuffleMachine psc(n);
+        MeshMachine mcc(n);
+        ccc.loadIota(arbitrary);
+        psc.loadIota(arbitrary);
+        mcc.loadIota(arbitrary);
+        const auto sc = bitonicPermuteCube(ccc);
+        const auto sp = bitonicPermuteShuffle(psc);
+        const auto sm = bitonicPermuteMesh(mcc);
+        table.newRow();
+        table.addCell("random perm (bitonic baseline)");
+        table.addCell(sc.unit_routes);
+        table.addCell(sp.unit_routes);
+        table.addCell(sm.unit_routes);
+        table.addCell(sc.success && sp.success && sm.success
+                          ? "yes"
+                          : "NO");
+    }
+    table.print(std::cout);
+
+    std::cout << "\nformulas: CCC 2lgN-1 = " << 2 * n - 1
+              << ", PSC 4lgN-3 = " << 4 * n - 3
+              << ", MCC 7rt(N)-8 = " << 7 * (1u << (n / 2)) - 8
+              << "\n";
+    return 0;
+}

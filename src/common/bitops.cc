@@ -1,0 +1,84 @@
+#include "common/bitops.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace srbenes
+{
+
+Word
+reverseBits(Word v, unsigned n)
+{
+    Word r = 0;
+    for (unsigned b = 0; b < n; ++b)
+        r |= bit(v, b) << (n - 1 - b);
+    return r;
+}
+
+Word
+rotateLeft(Word v, unsigned n, unsigned k)
+{
+    k %= n;
+    if (k == 0)
+        return v & lowMask(n);
+    return ((v << k) & lowMask(n)) | ((v & lowMask(n)) >> (n - k));
+}
+
+Word
+rotateRight(Word v, unsigned n, unsigned k)
+{
+    k %= n;
+    return rotateLeft(v, n, n - k);
+}
+
+Word
+extractBits(Word v, Word mask)
+{
+    Word out = 0;
+    unsigned k = 0;
+    for (Word m = mask; m != 0; m &= m - 1) {
+        const unsigned b = std::countr_zero(m);
+        out |= bit(v, b) << k;
+        ++k;
+    }
+    return out;
+}
+
+Word
+depositBits(Word v, Word mask)
+{
+    Word out = 0;
+    unsigned k = 0;
+    for (Word m = mask; m != 0; m &= m - 1) {
+        const unsigned b = std::countr_zero(m);
+        out |= bit(v, k) << b;
+        ++k;
+    }
+    return out;
+}
+
+unsigned
+popCount(Word v)
+{
+    return static_cast<unsigned>(std::popcount(v));
+}
+
+unsigned
+floorLog2(Word v)
+{
+    if (v == 0)
+        panic("floorLog2 of zero");
+    return 63 - std::countl_zero(v);
+}
+
+unsigned
+exactLog2(Word v)
+{
+    if (!isPowerOfTwo(v))
+        panic("exactLog2: %llu is not a power of two",
+              static_cast<unsigned long long>(v));
+    return floorLog2(v);
+}
+
+} // namespace srbenes

@@ -1,0 +1,60 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace srbenes
+{
+
+namespace
+{
+
+void
+vreport(const char *prefix, FILE *stream, const char *fmt, va_list args)
+{
+    std::fprintf(stream, "%s: ", prefix);
+    std::vfprintf(stream, fmt, args);
+    std::fprintf(stream, "\n");
+}
+
+} // namespace
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("panic", stderr, fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("fatal", stderr, fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("warn", stderr, fmt, args);
+    va_end(args);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("info", stdout, fmt, args);
+    va_end(args);
+}
+
+} // namespace srbenes

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Status-message and error-exit helpers in the spirit of gem5's
+ * logging.hh.
+ *
+ * panic()  -- programmer error; something that must never happen
+ *             regardless of user input. Calls std::abort().
+ * fatal()  -- user error; the run cannot continue (bad size, bad
+ *             permutation vector, ...). Calls std::exit(1).
+ * warn()   -- suspicious but survivable condition.
+ * inform() -- plain status output.
+ */
+
+#ifndef SRBENES_COMMON_LOGGING_HH
+#define SRBENES_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace srbenes
+{
+
+/** Print a formatted message and abort; use for internal invariant
+ *  violations. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted message and exit(1); use for invalid user input. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted warning to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted status message to stdout. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace srbenes
+
+#endif // SRBENES_COMMON_LOGGING_HH

@@ -1,0 +1,114 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace srbenes
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        panic("TextTable requires at least one column");
+}
+
+void
+TextTable::newRow()
+{
+    rows_.emplace_back();
+}
+
+void
+TextTable::addCell(std::string value)
+{
+    if (rows_.empty())
+        newRow();
+    if (rows_.back().size() >= headers_.size())
+        panic("TextTable row has more cells than headers");
+    rows_.back().push_back(std::move(value));
+}
+
+void
+TextTable::addCell(const char *value)
+{
+    addCell(std::string(value));
+}
+
+void
+TextTable::addCell(std::uint64_t value)
+{
+    addCell(std::to_string(value));
+}
+
+void
+TextTable::addCell(long long value)
+{
+    addCell(std::to_string(value));
+}
+
+void
+TextTable::addCell(int value)
+{
+    addCell(std::to_string(value));
+}
+
+void
+TextTable::addCell(unsigned value)
+{
+    addCell(std::to_string(value));
+}
+
+void
+TextTable::addCell(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    addCell(os.str());
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    newRow();
+    for (auto &c : cells)
+        addCell(std::move(c));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << cells[c];
+            if (c + 1 < cells.size())
+                os << "  ";
+        }
+        os << "\n";
+    };
+
+    emit(headers_);
+    std::string rule;
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        rule.append(widths[c], '-');
+        if (c + 1 < headers_.size())
+            rule.append("  ");
+    }
+    os << rule << "\n";
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+} // namespace srbenes

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Minimal fixed-width text-table formatter.
+ *
+ * The benchmark binaries reproduce the paper's tables and figures as
+ * aligned text; this helper keeps the output format consistent across
+ * all of them. Columns auto-size to their widest cell.
+ */
+
+#ifndef SRBENES_COMMON_TABLE_HH
+#define SRBENES_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace srbenes
+{
+
+/**
+ * A text table with a header row, built cell by cell and rendered to
+ * any std::ostream. Cell values are strings; use the convenience
+ * overloads of addCell for numeric data.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Start a new row. */
+    void newRow();
+
+    /** Append a cell to the current row. */
+    void addCell(std::string value);
+    void addCell(const char *value);
+    void addCell(std::uint64_t value);
+    void addCell(long long value);
+    void addCell(int value);
+    void addCell(unsigned value);
+    /** Fixed-precision floating-point cell. */
+    void addCell(double value, int precision = 3);
+
+    /** Append a full row at once. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows so far. */
+    std::size_t numRows() const { return rows_.size(); }
+
+    /** Render with a header underline and two-space column gaps. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace srbenes
+
+#endif // SRBENES_COMMON_TABLE_HH

@@ -1,0 +1,178 @@
+#include "core/faults.hh"
+
+#include "common/logging.hh"
+#include "core/stats.hh"
+#include "perm/f_class.hh"
+
+namespace srbenes
+{
+
+RouteResult
+routeWithFaults(const SelfRoutingBenes &net, const Permutation &d,
+                const std::vector<StuckFault> &faults,
+                RoutingMode mode)
+{
+    const BenesTopology &topo = net.topology();
+    const Word size = topo.numLines();
+    if (d.size() != size)
+        fatal("permutation size %zu does not match network N = %llu",
+              d.size(), static_cast<unsigned long long>(size));
+
+    // Overlay: -1 = healthy, else the stuck value.
+    std::vector<std::vector<int>> overlay(
+        topo.numStages(),
+        std::vector<int>(topo.switchesPerStage(), -1));
+    for (const auto &f : faults) {
+        if (f.stage >= topo.numStages() ||
+            f.switch_index >= topo.switchesPerStage())
+            fatal("fault at stage %u switch %llu out of range",
+                  f.stage,
+                  static_cast<unsigned long long>(f.switch_index));
+        overlay[f.stage][f.switch_index] = f.stuck_value;
+    }
+
+    // Mirror of SelfRoutingBenes::run with the fault overlay applied
+    // at state-decision time (a stuck switch corrupts everything
+    // downstream, so the override cannot be post-applied).
+    struct Signal
+    {
+        Word tag;
+        Word origin;
+    };
+    std::vector<Signal> cur(size), next(size);
+    for (Word i = 0; i < size; ++i)
+        cur[i] = Signal{d[i], i};
+
+    RouteResult res;
+    res.states = topo.makeStates();
+    res.gate_delay = topo.numStages();
+
+    const unsigned stages = topo.numStages();
+    for (unsigned s = 0; s < stages; ++s) {
+        const unsigned b = topo.controlBit(s);
+        for (Word i = 0; i < topo.switchesPerStage(); ++i) {
+            std::uint8_t state;
+            if (overlay[s][i] >= 0) {
+                state = static_cast<std::uint8_t>(overlay[s][i]);
+            } else if (mode == RoutingMode::OmegaBit &&
+                       s + 1 < topo.n()) {
+                state = 0;
+            } else {
+                state = static_cast<std::uint8_t>(
+                    bit(cur[2 * i].tag, b));
+            }
+            res.states[s][i] = state;
+            if (state)
+                std::swap(cur[2 * i], cur[2 * i + 1]);
+        }
+        if (s + 1 < stages) {
+            for (Word line = 0; line < size; ++line)
+                next[topo.wireToNext(s, line)] = cur[line];
+            cur.swap(next);
+        }
+    }
+
+    res.output_tags.resize(size);
+    res.realized_dest.resize(size);
+    res.success = true;
+    for (Word j = 0; j < size; ++j) {
+        res.output_tags[j] = cur[j].tag;
+        res.realized_dest[cur[j].origin] = j;
+        if (cur[j].tag != j) {
+            res.success = false;
+            res.misrouted_outputs.push_back(j);
+        }
+    }
+    return res;
+}
+
+std::vector<Permutation>
+faultTestSet(const SelfRoutingBenes &net, Prng &prng)
+{
+    const BenesTopology &topo = net.topology();
+
+    // Detection-driven greedy cover. State coverage alone is NOT
+    // enough: the opening half of the fabric makes free decisions
+    // that the tag-driven closing half can compensate, so a stuck
+    // opening switch is masked on any test whose affected input
+    // pair maps onto one output pair (the identity masks every
+    // stage-0 fault, for example). A fault counts as covered only
+    // when some test's OUTPUT TAGS actually change under it.
+    std::vector<StuckFault> undetected;
+    for (unsigned s = 0; s < topo.numStages(); ++s)
+        for (Word i = 0; i < topo.switchesPerStage(); ++i)
+            for (std::uint8_t v : {std::uint8_t{0}, std::uint8_t{1}})
+                undetected.push_back(StuckFault{s, i, v});
+
+    std::vector<Permutation> tests;
+    auto absorb = [&](const Permutation &t) {
+        const auto healthy = net.route(t).output_tags;
+        std::vector<StuckFault> still;
+        for (const auto &f : undetected)
+            if (routeWithFaults(net, t, {f}).output_tags == healthy)
+                still.push_back(f);
+        if (still.size() < undetected.size()) {
+            tests.push_back(t);
+            undetected.swap(still);
+        }
+    };
+
+    // The identity detects every stuck-crossed fault in the forced
+    // (closing) half cheaply; random members cover the rest.
+    absorb(Permutation::identity(topo.numLines()));
+    const int kMaxDraws = 10000;
+    for (int draw = 0; draw < kMaxDraws && !undetected.empty();
+         ++draw)
+        absorb(randomFMember(topo.n(), prng));
+    if (!undetected.empty())
+        panic("%zu faults undetected after the draw budget",
+              undetected.size());
+    return tests;
+}
+
+bool
+testSetDetects(const SelfRoutingBenes &net,
+               const std::vector<Permutation> &tests,
+               const StuckFault &fault)
+{
+    for (const auto &t : tests) {
+        const auto healthy = net.route(t);
+        const auto faulty = routeWithFaults(net, t, {fault});
+        if (healthy.output_tags != faulty.output_tags)
+            return true;
+    }
+    return false;
+}
+
+std::vector<StuckFault>
+diagnoseSingleFault(const SelfRoutingBenes &net,
+                    const std::vector<Permutation> &tests,
+                    const std::vector<std::vector<Word>> &observed)
+{
+    const BenesTopology &topo = net.topology();
+    if (observed.size() != tests.size())
+        fatal("need one observation per test (%zu tests, %zu "
+              "observations)", tests.size(), observed.size());
+
+    std::vector<StuckFault> candidates;
+    for (unsigned s = 0; s < topo.numStages(); ++s) {
+        for (Word i = 0; i < topo.switchesPerStage(); ++i) {
+            for (std::uint8_t v : {std::uint8_t{0},
+                                   std::uint8_t{1}}) {
+                const StuckFault fault{s, i, v};
+                bool consistent = true;
+                for (std::size_t t = 0;
+                     consistent && t < tests.size(); ++t) {
+                    consistent =
+                        routeWithFaults(net, tests[t], {fault})
+                            .output_tags == observed[t];
+                }
+                if (consistent)
+                    candidates.push_back(fault);
+            }
+        }
+    }
+    return candidates;
+}
+
+} // namespace srbenes

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Stuck-at fault injection and diagnosis for the self-routing
+ * fabric.
+ *
+ * A deployed network needs testability: a switch whose state line is
+ * stuck leaves the self-setting rule silently violated for half its
+ * traffic. This module injects stuck-at-straight / stuck-at-crossed
+ * faults into a route, builds a small destination-tag TEST SET that
+ * drives every switch into both states (so any single stuck-at
+ * fault misroutes at least one test), and localizes a single fault
+ * from the observed output tags.
+ *
+ * Two structural facts shape the test set.
+ *
+ * 1. No single F(n) permutation exercises everything: a fully
+ *    crossed CLOSING stage would need the upper subnetwork to carry
+ *    only odd tags, which no self-routable permutation does.
+ *
+ * 2. The fabric MASKS many opening-half faults. Stages 0..n-2 make
+ *    free path choices; the tag-driven closing stages then correct
+ *    whichever decomposition arrives. A stuck opening switch is
+ *    invisible on any test whose affected input pair maps onto a
+ *    single output pair -- the identity masks every stage-0 fault
+ *    this way -- and is only caught by a test where the flipped
+ *    decomposition leaves F. The test-set builder therefore covers
+ *    faults by OBSERVED DETECTION (output tags change), not by
+ *    state coverage.
+ */
+
+#ifndef SRBENES_CORE_FAULTS_HH
+#define SRBENES_CORE_FAULTS_HH
+
+#include <optional>
+#include <vector>
+
+#include "common/prng.hh"
+#include "core/self_routing.hh"
+
+namespace srbenes
+{
+
+/** One faulty switch: its state line is stuck at @p stuck_value. */
+struct StuckFault
+{
+    unsigned stage;
+    Word switch_index;
+    std::uint8_t stuck_value; //!< 0 = stuck straight, 1 = stuck
+                              //!< crossed
+
+    bool operator==(const StuckFault &other) const = default;
+};
+
+/**
+ * Self-route @p d with the given stuck-at faults overriding the
+ * Fig. 3 rule at the faulty switches. With an empty fault list the
+ * result equals net.route(d, mode) exactly.
+ */
+RouteResult routeWithFaults(const SelfRoutingBenes &net,
+                            const Permutation &d,
+                            const std::vector<StuckFault> &faults,
+                            RoutingMode mode =
+                                RoutingMode::SelfRouting);
+
+/**
+ * Build a test set: the identity (covers the straight state of
+ * every switch) plus greedily chosen random F members until every
+ * switch has also been observed crossed. All members route
+ * fault-free by construction.
+ */
+std::vector<Permutation> faultTestSet(const SelfRoutingBenes &net,
+                                      Prng &prng);
+
+/** True iff @p fault changes the output tags of at least one test. */
+bool testSetDetects(const SelfRoutingBenes &net,
+                    const std::vector<Permutation> &tests,
+                    const StuckFault &fault);
+
+/**
+ * Localize a single stuck-at fault from the output tags observed
+ * when running the test set on the faulty fabric. Returns every
+ * fault consistent with the observations (behaviorally equivalent
+ * candidates are all reported; empty means the observations match
+ * no single-fault hypothesis, e.g.\ the fabric is fault-free or
+ * multiply faulty).
+ */
+std::vector<StuckFault>
+diagnoseSingleFault(const SelfRoutingBenes &net,
+                    const std::vector<Permutation> &tests,
+                    const std::vector<std::vector<Word>> &observed);
+
+} // namespace srbenes
+
+#endif // SRBENES_CORE_FAULTS_HH

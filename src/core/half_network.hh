@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The two halves of B(n) as standalone networks.
+ *
+ * Section II remarks that "the first n stages of B(n) correspond to
+ * an inverse omega network except for some rearrangement of
+ * switches" and likewise the last n stages to an omega network.
+ * This module makes the correspondence exact and testable. With
+ * mappings read as permutations of line positions:
+ *
+ *   { firstHalfMapping(states) }  =  { rho o w0 : rho in
+ *                                      InverseOmega(n) }
+ *   { omegaHalfMapping(states) }  =  { beta o omega : omega in
+ *                                      Omega(n) }
+ *
+ * where w0 is the fixed all-straight relabeling of the half (a pure
+ * bit permutation of the line index; identity at n = 2, one
+ * unshuffle at n = 3) and beta is the bit-reversal relabeling --
+ * i.e.\ the "rearrangement of switches" amounts to exactly one
+ * fixed relabeling per half. The tests verify both set equalities
+ * exhaustively over all switch settings at N = 4 and 8, plus that
+ * settings-to-mapping is injective (each half realizes exactly
+ * 2^(n N/2) distinct mappings, the omega-network count).
+ */
+
+#ifndef SRBENES_CORE_HALF_NETWORK_HH
+#define SRBENES_CORE_HALF_NETWORK_HH
+
+#include "core/topology.hh"
+#include "perm/permutation.hh"
+
+namespace srbenes
+{
+
+/**
+ * Mapping realized by stages 0..n-1 of B(n) under @p states,
+ * measured at the input of stage n (the two-pass split point):
+ * input i ends on line result[i].
+ */
+Permutation firstHalfMapping(const BenesTopology &topo,
+                             const SwitchStates &states);
+
+/**
+ * Mapping realized by the omega half, stages n-1..2n-2: a signal
+ * entering stage n-1 on line m leaves on output result[m].
+ */
+Permutation omegaHalfMapping(const BenesTopology &topo,
+                             const SwitchStates &states);
+
+/**
+ * Mapping realized by the strict tail, stages n..2n-2 (what remains
+ * after firstHalfMapping); the full route factors as
+ * firstHalfMapping(s).then(tailMapping(s)).
+ */
+Permutation tailMapping(const BenesTopology &topo,
+                        const SwitchStates &states);
+
+} // namespace srbenes
+
+#endif // SRBENES_CORE_HALF_NETWORK_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Partial permutations on the self-routing fabric.
+ *
+ * Real SIMD workloads often route fewer than N records (masked
+ * PEs). The Fig. 3 rule extends naturally to idle inputs: a switch
+ * takes its state from bit b of the upper input's tag when the
+ * upper input is active; from the COMPLEMENT of bit b of the lower
+ * input's tag when only the lower is active (so the lower signal
+ * still exits through the correct port); and rests straight when
+ * both are idle. A single active signal therefore always reaches
+ * its destination, and full-occupancy behavior is exactly the
+ * original rule.
+ *
+ * Which partial mappings route is an occupancy-dependent question
+ * the paper leaves open; bench_partial measures the success
+ * probability as a function of the active count.
+ */
+
+#ifndef SRBENES_CORE_PARTIAL_HH
+#define SRBENES_CORE_PARTIAL_HH
+
+#include <vector>
+
+#include "common/prng.hh"
+#include "core/self_routing.hh"
+
+namespace srbenes
+{
+
+/** A partial destination assignment; idle inputs carry kIdle. */
+class PartialMapping
+{
+  public:
+    static constexpr Word kIdle = ~Word{0};
+
+    /** Validates: active destinations in range and distinct. */
+    explicit PartialMapping(std::vector<Word> dest);
+
+    /** Restrict a full permutation to the inputs in @p active. */
+    static PartialMapping restrict(const Permutation &perm,
+                                   const std::vector<bool> &active);
+
+    /** Uniform random: @p active_count distinct sources mapped to
+     *  distinct destinations. */
+    static PartialMapping random(std::size_t size,
+                                 std::size_t active_count,
+                                 Prng &prng);
+
+    std::size_t size() const { return dest_.size(); }
+    std::size_t activeCount() const { return active_count_; }
+    bool isActive(std::size_t i) const { return dest_[i] != kIdle; }
+    Word operator[](std::size_t i) const { return dest_[i]; }
+    const std::vector<Word> &dest() const { return dest_; }
+
+  private:
+    std::vector<Word> dest_;
+    std::size_t active_count_;
+};
+
+/** Outcome of a partial route. */
+struct PartialRouteResult
+{
+    bool success = false;          //!< every active signal delivered
+    std::vector<Word> output_tags; //!< kIdle on unused outputs
+    unsigned delivered = 0;        //!< active signals that arrived
+    SwitchStates states;
+};
+
+/** Self-route a partial mapping with the extended Fig. 3 rule. */
+PartialRouteResult routePartial(const SelfRoutingBenes &net,
+                                const PartialMapping &mapping);
+
+} // namespace srbenes
+
+#endif // SRBENES_CORE_PARTIAL_HH

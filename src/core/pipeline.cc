@@ -1,0 +1,103 @@
+#include "core/pipeline.hh"
+
+#include "common/logging.hh"
+
+namespace srbenes
+{
+
+PipelinedBenes::PipelinedBenes(unsigned n)
+    : topo_(n), slots_(topo_.numStages())
+{
+}
+
+void
+PipelinedBenes::inject(const Permutation &d, std::vector<Word> payloads)
+{
+    if (d.size() != topo_.numLines())
+        fatal("pipeline vector size %zu != N = %llu", d.size(),
+              static_cast<unsigned long long>(topo_.numLines()));
+    if (payloads.size() != d.size())
+        fatal("payload count %zu != N = %zu", payloads.size(), d.size());
+
+    Frame frame(d.size());
+    for (std::size_t i = 0; i < d.size(); ++i)
+        frame[i] = Signal{d[i], payloads[i]};
+    pending_.push_back(std::move(frame));
+}
+
+void
+PipelinedBenes::advance(Frame &frame, unsigned s) const
+{
+    const unsigned b = topo_.controlBit(s);
+    for (Word i = 0; i < topo_.switchesPerStage(); ++i)
+        if (bit(frame[2 * i].tag, b))
+            std::swap(frame[2 * i], frame[2 * i + 1]);
+
+    if (s + 1 < topo_.numStages()) {
+        Frame next(frame.size());
+        for (Word line = 0; line < frame.size(); ++line)
+            next[topo_.wireToNext(s, line)] = frame[line];
+        frame.swap(next);
+    }
+}
+
+std::optional<PipelineOutput>
+PipelinedBenes::clockTick()
+{
+    ++cycles_;
+
+    // A queued vector enters stage 0 at the start of the clock, so
+    // stage 0 processes it during this very cycle (latency is
+    // exactly the 2n-1 stages).
+    if (!slots_[0] && !pending_.empty()) {
+        slots_[0] = std::move(pending_.front());
+        pending_.pop_front();
+    }
+
+    // The last stage's register drains to the outputs.
+    std::optional<PipelineOutput> out;
+    const unsigned last = topo_.numStages() - 1;
+    if (slots_[last]) {
+        Frame frame = std::move(*slots_[last]);
+        advance(frame, last);
+
+        PipelineOutput po;
+        po.success = true;
+        po.output_tags.resize(frame.size());
+        po.payloads.resize(frame.size());
+        for (Word j = 0; j < frame.size(); ++j) {
+            po.output_tags[j] = frame[j].tag;
+            po.payloads[j] = frame[j].payload;
+            if (frame[j].tag != j)
+                po.success = false;
+        }
+        out = std::move(po);
+        slots_[last].reset();
+    }
+
+    // Every earlier stage processes its register and latches the
+    // result into the next stage's register.
+    for (unsigned s = last; s > 0; --s) {
+        if (slots_[s - 1]) {
+            Frame frame = std::move(*slots_[s - 1]);
+            advance(frame, s - 1);
+            slots_[s] = std::move(frame);
+            slots_[s - 1].reset();
+        }
+    }
+
+    return out;
+}
+
+bool
+PipelinedBenes::drained() const
+{
+    if (!pending_.empty())
+        return false;
+    for (const auto &slot : slots_)
+        if (slot)
+            return false;
+    return true;
+}
+
+} // namespace srbenes

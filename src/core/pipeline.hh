@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Pipelined operation of the self-routing network (Section IV).
+ *
+ * "By providing registers between the stages of B(n), the network may
+ * operate in pipelined mode. That is, a new N-element vector may
+ * enter the network every clock-period." Each in-flight vector
+ * carries its own destination tags, so consecutive vectors may use
+ * different permutations. The first permuted vector emerges after
+ * 2n-1 clocks (the O(log N) fill delay); every later one after a
+ * single additional clock.
+ */
+
+#ifndef SRBENES_CORE_PIPELINE_HH
+#define SRBENES_CORE_PIPELINE_HH
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/topology.hh"
+#include "perm/permutation.hh"
+
+namespace srbenes
+{
+
+/** A vector emerging from the pipelined network. */
+struct PipelineOutput
+{
+    bool success = false;            //!< all tags reached their index
+    std::vector<Word> output_tags;   //!< tag at each output terminal
+    std::vector<Word> payloads;      //!< payloads in output order
+};
+
+class PipelinedBenes
+{
+  public:
+    explicit PipelinedBenes(unsigned n);
+
+    const BenesTopology &topology() const { return topo_; }
+
+    /** Fill latency in clocks: the 2n-1 stages. */
+    unsigned latency() const { return topo_.numStages(); }
+
+    /**
+     * Queue an (tags, payloads) vector for injection; one queued
+     * vector enters the first stage per clock.
+     */
+    void inject(const Permutation &d, std::vector<Word> payloads);
+
+    /**
+     * Advance one clock: every stage register moves forward by one
+     * stage; returns the vector leaving the last stage, if any.
+     */
+    std::optional<PipelineOutput> clockTick();
+
+    /** Clocks elapsed since construction. */
+    std::uint64_t cyclesElapsed() const { return cycles_; }
+
+    /** True iff no vector is in flight and none is queued. */
+    bool drained() const;
+
+  private:
+    struct Signal
+    {
+        Word tag;
+        Word payload;
+    };
+    using Frame = std::vector<Signal>;
+
+    /** Run @p frame through stage @p s and the wiring after it. */
+    void advance(Frame &frame, unsigned s) const;
+
+    BenesTopology topo_;
+    /** slots_[s]: vector waiting at the input of stage s. */
+    std::vector<std::optional<Frame>> slots_;
+    std::deque<Frame> pending_;
+    std::uint64_t cycles_ = 0;
+};
+
+} // namespace srbenes
+
+#endif // SRBENES_CORE_PIPELINE_HH

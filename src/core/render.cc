@@ -1,0 +1,88 @@
+#include "core/render.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace srbenes
+{
+
+std::string
+toBinary(Word v, unsigned n)
+{
+    std::string s(n, '0');
+    for (unsigned b = 0; b < n; ++b)
+        if (bit(v, b))
+            s[n - 1 - b] = '1';
+    return s;
+}
+
+std::string
+renderRoute(const BenesTopology &topo, const RouteTrace &trace,
+            const RouteResult &result)
+{
+    const unsigned n = topo.n();
+    const unsigned stages = topo.numStages();
+    if (trace.tags_at_stage.size() != stages + 1u)
+        panic("trace has %zu snapshots, expected %u",
+              trace.tags_at_stage.size(), stages + 1);
+
+    std::ostringstream os;
+    os << "B(" << n << "), N = " << topo.numLines() << ", "
+       << stages << " stages\n";
+
+    std::vector<std::string> headers;
+    headers.push_back("line");
+    for (unsigned s = 0; s < stages; ++s)
+        headers.push_back("s" + std::to_string(s) + "(b" +
+                          std::to_string(topo.controlBit(s)) + ")");
+    headers.push_back("out");
+
+    TextTable table(std::move(headers));
+    for (Word line = 0; line < topo.numLines(); ++line) {
+        table.newRow();
+        table.addCell(line);
+        for (unsigned s = 0; s <= stages; ++s)
+            table.addCell(toBinary(trace.tags_at_stage[s][line], n));
+    }
+    table.print(os);
+
+    os << "switch states (stage: states top to bottom):\n";
+    for (unsigned s = 0; s < stages; ++s) {
+        os << "  stage " << s << ":";
+        for (Word i = 0; i < topo.switchesPerStage(); ++i)
+            os << " " << static_cast<int>(result.states[s][i]);
+        os << "\n";
+    }
+
+    if (result.success) {
+        os << "verdict: permutation realized\n";
+    } else {
+        os << "verdict: NOT realized; misrouted outputs:";
+        for (Word j : result.misrouted_outputs)
+            os << " " << j << "(got " << result.output_tags[j] << ")";
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+renderStates(const BenesTopology &topo, const SwitchStates &states)
+{
+    if (states.size() != topo.numStages())
+        panic("state array has %zu stages, expected %u",
+              states.size(), topo.numStages());
+
+    std::ostringstream os;
+    os << "switch  stages 0.." << topo.numStages() - 1 << "\n";
+    for (Word i = 0; i < topo.switchesPerStage(); ++i) {
+        os << (i < 10 ? " " : "") << i << "      ";
+        for (unsigned s = 0; s < topo.numStages(); ++s)
+            os << (states[s][i] ? 'X' : '=');
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace srbenes

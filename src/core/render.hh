@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Text rendering of routes through B(n), used to reproduce Figs. 4
+ * and 5 of the paper: the destination tag (in binary) on every line
+ * at every stage, the state of every switch, and the final outcome.
+ */
+
+#ifndef SRBENES_CORE_RENDER_HH
+#define SRBENES_CORE_RENDER_HH
+
+#include <string>
+
+#include "core/self_routing.hh"
+
+namespace srbenes
+{
+
+/** Binary string of the low @p n bits of @p v, most significant
+ *  first. */
+std::string toBinary(Word v, unsigned n);
+
+/**
+ * Render a traced route: one row per line with the tag it carries at
+ * the input of each stage and at the outputs, column headers with the
+ * stage's control bit, then the switch-state matrix and the verdict.
+ * @p trace must come from the same route() call that produced
+ * @p result.
+ */
+std::string renderRoute(const BenesTopology &topo,
+                        const RouteTrace &trace,
+                        const RouteResult &result);
+
+/**
+ * Compact switch-state diagram: one row per switch position, one
+ * column per stage, '=' for straight and 'X' for crossed -- the
+ * at-a-glance shape of a realization (e.g.\ the palindrome
+ * structure of a BPC route).
+ */
+std::string renderStates(const BenesTopology &topo,
+                         const SwitchStates &states);
+
+} // namespace srbenes
+
+#endif // SRBENES_CORE_RENDER_HH

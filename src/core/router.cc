@@ -1,0 +1,97 @@
+#include "core/router.hh"
+
+#include "common/logging.hh"
+#include "core/waksman.hh"
+#include "perm/f_class.hh"
+#include "perm/omega_class.hh"
+
+namespace srbenes
+{
+
+const char *
+routeStrategyName(RouteStrategy s)
+{
+    switch (s) {
+      case RouteStrategy::SelfRouting:
+        return "self-routing";
+      case RouteStrategy::OmegaBit:
+        return "omega-bit";
+      case RouteStrategy::TwoPass:
+        return "two-pass";
+      case RouteStrategy::Waksman:
+        return "waksman";
+    }
+    return "?";
+}
+
+Router::Router(unsigned n, bool prefer_waksman)
+    : net_(n), prefer_waksman_(prefer_waksman)
+{
+}
+
+RoutePlan
+Router::plan(const Permutation &d) const
+{
+    if (d.size() != net_.numLines())
+        fatal("permutation size %zu does not match router N = %llu",
+              d.size(),
+              static_cast<unsigned long long>(net_.numLines()));
+
+    if (inFClass(d))
+        return RoutePlan{RouteStrategy::SelfRouting, d, {}, {}, 1};
+    if (isOmega(d))
+        return RoutePlan{RouteStrategy::OmegaBit, d, {}, {}, 1};
+    if (prefer_waksman_) {
+        return RoutePlan{RouteStrategy::Waksman, d, {},
+                         waksmanSetup(net_.topology(), d), 1};
+    }
+    return RoutePlan{RouteStrategy::TwoPass, d, twoPassPlan(net_, d),
+                     {}, 2};
+}
+
+std::vector<Word>
+Router::execute(const RoutePlan &plan,
+                const std::vector<Word> &data) const
+{
+    switch (plan.strategy) {
+      case RouteStrategy::SelfRouting: {
+        const auto out = net_.permutePayloads(plan.perm, data);
+        if (!out)
+            panic("self-routing plan failed for a planned F member");
+        return *out;
+      }
+      case RouteStrategy::OmegaBit: {
+        const auto out = net_.permutePayloads(plan.perm, data,
+                                              RoutingMode::OmegaBit);
+        if (!out)
+            panic("omega-bit plan failed for a planned Omega "
+                  "member");
+        return *out;
+      }
+      case RouteStrategy::TwoPass:
+        if (!plan.two_pass)
+            panic("two-pass plan is missing its factorization");
+        return twoPassPermute(net_, *plan.two_pass, data);
+      case RouteStrategy::Waksman: {
+        if (!plan.states)
+            panic("waksman plan is missing its switch states");
+        const auto res = net_.routeWithStates(plan.perm, *plan.states);
+        if (!res.success)
+            panic("waksman plan failed to realize its permutation");
+        std::vector<Word> out(data.size());
+        for (std::size_t i = 0; i < data.size(); ++i)
+            out[res.realized_dest[i]] = data[i];
+        return out;
+      }
+    }
+    panic("unreachable routing strategy");
+}
+
+std::vector<Word>
+Router::route(const Permutation &d,
+              const std::vector<Word> &data) const
+{
+    return execute(plan(d), data);
+}
+
+} // namespace srbenes

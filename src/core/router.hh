@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The one-stop routing facade.
+ *
+ * A downstream user has a permutation and data; which of the
+ * library's mechanisms should carry it? This facade plans the
+ * CHEAPEST strategy automatically:
+ *
+ *   SelfRouting  if D is in F(n)        -- 1 pass, zero setup;
+ *   OmegaBit     else if D is in Omega  -- 1 pass, one mode wire;
+ *   TwoPass      otherwise (default)    -- 2 self-routed passes,
+ *                O(N log N) planning once, only tags move after;
+ *   Waksman      otherwise (opt-in)     -- 1 pass, ships switch
+ *                states to the fabric.
+ *
+ * Plans are immutable and reusable: plan once per communication
+ * pattern, execute per data vector (the paper's SIMD setting, where
+ * the same pattern recurs every iteration).
+ */
+
+#ifndef SRBENES_CORE_ROUTER_HH
+#define SRBENES_CORE_ROUTER_HH
+
+#include <optional>
+#include <string>
+
+#include "core/self_routing.hh"
+#include "core/two_pass.hh"
+
+namespace srbenes
+{
+
+/** How a plan will drive the fabric. */
+enum class RouteStrategy
+{
+    SelfRouting, //!< one pass, Fig. 3 rule only
+    OmegaBit,    //!< one pass, stages 0..n-2 forced
+    TwoPass,     //!< two self-routed passes
+    Waksman,     //!< one pass, externally loaded states
+};
+
+const char *routeStrategyName(RouteStrategy s);
+
+/** An immutable, reusable routing plan for one permutation. */
+struct RoutePlan
+{
+    RouteStrategy strategy;
+    Permutation perm;
+    /** TwoPass only. */
+    std::optional<TwoPassPlan> two_pass;
+    /** Waksman only. */
+    std::optional<SwitchStates> states;
+    /** Passes through the fabric per executed vector. */
+    unsigned passes = 1;
+};
+
+class Router
+{
+  public:
+    /**
+     * @param prefer_waksman resolve non-F/non-Omega permutations
+     *        with a single externally-set pass instead of two
+     *        self-routed ones.
+     */
+    explicit Router(unsigned n, bool prefer_waksman = false);
+
+    const SelfRoutingBenes &fabric() const { return net_; }
+
+    /** Plan the cheapest strategy for @p d. */
+    RoutePlan plan(const Permutation &d) const;
+
+    /** Move a data vector along a previously computed plan. */
+    std::vector<Word> execute(const RoutePlan &plan,
+                              const std::vector<Word> &data) const;
+
+    /** Convenience: plan + execute in one call. */
+    std::vector<Word> route(const Permutation &d,
+                            const std::vector<Word> &data) const;
+
+  private:
+    SelfRoutingBenes net_;
+    bool prefer_waksman_;
+};
+
+} // namespace srbenes
+
+#endif // SRBENES_CORE_ROUTER_HH

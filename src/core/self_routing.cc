@@ -1,0 +1,129 @@
+#include "core/self_routing.hh"
+
+#include "common/logging.hh"
+
+namespace srbenes
+{
+
+SelfRoutingBenes::SelfRoutingBenes(unsigned n)
+    : topo_(n)
+{
+}
+
+RouteResult
+SelfRoutingBenes::route(const Permutation &d, RoutingMode mode,
+                        RouteTrace *trace) const
+{
+    return run(d, nullptr, mode, trace);
+}
+
+RouteResult
+SelfRoutingBenes::routeWithStates(const Permutation &d,
+                                  const SwitchStates &states,
+                                  RouteTrace *trace) const
+{
+    if (states.size() != topo_.numStages())
+        fatal("state array has %zu stages, network has %u",
+              states.size(), topo_.numStages());
+    return run(d, &states, RoutingMode::SelfRouting, trace);
+}
+
+std::optional<std::vector<Word>>
+SelfRoutingBenes::permutePayloads(const Permutation &d,
+                                  const std::vector<Word> &data,
+                                  RoutingMode mode) const
+{
+    if (data.size() != numLines())
+        fatal("payload vector size %zu != N = %llu", data.size(),
+              static_cast<unsigned long long>(numLines()));
+
+    const RouteResult res = route(d, mode);
+    if (!res.success)
+        return std::nullopt;
+
+    std::vector<Word> out(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i)
+        out[res.realized_dest[i]] = data[i];
+    return out;
+}
+
+RouteResult
+SelfRoutingBenes::run(const Permutation &d, const SwitchStates *forced,
+                      RoutingMode mode, RouteTrace *trace) const
+{
+    const Word size = numLines();
+    if (d.size() != size)
+        fatal("permutation size %zu does not match network N = %llu",
+              d.size(), static_cast<unsigned long long>(size));
+
+    struct Signal
+    {
+        Word tag;
+        Word origin;
+    };
+
+    std::vector<Signal> cur(size);
+    for (Word i = 0; i < size; ++i)
+        cur[i] = Signal{d[i], i};
+
+    RouteResult res;
+    res.states = topo_.makeStates();
+    res.gate_delay = topo_.numStages();
+
+    auto snapshot = [&]() {
+        if (!trace)
+            return;
+        std::vector<Word> tags(size);
+        for (Word j = 0; j < size; ++j)
+            tags[j] = cur[j].tag;
+        trace->tags_at_stage.push_back(std::move(tags));
+    };
+
+    std::vector<Signal> next(size);
+    const unsigned stages = topo_.numStages();
+    for (unsigned s = 0; s < stages; ++s) {
+        snapshot();
+
+        // Pass through the switches of stage s.
+        const unsigned b = topo_.controlBit(s);
+        for (Word i = 0; i < topo_.switchesPerStage(); ++i) {
+            std::uint8_t state;
+            if (forced) {
+                state = (*forced)[s][i];
+            } else if (mode == RoutingMode::OmegaBit &&
+                       s + 1 < topo_.n()) {
+                state = 0; // the "omega" bit forces stages 0..n-2
+            } else {
+                state = static_cast<std::uint8_t>(
+                    bit(cur[2 * i].tag, b));
+            }
+            res.states[s][i] = state;
+            if (state) {
+                std::swap(cur[2 * i], cur[2 * i + 1]);
+            }
+        }
+
+        // Apply the fixed wiring into the next stage.
+        if (s + 1 < stages) {
+            for (Word line = 0; line < size; ++line)
+                next[topo_.wireToNext(s, line)] = cur[line];
+            cur.swap(next);
+        }
+    }
+    snapshot();
+
+    res.output_tags.resize(size);
+    res.realized_dest.resize(size);
+    res.success = true;
+    for (Word j = 0; j < size; ++j) {
+        res.output_tags[j] = cur[j].tag;
+        res.realized_dest[cur[j].origin] = j;
+        if (cur[j].tag != j) {
+            res.success = false;
+            res.misrouted_outputs.push_back(j);
+        }
+    }
+    return res;
+}
+
+} // namespace srbenes

@@ -1,0 +1,96 @@
+#include "core/state_io.hh"
+
+#include "common/logging.hh"
+
+namespace srbenes
+{
+
+std::size_t
+packedStateSize(const BenesTopology &topo)
+{
+    return (topo.numSwitches() + 7) / 8;
+}
+
+std::vector<std::uint8_t>
+packStates(const BenesTopology &topo, const SwitchStates &states)
+{
+    if (states.size() != topo.numStages())
+        fatal("state array has %zu stages, network has %u",
+              states.size(), topo.numStages());
+
+    std::vector<std::uint8_t> bytes(packedStateSize(topo), 0);
+    std::size_t bit_idx = 0;
+    for (unsigned s = 0; s < topo.numStages(); ++s) {
+        if (states[s].size() != topo.switchesPerStage())
+            fatal("stage %u has %zu switches, expected %llu", s,
+                  states[s].size(),
+                  static_cast<unsigned long long>(
+                      topo.switchesPerStage()));
+        for (Word i = 0; i < topo.switchesPerStage(); ++i) {
+            if (states[s][i])
+                bytes[bit_idx / 8] |= std::uint8_t(1u << (bit_idx % 8));
+            ++bit_idx;
+        }
+    }
+    return bytes;
+}
+
+SwitchStates
+unpackStates(const BenesTopology &topo,
+             const std::vector<std::uint8_t> &bytes)
+{
+    if (bytes.size() != packedStateSize(topo))
+        fatal("packed blob is %zu bytes, expected %zu", bytes.size(),
+              packedStateSize(topo));
+
+    SwitchStates states = topo.makeStates();
+    std::size_t bit_idx = 0;
+    for (unsigned s = 0; s < topo.numStages(); ++s) {
+        for (Word i = 0; i < topo.switchesPerStage(); ++i) {
+            states[s][i] = static_cast<std::uint8_t>(
+                (bytes[bit_idx / 8] >> (bit_idx % 8)) & 1);
+            ++bit_idx;
+        }
+    }
+    // Bits past numSwitches() in the final byte must be zero.
+    for (std::size_t tail = bit_idx; tail < bytes.size() * 8;
+         ++tail) {
+        if ((bytes[tail / 8] >> (tail % 8)) & 1)
+            fatal("nonzero padding bit in packed state blob");
+    }
+    return states;
+}
+
+std::string
+statesToHex(const BenesTopology &topo, const SwitchStates &states)
+{
+    static const char *digits = "0123456789abcdef";
+    std::string hex;
+    for (std::uint8_t b : packStates(topo, states)) {
+        hex += digits[b >> 4];
+        hex += digits[b & 0xf];
+    }
+    return hex;
+}
+
+SwitchStates
+statesFromHex(const BenesTopology &topo, const std::string &hex)
+{
+    if (hex.size() != 2 * packedStateSize(topo))
+        fatal("hex state blob has %zu digits, expected %zu",
+              hex.size(), 2 * packedStateSize(topo));
+    auto nibble = [](char c) -> unsigned {
+        if (c >= '0' && c <= '9')
+            return static_cast<unsigned>(c - '0');
+        if (c >= 'a' && c <= 'f')
+            return static_cast<unsigned>(c - 'a' + 10);
+        fatal("bad hex digit '%c' in state blob", c);
+    };
+    std::vector<std::uint8_t> bytes(hex.size() / 2);
+    for (std::size_t k = 0; k < bytes.size(); ++k)
+        bytes[k] = static_cast<std::uint8_t>(
+            (nibble(hex[2 * k]) << 4) | nibble(hex[2 * k + 1]));
+    return unpackStates(topo, bytes);
+}
+
+} // namespace srbenes

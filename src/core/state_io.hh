@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Compact switch-state serialization.
+ *
+ * An externally set fabric receives (2n-1) N/2 bits of control
+ * state per permutation; deployments precompute and store these
+ * (one blob per pattern in a schedule). This module packs a
+ * SwitchStates array into the canonical stage-major bit order, one
+ * bit per switch, plus a hex rendering for logs and golden files.
+ */
+
+#ifndef SRBENES_CORE_STATE_IO_HH
+#define SRBENES_CORE_STATE_IO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/topology.hh"
+
+namespace srbenes
+{
+
+/** Bytes needed for one state blob of B(n). */
+std::size_t packedStateSize(const BenesTopology &topo);
+
+/** Pack stage-major, LSB-first within each byte. */
+std::vector<std::uint8_t> packStates(const BenesTopology &topo,
+                                     const SwitchStates &states);
+
+/** Inverse of packStates; fatal()s on a size mismatch. */
+SwitchStates unpackStates(const BenesTopology &topo,
+                          const std::vector<std::uint8_t> &bytes);
+
+/** Lowercase hex of the packed blob. */
+std::string statesToHex(const BenesTopology &topo,
+                        const SwitchStates &states);
+
+/** Parse statesToHex output; fatal()s on malformed input. */
+SwitchStates statesFromHex(const BenesTopology &topo,
+                           const std::string &hex);
+
+} // namespace srbenes
+
+#endif // SRBENES_CORE_STATE_IO_HH

@@ -1,0 +1,77 @@
+#include "core/stats.hh"
+
+#include "common/logging.hh"
+
+namespace srbenes
+{
+
+Word
+countCrossed(const SwitchStates &states)
+{
+    Word crossed = 0;
+    for (const auto &stage : states)
+        for (auto s : stage)
+            crossed += s != 0;
+    return crossed;
+}
+
+std::vector<double>
+stageUtilization(const SwitchStates &states)
+{
+    std::vector<double> util;
+    util.reserve(states.size());
+    for (const auto &stage : states) {
+        Word crossed = 0;
+        for (auto s : stage)
+            crossed += s != 0;
+        util.push_back(stage.empty()
+                           ? 0.0
+                           : static_cast<double>(crossed) /
+                                 static_cast<double>(stage.size()));
+    }
+    return util;
+}
+
+double
+crossedFraction(const SwitchStates &states)
+{
+    Word total = 0;
+    for (const auto &stage : states)
+        total += stage.size();
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(countCrossed(states)) /
+           static_cast<double>(total);
+}
+
+std::vector<unsigned>
+idleStages(const SwitchStates &states)
+{
+    std::vector<unsigned> idle;
+    for (unsigned s = 0; s < states.size(); ++s) {
+        bool all_straight = true;
+        for (auto st : states[s])
+            all_straight = all_straight && st == 0;
+        if (all_straight)
+            idle.push_back(s);
+    }
+    return idle;
+}
+
+Word
+statesHammingDistance(const SwitchStates &a, const SwitchStates &b)
+{
+    if (a.size() != b.size())
+        panic("comparing state arrays of %zu and %zu stages",
+              a.size(), b.size());
+    Word distance = 0;
+    for (std::size_t s = 0; s < a.size(); ++s) {
+        if (a[s].size() != b[s].size())
+            panic("stage %zu width mismatch", s);
+        for (std::size_t i = 0; i < a[s].size(); ++i)
+            distance += (a[s][i] != 0) != (b[s][i] != 0);
+    }
+    return distance;
+}
+
+} // namespace srbenes

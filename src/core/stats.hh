@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Instrumentation over switch-state arrays: how much of the fabric
+ * a route actually exercises. Backs the switch-activity ablation
+ * (bench_switch_activity): the class-hint schedule savings of
+ * Section III correspond to stages whose switches stay straight.
+ */
+
+#ifndef SRBENES_CORE_STATS_HH
+#define SRBENES_CORE_STATS_HH
+
+#include <vector>
+
+#include "core/topology.hh"
+
+namespace srbenes
+{
+
+/** Total switches in state 1 (crossed). */
+Word countCrossed(const SwitchStates &states);
+
+/** Fraction of crossed switches per stage, in stage order. */
+std::vector<double> stageUtilization(const SwitchStates &states);
+
+/** Fraction of crossed switches over the whole fabric. */
+double crossedFraction(const SwitchStates &states);
+
+/** Stages whose switches are all straight (candidates for the
+ *  Section III iteration-skipping shortcuts). */
+std::vector<unsigned> idleStages(const SwitchStates &states);
+
+/** Number of positions where two state arrays differ (e.g.\ the
+ *  self-routing vs Waksman realizations of one permutation). */
+Word statesHammingDistance(const SwitchStates &a,
+                           const SwitchStates &b);
+
+} // namespace srbenes
+
+#endif // SRBENES_CORE_STATS_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The Benes network topology B(n), Fig. 1 of the paper.
+ *
+ * B(n) has N = 2^n terminals and 2n-1 stages of N/2 binary switches.
+ * Recursively, it is a stage of switches, two copies of B(n-1), and a
+ * closing stage of switches; B(1) is a single switch. This class
+ * flattens that recursion into an explicit wiring table so the whole
+ * fabric can be simulated iteratively, set up externally
+ * (WaksmanSetup), and pipelined (PipelinedBenes):
+ *
+ *  - stages are numbered 0 .. 2n-2 left to right;
+ *  - within a stage, lines 2i and 2i+1 enter switch i (top to
+ *    bottom), line 2i on the upper port;
+ *  - boundary s (0 <= s <= 2n-3) is the fixed wiring between the
+ *    outputs of stage s and the inputs of stage s+1.
+ *
+ * The wiring realizes Fig. 1: after the first stage of a (sub)network
+ * spanning lines [base, base + 2^m), the upper/lower switch outputs
+ * fan out to the upper/lower B(m-1) halves (an unshuffle of the m
+ * local index bits); the boundary before the closing stage is the
+ * corresponding shuffle.
+ */
+
+#ifndef SRBENES_CORE_TOPOLOGY_HH
+#define SRBENES_CORE_TOPOLOGY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitops.hh"
+
+namespace srbenes
+{
+
+/** Per-switch binary states, indexed [stage][switch]; 0 = straight
+ *  (through), 1 = crossed (exchange), Fig. 2. */
+using SwitchStates = std::vector<std::vector<std::uint8_t>>;
+
+class BenesTopology
+{
+  public:
+    /** Build B(n); n >= 1, N = 2^n terminals. */
+    explicit BenesTopology(unsigned n);
+
+    unsigned n() const { return n_; }
+    /** Number of input (and output) terminals, N = 2^n. */
+    Word numLines() const { return Word{1} << n_; }
+    /** 2n - 1 stages of switches. */
+    unsigned numStages() const { return 2 * n_ - 1; }
+    /** N/2 switches per stage. */
+    Word switchesPerStage() const { return numLines() / 2; }
+    /** Total binary switches, N log N - N/2. */
+    Word numSwitches() const { return numStages() * switchesPerStage(); }
+
+    /**
+     * The destination-tag bit that self-sets switches of @p stage:
+     * bit b for stage b and stage 2n-2-b (Fig. 3).
+     */
+    unsigned
+    controlBit(unsigned stage) const
+    {
+        return std::min(stage, 2 * n_ - 2 - stage);
+    }
+
+    /**
+     * Fixed wiring: the line position at the input of stage
+     * @p boundary + 1 fed by line position @p line at the output of
+     * stage @p boundary.
+     */
+    Word
+    wireToNext(unsigned boundary, Word line) const
+    {
+        return wires_[boundary][line];
+    }
+
+    /** Freshly allocated all-zero switch-state array. */
+    SwitchStates makeStates() const;
+
+  private:
+    void build(unsigned m, Word base_line, unsigned base_stage);
+
+    unsigned n_;
+    /** wires_[boundary][line]; boundaries 0 .. 2n-3 (empty for n=1). */
+    std::vector<std::vector<Word>> wires_;
+};
+
+} // namespace srbenes
+
+#endif // SRBENES_CORE_TOPOLOGY_HH

@@ -1,0 +1,125 @@
+#include "core/two_pass.hh"
+
+#include "common/logging.hh"
+
+namespace srbenes
+{
+
+namespace
+{
+
+/**
+ * Recursive worker: run the looping 2-coloring of the Waksman
+ * algorithm, but instead of emitting switch states, record for each
+ * original input the upper/lower decision at every recursion level.
+ * Those decision bits ARE the middle-stage line label M_i in the
+ * recursive numbering of B(n):
+ *
+ *  - the level-l decision becomes bit l of M_i (which B(n-1-l)
+ *    subnetwork the signal uses);
+ *  - the port of the final B(1) block (the signal's local input
+ *    index there) becomes the top bit.
+ *
+ * By construction M separates every input pair and every output pair
+ * at every granularity, which is exactly Lawrie's pair of window
+ * conditions: M is in InverseOmega(n) and D o M^-1 is in Omega(n).
+ *
+ * @param d    local sub-permutation (size 2^m);
+ * @param ids  original input index carried by each local input;
+ * @param level current recursion depth (0 = outermost);
+ * @param n    total index width;
+ * @param mid  output: M, indexed by original input.
+ */
+void
+factorRecurse(const std::vector<Word> &d, const std::vector<Word> &ids,
+              unsigned level, unsigned n, std::vector<Word> &mid)
+{
+    const Word size = d.size();
+    if (size == 2) {
+        // Final B(1): the local input index is the middle-stage port.
+        mid[ids[0]] |= Word{0} << (n - 1);
+        mid[ids[1]] |= Word{1} << (n - 1);
+        return;
+    }
+
+    std::vector<Word> dinv(size);
+    for (Word x = 0; x < size; ++x)
+        dinv[d[x]] = x;
+
+    // The alternating loop of the Waksman setup: inputs of one pair
+    // must part ways, and so must the inputs feeding one output
+    // pair.
+    std::vector<int> up(size, -1);
+    for (Word p = 0; p < size / 2; ++p) {
+        if (up[2 * p] != -1)
+            continue;
+        Word x = 2 * p;
+        int val = 0;
+        while (up[x] == -1) {
+            up[x] = val;
+            up[x ^ 1] = 1 - val;
+            x = dinv[d[x ^ 1] ^ 1];
+        }
+    }
+
+    std::vector<Word> usub(size / 2), lsub(size / 2);
+    std::vector<Word> uids(size / 2), lids(size / 2);
+    for (Word i = 0; i < size / 2; ++i) {
+        const Word x_up = 2 * i + static_cast<Word>(up[2 * i] != 0);
+        const Word x_dn = x_up ^ 1;
+        usub[i] = d[x_up] >> 1;
+        lsub[i] = d[x_dn] >> 1;
+        uids[i] = ids[x_up];
+        lids[i] = ids[x_dn];
+        mid[ids[x_dn]] |= Word{1} << level;
+    }
+
+    factorRecurse(usub, uids, level + 1, n, mid);
+    factorRecurse(lsub, lids, level + 1, n, mid);
+}
+
+} // namespace
+
+TwoPassPlan
+twoPassPlan(const SelfRoutingBenes &net, const Permutation &d)
+{
+    const unsigned n = net.topology().n();
+    const Word size = net.numLines();
+    if (d.size() != size)
+        fatal("permutation size %zu does not match network N = %llu",
+              d.size(), static_cast<unsigned long long>(size));
+
+    if (n == 1) {
+        // Omega(1) is everything; one real pass suffices.
+        return {Permutation::identity(size), d};
+    }
+
+    std::vector<Word> mid(size, 0);
+    std::vector<Word> ids(size);
+    for (Word i = 0; i < size; ++i)
+        ids[i] = i;
+    factorRecurse(d.dest(), ids, 0, n, mid);
+
+    std::vector<Word> second(size);
+    for (Word i = 0; i < size; ++i)
+        second[mid[i]] = d[i];
+    return {Permutation(std::move(mid)),
+            Permutation(std::move(second))};
+}
+
+std::vector<Word>
+twoPassPermute(const SelfRoutingBenes &net, const TwoPassPlan &plan,
+               const std::vector<Word> &data)
+{
+    const auto mid = net.permutePayloads(plan.first, data,
+                                         RoutingMode::SelfRouting);
+    if (!mid)
+        panic("two-pass plan: first pass not self-routable");
+    const auto out = net.permutePayloads(plan.second, *mid,
+                                         RoutingMode::OmegaBit);
+    if (!out)
+        panic("two-pass plan: second pass not omega-routable");
+    return *out;
+}
+
+} // namespace srbenes

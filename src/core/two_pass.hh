@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Two-pass universal routing on the self-routing fabric.
+ *
+ * Section II observes that the first n stages of B(n) form an
+ * inverse omega network and the last n stages an omega network. Any
+ * permutation D therefore factors as D = P1 o P2 with P1 in
+ * InverseOmega(n) and P2 in Omega(n). P1 is the signal's line at the
+ * middle stage in the RECURSIVE numbering of B(n): bit l of P1_i is
+ * the upper/lower decision the Waksman looping algorithm makes for
+ * input i at recursion level l, and the top bit is its port at the
+ * final B(1). That labeling separates every input pair and every
+ * output pair at all granularities, which is exactly Lawrie's pair
+ * of window conditions. Since InverseOmega(n) is inside F(n)
+ * (Theorem 3) and Omega(n) permutations route with the omega bit,
+ * BOTH factors run on the self-routing network -- two passes
+ * through the fabric realize ALL N! permutations.
+ *
+ * Computing the factorization costs one looping pass (O(N log N),
+ * the Waksman cost); the payoff over single-pass external routing is
+ * operational: the fabric never needs its self-setting logic
+ * disabled or its (2n-1) N/2 switch states loaded -- each pass is
+ * driven by the N-word destination-tag vector alone.
+ */
+
+#ifndef SRBENES_CORE_TWO_PASS_HH
+#define SRBENES_CORE_TWO_PASS_HH
+
+#include "core/self_routing.hh"
+
+namespace srbenes
+{
+
+/** The factorization D = first.then(second). */
+struct TwoPassPlan
+{
+    Permutation first;  //!< InverseOmega(n) member; pass 1, self mode
+    Permutation second; //!< Omega(n) member; pass 2, omega-bit mode
+};
+
+/**
+ * Factor @p d into an inverse-omega and an omega permutation by
+ * splitting a Waksman-routed pass through @p net at the middle
+ * stage. Valid for every permutation of N = 2^n elements.
+ */
+TwoPassPlan twoPassPlan(const SelfRoutingBenes &net,
+                        const Permutation &d);
+
+/**
+ * Execute the plan: pass 1 self-routed, pass 2 with the omega bit.
+ * Returns the payloads in output order; panics if either pass fails
+ * (the plan guarantees both must succeed).
+ */
+std::vector<Word> twoPassPermute(const SelfRoutingBenes &net,
+                                 const TwoPassPlan &plan,
+                                 const std::vector<Word> &data);
+
+} // namespace srbenes
+
+#endif // SRBENES_CORE_TWO_PASS_HH

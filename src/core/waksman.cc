@@ -1,0 +1,99 @@
+#include "core/waksman.hh"
+
+#include "common/logging.hh"
+
+namespace srbenes
+{
+
+namespace
+{
+
+/**
+ * Recursive worker. @p d maps local input x to local output d[x] on
+ * the subnetwork of 2^m lines starting at global line @p base_line
+ * and global stage @p base_stage.
+ */
+void
+setupRecursive(const BenesTopology &topo, SwitchStates &states,
+               const std::vector<Word> &d, unsigned m, Word base_line,
+               unsigned base_stage)
+{
+    const Word size = Word{1} << m;
+    const Word sw_base = base_line / 2;
+
+    if (m == 1) {
+        states[base_stage][sw_base] =
+            static_cast<std::uint8_t>(d[0] == 1);
+        return;
+    }
+
+    std::vector<Word> dinv(size);
+    for (Word x = 0; x < size; ++x)
+        dinv[d[x]] = x;
+
+    // up[x]: 0 if input x is sent to the upper B(m-1), 1 if lower.
+    std::vector<int> up(size, -1);
+    for (Word p = 0; p < size / 2; ++p) {
+        if (up[2 * p] != -1)
+            continue;
+        // Chase the alternating loop of pair constraints starting
+        // with an arbitrary choice for this input pair.
+        Word x = 2 * p;
+        int val = 0;
+        while (up[x] == -1) {
+            up[x] = val;
+            up[x ^ 1] = 1 - val;
+            // Output-pair constraint: the input feeding the sibling
+            // output of d[x^1] must use the other subnetwork, i.e.
+            // the same one as x.
+            x = dinv[d[x ^ 1] ^ 1];
+        }
+    }
+
+    // Opening stage: state 0 keeps the upper input (even line) on the
+    // upper output, which leads to the upper subnetwork.
+    for (Word i = 0; i < size / 2; ++i)
+        states[base_stage][sw_base + i] =
+            static_cast<std::uint8_t>(up[2 * i]);
+
+    // Closing stage: state 0 takes output 2j from the upper
+    // subnetwork.
+    const unsigned last_stage = base_stage + 2 * m - 2;
+    for (Word j = 0; j < size / 2; ++j)
+        states[last_stage][sw_base + j] =
+            static_cast<std::uint8_t>(up[dinv[2 * j]]);
+
+    // Build the two sub-permutations: the up-routed input of pair i
+    // becomes input i of the upper subnetwork and must leave through
+    // closing switch d[x] >> 1, i.e. upper subnetwork output
+    // d[x] >> 1; symmetrically for the lower.
+    std::vector<Word> usub(size / 2), lsub(size / 2);
+    for (Word i = 0; i < size / 2; ++i) {
+        const Word x_up = 2 * i + static_cast<Word>(up[2 * i] != 0);
+        const Word x_dn = x_up ^ 1;
+        usub[i] = d[x_up] >> 1;
+        lsub[i] = d[x_dn] >> 1;
+    }
+
+    setupRecursive(topo, states, usub, m - 1, base_line,
+                   base_stage + 1);
+    setupRecursive(topo, states, lsub, m - 1, base_line + size / 2,
+                   base_stage + 1);
+}
+
+} // namespace
+
+SwitchStates
+waksmanSetup(const BenesTopology &topo, const Permutation &d)
+{
+    if (d.size() != topo.numLines())
+        fatal("permutation size %zu does not match network N = %llu",
+              d.size(),
+              static_cast<unsigned long long>(topo.numLines()));
+
+    SwitchStates states = topo.makeStates();
+    setupRecursive(topo, states, d.dest(), topo.n(), 0, 0);
+    return states;
+}
+
+} // namespace srbenes

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * External Benes setup via the looping algorithm (Waksman [10]).
+ *
+ * The paper's baseline: before self-routing, the best known way to
+ * realize an ARBITRARY permutation on B(n) was to compute all switch
+ * states up front in O(N log N) serial time and load them into the
+ * fabric. This module implements that algorithm against the flattened
+ * BenesTopology so the same network object can be driven either way:
+ *
+ *     SelfRoutingBenes net(n);
+ *     auto states = waksmanSetup(net.topology(), d);
+ *     auto res = net.routeWithStates(d, states);   // any d succeeds
+ *
+ * The algorithm recursively 2-colors each input pair (which of the
+ * two enters the upper subnetwork) subject to the output-pair
+ * constraint (the two outputs of a closing switch must be fed from
+ * different subnetworks), chasing the alternating constraint loops.
+ */
+
+#ifndef SRBENES_CORE_WAKSMAN_HH
+#define SRBENES_CORE_WAKSMAN_HH
+
+#include "core/topology.hh"
+#include "perm/permutation.hh"
+
+namespace srbenes
+{
+
+/**
+ * Compute switch states realizing @p d on @p topo; O(N log N).
+ * The returned states route input i to output d[i] for every i.
+ */
+SwitchStates waksmanSetup(const BenesTopology &topo,
+                          const Permutation &d);
+
+} // namespace srbenes
+
+#endif // SRBENES_CORE_WAKSMAN_HH

@@ -1,0 +1,177 @@
+#include "gates/baseline_gates.hh"
+
+#include "common/logging.hh"
+
+namespace srbenes
+{
+
+namespace
+{
+
+/** Balanced OR-reduction of a node list. */
+NodeId
+orTree(Netlist &net, std::vector<NodeId> nodes)
+{
+    if (nodes.empty())
+        return net.constant(false);
+    while (nodes.size() > 1) {
+        std::vector<NodeId> next;
+        for (std::size_t k = 0; k + 1 < nodes.size(); k += 2)
+            next.push_back(net.addOr(nodes[k], nodes[k + 1]));
+        if (nodes.size() % 2)
+            next.push_back(nodes.back());
+        nodes.swap(next);
+    }
+    return nodes.front();
+}
+
+std::vector<std::uint8_t>
+tagBits(const Permutation &d, unsigned n)
+{
+    std::vector<std::uint8_t> in;
+    in.reserve(d.size() * n);
+    for (Word line = 0; line < d.size(); ++line)
+        for (unsigned b = 0; b < n; ++b)
+            in.push_back(static_cast<std::uint8_t>(bit(d[line], b)));
+    return in;
+}
+
+} // namespace
+
+OmegaGateModel::OmegaGateModel(unsigned n)
+    : n_(n)
+{
+    if (n < 1 || n > 12)
+        fatal("omega gate model size n = %u out of supported range",
+              n);
+    const Word size = numLines();
+
+    inputs_.assign(size, std::vector<NodeId>(n));
+    for (Word line = 0; line < size; ++line)
+        for (unsigned b = 0; b < n; ++b)
+            inputs_[line][b] = net_.addInput();
+
+    std::vector<std::vector<NodeId>> cur = inputs_;
+    std::vector<std::vector<NodeId>> next(size,
+                                          std::vector<NodeId>(n));
+    std::vector<NodeId> conflicts;
+
+    for (unsigned s = 0; s < n; ++s) {
+        // Perfect shuffle of the line positions: pure renaming.
+        for (Word line = 0; line < size; ++line)
+            next[shuffle(line, n)] = cur[line];
+        cur = next;
+
+        const unsigned rb = n - 1 - s;
+        for (Word i = 0; i < size / 2; ++i) {
+            const NodeId pa = cur[2 * i][rb];
+            const NodeId pb = cur[2 * i + 1][rb];
+            // Swap when the upper input requests the lower port and
+            // there is no conflict: pa AND NOT pb.
+            const NodeId control =
+                net_.addAnd(pa, net_.addNot(pb));
+            // Conflict: both request the same port (XNOR).
+            conflicts.push_back(
+                net_.addNot(net_.addXor(pa, pb)));
+            for (unsigned t = 0; t < n; ++t) {
+                const NodeId up = cur[2 * i][t];
+                const NodeId lo = cur[2 * i + 1][t];
+                next[2 * i][t] = net_.addMux(control, up, lo);
+                next[2 * i + 1][t] = net_.addMux(control, lo, up);
+            }
+        }
+        cur = next;
+    }
+    outputs_ = cur;
+    blocked_ = orTree(net_, std::move(conflicts));
+}
+
+OmegaGateResult
+OmegaGateModel::simulate(const Permutation &d) const
+{
+    if (d.size() != numLines())
+        fatal("permutation size %zu does not match gate model", d.size());
+    const auto values = net_.evaluate(tagBits(d, n_));
+
+    OmegaGateResult res;
+    res.output_tags.assign(numLines(), 0);
+    for (Word line = 0; line < numLines(); ++line)
+        for (unsigned b = 0; b < n_; ++b)
+            res.output_tags[line] |=
+                Word{values[outputs_[line][b]]} << b;
+    res.blocked = values[blocked_] != 0;
+    return res;
+}
+
+BatcherGateModel::BatcherGateModel(unsigned n)
+    : n_(n)
+{
+    if (n < 1 || n > 8)
+        fatal("Batcher gate model size n = %u out of supported "
+              "range (netlists get large)", n);
+    const Word size = numLines();
+
+    inputs_.assign(size, std::vector<NodeId>(n));
+    for (Word line = 0; line < size; ++line)
+        for (unsigned b = 0; b < n; ++b)
+            inputs_[line][b] = net_.addInput();
+
+    auto cur = inputs_;
+
+    // Ripple magnitude comparator: gt(A, B), MSB first. Depth
+    // Theta(n) per comparator stage; a carry-lookahead-style tree
+    // would reach Theta(log n) at more gates -- either way, a
+    // Batcher stage is far deeper than the Benes single-mux stage.
+    auto greater = [this](const std::vector<NodeId> &a,
+                          const std::vector<NodeId> &b) {
+        NodeId gt = net_.constant(false);
+        NodeId eq = net_.constant(true);
+        for (unsigned t = n_; t-- > 0;) {
+            const NodeId a_gt_b =
+                net_.addAnd(a[t], net_.addNot(b[t]));
+            gt = net_.addOr(gt, net_.addAnd(eq, a_gt_b));
+            eq = net_.addAnd(eq,
+                             net_.addNot(net_.addXor(a[t], b[t])));
+        }
+        return gt;
+    };
+
+    for (std::size_t k = 2; k <= size; k <<= 1) {
+        for (std::size_t j = k >> 1; j > 0; j >>= 1) {
+            auto next = cur;
+            for (std::size_t i = 0; i < size; ++i) {
+                const std::size_t l = i ^ j;
+                if (l <= i)
+                    continue;
+                const bool ascending = (i & k) == 0;
+                const NodeId gt = greater(cur[i], cur[l]);
+                const NodeId control =
+                    ascending ? gt : net_.addNot(gt);
+                for (unsigned t = 0; t < n; ++t) {
+                    next[i][t] =
+                        net_.addMux(control, cur[i][t], cur[l][t]);
+                    next[l][t] =
+                        net_.addMux(control, cur[l][t], cur[i][t]);
+                }
+            }
+            cur = next;
+        }
+    }
+    outputs_ = cur;
+}
+
+std::vector<Word>
+BatcherGateModel::simulate(const Permutation &d) const
+{
+    if (d.size() != numLines())
+        fatal("permutation size %zu does not match gate model", d.size());
+    const auto values = net_.evaluate(tagBits(d, n_));
+
+    std::vector<Word> tags(numLines(), 0);
+    for (Word line = 0; line < numLines(); ++line)
+        for (unsigned b = 0; b < n_; ++b)
+            tags[line] |= Word{values[outputs_[line][b]]} << b;
+    return tags;
+}
+
+} // namespace srbenes

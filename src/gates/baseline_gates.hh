@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Gate-level models of the comparison fabrics, so E9's delay/cost
+ * argument is made at gate granularity for every network the paper
+ * discusses:
+ *
+ *  - OmegaGateModel: n shuffle-exchange stages; a switch's control
+ *    is the upper input's current routing bit (a wire), one mux
+ *    level per stage -- plus a per-switch conflict detector (XNOR
+ *    of the two routing bits, OR-reduced to a global blocked flag);
+ *  - BatcherGateModel: n(n+1)/2 comparator stages; each comparator
+ *    must COMPARE two n-bit tags, so a stage is not one mux level
+ *    but an O(log n)-deep comparator tree followed by the exchange
+ *    muxes. The measured critical path makes the hidden factor in
+ *    "Batcher is also self-routing" explicit:
+ *    stages * (comparator depth + 1) gate levels.
+ *
+ * Both are evaluated bit-for-bit against their behavioral models in
+ * the tests.
+ */
+
+#ifndef SRBENES_GATES_BASELINE_GATES_HH
+#define SRBENES_GATES_BASELINE_GATES_HH
+
+#include <vector>
+
+#include "gates/netlist.hh"
+#include "perm/permutation.hh"
+
+namespace srbenes
+{
+
+/** Result of a gate-level omega simulation. */
+struct OmegaGateResult
+{
+    std::vector<Word> output_tags;
+    bool blocked = false; //!< some switch saw a port conflict
+};
+
+class OmegaGateModel
+{
+  public:
+    explicit OmegaGateModel(unsigned n);
+
+    unsigned n() const { return n_; }
+    Word numLines() const { return Word{1} << n_; }
+    const Netlist &netlist() const { return net_; }
+    unsigned criticalDepth() const { return net_.criticalDepth(); }
+
+    OmegaGateResult simulate(const Permutation &d) const;
+
+  private:
+    unsigned n_;
+    Netlist net_;
+    std::vector<std::vector<NodeId>> inputs_;
+    std::vector<std::vector<NodeId>> outputs_;
+    NodeId blocked_ = 0;
+};
+
+class BatcherGateModel
+{
+  public:
+    explicit BatcherGateModel(unsigned n);
+
+    unsigned n() const { return n_; }
+    Word numLines() const { return Word{1} << n_; }
+    const Netlist &netlist() const { return net_; }
+    unsigned criticalDepth() const { return net_.criticalDepth(); }
+    unsigned comparatorStages() const { return n_ * (n_ + 1) / 2; }
+
+    /** Always sorts: returns the tag at each output. */
+    std::vector<Word> simulate(const Permutation &d) const;
+
+  private:
+    unsigned n_;
+    Netlist net_;
+    std::vector<std::vector<NodeId>> inputs_;
+    std::vector<std::vector<NodeId>> outputs_;
+};
+
+} // namespace srbenes
+
+#endif // SRBENES_GATES_BASELINE_GATES_HH

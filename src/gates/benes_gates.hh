@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Gate-level model of the self-routing Benes network.
+ *
+ * Builds the COMPLETE fabric as a combinational netlist: every line
+ * carries its n destination-tag bits; every switch is
+ *
+ *   control  = bit b of the upper input's tag  (a wire -- the
+ *              paper's "very simple logic"), optionally gated by
+ *              the global omega-mode input in stages 0..n-2;
+ *   each output bit = one 2:1 mux steered by control.
+ *
+ * The model substantiates the paper's two hardware claims
+ * structurally rather than by assertion:
+ *
+ *  - cost: 2n muxes per switch, (2n-1) * N/2 switches total;
+ *  - delay: the critical path is one mux per stage (plus one AND
+ *    when the omega feature is compiled in), i.e. O(log N) gate
+ *    delays INCLUDING all switch setting -- there is no setup phase
+ *    in the netlist at all.
+ *
+ * The tests evaluate the netlist against the behavioral
+ * SelfRoutingBenes bit-for-bit.
+ */
+
+#ifndef SRBENES_GATES_BENES_GATES_HH
+#define SRBENES_GATES_BENES_GATES_HH
+
+#include <vector>
+
+#include "gates/netlist.hh"
+#include "perm/permutation.hh"
+
+namespace srbenes
+{
+
+class BenesGateModel
+{
+  public:
+    /**
+     * Build the netlist for B(n).
+     * @param with_omega_input include the extra "omega" control
+     *        input that forces stages 0..n-2 straight.
+     */
+    explicit BenesGateModel(unsigned n, bool with_omega_input = true);
+
+    unsigned n() const { return n_; }
+    Word numLines() const { return Word{1} << n_; }
+    bool hasOmegaInput() const { return with_omega_; }
+
+    const Netlist &netlist() const { return net_; }
+
+    /**
+     * Drive the inputs with the destination tags of @p d (and the
+     * omega mode flag, if compiled in) and return the tag observed
+     * at each output terminal.
+     */
+    std::vector<Word> simulate(const Permutation &d,
+                               bool omega_mode = false) const;
+
+    /** Muxes per switch = 2n (each output bit is one mux). */
+    std::size_t muxesPerSwitch() const { return 2 * n_; }
+
+    /**
+     * Critical path in gate delays: 2n-1 mux levels, plus one AND
+     * level when the omega feature is present.
+     */
+    unsigned criticalDepth() const { return net_.criticalDepth(); }
+
+  private:
+    unsigned n_;
+    bool with_omega_;
+    Netlist net_;
+    /** inputs_[line][bit]: primary input node of a tag bit. */
+    std::vector<std::vector<NodeId>> inputs_;
+    /** outputs_[line][bit]: node holding an output tag bit. */
+    std::vector<std::vector<NodeId>> outputs_;
+    NodeId omega_input_ = 0;
+};
+
+} // namespace srbenes
+
+#endif // SRBENES_GATES_BENES_GATES_HH

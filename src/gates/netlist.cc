@@ -1,0 +1,195 @@
+#include "gates/netlist.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace srbenes
+{
+
+NodeId
+Netlist::add(GateOp op, NodeId a, NodeId b, NodeId c)
+{
+    const NodeId id = static_cast<NodeId>(ops_.size());
+    for (NodeId fi : {a, b, c})
+        if (fi != id && fi >= id)
+            panic("netlist fanin %u not yet defined", fi);
+    ops_.push_back(op);
+    fanins_.push_back({a, b, c});
+
+    unsigned depth = 0;
+    switch (op) {
+      case GateOp::Input:
+      case GateOp::Const0:
+      case GateOp::Const1:
+        break;
+      case GateOp::Not:
+        depth = depth_[a] + 1;
+        break;
+      case GateOp::And:
+      case GateOp::Or:
+      case GateOp::Xor:
+        depth = std::max(depth_[a], depth_[b]) + 1;
+        break;
+      case GateOp::Mux:
+        depth = std::max({depth_[a], depth_[b], depth_[c]}) + 1;
+        break;
+      case GateOp::Reg:
+        break; // flip-flops break the combinational path
+    }
+    depth_.push_back(depth);
+    return id;
+}
+
+NodeId
+Netlist::addInput()
+{
+    const NodeId id = add(GateOp::Input, 0, 0, 0);
+    input_order_.push_back(id);
+    ++num_inputs_;
+    return id;
+}
+
+NodeId
+Netlist::constant(bool value)
+{
+    if (value) {
+        if (!have_const1_) {
+            const1_ = add(GateOp::Const1, 0, 0, 0);
+            have_const1_ = true;
+        }
+        return const1_;
+    }
+    if (!have_const0_) {
+        const0_ = add(GateOp::Const0, 0, 0, 0);
+        have_const0_ = true;
+    }
+    return const0_;
+}
+
+NodeId
+Netlist::addNot(NodeId a)
+{
+    return add(GateOp::Not, a, 0, 0);
+}
+
+NodeId
+Netlist::addAnd(NodeId a, NodeId b)
+{
+    return add(GateOp::And, a, b, 0);
+}
+
+NodeId
+Netlist::addOr(NodeId a, NodeId b)
+{
+    return add(GateOp::Or, a, b, 0);
+}
+
+NodeId
+Netlist::addXor(NodeId a, NodeId b)
+{
+    return add(GateOp::Xor, a, b, 0);
+}
+
+NodeId
+Netlist::addMux(NodeId sel, NodeId a, NodeId b)
+{
+    return add(GateOp::Mux, sel, a, b);
+}
+
+NodeId
+Netlist::addReg(NodeId d)
+{
+    const NodeId id = add(GateOp::Reg, d, 0, 0);
+    reg_order_.push_back(id);
+    return id;
+}
+
+std::size_t
+Netlist::numGates() const
+{
+    std::size_t gates = 0;
+    for (GateOp op : ops_)
+        gates += op != GateOp::Input && op != GateOp::Const0 &&
+                 op != GateOp::Const1 && op != GateOp::Reg;
+    return gates;
+}
+
+std::size_t
+Netlist::countOf(GateOp op) const
+{
+    return static_cast<std::size_t>(
+        std::count(ops_.begin(), ops_.end(), op));
+}
+
+unsigned
+Netlist::criticalDepth() const
+{
+    unsigned depth = 0;
+    for (unsigned d : depth_)
+        depth = std::max(depth, d);
+    return depth;
+}
+
+std::vector<std::uint8_t>
+Netlist::evaluate(const std::vector<std::uint8_t> &inputs) const
+{
+    std::vector<std::uint8_t> cleared(numRegs(), 0);
+    return evaluateSeq(inputs, cleared);
+}
+
+std::vector<std::uint8_t>
+Netlist::evaluateSeq(const std::vector<std::uint8_t> &inputs,
+                     std::vector<std::uint8_t> &reg_state) const
+{
+    if (inputs.size() != num_inputs_)
+        fatal("netlist expects %zu inputs, got %zu", num_inputs_,
+              inputs.size());
+    if (reg_state.size() != numRegs())
+        fatal("netlist has %zu flip-flops, state holds %zu",
+              numRegs(), reg_state.size());
+
+    std::vector<std::uint8_t> value(ops_.size(), 0);
+    std::size_t next_input = 0, next_reg = 0;
+    for (std::size_t id = 0; id < ops_.size(); ++id) {
+        const auto &fi = fanins_[id];
+        switch (ops_[id]) {
+          case GateOp::Input:
+            value[id] = inputs[next_input++] & 1;
+            break;
+          case GateOp::Const0:
+            value[id] = 0;
+            break;
+          case GateOp::Const1:
+            value[id] = 1;
+            break;
+          case GateOp::Not:
+            value[id] = value[fi[0]] ^ 1;
+            break;
+          case GateOp::And:
+            value[id] = value[fi[0]] & value[fi[1]];
+            break;
+          case GateOp::Or:
+            value[id] = value[fi[0]] | value[fi[1]];
+            break;
+          case GateOp::Xor:
+            value[id] = value[fi[0]] ^ value[fi[1]];
+            break;
+          case GateOp::Mux:
+            value[id] = value[fi[0]] ? value[fi[2]] : value[fi[1]];
+            break;
+          case GateOp::Reg:
+            value[id] = reg_state[next_reg++] & 1;
+            break;
+        }
+    }
+    // Capture next-state: each flip-flop latches its fanin's
+    // settled value. (Fanins topologically precede the Reg node, so
+    // this models registers at stage boundaries; a feedback path
+    // would need forward references, which add() rejects.)
+    for (std::size_t k = 0; k < reg_order_.size(); ++k)
+        reg_state[k] = value[fanins_[reg_order_[k]][0]];
+    return value;
+}
+
+} // namespace srbenes

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * A minimal combinational-netlist substrate.
+ *
+ * The paper's central hardware claim is that self-routing needs only
+ * "some simple logic" per switch and that "the total switch setting
+ * and delay time for the N input/output self-routing network is
+ * O(log N)". The behavioral simulator (src/core) cannot witness
+ * that claim at the gate level, so this module provides a tiny
+ * structural netlist: primitive gates, topological evaluation, gate
+ * counts per type, and per-node logic depth. src/gates/benes_gates
+ * builds the complete fabric out of these primitives and the tests
+ * cross-check it bit-for-bit against the behavioral model.
+ *
+ * Gates must be created in topological order (every fanin already
+ * defined), which the builders naturally do; evaluation is then a
+ * single linear pass.
+ */
+
+#ifndef SRBENES_GATES_NETLIST_HH
+#define SRBENES_GATES_NETLIST_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace srbenes
+{
+
+/** Primitive operations. Mux selects a (sel = 0) or b (sel = 1) and
+ *  counts as one gate of unit depth (a standard 2:1 mux cell). Reg
+ *  is a D flip-flop: its value is the fanin's value of the PREVIOUS
+ *  clock, so it breaks the combinational path (depth 0). */
+enum class GateOp : std::uint8_t
+{
+    Input,
+    Const0,
+    Const1,
+    Not,
+    And,
+    Or,
+    Xor,
+    Mux,
+    Reg,
+};
+
+/** Handle to a netlist node. */
+using NodeId = std::uint32_t;
+
+class Netlist
+{
+  public:
+    /** Create a primary input; returns its node. */
+    NodeId addInput();
+
+    /** Constant nodes (shared). */
+    NodeId constant(bool value);
+
+    NodeId addNot(NodeId a);
+    NodeId addAnd(NodeId a, NodeId b);
+    NodeId addOr(NodeId a, NodeId b);
+    NodeId addXor(NodeId a, NodeId b);
+    /** 2:1 mux: sel = 0 -> a, sel = 1 -> b. */
+    NodeId addMux(NodeId sel, NodeId a, NodeId b);
+    /** D flip-flop capturing @p d each clock. */
+    NodeId addReg(NodeId d);
+
+    /** Number of flip-flops in the netlist. */
+    std::size_t numRegs() const { return reg_order_.size(); }
+
+    std::size_t numNodes() const { return ops_.size(); }
+    std::size_t numInputs() const { return num_inputs_; }
+
+    /** Combinational gates (everything but inputs and constants). */
+    std::size_t numGates() const;
+
+    /** Gates of one type. */
+    std::size_t countOf(GateOp op) const;
+
+    /**
+     * Logic depth of a node: inputs and constants are depth 0, every
+     * gate is 1 + max fanin depth.
+     */
+    unsigned depthOf(NodeId node) const { return depth_[node]; }
+
+    /** Maximum depth over all nodes (the critical path). */
+    unsigned criticalDepth() const;
+
+    /**
+     * Evaluate the whole netlist combinationally for one input
+     * assignment (in input creation order) and return every node's
+     * value; flip-flops read as 0 (a one-shot with a cleared
+     * state).
+     */
+    std::vector<std::uint8_t>
+    evaluate(const std::vector<std::uint8_t> &inputs) const;
+
+    /**
+     * One clock of sequential evaluation: flip-flops present the
+     * values in @p reg_state (indexed in Reg creation order), the
+     * combinational fabric settles, and @p reg_state is replaced by
+     * the captured next-state. Returns every node's value.
+     */
+    std::vector<std::uint8_t>
+    evaluateSeq(const std::vector<std::uint8_t> &inputs,
+                std::vector<std::uint8_t> &reg_state) const;
+
+  private:
+    NodeId add(GateOp op, NodeId a, NodeId b, NodeId c);
+
+    std::vector<GateOp> ops_;
+    std::vector<std::array<NodeId, 3>> fanins_;
+    std::vector<unsigned> depth_;
+    std::vector<NodeId> input_order_;
+    std::vector<NodeId> reg_order_;
+    std::size_t num_inputs_ = 0;
+    NodeId const0_ = 0, const1_ = 0;
+    bool have_const0_ = false, have_const1_ = false;
+};
+
+} // namespace srbenes
+
+#endif // SRBENES_GATES_NETLIST_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Sequential gate-level model of the pipelined fabric (Section IV).
+ *
+ * "By providing registers between the stages of B(n), the network
+ * may operate in pipelined mode." This model inserts a flip-flop
+ * bank after every stage's muxes and clocks destination-tag vectors
+ * through: one vector enters per clock, the first emerges after
+ * 2n-1 clocks, and -- the hardware point the behavioral pipeline
+ * cannot show -- the combinational path between any two register
+ * banks is EXACTLY ONE MUX LEVEL, so the achievable clock period is
+ * a constant independent of N. Throughput therefore scales with N
+ * at a fixed clock, which is the whole argument for pipelining the
+ * fabric.
+ */
+
+#ifndef SRBENES_GATES_PIPELINED_GATES_HH
+#define SRBENES_GATES_PIPELINED_GATES_HH
+
+#include <vector>
+
+#include "gates/netlist.hh"
+#include "perm/permutation.hh"
+
+namespace srbenes
+{
+
+class PipelinedBenesGateModel
+{
+  public:
+    explicit PipelinedBenesGateModel(unsigned n);
+
+    unsigned n() const { return n_; }
+    Word numLines() const { return Word{1} << n_; }
+    const Netlist &netlist() const { return net_; }
+
+    /** Fill latency in clocks: one register bank per stage. */
+    unsigned latency() const { return 2 * n_ - 1; }
+
+    /** Flip-flops: (2n-1) banks of N n-bit tags. */
+    std::size_t numRegisters() const { return net_.numRegs(); }
+
+    /**
+     * Longest combinational path between registers (or pins): the
+     * achievable clock period in gate delays. One mux level by
+     * construction.
+     */
+    unsigned clockPathDepth() const { return net_.criticalDepth(); }
+
+    /**
+     * Clock @p vectors through the model (one injected per cycle)
+     * and return the output tag vector observed at each cycle;
+     * entry c is the outputs at cycle c (vectors before the fill
+     * latency carry pipeline garbage, as in real hardware fed
+     * without valid bits).
+     */
+    std::vector<std::vector<Word>>
+    simulateStream(const std::vector<Permutation> &vectors,
+                   unsigned extra_cycles) const;
+
+  private:
+    unsigned n_;
+    Netlist net_;
+    std::vector<std::vector<NodeId>> inputs_;
+    std::vector<std::vector<NodeId>> outputs_;
+};
+
+} // namespace srbenes
+
+#endif // SRBENES_GATES_PIPELINED_GATES_HH

@@ -1,0 +1,60 @@
+#include "networks/batcher.hh"
+
+#include "common/logging.hh"
+
+namespace srbenes
+{
+
+BatcherNetwork::BatcherNetwork(unsigned n)
+    : n_(n)
+{
+    if (n < 1 || n > 30)
+        fatal("Batcher network size n = %u out of supported range", n);
+}
+
+void
+BatcherNetwork::sortPairs(std::vector<Word> &keys,
+                          std::vector<Word> &values)
+{
+    const std::size_t size = keys.size();
+    if (values.size() != size)
+        panic("key/value size mismatch in bitonic sort");
+
+    // Standard iterative bitonic sorting network: merge size k
+    // doubles outward, comparator span j halves inward; each (k, j)
+    // pair is one stage of N/2 parallel comparators.
+    for (std::size_t k = 2; k <= size; k <<= 1) {
+        for (std::size_t j = k >> 1; j > 0; j >>= 1) {
+            for (std::size_t i = 0; i < size; ++i) {
+                const std::size_t l = i ^ j;
+                if (l <= i)
+                    continue;
+                const bool ascending = (i & k) == 0;
+                if ((keys[i] > keys[l]) == ascending) {
+                    std::swap(keys[i], keys[l]);
+                    std::swap(values[i], values[l]);
+                }
+            }
+        }
+    }
+}
+
+bool
+BatcherNetwork::tryRoute(const Permutation &d) const
+{
+    std::vector<Word> keys(d.dest());
+    std::vector<Word> origins(keys.size());
+    for (std::size_t i = 0; i < origins.size(); ++i)
+        origins[i] = static_cast<Word>(i);
+
+    sortPairs(keys, origins);
+
+    // Sorting the tags delivers tag j to output j; verify the
+    // invariant rather than assume it.
+    for (std::size_t j = 0; j < keys.size(); ++j)
+        if (keys[j] != j)
+            panic("bitonic sort failed to deliver tag %zu", j);
+    return true;
+}
+
+} // namespace srbenes

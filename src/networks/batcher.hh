@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Batcher's bitonic sorting network used as a permutation network
+ * (the paper's Section I comparison: self-routing, but O(log^2 N)
+ * delay and O(N log^2 N) comparators).
+ *
+ * Routing is sorting: each comparator orders its two destination tags,
+ * so ANY of the N! permutations is realized -- the richness/delay
+ * trade-off against the Benes fabric measured in bench E1.
+ */
+
+#ifndef SRBENES_NETWORKS_BATCHER_HH
+#define SRBENES_NETWORKS_BATCHER_HH
+
+#include "networks/network_iface.hh"
+
+namespace srbenes
+{
+
+class BatcherNetwork : public PermutationNetwork
+{
+  public:
+    explicit BatcherNetwork(unsigned n);
+
+    std::string name() const override { return "batcher"; }
+    Word numLines() const override { return Word{1} << n_; }
+    Word
+    numSwitches() const override
+    {
+        return (numLines() / 2) * delayStages();
+    }
+    /** n(n+1)/2 comparator stages. */
+    unsigned delayStages() const override { return n_ * (n_ + 1) / 2; }
+    bool tryRoute(const Permutation &d) const override;
+
+    unsigned n() const { return n_; }
+
+    /**
+     * Sort @p keys (and mirror every exchange on @p values) with the
+     * bitonic network; exposed so the SIMD baselines can reuse the
+     * comparator schedule.
+     */
+    static void sortPairs(std::vector<Word> &keys,
+                          std::vector<Word> &values);
+
+  private:
+    unsigned n_;
+};
+
+} // namespace srbenes
+
+#endif // SRBENES_NETWORKS_BATCHER_HH

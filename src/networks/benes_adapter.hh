@@ -1,0 +1,81 @@
+/**
+ * @file
+ * PermutationNetwork adapters over the Benes fabric of src/core, so
+ * the comparison benches can treat all fabrics uniformly:
+ *
+ *  - SelfRoutingBenesNet: the paper's contribution (class F);
+ *  - WaksmanBenesNet: the same fabric with self-setting disabled and
+ *    states computed externally (all N! permutations, O(N log N)
+ *    setup).
+ */
+
+#ifndef SRBENES_NETWORKS_BENES_ADAPTER_HH
+#define SRBENES_NETWORKS_BENES_ADAPTER_HH
+
+#include "core/self_routing.hh"
+#include "core/waksman.hh"
+#include "networks/network_iface.hh"
+
+namespace srbenes
+{
+
+class SelfRoutingBenesNet : public PermutationNetwork
+{
+  public:
+    explicit SelfRoutingBenesNet(unsigned n) : net_(n) {}
+
+    std::string name() const override { return "benes-self"; }
+    Word numLines() const override { return net_.numLines(); }
+    Word
+    numSwitches() const override
+    {
+        return net_.topology().numSwitches();
+    }
+    unsigned
+    delayStages() const override
+    {
+        return net_.topology().numStages();
+    }
+    bool
+    tryRoute(const Permutation &d) const override
+    {
+        return net_.route(d).success;
+    }
+
+    const SelfRoutingBenes &fabric() const { return net_; }
+
+  private:
+    SelfRoutingBenes net_;
+};
+
+class WaksmanBenesNet : public PermutationNetwork
+{
+  public:
+    explicit WaksmanBenesNet(unsigned n) : net_(n) {}
+
+    std::string name() const override { return "benes-waksman"; }
+    Word numLines() const override { return net_.numLines(); }
+    Word
+    numSwitches() const override
+    {
+        return net_.topology().numSwitches();
+    }
+    unsigned
+    delayStages() const override
+    {
+        return net_.topology().numStages();
+    }
+    bool
+    tryRoute(const Permutation &d) const override
+    {
+        const SwitchStates states = waksmanSetup(net_.topology(), d);
+        return net_.routeWithStates(d, states).success;
+    }
+
+  private:
+    SelfRoutingBenes net_;
+};
+
+} // namespace srbenes
+
+#endif // SRBENES_NETWORKS_BENES_ADAPTER_HH

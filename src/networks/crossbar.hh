@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Full N x N crossbar: the trivial-to-set-up endpoint of the paper's
+ * Section I comparison. One crosspoint per (input, output) pair, unit
+ * delay, all N! permutations -- at O(N^2) hardware cost.
+ */
+
+#ifndef SRBENES_NETWORKS_CROSSBAR_HH
+#define SRBENES_NETWORKS_CROSSBAR_HH
+
+#include "networks/network_iface.hh"
+
+namespace srbenes
+{
+
+class Crossbar : public PermutationNetwork
+{
+  public:
+    explicit Crossbar(unsigned n);
+
+    std::string name() const override { return "crossbar"; }
+    Word numLines() const override { return Word{1} << n_; }
+    Word
+    numSwitches() const override
+    {
+        return numLines() * numLines();
+    }
+    unsigned delayStages() const override { return 1; }
+    bool tryRoute(const Permutation &d) const override;
+
+  private:
+    unsigned n_;
+};
+
+} // namespace srbenes
+
+#endif // SRBENES_NETWORKS_CROSSBAR_HH

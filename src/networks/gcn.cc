@@ -1,0 +1,130 @@
+#include "networks/gcn.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "core/waksman.hh"
+
+namespace srbenes
+{
+
+GcnNetwork::GcnNetwork(unsigned n)
+    : benes_(n)
+{
+}
+
+GcnCosts
+GcnNetwork::costs() const
+{
+    const unsigned width = n();
+    const Word size = numTerminals();
+    return GcnCosts{
+        2 * benes_.topology().numSwitches(),
+        static_cast<Word>(width) * size,
+        2 * benes_.topology().numStages() + width,
+    };
+}
+
+std::vector<Word>
+GcnNetwork::routeMapping(const std::vector<Word> &src,
+                         const std::vector<Word> &data) const
+{
+    const Word size = numTerminals();
+    if (src.size() != size || data.size() != size)
+        fatal("GCN mapping/data size mismatch (N = %llu)",
+              static_cast<unsigned long long>(size));
+    for (Word s : src)
+        if (s >= size)
+            fatal("GCN request for input %llu out of range",
+                  static_cast<unsigned long long>(s));
+
+    // Sorted request order: group the output requests by source
+    // (ties by output index keep the order canonical). `order[p]`
+    // is the output index served by sorted slot p.
+    std::vector<Word> order(size);
+    std::iota(order.begin(), order.end(), Word{0});
+    std::sort(order.begin(), order.end(), [&](Word a, Word b) {
+        return src[a] != src[b] ? src[a] < src[b] : a < b;
+    });
+
+    // --- pass 1: concentrate leaders through the Benes fabric ----
+    // Each requested input goes to the first sorted slot of its
+    // group; unrequested inputs fill the remaining slots in order
+    // (any completion works -- they carry dead data).
+    std::vector<Word> to_slot(size, size);
+    std::vector<bool> slot_used(size, false);
+    for (Word p = 0; p < size; ++p) {
+        const Word s = src[order[p]];
+        if (to_slot[s] == size) { // leader slot of this group
+            to_slot[s] = p;
+            slot_used[p] = true;
+        }
+    }
+    Word fill = 0;
+    for (Word i = 0; i < size; ++i) {
+        if (to_slot[i] != size)
+            continue;
+        while (slot_used[fill])
+            ++fill;
+        to_slot[i] = fill;
+        slot_used[fill] = true;
+    }
+    const Permutation concentrate{std::vector<Word>(to_slot)};
+    const auto states1 =
+        waksmanSetup(benes_.topology(), concentrate);
+    const auto pass1 =
+        benes_.routeWithStates(concentrate, states1);
+    if (!pass1.success)
+        panic("GCN concentrate pass failed");
+    std::vector<Word> lane(size);
+    for (Word i = 0; i < size; ++i)
+        lane[to_slot[i]] = data[i];
+
+    // --- fan-out: lg N segmented-copy stages -----------------------
+    // Stage k: slot p copies from slot p - 2^k when both belong to
+    // the same source group and the source slot is already filled.
+    // Leaders are filled; after stage k every slot within 2^(k+1)
+    // of its leader is filled, so lg N stages fill all groups.
+    std::vector<bool> filled(size);
+    for (Word p = 0; p < size; ++p)
+        filled[p] = (to_slot[src[order[p]]] == p); // group leaders
+
+    for (unsigned k = 0; k < n(); ++k) {
+        const Word dist = Word{1} << k;
+        std::vector<Word> next_lane = lane;
+        std::vector<bool> next_filled = filled;
+        for (Word p = dist; p < size; ++p) {
+            if (!filled[p] && filled[p - dist] &&
+                src[order[p]] == src[order[p - dist]]) {
+                next_lane[p] = lane[p - dist];
+                next_filled[p] = true;
+            }
+        }
+        lane.swap(next_lane);
+        filled.swap(next_filled);
+    }
+    for (Word p = 0; p < size; ++p)
+        if (!filled[p])
+            panic("GCN fan-out left slot %llu empty",
+                  static_cast<unsigned long long>(p));
+
+    // --- pass 2: distribute to the output terminals ----------------
+    std::vector<Word> to_output(size);
+    for (Word p = 0; p < size; ++p)
+        to_output[p] = order[p];
+    const Permutation distribute{std::move(to_output)};
+    const auto states2 =
+        waksmanSetup(benes_.topology(), distribute);
+    const auto pass2 =
+        benes_.routeWithStates(distribute, states2);
+    if (!pass2.success)
+        panic("GCN distribute pass failed");
+
+    std::vector<Word> out(size);
+    for (Word p = 0; p < size; ++p)
+        out[distribute[p]] = lane[p];
+    return out;
+}
+
+} // namespace srbenes

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * A generalized connection network (GCN) built around the Benes
+ * fabric -- the paper's opening application: "The network finds
+ * application as a subnetwork of a generalized connection network".
+ *
+ * A GCN realizes arbitrary MAPPINGS, not just permutations: output
+ * j receives the data of input src[j], and one input may feed many
+ * outputs (broadcast). The classical sandwich construction is used:
+ *
+ *   1. concentrate: a Benes permutation delivers each requested
+ *      input's data to the leader slot of its (sorted) request
+ *      group;
+ *   2. fan out: lg N segmented-copy stages replicate each leader's
+ *      data across its contiguous group (step k copies across
+ *      distance 2^k within equal-source runs);
+ *   3. distribute: a second Benes permutation moves the filled
+ *      requests to their output terminals.
+ *
+ * Total hardware: two B(n) fabrics plus n copy stages of N
+ * two-input selectors -- O(N log N) switches and O(log N) delay,
+ * against the O(N^2) crossbar. The permutation passes use Waksman
+ * setup (the request pattern is arbitrary, so self-routing alone
+ * cannot carry a GCN; see DESIGN.md).
+ */
+
+#ifndef SRBENES_NETWORKS_GCN_HH
+#define SRBENES_NETWORKS_GCN_HH
+
+#include "core/self_routing.hh"
+
+namespace srbenes
+{
+
+/** Cost inventory of the GCN sandwich for one fabric size. */
+struct GcnCosts
+{
+    Word binary_switches;  //!< two Benes fabrics
+    Word copy_selectors;   //!< n stages of N two-input selectors
+    unsigned delay_stages; //!< end-to-end stage count
+};
+
+class GcnNetwork
+{
+  public:
+    explicit GcnNetwork(unsigned n);
+
+    unsigned n() const { return benes_.n(); }
+    Word numTerminals() const { return benes_.numLines(); }
+
+    GcnCosts costs() const;
+
+    /**
+     * Realize the mapping: result[j] = data[src[j]] for every
+     * output j. @p src entries must be < N; repeats (fanout) and
+     * unused inputs are fine.
+     */
+    std::vector<Word> routeMapping(const std::vector<Word> &src,
+                                   const std::vector<Word> &data) const;
+
+  private:
+    SelfRoutingBenes benes_;
+};
+
+} // namespace srbenes
+
+#endif // SRBENES_NETWORKS_GCN_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A broadcast-capable Benes fabric: four-state switches.
+ *
+ * The GCN sandwich (networks/gcn) realizes every fanout mapping
+ * with two Benes passes plus copy stages. A cheaper folk proposal
+ * gives each switch two extra states -- broadcast-upper (the upper
+ * input drives both outputs) and broadcast-lower -- and asks one
+ * fabric to do the whole job. This module implements that fabric
+ * and a backtracking setup, so the question "which multicasts fit
+ * in ONE broadcast-Benes pass?" is answered by measurement
+ * (bench_multicast): all of them at N = 4; a shrinking fraction as
+ * N and fanout grow -- single-fabric broadcast Benes is NOT a full
+ * GCN, which is exactly why Thompson-style GCNs spend a second
+ * fabric.
+ *
+ * Setup feasibility at each recursion level is a pair-splitting
+ * constraint: a subnetwork may consume at most one input of each
+ * opening switch, while an output pair wanting two DIFFERENT values
+ * must draw from both subnetworks. The backtracking explores the
+ * per-output-pair subnetwork assignments with that pruning.
+ */
+
+#ifndef SRBENES_NETWORKS_MULTICAST_HH
+#define SRBENES_NETWORKS_MULTICAST_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/topology.hh"
+#include "perm/permutation.hh"
+
+namespace srbenes
+{
+
+/** Four switch states of the broadcast fabric. */
+enum class McState : std::uint8_t
+{
+    Through,    //!< upper->upper, lower->lower
+    Cross,      //!< upper->lower, lower->upper
+    BcastUpper, //!< upper input drives both outputs
+    BcastLower, //!< lower input drives both outputs
+};
+
+using McStates = std::vector<std::vector<McState>>;
+
+class MulticastBenes
+{
+  public:
+    explicit MulticastBenes(unsigned n);
+
+    const BenesTopology &topology() const { return topo_; }
+    Word numLines() const { return topo_.numLines(); }
+
+    /**
+     * Drive the fabric with the given 4-state settings; returns the
+     * input index arriving at each output terminal.
+     */
+    std::vector<Word> routeWithStates(const McStates &states) const;
+
+    /**
+     * Find settings delivering input src[j] to output j for every
+     * j (fanout allowed). Backtracking; std::nullopt iff no
+     * single-pass realization exists.
+     */
+    std::optional<McStates>
+    setupMapping(const std::vector<Word> &src) const;
+
+  private:
+    BenesTopology topo_;
+};
+
+} // namespace srbenes
+
+#endif // SRBENES_NETWORKS_MULTICAST_HH

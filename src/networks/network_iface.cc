@@ -1,0 +1,25 @@
+#include "networks/network_iface.hh"
+
+#include "networks/batcher.hh"
+#include "networks/benes_adapter.hh"
+#include "networks/crossbar.hh"
+#include "networks/odd_even.hh"
+#include "networks/omega_network.hh"
+
+namespace srbenes
+{
+
+std::vector<std::unique_ptr<PermutationNetwork>>
+allNetworks(unsigned n)
+{
+    std::vector<std::unique_ptr<PermutationNetwork>> nets;
+    nets.push_back(std::make_unique<SelfRoutingBenesNet>(n));
+    nets.push_back(std::make_unique<WaksmanBenesNet>(n));
+    nets.push_back(std::make_unique<OmegaNetwork>(n));
+    nets.push_back(std::make_unique<BatcherNetwork>(n));
+    nets.push_back(std::make_unique<OddEvenMergeNetwork>(n));
+    nets.push_back(std::make_unique<Crossbar>(n));
+    return nets;
+}
+
+} // namespace srbenes

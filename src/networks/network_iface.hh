@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Common interface over the permutation fabrics the paper compares
+ * (Section I): the self-routing Benes network, Lawrie's omega
+ * network, Batcher's bitonic sorting network, and a full crossbar.
+ * Each exposes its hardware cost (binary-switch count), its
+ * transmission delay in switch stages, and a self-routing attempt.
+ */
+
+#ifndef SRBENES_NETWORKS_NETWORK_IFACE_HH
+#define SRBENES_NETWORKS_NETWORK_IFACE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "perm/permutation.hh"
+
+namespace srbenes
+{
+
+class PermutationNetwork
+{
+  public:
+    virtual ~PermutationNetwork() = default;
+
+    virtual std::string name() const = 0;
+    /** Number of input/output terminals. */
+    virtual Word numLines() const = 0;
+    /** Hardware cost in binary switches (crosspoints for the
+     *  crossbar, comparators for Batcher). */
+    virtual Word numSwitches() const = 0;
+    /** Transmission delay in switch stages. */
+    virtual unsigned delayStages() const = 0;
+    /**
+     * Attempt to realize @p d with the fabric's own (self-)routing;
+     * true iff every input reached its tagged output.
+     */
+    virtual bool tryRoute(const Permutation &d) const = 0;
+};
+
+/** All comparison fabrics for N = 2^n lines, in presentation order. */
+std::vector<std::unique_ptr<PermutationNetwork>>
+allNetworks(unsigned n);
+
+} // namespace srbenes
+
+#endif // SRBENES_NETWORKS_NETWORK_IFACE_HH

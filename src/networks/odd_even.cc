@@ -1,0 +1,75 @@
+#include "networks/odd_even.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace srbenes
+{
+
+OddEvenMergeNetwork::OddEvenMergeNetwork(unsigned n)
+    : n_(n)
+{
+    if (n < 1 || n > 24)
+        fatal("odd-even merge network size n = %u out of supported "
+              "range", n);
+    line_depth_.assign(numLines(), 0);
+    buildSort(0, numLines());
+    line_depth_.clear();
+    line_depth_.shrink_to_fit();
+}
+
+void
+OddEvenMergeNetwork::addComparator(Word a, Word b)
+{
+    comparators_.push_back(Comparator{a, b});
+    const unsigned d =
+        std::max(line_depth_[a], line_depth_[b]) + 1;
+    line_depth_[a] = d;
+    line_depth_[b] = d;
+    depth_ = std::max(depth_, d);
+}
+
+void
+OddEvenMergeNetwork::buildSort(Word lo, Word count)
+{
+    if (count <= 1)
+        return;
+    const Word half = count / 2;
+    buildSort(lo, half);
+    buildSort(lo + half, half);
+    buildMerge(lo, count, 1);
+}
+
+void
+OddEvenMergeNetwork::buildMerge(Word lo, Word count, Word stride)
+{
+    // Batcher's odd-even merge of two sorted halves interleaved at
+    // @p stride within [lo, lo + count).
+    const Word next = stride * 2;
+    if (next < count) {
+        buildMerge(lo, count, next);          // even subsequence
+        buildMerge(lo + stride, count, next); // odd subsequence
+        for (Word i = lo + stride; i + stride < lo + count;
+             i += next)
+            addComparator(i, i + stride);
+    } else {
+        addComparator(lo, lo + stride);
+    }
+}
+
+bool
+OddEvenMergeNetwork::tryRoute(const Permutation &d) const
+{
+    std::vector<Word> tags(d.dest());
+    for (const auto &c : comparators_)
+        if (tags[c.low] > tags[c.high])
+            std::swap(tags[c.low], tags[c.high]);
+    for (Word j = 0; j < tags.size(); ++j)
+        if (tags[j] != j)
+            panic("odd-even merge sort failed to deliver tag %llu",
+                  static_cast<unsigned long long>(j));
+    return true;
+}
+
+} // namespace srbenes

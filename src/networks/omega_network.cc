@@ -1,0 +1,87 @@
+#include "networks/omega_network.hh"
+
+#include "common/logging.hh"
+
+namespace srbenes
+{
+
+OmegaNetwork::OmegaNetwork(unsigned n)
+    : n_(n)
+{
+    if (n < 1 || n > 30)
+        fatal("omega network size n = %u out of supported range", n);
+}
+
+OmegaRouteResult
+OmegaNetwork::route(const Permutation &d) const
+{
+    const Word size = numLines();
+    if (d.size() != size)
+        fatal("permutation size %zu does not match network N = %llu",
+              d.size(), static_cast<unsigned long long>(size));
+
+    OmegaRouteResult res;
+    std::vector<Word> cur(d.dest());
+    std::vector<Word> next(size);
+
+    for (unsigned s = 0; s < n_; ++s) {
+        // Perfect shuffle of the line positions.
+        for (Word line = 0; line < size; ++line)
+            next[shuffle(line, n_)] = cur[line];
+
+        // Each input selects the output port matching bit n-1-s of
+        // its tag; equal requests are a conflict.
+        const unsigned b = n_ - 1 - s;
+        for (Word i = 0; i < size / 2; ++i) {
+            const Word pa = bit(next[2 * i], b);
+            const Word pb = bit(next[2 * i + 1], b);
+            if (pa == pb) {
+                ++res.conflicts;
+                if (!res.conflict_stage)
+                    res.conflict_stage = s;
+                // Leave the pair as is; the route is already lost.
+            } else if (pa == 1) {
+                std::swap(next[2 * i], next[2 * i + 1]);
+            }
+        }
+        cur.swap(next);
+    }
+
+    res.success = (res.conflicts == 0);
+    if (res.success) {
+        for (Word j = 0; j < size; ++j) {
+            if (cur[j] != j)
+                panic("conflict-free omega route misdelivered tag "
+                      "%llu to output %llu",
+                      static_cast<unsigned long long>(cur[j]),
+                      static_cast<unsigned long long>(j));
+        }
+        res.output_tags = std::move(cur);
+    }
+    return res;
+}
+
+OmegaRouteResult
+OmegaNetwork::routeInverse(const Permutation &d) const
+{
+    // Running the fabric backwards realizes D exactly when the
+    // forward fabric realizes D^-1: reversing every switch setting
+    // and traversing the stages right to left inverts the realized
+    // mapping.
+    OmegaRouteResult res = route(d.inverse());
+    if (res.success) {
+        // In the backward direction every tag still arrives at its
+        // own terminal.
+        for (Word j = 0; j < numLines(); ++j)
+            res.output_tags[j] = j;
+    }
+    return res;
+}
+
+bool
+OmegaNetwork::tryRoute(const Permutation &d) const
+{
+    return route(d).success;
+}
+
+} // namespace srbenes

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Lawrie's omega network, the self-routing baseline of Section I.
+ *
+ * The N = 2^n line omega network is n identical stages; each stage is
+ * a perfect shuffle of the line positions followed by N/2 two-state
+ * switches. A switch routes each of its inputs to the output port
+ * selected by bit n-1-s of the input's destination tag (most
+ * significant bit first); if both inputs request the same port the
+ * permutation is not realizable (a conflict).
+ *
+ * Half the delay and half the switches of B(n), but a much smaller
+ * permutation class: 2^(n N/2) members versus the paper's F(n).
+ */
+
+#ifndef SRBENES_NETWORKS_OMEGA_NETWORK_HH
+#define SRBENES_NETWORKS_OMEGA_NETWORK_HH
+
+#include <optional>
+
+#include "networks/network_iface.hh"
+
+namespace srbenes
+{
+
+/** Outcome of an omega-network routing attempt. */
+struct OmegaRouteResult
+{
+    bool success = false;
+    /** Stage of the first port conflict (set iff !success). */
+    std::optional<unsigned> conflict_stage;
+    /** Total conflicting switch pairs encountered. */
+    unsigned conflicts = 0;
+    /** Tag at each output terminal (valid iff success). */
+    std::vector<Word> output_tags;
+};
+
+class OmegaNetwork : public PermutationNetwork
+{
+  public:
+    explicit OmegaNetwork(unsigned n);
+
+    std::string name() const override { return "omega"; }
+    Word numLines() const override { return Word{1} << n_; }
+    Word numSwitches() const override { return n_ * (numLines() / 2); }
+    unsigned delayStages() const override { return n_; }
+    bool tryRoute(const Permutation &d) const override;
+
+    unsigned n() const { return n_; }
+
+    /** Route with full diagnostics. */
+    OmegaRouteResult route(const Permutation &d) const;
+
+    /**
+     * Route through the network backwards (output side in, input
+     * side out): realizes exactly the inverse-omega permutations.
+     */
+    OmegaRouteResult routeInverse(const Permutation &d) const;
+
+  private:
+    unsigned n_;
+};
+
+} // namespace srbenes
+
+#endif // SRBENES_NETWORKS_OMEGA_NETWORK_HH

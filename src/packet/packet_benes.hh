@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Packet-switched operation of the Benes fabric.
+ *
+ * The paper's network is circuit-switched: the Fig. 3 rule sets a
+ * switch from its UPPER input's tag, both signals flow in lockstep,
+ * and exactly the class F(n) is conflict-free. An asynchronous
+ * alternative treats each destination tag as a PACKET that routes
+ * itself: at a stage with control bit b the packet requests the
+ * output port equal to bit b of its own tag, input FIFOs buffer
+ * head-of-line losers, and backpressure stalls full links. Because
+ * the fabric is feed-forward this is deadlock-free, and because the
+ * omega half gives every middle line a path to every output, every
+ * packet eventually arrives -- ALL N! permutations deliver, at the
+ * price of stalls.
+ *
+ * The interesting measurement (bench_packet): even F members pay
+ * contention in packet mode (bit reversal collides at stage 0,
+ * where the circuit rule would cross cleanly), so the self-routing
+ * circuit discipline is strictly stronger than per-packet tag
+ * routing on the same wires -- the quantified version of the
+ * paper's choice.
+ */
+
+#ifndef SRBENES_PACKET_PACKET_BENES_HH
+#define SRBENES_PACKET_PACKET_BENES_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/topology.hh"
+#include "perm/permutation.hh"
+
+namespace srbenes
+{
+
+/** Tunables of the packet fabric. */
+struct PacketConfig
+{
+    /** Input-FIFO depth per switch port at stages >= 1. */
+    std::size_t fifo_capacity = 2;
+};
+
+/** Aggregate results of one packet-mode run. */
+struct PacketStats
+{
+    bool all_delivered = false;
+    std::uint64_t cycles = 0;        //!< makespan
+    std::uint64_t stalls = 0;        //!< blocked head-of-line moves
+    std::uint64_t max_occupancy = 0; //!< deepest FIFO observed
+    double avg_latency = 0.0;        //!< mean per-packet delay
+    std::uint64_t min_latency = 0;
+    std::uint64_t max_latency = 0;
+};
+
+class PacketBenes
+{
+  public:
+    explicit PacketBenes(unsigned n, PacketConfig cfg = {});
+
+    const BenesTopology &topology() const { return topo_; }
+
+    /**
+     * One packet per input, destinations from @p d; runs to full
+     * delivery (panics past a generous cycle bound, which a
+     * feed-forward fabric cannot legitimately hit).
+     */
+    PacketStats runPermutation(const Permutation &d);
+
+    /**
+     * Stream @p batches permutation loads, injecting one full
+     * batch per cycle at the sources (source queues are unbounded;
+     * internal FIFOs exert backpressure).
+     */
+    PacketStats runStream(const std::vector<Permutation> &batches);
+
+  private:
+    struct Packet
+    {
+        Word tag;
+        std::uint64_t inject_cycle;
+    };
+
+    BenesTopology topo_;
+    PacketConfig cfg_;
+};
+
+} // namespace srbenes
+
+#endif // SRBENES_PACKET_PACKET_BENES_HH

@@ -1,0 +1,223 @@
+#include "perm/bpc.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace srbenes
+{
+
+namespace
+{
+
+bool
+positionsFormPermutation(const std::vector<BpcAxis> &axes)
+{
+    std::vector<bool> seen(axes.size(), false);
+    for (const auto &a : axes) {
+        if (a.position >= axes.size() || seen[a.position])
+            return false;
+        seen[a.position] = true;
+    }
+    return true;
+}
+
+} // namespace
+
+BpcSpec::BpcSpec(std::vector<BpcAxis> axes)
+    : axes_(std::move(axes))
+{
+    if (axes_.empty())
+        fatal("BPC spec must have at least one axis");
+    if (!positionsFormPermutation(axes_))
+        fatal("BPC positions are not a permutation of 0..n-1");
+}
+
+BpcSpec
+BpcSpec::fromPaper(const std::vector<std::string> &entries)
+{
+    const unsigned n = static_cast<unsigned>(entries.size());
+    std::vector<BpcAxis> axes(n);
+    for (unsigned t = 0; t < n; ++t) {
+        // entries[t] is A_{n-1-t} in the paper's left-to-right order.
+        const std::string &e = entries[t];
+        if (e.empty())
+            fatal("empty BPC entry");
+        bool comp = false;
+        std::size_t pos = 0;
+        if (e[0] == '-') {
+            comp = true;
+            pos = 1;
+        } else if (e[0] == '+') {
+            pos = 1;
+        }
+        if (pos >= e.size())
+            fatal("malformed BPC entry '%s'", e.c_str());
+        unsigned value = 0;
+        for (; pos < e.size(); ++pos) {
+            if (e[pos] < '0' || e[pos] > '9')
+                fatal("malformed BPC entry '%s'", e.c_str());
+            value = value * 10 + static_cast<unsigned>(e[pos] - '0');
+        }
+        axes[n - 1 - t] = BpcAxis{value, comp};
+    }
+    return BpcSpec(std::move(axes));
+}
+
+BpcSpec
+BpcSpec::identity(unsigned n)
+{
+    std::vector<BpcAxis> axes(n);
+    for (unsigned j = 0; j < n; ++j)
+        axes[j] = BpcAxis{j, false};
+    return BpcSpec(std::move(axes));
+}
+
+BpcSpec
+BpcSpec::random(unsigned n, Prng &prng)
+{
+    std::vector<unsigned> pos(n);
+    for (unsigned j = 0; j < n; ++j)
+        pos[j] = j;
+    for (unsigned j = n; j > 1; --j)
+        std::swap(pos[j - 1], pos[prng.below(j)]);
+    std::vector<BpcAxis> axes(n);
+    for (unsigned j = 0; j < n; ++j)
+        axes[j] = BpcAxis{pos[j], prng.below(2) == 1};
+    return BpcSpec(std::move(axes));
+}
+
+Word
+BpcSpec::destinationOf(Word i) const
+{
+    Word d = 0;
+    for (unsigned j = 0; j < n(); ++j) {
+        const Word src = bit(i, j) ^ (axes_[j].complement ? 1u : 0u);
+        d |= src << axes_[j].position;
+    }
+    return d;
+}
+
+Permutation
+BpcSpec::toPermutation() const
+{
+    const Word size = Word{1} << n();
+    std::vector<Word> dest(size);
+    for (Word i = 0; i < size; ++i)
+        dest[i] = destinationOf(i);
+    return Permutation(std::move(dest));
+}
+
+BpcSpec
+BpcSpec::inverse() const
+{
+    // If bit j of i becomes bit p of D (xor c), then bit p of D
+    // becomes bit j of i (xor c).
+    std::vector<BpcAxis> axes(n());
+    for (unsigned j = 0; j < n(); ++j)
+        axes[axes_[j].position] = BpcAxis{j, axes_[j].complement};
+    return BpcSpec(std::move(axes));
+}
+
+BpcSpec
+BpcSpec::then(const BpcSpec &other) const
+{
+    if (other.n() != n())
+        fatal("composing BPC specs of widths %u and %u", n(), other.n());
+    std::vector<BpcAxis> axes(n());
+    for (unsigned j = 0; j < n(); ++j) {
+        const BpcAxis &first = axes_[j];
+        const BpcAxis &second = other.axes_[first.position];
+        axes[j] = BpcAxis{second.position,
+                          first.complement != second.complement};
+    }
+    return BpcSpec(std::move(axes));
+}
+
+std::pair<BpcSpec, BpcSpec>
+BpcSpec::decompose() const
+{
+    if (n() < 2)
+        panic("decompose requires n >= 2");
+
+    // k is the source bit feeding destination bit 0 (|A_k| = 0).
+    unsigned k = 0;
+    while (axes_[k].position != 0)
+        ++k;
+
+    const unsigned m = n() - 1;
+    std::vector<BpcAxis> sub(m);
+
+    if (k == 0) {
+        // Theorem 2, case 1: U and L carry the same BPC(n-1)
+        // permutation A' with A'_j = LMAG(A_{j+1}).
+        for (unsigned j = 1; j < n(); ++j)
+            sub[j - 1] = BpcAxis{axes_[j].position - 1,
+                                 axes_[j].complement};
+        BpcSpec s(std::move(sub));
+        return {s, s};
+    }
+
+    // Lemma 1: vector B for F1; C differs only in the complement of
+    // entry k-1.
+    for (unsigned j = 1; j < n(); ++j) {
+        if (j == k)
+            continue;
+        sub[j - 1] = BpcAxis{axes_[j].position - 1, axes_[j].complement};
+    }
+    sub[k - 1] = BpcAxis{axes_[0].position - 1, axes_[0].complement};
+
+    BpcSpec f1(sub);
+    sub[k - 1].complement = !sub[k - 1].complement;
+    BpcSpec f2(std::move(sub));
+
+    // Theorem 2, case 2: with A_k = +0, U = F1 and L = F2; with
+    // A_k = -0 the roles swap.
+    if (!axes_[k].complement)
+        return {f1, f2};
+    return {f2, f1};
+}
+
+std::string
+BpcSpec::toString() const
+{
+    std::string s = "(";
+    for (unsigned t = 0; t < n(); ++t) {
+        const BpcAxis &a = axes_[n() - 1 - t];
+        if (t)
+            s += ", ";
+        if (a.complement)
+            s += "-";
+        s += std::to_string(a.position);
+    }
+    s += ")";
+    return s;
+}
+
+std::optional<BpcSpec>
+recognizeBpc(const Permutation &perm)
+{
+    const unsigned n = perm.log2Size();
+    const Word d0 = perm[0];
+
+    std::vector<BpcAxis> axes(n);
+    std::vector<bool> used(n, false);
+    for (unsigned j = 0; j < n; ++j) {
+        const Word diff = perm[Word{1} << j] ^ d0;
+        if (!isPowerOfTwo(diff))
+            return std::nullopt;
+        const unsigned p = floorLog2(diff);
+        if (used[p])
+            return std::nullopt;
+        used[p] = true;
+        axes[j] = BpcAxis{p, bit(d0, p) != 0};
+    }
+
+    BpcSpec spec(std::move(axes));
+    for (Word i = 0; i < perm.size(); ++i)
+        if (spec.destinationOf(i) != perm[i])
+            return std::nullopt;
+    return spec;
+}
+
+} // namespace srbenes

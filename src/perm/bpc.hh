@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Bit-permute-complement (BPC) permutations, Section II of the paper.
+ *
+ * A BPC(n) permutation on N = 2^n elements is specified by a vector
+ * A = (A_{n-1}, ..., A_0), where (|A_{n-1}|, ..., |A_0|) is a
+ * permutation of (0, ..., n-1) and the sign of A_j says whether source
+ * bit j is complemented. The paper distinguishes +0 from -0; we avoid
+ * that encoding pitfall by storing each entry as an explicit
+ * (position, complement) pair, and provide parsing from the paper's
+ * signed notation (with "-0" spelled out) for fidelity in tests and
+ * benches.
+ *
+ * Destination computation, eq. (3) of the paper:
+ *     (D_i)_{|A_j|} = (i)_j xor complement_j .
+ */
+
+#ifndef SRBENES_PERM_BPC_HH
+#define SRBENES_PERM_BPC_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bitops.hh"
+#include "common/prng.hh"
+#include "perm/permutation.hh"
+
+namespace srbenes
+{
+
+/** One entry of a BPC vector: where source bit j lands and whether it
+ *  is complemented first. */
+struct BpcAxis
+{
+    unsigned position; //!< |A_j|: destination bit index.
+    bool complement;   //!< SIGN(A_j) < 0 in the paper's notation.
+
+    bool operator==(const BpcAxis &other) const = default;
+};
+
+/**
+ * A BPC(n) permutation specification. axes()[j] describes source bit
+ * j (the paper's A_j). Construction validates that the positions form
+ * a permutation of (0, ..., n-1).
+ */
+class BpcSpec
+{
+  public:
+    /** Build from per-source-bit axes; axes[j] is the paper's A_j. */
+    explicit BpcSpec(std::vector<BpcAxis> axes);
+
+    /**
+     * Parse the paper's notation: entries listed
+     * (A_{n-1}, ..., A_0), e.g.\ fromPaper({"0", "-1", "-2"}) is the
+     * example A = (0, -1, -2) from Section II. "-0" parses as
+     * complemented position 0.
+     */
+    static BpcSpec fromPaper(const std::vector<std::string> &entries);
+
+    /** The identity BPC spec on n bits. */
+    static BpcSpec identity(unsigned n);
+
+    /** Uniform random BPC spec on n bits. */
+    static BpcSpec random(unsigned n, Prng &prng);
+
+    unsigned n() const { return static_cast<unsigned>(axes_.size()); }
+
+    const std::vector<BpcAxis> &axes() const { return axes_; }
+    const BpcAxis &axis(unsigned j) const { return axes_[j]; }
+
+    /** Destination of input @p i under eq. (3). */
+    Word destinationOf(Word i) const;
+
+    /** Expand to the explicit N = 2^n destination-tag permutation. */
+    Permutation toPermutation() const;
+
+    /** The BPC spec of the inverse permutation. */
+    BpcSpec inverse() const;
+
+    /**
+     * Sequential composition (this first, then @p other), which BPC is
+     * closed under; matches Permutation::then on the expansions.
+     */
+    BpcSpec then(const BpcSpec &other) const;
+
+    /**
+     * Lemma 1 / Theorem 2: the BPC(n-1) specs of the tag sequences
+     * U and L entering the upper and lower B(n-1) subnetworks when
+     * this permutation is self-routed through B(n). first = U,
+     * second = L. Requires n >= 2.
+     */
+    std::pair<BpcSpec, BpcSpec> decompose() const;
+
+    bool operator==(const BpcSpec &other) const = default;
+
+    /** Render in the paper's (A_{n-1}, ..., A_0) notation. */
+    std::string toString() const;
+
+  private:
+    std::vector<BpcAxis> axes_;
+};
+
+/**
+ * Recognize whether @p perm is a BPC permutation; returns its spec if
+ * so. Used by the class-density experiment (E3). O(N log N).
+ */
+std::optional<BpcSpec> recognizeBpc(const Permutation &perm);
+
+} // namespace srbenes
+
+#endif // SRBENES_PERM_BPC_HH

@@ -1,0 +1,154 @@
+#include "perm/classify.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/logging.hh"
+#include "perm/bpc.hh"
+#include "perm/f_class.hh"
+#include "perm/omega_class.hh"
+#include "perm/permutation.hh"
+
+namespace srbenes
+{
+
+namespace
+{
+
+void
+classifyOne(const Permutation &p, ClassCensus &census)
+{
+    ++census.total;
+    if (inFClass(p))
+        ++census.in_f;
+    if (isOmega(p))
+        ++census.in_omega;
+    if (isInverseOmega(p))
+        ++census.in_inverse;
+    if (recognizeBpc(p))
+        ++census.in_bpc;
+}
+
+} // namespace
+
+ClassCensus
+censusExhaustive(unsigned n)
+{
+    if (n > 3)
+        fatal("exhaustive census over (2^%u)! permutations is "
+              "infeasible; use censusSampled", n);
+
+    std::vector<Word> dest(std::size_t{1} << n);
+    std::iota(dest.begin(), dest.end(), Word{0});
+
+    ClassCensus census;
+    do {
+        classifyOne(Permutation(dest), census);
+    } while (std::next_permutation(dest.begin(), dest.end()));
+    return census;
+}
+
+ClassCensus
+censusSampled(unsigned n, std::uint64_t samples, Prng &prng)
+{
+    ClassCensus census;
+    for (std::uint64_t s = 0; s < samples; ++s)
+        classifyOne(Permutation::random(std::size_t{1} << n, prng),
+                    census);
+    return census;
+}
+
+long double
+exactFCardinality(unsigned n)
+{
+    if (n == 0)
+        fatal("F is defined for n >= 1");
+    if (n == 1)
+        return 2.0L;
+    if (n > 4)
+        fatal("exact |F(%u)| needs F(%u) enumeration, which is "
+              "infeasible; largest supported n is 4", n, n - 1);
+
+    // Enumerate F(n-1).
+    const std::size_t half = std::size_t{1} << (n - 1);
+    std::vector<std::vector<Word>> members;
+    {
+        std::vector<Word> dest(half);
+        std::iota(dest.begin(), dest.end(), Word{0});
+        do {
+            if (inFClass(Permutation(dest)))
+                members.push_back(dest);
+        } while (std::next_permutation(dest.begin(), dest.end()));
+    }
+
+    // tr(M^L) for M = [[2,1],[1,0]]: t(1) = 2, t(2) = 6,
+    // t(L) = 2 t(L-1) + t(L-2).
+    std::vector<long double> trace(half + 1);
+    if (half >= 1)
+        trace[1] = 2.0L;
+    if (half >= 2)
+        trace[2] = 6.0L;
+    for (std::size_t len = 3; len <= half; ++len)
+        trace[len] = 2.0L * trace[len - 1] + trace[len - 2];
+
+    // Weight of one (U, L) pair: cycles of U o L^-1 over the value
+    // space (switch i links values U_i and L_i; following
+    // L-role -> U-role alternation walks the cycles).
+    long double total = 0.0L;
+    std::vector<Word> linv(half);
+    std::vector<bool> seen(half);
+    for (const auto &u : members) {
+        for (const auto &l : members) {
+            for (std::size_t i = 0; i < half; ++i)
+                linv[l[i]] = static_cast<Word>(i);
+            std::fill(seen.begin(), seen.end(), false);
+            long double weight = 1.0L;
+            for (std::size_t v0 = 0; v0 < half; ++v0) {
+                if (seen[v0])
+                    continue;
+                std::size_t len = 0;
+                Word v = static_cast<Word>(v0);
+                while (!seen[v]) {
+                    seen[v] = true;
+                    ++len;
+                    v = u[linv[v]]; // value sharing v's L-switch
+                }
+                weight *= trace[len];
+            }
+            total += weight;
+        }
+    }
+    return total;
+}
+
+std::uint64_t
+bpcCardinality(unsigned n)
+{
+    std::uint64_t v = std::uint64_t{1} << n; // 2^n sign choices
+    for (std::uint64_t j = 2; j <= n; ++j)
+        v *= j; // times n! bit arrangements
+    return v;
+}
+
+long double
+omegaCardinality(unsigned n)
+{
+    // n stages of 2^(n-1) independent binary switches, each setting
+    // realizing a distinct permutation.
+    return std::pow(2.0L,
+                    static_cast<long double>(n) *
+                        static_cast<long double>(1ull << (n - 1)));
+}
+
+long double
+factorial(std::uint64_t v)
+{
+    long double r = 1.0L;
+    for (std::uint64_t k = 2; k <= v; ++k)
+        r *= static_cast<long double>(k);
+    return r;
+}
+
+} // namespace srbenes

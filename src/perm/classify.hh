@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Permutation-class census utilities for the richness experiment (E3).
+ *
+ * Section II argues that F(n) is "rich" by showing it contains the
+ * permutation classes that matter in practice (BPC, inverse omega,
+ * Lenfant's FUB families). These helpers quantify the classes: exact
+ * counts by exhaustive enumeration for small n, and sampled densities
+ * for larger n, plus the closed-form cardinalities known for BPC and
+ * omega.
+ */
+
+#ifndef SRBENES_PERM_CLASSIFY_HH
+#define SRBENES_PERM_CLASSIFY_HH
+
+#include <cstdint>
+
+#include "common/prng.hh"
+
+namespace srbenes
+{
+
+/** Tallies of class membership over a set of permutations. */
+struct ClassCensus
+{
+    std::uint64_t total = 0;      //!< permutations examined
+    std::uint64_t in_f = 0;       //!< members of F(n)
+    std::uint64_t in_omega = 0;   //!< members of Omega(n)
+    std::uint64_t in_inverse = 0; //!< members of InverseOmega(n)
+    std::uint64_t in_bpc = 0;     //!< members of BPC(n)
+};
+
+/**
+ * Exhaustively enumerate all (2^n)! permutations and classify each.
+ * Feasible for n <= 3 (8! = 40320); fatal()s for larger n.
+ */
+ClassCensus censusExhaustive(unsigned n);
+
+/** Classify @p samples uniform random permutations of 2^n elements. */
+ClassCensus censusSampled(unsigned n, std::uint64_t samples, Prng &prng);
+
+/** |BPC(n)| = 2^n * n! exactly (paper: "N log N of the possible N!"
+ *  -- the closed form). */
+std::uint64_t bpcCardinality(unsigned n);
+
+/**
+ * Exact |F(n)| by the transfer-matrix recurrence. Theorem 1 run
+ * backwards parameterizes F(n) bijectively by (U, L, a, s): two
+ * F(n-1) members, the low tag bit a_v given to the upper copy of
+ * each high-value v, and per-switch orientations s. For fixed
+ * (U, L) the valid (a, s) combinations factor over the cycles of
+ * the value graph linking U- and L-roles, each cycle of length L
+ * contributing tr(M^L) with M = [[2,1],[1,0]] (switch weights: two
+ * orientations when both incident a-bits are 0, one when exactly
+ * one is, none when both are 1). So
+ *
+ *   |F(n)| = sum over (U, L) in F(n-1)^2 of
+ *            prod_cycles tr(M^len),   cycles of U o L^-1.
+ *
+ * Implemented by enumerating F(n-1); feasible for n <= 4 (F(3) has
+ * 11632 members). Exhaustively cross-checked against brute force at
+ * n <= 3; n = 4 yields the count that 16!-enumeration cannot reach.
+ */
+long double exactFCardinality(unsigned n);
+
+/**
+ * |Omega(n)| = |InverseOmega(n)| = 2^(n 2^(n-1)): every setting of the
+ * omega network's n * N/2 switches realizes a distinct permutation.
+ */
+long double omegaCardinality(unsigned n);
+
+/** N! as a long double (exact up to n = 3 sizes; used for ratios). */
+long double factorial(std::uint64_t v);
+
+} // namespace srbenes
+
+#endif // SRBENES_PERM_CLASSIFY_HH

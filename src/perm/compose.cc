@@ -1,0 +1,128 @@
+#include "perm/compose.hh"
+
+#include "common/logging.hh"
+
+namespace srbenes
+{
+
+JPartition::JPartition(unsigned n, Word fixed_mask)
+    : n_(n), fixed_mask_(fixed_mask & lowMask(n)),
+      free_mask_(~fixed_mask & lowMask(n))
+{
+    if (n == 0 || n > 63)
+        fatal("JPartition: bad index width %u", n);
+    free_bits_ = popCount(free_mask_);
+}
+
+Permutation
+blockwisePermutation(unsigned n, Word fixed_mask,
+                     const std::vector<Permutation> &gs)
+{
+    const JPartition part(n, fixed_mask);
+    if (gs.size() != part.numBlocks())
+        fatal("need %zu block permutations, got %zu", part.numBlocks(),
+              gs.size());
+    for (const auto &g : gs)
+        if (g.size() != part.blockSize())
+            fatal("block permutation size %zu != block size %zu",
+                  g.size(), part.blockSize());
+
+    const Word size = Word{1} << n;
+    std::vector<Word> dest(size);
+    for (Word i = 0; i < size; ++i) {
+        const Word b = part.blockOf(i);
+        dest[i] = part.elementOf(b, gs[b][part.rankOf(i)]);
+    }
+    return Permutation(std::move(dest));
+}
+
+Permutation
+blockwisePermutation(unsigned n, Word fixed_mask, const Permutation &g)
+{
+    const JPartition part(n, fixed_mask);
+    return blockwisePermutation(
+        n, fixed_mask, std::vector<Permutation>(part.numBlocks(), g));
+}
+
+Permutation
+blockMappedPermutation(unsigned n, Word fixed_mask,
+                       const std::vector<Permutation> &gs,
+                       const Permutation &block_perm)
+{
+    const JPartition part(n, fixed_mask);
+    if (gs.size() != part.numBlocks())
+        fatal("need %zu block permutations, got %zu", part.numBlocks(),
+              gs.size());
+    if (block_perm.size() != part.numBlocks())
+        fatal("block-level permutation size %zu != block count %zu",
+              block_perm.size(), part.numBlocks());
+
+    const Word size = Word{1} << n;
+    std::vector<Word> dest(size);
+    for (Word i = 0; i < size; ++i) {
+        const Word b = part.blockOf(i);
+        dest[i] = part.elementOf(block_perm[b], gs[b][part.rankOf(i)]);
+    }
+    return Permutation(std::move(dest));
+}
+
+Permutation
+hierarchicalPermutation(
+    unsigned n, const std::vector<Word> &level_masks,
+    const std::function<Permutation(unsigned,
+                                    const std::vector<Word> &)> &phi)
+{
+    Word covered = 0;
+    for (Word m : level_masks) {
+        if ((m & covered) != 0)
+            fatal("hierarchical level masks are not disjoint");
+        covered |= m;
+    }
+    if (covered != lowMask(n))
+        fatal("hierarchical level masks do not cover all %u bits", n);
+
+    const unsigned levels = static_cast<unsigned>(level_masks.size());
+    const Word size = Word{1} << n;
+    std::vector<Word> dest(size);
+
+    // Cache phi lookups: the same (level, ancestors) pair recurs for
+    // every element of a block.
+    std::vector<std::vector<Word>> cache_keys;
+    std::vector<Permutation> cache_vals;
+    std::vector<Word> key;
+    auto lookup = [&](unsigned level, const std::vector<Word> &anc)
+        -> const Permutation & {
+        key.assign(1, level);
+        key.insert(key.end(), anc.begin(), anc.end());
+        for (std::size_t c = 0; c < cache_keys.size(); ++c)
+            if (cache_keys[c] == key)
+                return cache_vals[c];
+        cache_keys.push_back(key);
+        cache_vals.push_back(phi(level, anc));
+        const Permutation &p = cache_vals.back();
+        if (p.size() != (std::size_t{1} << popCount(level_masks[level])))
+            fatal("phi at level %u has wrong size %zu", level, p.size());
+        return p;
+    };
+
+    std::vector<Word> fields(levels), ancestors;
+    for (Word i = 0; i < size; ++i) {
+        for (unsigned l = 0; l < levels; ++l)
+            fields[l] = extractBits(i, level_masks[l]);
+
+        // The paper's loop runs i = k down to 1; by the time level l
+        // is remapped, its ancestor fields (levels < l) still hold
+        // their original values, so we may equivalently evaluate all
+        // levels against the original fields.
+        Word out = 0;
+        for (unsigned l = 0; l < levels; ++l) {
+            ancestors.assign(fields.begin(), fields.begin() + l);
+            const Permutation &p = lookup(l, ancestors);
+            out |= depositBits(p[fields[l]], level_masks[l]);
+        }
+        dest[i] = out;
+    }
+    return Permutation(std::move(dest));
+}
+
+} // namespace srbenes

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Composite permutation constructors of Theorems 4, 5 and 6.
+ *
+ * A subset J of the bit positions {n-1, ..., 0} J-partitions the
+ * indices 0..N-1 into 2^|J| blocks: i and j share a block iff they
+ * agree on every bit in J. Theorem 4 permutes within each block by
+ * some F(r) permutation (r = n - |J|); Theorem 5 additionally maps
+ * blocks onto blocks by an F(n-r) permutation; Theorem 6 nests the
+ * construction over a tree of disjoint bit-position sets. All three
+ * constructions provably stay inside F(n) -- the property tests check
+ * exactly that against the Theorem 1 membership test and the network
+ * simulator.
+ */
+
+#ifndef SRBENES_PERM_COMPOSE_HH
+#define SRBENES_PERM_COMPOSE_HH
+
+#include <functional>
+#include <vector>
+
+#include "perm/permutation.hh"
+
+namespace srbenes
+{
+
+/**
+ * The J-partition of (0, ..., 2^n - 1) induced by the fixed bit
+ * positions in @p fixed_mask. Provides the block/rank coordinate
+ * system used by the composite constructors: the rank of an element
+ * within its block packs the free (non-fixed) bits in ascending
+ * position order, which preserves the natural element order inside a
+ * block.
+ */
+class JPartition
+{
+  public:
+    /** @param n index width; @param fixed_mask bits in J. */
+    JPartition(unsigned n, Word fixed_mask);
+
+    unsigned n() const { return n_; }
+    /** r = n - |J|: blocks have 2^r elements. */
+    unsigned freeBits() const { return free_bits_; }
+    Word fixedMask() const { return fixed_mask_; }
+    Word freeMask() const { return free_mask_; }
+
+    std::size_t numBlocks() const
+    {
+        return std::size_t{1} << (n_ - free_bits_);
+    }
+    std::size_t blockSize() const { return std::size_t{1} << free_bits_; }
+
+    /** Packed J-bit values of @p i: which block it lies in. */
+    Word blockOf(Word i) const { return extractBits(i, fixed_mask_); }
+
+    /** Packed free-bit values: position of @p i within its block. */
+    Word rankOf(Word i) const { return extractBits(i, free_mask_); }
+
+    /** The element with the given block/rank coordinates. */
+    Word
+    elementOf(Word block, Word rank) const
+    {
+        return depositBits(block, fixed_mask_) |
+               depositBits(rank, free_mask_);
+    }
+
+  private:
+    unsigned n_;
+    unsigned free_bits_;
+    Word fixed_mask_;
+    Word free_mask_;
+};
+
+/**
+ * Theorem 4: permute within each block of the J-partition. @p gs has
+ * one permutation of blockSize() elements per block (indexed by
+ * packed block id).
+ */
+Permutation blockwisePermutation(unsigned n, Word fixed_mask,
+                                 const std::vector<Permutation> &gs);
+
+/** Theorem 4 with the same within-block permutation for every block. */
+Permutation blockwisePermutation(unsigned n, Word fixed_mask,
+                                 const Permutation &g);
+
+/**
+ * Theorem 5: block b's elements move to block @p block_perm [b],
+ * permuted within by gs[b].
+ */
+Permutation blockMappedPermutation(unsigned n, Word fixed_mask,
+                                   const std::vector<Permutation> &gs,
+                                   const Permutation &block_perm);
+
+/**
+ * Theorem 6: hierarchical composite over disjoint level masks covering
+ * all n bits. For each level l (outermost first, matching the paper's
+ * J_1, J_2, ...), the elements' level-l field value v is replaced by
+ * phi(l, ancestors)[v], where ancestors holds the (original) field
+ * values at levels 0..l-1 -- i.e.\ the block of the partition tree
+ * whose children are being permuted. Each phi(l, .) must be a
+ * permutation of 2^|level_masks[l]| elements.
+ */
+Permutation hierarchicalPermutation(
+    unsigned n, const std::vector<Word> &level_masks,
+    const std::function<Permutation(unsigned level,
+                                    const std::vector<Word> &ancestors)>
+        &phi);
+
+} // namespace srbenes
+
+#endif // SRBENES_PERM_COMPOSE_HH

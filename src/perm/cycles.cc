@@ -1,0 +1,134 @@
+#include "perm/cycles.hh"
+
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace srbenes
+{
+
+std::vector<std::vector<Word>>
+cycleDecomposition(const Permutation &perm)
+{
+    std::vector<std::vector<Word>> cycles;
+    std::vector<bool> seen(perm.size(), false);
+    for (Word start = 0; start < perm.size(); ++start) {
+        if (seen[start] || perm[start] == start) {
+            seen[start] = true;
+            continue;
+        }
+        std::vector<Word> cycle;
+        Word x = start;
+        while (!seen[x]) {
+            seen[x] = true;
+            cycle.push_back(x);
+            x = perm[x];
+        }
+        cycles.push_back(std::move(cycle));
+    }
+    return cycles;
+}
+
+Permutation
+fromCycles(std::size_t size,
+           const std::vector<std::vector<Word>> &cycles)
+{
+    std::vector<Word> dest(size);
+    std::iota(dest.begin(), dest.end(), Word{0});
+    std::vector<bool> used(size, false);
+    for (const auto &cycle : cycles) {
+        for (std::size_t k = 0; k < cycle.size(); ++k) {
+            const Word from = cycle[k];
+            const Word to = cycle[(k + 1) % cycle.size()];
+            if (from >= size)
+                fatal("cycle element %llu out of range",
+                      static_cast<unsigned long long>(from));
+            if (used[from])
+                fatal("element %llu appears in two cycles",
+                      static_cast<unsigned long long>(from));
+            used[from] = true;
+            dest[from] = to;
+        }
+    }
+    return Permutation(std::move(dest));
+}
+
+namespace
+{
+
+std::uint64_t
+gcd64(std::uint64_t a, std::uint64_t b)
+{
+    while (b != 0) {
+        const std::uint64_t t = a % b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+
+} // namespace
+
+std::uint64_t
+permutationOrder(const Permutation &perm)
+{
+    std::uint64_t order = 1;
+    for (const auto &cycle : cycleDecomposition(perm)) {
+        const std::uint64_t len = cycle.size();
+        order = order / gcd64(order, len) * len;
+    }
+    return order;
+}
+
+bool
+isEvenPermutation(const Permutation &perm)
+{
+    std::size_t transpositions = 0;
+    for (const auto &cycle : cycleDecomposition(perm))
+        transpositions += cycle.size() - 1;
+    return transpositions % 2 == 0;
+}
+
+std::size_t
+countFixedPoints(const Permutation &perm)
+{
+    std::size_t fixed = 0;
+    for (Word i = 0; i < perm.size(); ++i)
+        fixed += perm[i] == i;
+    return fixed;
+}
+
+Permutation
+permutationPower(const Permutation &perm, std::uint64_t k)
+{
+    Permutation result = Permutation::identity(perm.size());
+    Permutation base = perm;
+    while (k != 0) {
+        if (k & 1)
+            result = result.then(base);
+        base = base.then(base);
+        k >>= 1;
+    }
+    return result;
+}
+
+std::string
+toCycleString(const Permutation &perm)
+{
+    const auto cycles = cycleDecomposition(perm);
+    if (cycles.empty())
+        return "()";
+    std::string s;
+    for (const auto &cycle : cycles) {
+        s += "(";
+        for (std::size_t k = 0; k < cycle.size(); ++k) {
+            if (k)
+                s += " ";
+            s += std::to_string(cycle[k]);
+        }
+        s += ")";
+    }
+    return s;
+}
+
+} // namespace srbenes

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Cycle-structure utilities for permutations.
+ *
+ * The routing theory mostly works positionally, but several
+ * experiments and applications need the algebraic view: cycle
+ * decomposition (how many passes a register-exchange realization
+ * needs), order (how many times a fabric must be traversed before a
+ * schedule repeats), and parity. Also provides construction from
+ * cycle notation, which makes tests and examples far more readable
+ * than destination vectors.
+ */
+
+#ifndef SRBENES_PERM_CYCLES_HH
+#define SRBENES_PERM_CYCLES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "perm/permutation.hh"
+
+namespace srbenes
+{
+
+/** Disjoint cycles of a permutation, fixed points omitted; each
+ *  cycle starts at its smallest element, cycles sorted by that
+ *  element. */
+std::vector<std::vector<Word>> cycleDecomposition(
+    const Permutation &perm);
+
+/** Build a permutation of @p size from disjoint cycles (elements
+ *  not mentioned are fixed). fatal()s on repeated elements. */
+Permutation fromCycles(std::size_t size,
+                       const std::vector<std::vector<Word>> &cycles);
+
+/** Multiplicative order: smallest k >= 1 with perm^k = identity. */
+std::uint64_t permutationOrder(const Permutation &perm);
+
+/** True iff the permutation is even (product of an even number of
+ *  transpositions). */
+bool isEvenPermutation(const Permutation &perm);
+
+/** Number of fixed points. */
+std::size_t countFixedPoints(const Permutation &perm);
+
+/** perm raised to the k-th power under then-composition. */
+Permutation permutationPower(const Permutation &perm,
+                             std::uint64_t k);
+
+/** Render in cycle notation, e.g. "(0 2 3)(4 5)"; identity renders
+ *  as "()". */
+std::string toCycleString(const Permutation &perm);
+
+} // namespace srbenes
+
+#endif // SRBENES_PERM_CYCLES_HH

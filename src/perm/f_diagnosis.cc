@@ -1,0 +1,99 @@
+#include "perm/f_diagnosis.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "perm/f_class.hh"
+
+namespace srbenes
+{
+
+std::string
+FDiagnosis::toString() const
+{
+    std::ostringstream os;
+    os << "level " << level << ", subnetwork " << subnetwork << ", "
+       << (upper_child ? "upper" : "lower")
+       << " child: switches " << first_switch << " and "
+       << second_switch << " both deliver high-bits value "
+       << colliding_value;
+    return os.str();
+}
+
+namespace
+{
+
+/**
+ * Check one subnetwork's split at one level; on a collision fill
+ * @p diag. Tags are full-width values whose low (n - level) bits
+ * are still live.
+ */
+bool
+splitOrDiagnose(const std::vector<Word> &tags, unsigned level,
+                Word subnetwork, std::vector<Word> &upper,
+                std::vector<Word> &lower,
+                std::optional<FDiagnosis> &diag)
+{
+    const std::size_t half = tags.size() / 2;
+    upper.resize(half);
+    lower.resize(half);
+    for (std::size_t i = 0; i < half; ++i) {
+        if (bit(tags[2 * i], 0) == 0) {
+            upper[i] = tags[2 * i] >> 1;
+            lower[i] = tags[2 * i + 1] >> 1;
+        } else {
+            upper[i] = tags[2 * i + 1] >> 1;
+            lower[i] = tags[2 * i] >> 1;
+        }
+    }
+
+    for (int side = 0; side < 2; ++side) {
+        const auto &vals = side == 0 ? upper : lower;
+        std::vector<Word> first_at(half, half);
+        for (std::size_t i = 0; i < half; ++i) {
+            if (vals[i] >= half) {
+                // Tag out of range: treat as a collision with the
+                // wrap value (cannot happen for valid
+                // permutations).
+                panic("tag escaped its subnetwork range");
+            }
+            if (first_at[vals[i]] != half) {
+                diag = FDiagnosis{level, subnetwork, side == 0,
+                                  vals[i],
+                                  first_at[vals[i]],
+                                  static_cast<Word>(i)};
+                return false;
+            }
+            first_at[vals[i]] = static_cast<Word>(i);
+        }
+    }
+    return true;
+}
+
+bool
+recurse(const std::vector<Word> &tags, unsigned level,
+        Word subnetwork, unsigned n,
+        std::optional<FDiagnosis> &diag)
+{
+    if (n <= 1)
+        return true;
+    std::vector<Word> upper, lower;
+    if (!splitOrDiagnose(tags, level, subnetwork, upper, lower,
+                         diag))
+        return false;
+    return recurse(upper, level + 1, 2 * subnetwork, n - 1, diag) &&
+           recurse(lower, level + 1, 2 * subnetwork + 1, n - 1,
+                   diag);
+}
+
+} // namespace
+
+std::optional<FDiagnosis>
+diagnoseNonMembership(const Permutation &perm)
+{
+    std::optional<FDiagnosis> diag;
+    recurse(perm.dest(), 0, 0, perm.log2Size(), diag);
+    return diag;
+}
+
+} // namespace srbenes

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Failure diagnosis for permutations outside F(n).
+ *
+ * inFClass() answers yes/no; applications retrofitting a workload
+ * onto the self-routing fabric want to know WHERE a permutation
+ * leaves the class. Theorem 1's recursion localizes it exactly: the
+ * first recursion level at which the upper or lower tag sequence
+ * stops being a permutation, the offending subnetwork, and the two
+ * switch positions whose outputs collide (both deliver tags with
+ * the same high bits into one subnetwork input... terminal).
+ */
+
+#ifndef SRBENES_PERM_F_DIAGNOSIS_HH
+#define SRBENES_PERM_F_DIAGNOSIS_HH
+
+#include <optional>
+#include <string>
+
+#include "perm/permutation.hh"
+
+namespace srbenes
+{
+
+/** Where a permutation first violates Theorem 1's condition. */
+struct FDiagnosis
+{
+    /** Recursion level = stage index of the opening stage whose
+     *  split fails (0 = the outermost stage). */
+    unsigned level;
+    /** Which B(n-level) subnetwork at that level (top to bottom). */
+    Word subnetwork;
+    /** True if the collision is in the tags bound for the UPPER
+     *  child, false for the lower. */
+    bool upper_child;
+    /** The duplicated high-bits value: two signals both want the
+     *  child's output group with this index. */
+    Word colliding_value;
+    /** The two switch indices (local to the subnetwork) whose
+     *  selected outputs collide. */
+    Word first_switch;
+    Word second_switch;
+
+    std::string toString() const;
+};
+
+/**
+ * Diagnose @p perm: std::nullopt iff it is in F(n) (agrees with
+ * inFClass); otherwise the FIRST violation in a deterministic
+ * level-then-subnetwork-then-value order.
+ */
+std::optional<FDiagnosis> diagnoseNonMembership(
+    const Permutation &perm);
+
+} // namespace srbenes
+
+#endif // SRBENES_PERM_F_DIAGNOSIS_HH

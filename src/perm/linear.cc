@@ -1,0 +1,234 @@
+#include "perm/linear.hh"
+
+#include <bit>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace srbenes
+{
+
+namespace
+{
+
+/**
+ * Gauss-Jordan over GF(2). Returns the inverse columns of @p a, or
+ * nothing if singular. Columns are n-bit Words.
+ */
+std::optional<std::vector<Word>>
+invertColumns(std::vector<Word> a)
+{
+    const unsigned n = static_cast<unsigned>(a.size());
+    // inv starts as identity; we row-reduce a to identity applying
+    // the same column operations... working in column-vector form,
+    // it is easiest to treat a[j] as column j and eliminate by rows.
+    std::vector<Word> inv(n);
+    for (unsigned j = 0; j < n; ++j)
+        inv[j] = Word{1} << j;
+
+    // Forward elimination with partial pivoting by row r.
+    for (unsigned r = 0; r < n; ++r) {
+        // Find a column >= r with bit r set.
+        unsigned pivot = r;
+        while (pivot < n && bit(a[pivot], r) == 0)
+            ++pivot;
+        if (pivot == n)
+            return std::nullopt;
+        std::swap(a[r], a[pivot]);
+        std::swap(inv[r], inv[pivot]);
+        // Clear bit r from every other column.
+        for (unsigned j = 0; j < n; ++j) {
+            if (j != r && bit(a[j], r)) {
+                a[j] ^= a[r];
+                inv[j] ^= inv[r];
+            }
+        }
+    }
+    // a is now a column permutation... no: after full elimination
+    // each column r has exactly bit r set, i.e. a = I, and inv holds
+    // A^-1 column-wise.
+    return inv;
+}
+
+} // namespace
+
+bool
+LinearSpec::invertible(const std::vector<Word> &columns)
+{
+    return invertColumns(columns).has_value();
+}
+
+LinearSpec::LinearSpec(std::vector<Word> columns, Word offset)
+    : columns_(std::move(columns)), offset_(offset)
+{
+    const unsigned width = static_cast<unsigned>(columns_.size());
+    if (width == 0 || width > 63)
+        fatal("linear spec width %u unsupported", width);
+    for (Word c : columns_)
+        if (c > lowMask(width))
+            fatal("linear spec column exceeds %u bits", width);
+    if (offset_ > lowMask(width))
+        fatal("linear spec offset exceeds %u bits", width);
+    if (!invertible(columns_))
+        fatal("linear spec matrix is singular over GF(2)");
+}
+
+LinearSpec
+LinearSpec::identity(unsigned n)
+{
+    std::vector<Word> cols(n);
+    for (unsigned j = 0; j < n; ++j)
+        cols[j] = Word{1} << j;
+    return LinearSpec(std::move(cols), 0);
+}
+
+LinearSpec
+LinearSpec::random(unsigned n, Prng &prng)
+{
+    // Rejection sampling: a random GF(2) matrix is invertible with
+    // probability > 0.28 for every n, so a few draws suffice.
+    for (;;) {
+        std::vector<Word> cols(n);
+        for (unsigned j = 0; j < n; ++j)
+            cols[j] = prng.below(Word{1} << n);
+        if (invertible(cols))
+            return LinearSpec(std::move(cols),
+                              prng.below(Word{1} << n));
+    }
+}
+
+LinearSpec
+LinearSpec::fromBpc(const BpcSpec &spec)
+{
+    const unsigned n = spec.n();
+    std::vector<Word> cols(n);
+    Word offset = 0;
+    for (unsigned j = 0; j < n; ++j) {
+        cols[j] = Word{1} << spec.axis(j).position;
+        if (spec.axis(j).complement)
+            offset |= Word{1} << spec.axis(j).position;
+    }
+    return LinearSpec(std::move(cols), offset);
+}
+
+LinearSpec
+LinearSpec::grayCode(unsigned n)
+{
+    // D = i xor (i >> 1): column j contributes to bits j and j-1.
+    std::vector<Word> cols(n);
+    for (unsigned j = 0; j < n; ++j) {
+        cols[j] = Word{1} << j;
+        if (j > 0)
+            cols[j] |= Word{1} << (j - 1);
+    }
+    return LinearSpec(std::move(cols), 0);
+}
+
+LinearSpec
+LinearSpec::inverseGrayCode(unsigned n)
+{
+    // The inverse of the Gray map is the suffix-xor: bit t of D is
+    // the xor of bits t..n-1 of i, so column j feeds bits 0..j.
+    std::vector<Word> cols(n);
+    for (unsigned j = 0; j < n; ++j)
+        cols[j] = lowMask(j + 1);
+    return LinearSpec(std::move(cols), 0);
+}
+
+LinearSpec
+LinearSpec::butterfly(unsigned n, unsigned k)
+{
+    if (k == 0 || k >= n)
+        fatal("butterfly needs 1 <= k <= n-1, got k = %u", k);
+    std::vector<Word> cols(n);
+    for (unsigned j = 0; j < n; ++j)
+        cols[j] = Word{1} << j;
+    std::swap(cols[0], cols[k]);
+    return LinearSpec(std::move(cols), 0);
+}
+
+Word
+LinearSpec::apply(Word i) const
+{
+    Word d = offset_;
+    for (Word rest = i; rest != 0; rest &= rest - 1)
+        d ^= columns_[std::countr_zero(rest)];
+    return d;
+}
+
+Permutation
+LinearSpec::toPermutation() const
+{
+    const Word size = Word{1} << n();
+    std::vector<Word> dest(size);
+    for (Word i = 0; i < size; ++i)
+        dest[i] = apply(i);
+    return Permutation(std::move(dest));
+}
+
+LinearSpec
+LinearSpec::inverse() const
+{
+    auto inv = invertColumns(columns_);
+    if (!inv)
+        panic("validated linear spec became singular");
+    // D = A i xor c  =>  i = A^-1 D xor A^-1 c.
+    Word inv_offset = 0;
+    for (Word rest = offset_; rest != 0; rest &= rest - 1)
+        inv_offset ^= (*inv)[std::countr_zero(rest)];
+    return LinearSpec(std::move(*inv), inv_offset);
+}
+
+LinearSpec
+LinearSpec::then(const LinearSpec &other) const
+{
+    if (other.n() != n())
+        fatal("composing linear specs of widths %u and %u", n(),
+              other.n());
+    // E(i) = B(A i xor c) xor d = (BA) i xor (B c xor d).
+    std::vector<Word> cols(n());
+    for (unsigned j = 0; j < n(); ++j) {
+        Word col = 0;
+        for (Word rest = columns_[j]; rest != 0; rest &= rest - 1)
+            col ^= other.columns_[std::countr_zero(rest)];
+        cols[j] = col;
+    }
+    Word off = other.offset_;
+    for (Word rest = offset_; rest != 0; rest &= rest - 1)
+        off ^= other.columns_[std::countr_zero(rest)];
+    return LinearSpec(std::move(cols), off);
+}
+
+std::string
+LinearSpec::toString() const
+{
+    std::ostringstream os;
+    os << "A=[";
+    for (unsigned j = 0; j < n(); ++j) {
+        if (j)
+            os << ",";
+        os << std::hex << columns_[j];
+    }
+    os << "] c=" << std::hex << offset_;
+    return os.str();
+}
+
+std::optional<LinearSpec>
+recognizeLinear(const Permutation &perm)
+{
+    const unsigned n = perm.log2Size();
+    const Word c = perm[0];
+    std::vector<Word> cols(n);
+    for (unsigned j = 0; j < n; ++j)
+        cols[j] = perm[Word{1} << j] ^ c;
+    if (!LinearSpec::invertible(cols))
+        return std::nullopt;
+
+    LinearSpec spec(std::move(cols), c);
+    for (Word i = 0; i < perm.size(); ++i)
+        if (spec.apply(i) != perm[i])
+            return std::nullopt;
+    return spec;
+}
+
+} // namespace srbenes

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * GF(2)-affine permutations: D_i = A i xor c with A an invertible
+ * 0/1 matrix over GF(2).
+ *
+ * This class strictly contains BPC(n) (a BPC vector is a signed
+ * permutation matrix) and adds practically important reorderings the
+ * paper's classes miss, e.g. the Gray-code reordering
+ * i -> i xor (i >> 1) and single butterfly exchanges. The library
+ * provides the algebra (apply, compose, invert over GF(2)), named
+ * generators, a recognizer, and -- as an extension experiment
+ * (bench_linear_class) -- an empirical census of how much of the
+ * affine class the self-routing network captures, a question the
+ * paper leaves open.
+ *
+ * Matrix convention: column j of A (an n-bit Word) is the image of
+ * unit vector e_j, so apply(i) = xor of columns selected by the set
+ * bits of i, xor c.
+ */
+
+#ifndef SRBENES_PERM_LINEAR_HH
+#define SRBENES_PERM_LINEAR_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/prng.hh"
+#include "perm/bpc.hh"
+#include "perm/permutation.hh"
+
+namespace srbenes
+{
+
+class LinearSpec
+{
+  public:
+    /**
+     * Build from matrix columns and offset; fatal()s unless the
+     * matrix is invertible over GF(2).
+     */
+    LinearSpec(std::vector<Word> columns, Word offset);
+
+    /** The identity transform on n bits. */
+    static LinearSpec identity(unsigned n);
+
+    /** A uniform random invertible affine transform. */
+    static LinearSpec random(unsigned n, Prng &prng);
+
+    /** Embed a BPC spec (signed permutation matrix + complement
+     *  offset). */
+    static LinearSpec fromBpc(const BpcSpec &spec);
+
+    /** Gray-code reordering: D_i = i xor (i >> 1). */
+    static LinearSpec grayCode(unsigned n);
+
+    /** Inverse Gray-code reordering (prefix-xor matrix). */
+    static LinearSpec inverseGrayCode(unsigned n);
+
+    /** Butterfly exchange: swap index bits 0 and k (a BPC member,
+     *  provided for FFT-style call sites). */
+    static LinearSpec butterfly(unsigned n, unsigned k);
+
+    unsigned n() const
+    {
+        return static_cast<unsigned>(columns_.size());
+    }
+    const std::vector<Word> &columns() const { return columns_; }
+    Word offset() const { return offset_; }
+
+    /** D_i = A i xor c. */
+    Word apply(Word i) const;
+
+    /** Expand to the explicit permutation of 2^n elements. */
+    Permutation toPermutation() const;
+
+    /** The inverse affine transform (Gauss-Jordan over GF(2)). */
+    LinearSpec inverse() const;
+
+    /** Sequential composition: this first, then other. */
+    LinearSpec then(const LinearSpec &other) const;
+
+    bool operator==(const LinearSpec &other) const = default;
+
+    /** Render as columns + offset in hex. */
+    std::string toString() const;
+
+    /** True iff the columns form an invertible GF(2) matrix. */
+    static bool invertible(const std::vector<Word> &columns);
+
+  private:
+    std::vector<Word> columns_;
+    Word offset_;
+};
+
+/**
+ * Recognize an affine permutation: returns its spec iff
+ * perm[i] = perm[0] xor A i for a consistent invertible A.
+ * O(N log N).
+ */
+std::optional<LinearSpec> recognizeLinear(const Permutation &perm);
+
+} // namespace srbenes
+
+#endif // SRBENES_PERM_LINEAR_HH

@@ -1,0 +1,139 @@
+#include "perm/named_bpc.hh"
+
+#include "common/logging.hh"
+
+namespace srbenes::named
+{
+
+namespace
+{
+
+void
+requireEven(unsigned n, const char *what)
+{
+    if (n % 2 != 0)
+        fatal("%s requires an even number of index bits, got n = %u",
+              what, n);
+}
+
+} // namespace
+
+BpcSpec
+matrixTranspose(unsigned n)
+{
+    requireEven(n, "matrixTranspose");
+    std::vector<BpcAxis> axes(n);
+    for (unsigned j = 0; j < n; ++j)
+        axes[j] = BpcAxis{(j + n / 2) % n, false};
+    return BpcSpec(std::move(axes));
+}
+
+BpcSpec
+bitReversal(unsigned n)
+{
+    std::vector<BpcAxis> axes(n);
+    for (unsigned j = 0; j < n; ++j)
+        axes[j] = BpcAxis{n - 1 - j, false};
+    return BpcSpec(std::move(axes));
+}
+
+BpcSpec
+vectorReversal(unsigned n)
+{
+    std::vector<BpcAxis> axes(n);
+    for (unsigned j = 0; j < n; ++j)
+        axes[j] = BpcAxis{j, true};
+    return BpcSpec(std::move(axes));
+}
+
+BpcSpec
+perfectShuffle(unsigned n)
+{
+    std::vector<BpcAxis> axes(n);
+    for (unsigned j = 0; j < n; ++j)
+        axes[j] = BpcAxis{(j + 1) % n, false};
+    return BpcSpec(std::move(axes));
+}
+
+BpcSpec
+unshuffle(unsigned n)
+{
+    std::vector<BpcAxis> axes(n);
+    for (unsigned j = 0; j < n; ++j)
+        axes[j] = BpcAxis{(j + n - 1) % n, false};
+    return BpcSpec(std::move(axes));
+}
+
+BpcSpec
+shuffledRowMajor(unsigned n)
+{
+    requireEven(n, "shuffledRowMajor");
+    const unsigned m = n / 2;
+    std::vector<BpcAxis> axes(n);
+    for (unsigned j = 0; j < n; ++j) {
+        // Column bit c_j -> even position 2j; row bit r_{j-m} -> odd
+        // position 2(j-m)+1.
+        const unsigned p = (j < m) ? 2 * j : 2 * (j - m) + 1;
+        axes[j] = BpcAxis{p, false};
+    }
+    return BpcSpec(std::move(axes));
+}
+
+BpcSpec
+bitShuffle(unsigned n)
+{
+    requireEven(n, "bitShuffle");
+    return shuffledRowMajor(n).inverse();
+}
+
+BpcSpec
+segmentBitReversal(unsigned n, unsigned k)
+{
+    if (k > n)
+        fatal("segmentBitReversal: k = %u exceeds n = %u", k, n);
+    std::vector<BpcAxis> axes(n);
+    for (unsigned j = 0; j < n; ++j) {
+        const unsigned p = (j < k) ? k - 1 - j : j;
+        axes[j] = BpcAxis{p, false};
+    }
+    return BpcSpec(std::move(axes));
+}
+
+BpcSpec
+segmentPerfectShuffle(unsigned n, unsigned k)
+{
+    if (k == 0 || k > n)
+        fatal("segmentPerfectShuffle: bad k = %u for n = %u", k, n);
+    std::vector<BpcAxis> axes(n);
+    for (unsigned j = 0; j < n; ++j) {
+        const unsigned p = (j < k) ? (j + 1) % k : j;
+        axes[j] = BpcAxis{p, false};
+    }
+    return BpcSpec(std::move(axes));
+}
+
+BpcSpec
+bitComplement(unsigned n, Word mask)
+{
+    std::vector<BpcAxis> axes(n);
+    for (unsigned j = 0; j < n; ++j)
+        axes[j] = BpcAxis{j, bit(mask, j) != 0};
+    return BpcSpec(std::move(axes));
+}
+
+std::vector<TableOneRow>
+tableOne(unsigned n)
+{
+    requireEven(n, "tableOne");
+    return {
+        {"Matrix Transpose", matrixTranspose(n)},
+        {"Bit Reversal", bitReversal(n)},
+        {"Vector Reversal", vectorReversal(n)},
+        {"Perfect Shuffle", perfectShuffle(n)},
+        {"Unshuffle", unshuffle(n)},
+        {"Shuffled Row Major", shuffledRowMajor(n)},
+        {"Bit Shuffle", bitShuffle(n)},
+    };
+}
+
+} // namespace srbenes::named

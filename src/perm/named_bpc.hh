@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Named BPC permutations.
+ *
+ * Generators for every row of Table I of the paper (the "more popular
+ * permutations in BPC(n)") plus parameterized families standing in for
+ * Lenfant's FUB classes alpha/beta/gamma, which the paper cites as
+ * members of BPC(n) without restating their definitions. Each
+ * generator returns a BpcSpec; expand with BpcSpec::toPermutation().
+ */
+
+#ifndef SRBENES_PERM_NAMED_BPC_HH
+#define SRBENES_PERM_NAMED_BPC_HH
+
+#include <string>
+#include <vector>
+
+#include "perm/bpc.hh"
+
+namespace srbenes::named
+{
+
+/**
+ * Matrix transpose of the N^1/2 x N^1/2 array stored in row-major
+ * order: swaps the row-bit and column-bit halves. Requires even n.
+ */
+BpcSpec matrixTranspose(unsigned n);
+
+/** Bit reversal: destination is the reversed binary representation of
+ *  the input (Fig. 4 of the paper). */
+BpcSpec bitReversal(unsigned n);
+
+/** Vector reversal: D_i = N-1-i (every bit complemented in place). */
+BpcSpec vectorReversal(unsigned n);
+
+/** Perfect shuffle: one left rotation of the index bits. */
+BpcSpec perfectShuffle(unsigned n);
+
+/** Unshuffle: one right rotation of the index bits. */
+BpcSpec unshuffle(unsigned n);
+
+/**
+ * Shuffled row major: row-major index (r, c) moves to the index whose
+ * bits interleave r and c (r bits in odd positions). Requires even n.
+ */
+BpcSpec shuffledRowMajor(unsigned n);
+
+/**
+ * Bit shuffle: the inverse of shuffled row major; de-interleaves the
+ * index bits (even-position bits become the low half). Requires
+ * even n.
+ */
+BpcSpec bitShuffle(unsigned n);
+
+/**
+ * FUB-alpha representative: bit reversal restricted to the low k index
+ * bits (bit reversal within segments of size 2^k).
+ */
+BpcSpec segmentBitReversal(unsigned n, unsigned k);
+
+/**
+ * FUB-beta representative: perfect shuffle restricted to the low k
+ * index bits.
+ */
+BpcSpec segmentPerfectShuffle(unsigned n, unsigned k);
+
+/**
+ * FUB-gamma representative: complement the index bits selected by
+ * @p mask (translation by mask in the hypercube; vector reversal when
+ * mask = N-1).
+ */
+BpcSpec bitComplement(unsigned n, Word mask);
+
+/** One named Table I row: label plus generator result. */
+struct TableOneRow
+{
+    std::string name;
+    BpcSpec spec;
+};
+
+/** All rows of Table I for a given n (n even; the table's entries all
+ *  exist at even n). */
+std::vector<TableOneRow> tableOne(unsigned n);
+
+} // namespace srbenes::named
+
+#endif // SRBENES_PERM_NAMED_BPC_HH

@@ -1,0 +1,88 @@
+#include "simd/bitonic.hh"
+
+namespace srbenes
+{
+
+namespace
+{
+
+/**
+ * Visit the bitonic comparator schedule: for every merge size
+ * k = 2, 4, ..., N and span j = k/2, ..., 1, emit one stage that
+ * compare-exchanges across dimension lg j with ascending direction
+ * for sequence indices with (index & k) = 0.
+ */
+template <typename StageFn>
+void
+forBitonicStages(unsigned n, StageFn stage)
+{
+    for (unsigned merge = 1; merge <= n; ++merge) {
+        const Word k = Word{1} << merge;
+        for (unsigned b = merge; b-- > 0;)
+            stage(b, k);
+    }
+}
+
+} // namespace
+
+SimdPermuteStats
+bitonicPermuteCube(CubeMachine &m)
+{
+    m.resetCounters();
+    forBitonicStages(m.n(), [&m](unsigned b, Word k) {
+        m.compareExchange(b,
+                          [k](Word i) { return (i & k) == 0; });
+    });
+    return {m.permutationComplete(), m.unitRoutes(),
+            m.interchangeSteps()};
+}
+
+SimdPermuteStats
+bitonicPermuteShuffle(ShuffleMachine &m)
+{
+    m.resetCounters();
+    const unsigned n = m.n();
+
+    // rot: the record of sequence index x currently sits at
+    // PE rotr(x, rot), so bit `rot` of the sequence index is the
+    // current exchange (low-order) bit.
+    unsigned rot = 0;
+    auto align_to = [&m, &rot, n](unsigned b) {
+        const unsigned fwd = (b + n - rot) % n;  // unshuffles
+        const unsigned back = (rot + n - b) % n; // shuffles
+        if (fwd <= back) {
+            for (unsigned s = 0; s < fwd; ++s)
+                m.unshuffleStep();
+        } else {
+            for (unsigned s = 0; s < back; ++s)
+                m.shuffleStep();
+        }
+        rot = b;
+    };
+
+    forBitonicStages(n, [&](unsigned b, Word k) {
+        align_to(b);
+        // PE pair (p, p+1) holds sequence indices rotl(p, rot) and
+        // rotl(p+1, rot); direction comes from the sequence index.
+        m.compareExchange([&m, &rot, k](Word p) {
+            return (rotateLeft(p, m.n(), rot) & k) == 0;
+        });
+    });
+    align_to(0); // bring every record back to its home alignment
+    return {m.permutationComplete(), m.unitRoutes(),
+            m.interchangeSteps()};
+}
+
+SimdPermuteStats
+bitonicPermuteMesh(MeshMachine &m)
+{
+    m.resetCounters();
+    forBitonicStages(m.n(), [&m](unsigned b, Word k) {
+        m.compareExchange(b,
+                          [k](Word i) { return (i & k) == 0; });
+    });
+    return {m.permutationComplete(), m.unitRoutes(),
+            m.interchangeSteps()};
+}
+
+} // namespace srbenes

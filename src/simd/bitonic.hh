@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Sorting-based permutation baselines (Section III comparison).
+ *
+ * Before the self-routing simulation, the asymptotically best way to
+ * realize an ARBITRARY permutation on these machines was to sort the
+ * records by destination tag with Batcher's bitonic network:
+ * O(log^2 N) steps on a CCC or PSC, O(N^1/2 log N) with this direct
+ * embedding on an MCC. These routines implement that baseline with
+ * full unit-route accounting so bench E5 can report the crossover
+ * against the F(n) algorithms.
+ */
+
+#ifndef SRBENES_SIMD_BITONIC_HH
+#define SRBENES_SIMD_BITONIC_HH
+
+#include "simd/ccc.hh"
+#include "simd/mcc.hh"
+#include "simd/permute.hh"
+#include "simd/psc.hh"
+
+namespace srbenes
+{
+
+/** Bitonic sort by destination tag on the cube: n(n+1)/2
+ *  compare-exchange steps. */
+SimdPermuteStats bitonicPermuteCube(CubeMachine &m);
+
+/**
+ * Bitonic sort on the perfect-shuffle machine: the comparator
+ * schedule of the cube algorithm, with shuffles/unshuffles rotating
+ * the needed index bit into the exchange position (Stone's method;
+ * about lg^2 N routes).
+ */
+SimdPermuteStats bitonicPermuteShuffle(ShuffleMachine &m);
+
+/** Bitonic sort on the mesh with row-major bit embedding. */
+SimdPermuteStats bitonicPermuteMesh(MeshMachine &m);
+
+} // namespace srbenes
+
+#endif // SRBENES_SIMD_BITONIC_HH

@@ -1,0 +1,51 @@
+#include "simd/ccc.hh"
+
+#include "common/logging.hh"
+
+namespace srbenes
+{
+
+CubeMachine::CubeMachine(unsigned n, unsigned routes_per_interchange)
+    : SimdMachine(std::size_t{1} << n, routes_per_interchange), n_(n)
+{
+    if (n < 1 || n > 30)
+        fatal("cube dimension n = %u out of supported range", n);
+}
+
+void
+CubeMachine::interchange(unsigned b,
+                         const std::function<bool(Word i)> &enabled)
+{
+    if (b >= n_)
+        fatal("cube dimension %u out of range for n = %u", b, n_);
+
+    // Lock-step: decide every pair from the pre-step state, then
+    // swap. Evaluating the mask before any movement keeps this
+    // faithful even if the predicate reads neighboring PEs.
+    std::vector<Word> selected;
+    for (Word i = 0; i < numPes(); ++i)
+        if (bit(i, b) == 0 && enabled(i))
+            selected.push_back(i);
+    for (Word i : selected)
+        std::swap(pes_[i], pes_[flipBit(i, b)]);
+    countInterchange();
+}
+
+void
+CubeMachine::compareExchange(
+    unsigned b, const std::function<bool(Word i)> &ascending)
+{
+    if (b >= n_)
+        fatal("cube dimension %u out of range for n = %u", b, n_);
+
+    for (Word i = 0; i < numPes(); ++i) {
+        if (bit(i, b) != 0)
+            continue;
+        const Word j = flipBit(i, b);
+        if ((pes_[i].d > pes_[j].d) == ascending(i))
+            std::swap(pes_[i], pes_[j]);
+    }
+    countInterchange();
+}
+
+} // namespace srbenes

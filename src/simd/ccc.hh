@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Cube Connected Computer (CCC): N = 2^n PEs, PE(i) directly
+ * connected to PE(i^(b)) for every dimension b (Section I, model 3).
+ */
+
+#ifndef SRBENES_SIMD_CCC_HH
+#define SRBENES_SIMD_CCC_HH
+
+#include <functional>
+
+#include "simd/machine.hh"
+
+namespace srbenes
+{
+
+class CubeMachine : public SimdMachine
+{
+  public:
+    /** @param n number of cube dimensions; N = 2^n PEs. */
+    explicit CubeMachine(unsigned n,
+                         unsigned routes_per_interchange = 1);
+
+    unsigned n() const { return n_; }
+
+    /**
+     * One SIMD interchange step across dimension @p b: for every PE
+     * pair (i, i^(b)) with (i)_b = 0, swap the two records iff
+     * @p enabled (i) is true. The mask is evaluated against the
+     * machine state BEFORE any swap of the step, matching lock-step
+     * SIMD semantics. Costs one interchange regardless of how many
+     * pairs are enabled.
+     */
+    void interchange(unsigned b,
+                     const std::function<bool(Word i)> &enabled);
+
+    /**
+     * Compare-exchange step across dimension @p b for the sorting
+     * baseline: for every pair (i, i^(b)) with (i)_b = 0, order the
+     * records by destination tag, smaller tag at PE i when
+     * @p ascending (i) is true.
+     */
+    void compareExchange(unsigned b,
+                         const std::function<bool(Word i)> &ascending);
+
+  private:
+    unsigned n_;
+};
+
+} // namespace srbenes
+
+#endif // SRBENES_SIMD_CCC_HH

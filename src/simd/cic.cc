@@ -1,0 +1,67 @@
+#include "simd/cic.hh"
+
+#include "common/logging.hh"
+
+namespace srbenes
+{
+
+CicMachine::CicMachine(std::size_t num_pes)
+    : num_pes_(num_pes)
+{
+    if (num_pes == 0)
+        fatal("CIC needs at least one PE");
+}
+
+void
+CicMachine::route(const Permutation &dest, std::vector<Word> &v)
+{
+    if (dest.size() != num_pes_ || v.size() != num_pes_)
+        fatal("CIC route size mismatch");
+    std::vector<Word> next(num_pes_);
+    for (std::size_t i = 0; i < num_pes_; ++i)
+        next[dest[i]] = v[i];
+    v.swap(next);
+    ++unit_routes_;
+}
+
+void
+CicMachine::scatter(const std::vector<Word> &dest,
+                    const std::vector<bool> &enabled,
+                    std::vector<Word> &v)
+{
+    if (dest.size() != num_pes_ || enabled.size() != num_pes_ ||
+        v.size() != num_pes_)
+        fatal("CIC scatter size mismatch");
+    std::vector<Word> next(v);
+    std::vector<bool> hit(num_pes_, false);
+    for (std::size_t i = 0; i < num_pes_; ++i) {
+        if (!enabled[i])
+            continue;
+        if (dest[i] >= num_pes_)
+            fatal("CIC scatter destination out of range");
+        if (hit[dest[i]])
+            fatal("CIC scatter destination collision at %llu",
+                  static_cast<unsigned long long>(dest[i]));
+        hit[dest[i]] = true;
+        next[dest[i]] = v[i];
+    }
+    v.swap(next);
+    ++unit_routes_;
+}
+
+void
+CicMachine::gather(const std::vector<Word> &from, std::vector<Word> &v)
+{
+    if (from.size() != num_pes_ || v.size() != num_pes_)
+        fatal("CIC gather size mismatch");
+    std::vector<Word> next(num_pes_);
+    for (std::size_t i = 0; i < num_pes_; ++i) {
+        if (from[i] >= num_pes_)
+            fatal("CIC gather source out of range");
+        next[i] = v[from[i]];
+    }
+    v.swap(next);
+    ++unit_routes_;
+}
+
+} // namespace srbenes

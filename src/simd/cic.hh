@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Completely Interconnected Computer (CIC), model 1 of Section I:
+ * every pair of PEs is directly connected, so ANY permutation of the
+ * routing registers is a single unit route. The model exists to
+ * give the parallel setup algorithm (core/parallel_setup) an honest
+ * cost accounting: one counter for unit routes (inter-PE register
+ * permutations / scatters) and one for lock-step local compute
+ * steps.
+ *
+ * Data lives in caller-held vectors (one Word per PE); the machine
+ * only moves them and counts.
+ */
+
+#ifndef SRBENES_SIMD_CIC_HH
+#define SRBENES_SIMD_CIC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitops.hh"
+#include "perm/permutation.hh"
+
+namespace srbenes
+{
+
+class CicMachine
+{
+  public:
+    explicit CicMachine(std::size_t num_pes);
+
+    std::size_t numPes() const { return num_pes_; }
+
+    /** Route: value at PE i moves to PE dest[i]; one unit route. */
+    void route(const Permutation &dest, std::vector<Word> &v);
+
+    /**
+     * Masked scatter: enabled PEs send their value to PE dest[i]
+     * (destinations must be distinct among enabled PEs); other
+     * targets keep their old value. One unit route.
+     */
+    void scatter(const std::vector<Word> &dest,
+                 const std::vector<bool> &enabled,
+                 std::vector<Word> &v);
+
+    /**
+     * Gather: every PE i fetches the value at PE from[i] (fan-out
+     * allowed -- on a CIC each PE reads its direct link). One unit
+     * route.
+     */
+    void gather(const std::vector<Word> &from, std::vector<Word> &v);
+
+    /** Account one lock-step local operation over all PEs. */
+    void localStep() { ++compute_steps_; }
+
+    std::uint64_t unitRoutes() const { return unit_routes_; }
+    std::uint64_t computeSteps() const { return compute_steps_; }
+    std::uint64_t
+    totalSteps() const
+    {
+        return unit_routes_ + compute_steps_;
+    }
+    void
+    resetCounters()
+    {
+        unit_routes_ = 0;
+        compute_steps_ = 0;
+    }
+
+  private:
+    std::size_t num_pes_;
+    std::uint64_t unit_routes_ = 0;
+    std::uint64_t compute_steps_ = 0;
+};
+
+} // namespace srbenes
+
+#endif // SRBENES_SIMD_CIC_HH

@@ -1,0 +1,60 @@
+#include "simd/machine.hh"
+
+#include "common/logging.hh"
+
+namespace srbenes
+{
+
+SimdMachine::SimdMachine(std::size_t num_pes,
+                         unsigned routes_per_interchange)
+    : pes_(num_pes), routes_per_interchange_(routes_per_interchange)
+{
+    if (num_pes == 0)
+        fatal("SIMD machine needs at least one PE");
+    if (routes_per_interchange < 1 || routes_per_interchange > 2)
+        fatal("an interchange costs one or two unit routes, not %u",
+              routes_per_interchange);
+}
+
+void
+SimdMachine::load(const Permutation &d, const std::vector<Word> &data)
+{
+    if (d.size() != pes_.size())
+        fatal("permutation size %zu != PE count %zu", d.size(),
+              pes_.size());
+    if (data.size() != pes_.size())
+        fatal("payload count %zu != PE count %zu", data.size(),
+              pes_.size());
+    for (std::size_t i = 0; i < pes_.size(); ++i)
+        pes_[i] = PeRecord{data[i], d[i]};
+    resetCounters();
+}
+
+void
+SimdMachine::loadIota(const Permutation &d)
+{
+    std::vector<Word> data(pes_.size());
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<Word>(i);
+    load(d, data);
+}
+
+std::vector<Word>
+SimdMachine::payloads() const
+{
+    std::vector<Word> out(pes_.size());
+    for (std::size_t i = 0; i < pes_.size(); ++i)
+        out[i] = pes_[i].r;
+    return out;
+}
+
+bool
+SimdMachine::permutationComplete() const
+{
+    for (std::size_t i = 0; i < pes_.size(); ++i)
+        if (pes_[i].d != i)
+            return false;
+    return true;
+}
+
+} // namespace srbenes

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Base class for the SIMD machine models of Section III.
+ *
+ * Each PE i holds a record <R(i), D(i)>: payload R and destination
+ * tag D. A permutation algorithm moves records between directly
+ * connected PEs until D(i) = i everywhere. The machines differ only
+ * in their interconnection (cube, perfect shuffle, mesh); this base
+ * class provides the PE array, record loading, and the unit-route
+ * accounting that experiment E5 reports.
+ *
+ * A "unit route" is one synchronous register transfer between
+ * directly connected PEs across the whole machine (the paper's cost
+ * unit); an "interchange" (bidirectional swap across one connection)
+ * costs one or two unit routes depending on whether <R, D> fits the
+ * routing register -- both accountings are supported via
+ * routes_per_interchange.
+ */
+
+#ifndef SRBENES_SIMD_MACHINE_HH
+#define SRBENES_SIMD_MACHINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitops.hh"
+#include "perm/permutation.hh"
+
+namespace srbenes
+{
+
+/** One PE's registers. */
+struct PeRecord
+{
+    Word r = 0; //!< payload
+    Word d = 0; //!< destination tag
+};
+
+class SimdMachine
+{
+  public:
+    explicit SimdMachine(std::size_t num_pes,
+                         unsigned routes_per_interchange = 1);
+    virtual ~SimdMachine() = default;
+
+    std::size_t numPes() const { return pes_.size(); }
+
+    /** Load R(i) = data[i], D(i) = d[i]. */
+    void load(const Permutation &d, const std::vector<Word> &data);
+
+    /** Load with R(i) = i (payload equals origin). */
+    void loadIota(const Permutation &d);
+
+    const PeRecord &pe(std::size_t i) const { return pes_[i]; }
+
+    /** Current payloads in PE order. */
+    std::vector<Word> payloads() const;
+
+    /** True iff every record has reached its destination PE. */
+    bool permutationComplete() const;
+
+    std::uint64_t unitRoutes() const { return unit_routes_; }
+    std::uint64_t interchangeSteps() const { return interchanges_; }
+    void
+    resetCounters()
+    {
+        unit_routes_ = 0;
+        interchanges_ = 0;
+    }
+
+    unsigned
+    routesPerInterchange() const
+    {
+        return routes_per_interchange_;
+    }
+
+  protected:
+    /** Account one machine-wide interchange step. */
+    void
+    countInterchange()
+    {
+        ++interchanges_;
+        unit_routes_ += routes_per_interchange_;
+    }
+
+    /** Account @p k raw unit routes (mesh distance steps, shuffles). */
+    void countUnitRoutes(std::uint64_t k) { unit_routes_ += k; }
+
+    std::vector<PeRecord> pes_;
+
+  private:
+    unsigned routes_per_interchange_;
+    std::uint64_t unit_routes_ = 0;
+    std::uint64_t interchanges_ = 0;
+};
+
+} // namespace srbenes
+
+#endif // SRBENES_SIMD_MACHINE_HH

@@ -1,0 +1,110 @@
+#include "simd/mcc.hh"
+
+#include "common/logging.hh"
+
+namespace srbenes
+{
+
+MeshMachine::MeshMachine(unsigned n)
+    : SimdMachine(std::size_t{1} << n), n_(n)
+{
+    if (n < 2 || n > 30 || n % 2 != 0)
+        fatal("mesh machine needs even n in [2, 30], got %u", n);
+}
+
+void
+MeshMachine::interchange(unsigned b,
+                         const std::function<bool(Word i)> &enabled)
+{
+    if (b >= n_)
+        fatal("mesh index bit %u out of range for n = %u", b, n_);
+
+    std::vector<Word> selected;
+    for (Word i = 0; i < numPes(); ++i)
+        if (bit(i, b) == 0 && enabled(i))
+            selected.push_back(i);
+    for (Word i : selected)
+        std::swap(pes_[i], pes_[flipBit(i, b)]);
+    // 2^k steps to ship each record toward its partner, in both
+    // directions.
+    countUnitRoutes(2ull * interchangeDistance(b));
+}
+
+void
+MeshMachine::interchangeStepwise(
+    unsigned b, const std::function<bool(Word i)> &enabled)
+{
+    if (b >= n_)
+        fatal("mesh index bit %u out of range for n = %u", b, n_);
+
+    // Row-major distance of one hop along this dimension: columns
+    // are adjacent indices, rows are side() apart.
+    const Word hop = (b < n_ / 2) ? Word{1} : side();
+    const Word hops = interchangeDistance(b);
+
+    std::vector<Word> selected;
+    for (Word i = 0; i < numPes(); ++i)
+        if (bit(i, b) == 0 && enabled(i))
+            selected.push_back(i);
+
+    // Transit registers: fwd travels low -> high partner, bwd the
+    // other way; each unit step advances every in-flight record one
+    // neighbor link in both directions (two unit routes per step).
+    std::vector<PeRecord> fwd(numPes()), bwd(numPes());
+    std::vector<bool> fwd_live(numPes(), false),
+        bwd_live(numPes(), false);
+    for (Word i : selected) {
+        fwd[i] = pes_[i];
+        fwd_live[i] = true;
+        const Word j = flipBit(i, b);
+        bwd[j] = pes_[j];
+        bwd_live[j] = true;
+    }
+
+    for (Word step = 0; step < hops; ++step) {
+        std::vector<PeRecord> nf(numPes()), nb(numPes());
+        std::vector<bool> nfl(numPes(), false), nbl(numPes(), false);
+        for (Word p = 0; p < numPes(); ++p) {
+            if (fwd_live[p]) {
+                nf[p + hop] = fwd[p];
+                nfl[p + hop] = true;
+            }
+            if (bwd_live[p]) {
+                nb[p - hop] = bwd[p];
+                nbl[p - hop] = true;
+            }
+        }
+        fwd.swap(nf);
+        bwd.swap(nb);
+        fwd_live.swap(nfl);
+        bwd_live.swap(nbl);
+        countUnitRoutes(2);
+    }
+
+    for (Word i : selected) {
+        const Word j = flipBit(i, b);
+        if (!fwd_live[j] || !bwd_live[i])
+            panic("stepwise interchange lost a record in transit");
+        pes_[j] = fwd[j];
+        pes_[i] = bwd[i];
+    }
+}
+
+void
+MeshMachine::compareExchange(
+    unsigned b, const std::function<bool(Word i)> &ascending)
+{
+    if (b >= n_)
+        fatal("mesh index bit %u out of range for n = %u", b, n_);
+
+    for (Word i = 0; i < numPes(); ++i) {
+        if (bit(i, b) != 0)
+            continue;
+        const Word j = flipBit(i, b);
+        if ((pes_[i].d > pes_[j].d) == ascending(i))
+            std::swap(pes_[i], pes_[j]);
+    }
+    countUnitRoutes(2ull * interchangeDistance(b));
+}
+
+} // namespace srbenes

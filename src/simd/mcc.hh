@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Mesh Connected Computer (MCC): N = 2^n PEs arranged as an
+ * N^1/2 x N^1/2 array in row-major order, nearest-neighbor connected
+ * without wraparound (Section I, model 2). Requires even n.
+ *
+ * The Section III algorithm interchanges records of PEs whose
+ * row-major indices differ in one bit b; such PEs are 2^b columns
+ * apart when b < n/2 and 2^(b - n/2) rows apart otherwise. An
+ * interchange across distance 2^k costs 2^(k+1) unit routes (2^k in
+ * each direction) -- accounted exactly that way here.
+ */
+
+#ifndef SRBENES_SIMD_MCC_HH
+#define SRBENES_SIMD_MCC_HH
+
+#include <functional>
+
+#include "simd/machine.hh"
+
+namespace srbenes
+{
+
+class MeshMachine : public SimdMachine
+{
+  public:
+    /** @param n index width; the mesh is 2^(n/2) x 2^(n/2). */
+    explicit MeshMachine(unsigned n);
+
+    unsigned n() const { return n_; }
+    Word side() const { return Word{1} << (n_ / 2); }
+
+    /**
+     * Mesh distance 2^k of a dimension-b interchange, in unit
+     * routes per direction: k = b for column moves (b < n/2), else
+     * b - n/2 for row moves.
+     */
+    unsigned
+    interchangeDistance(unsigned b) const
+    {
+        return 1u << (b < n_ / 2 ? b : b - n_ / 2);
+    }
+
+    /**
+     * Interchange across index bit @p b: for every PE pair
+     * (i, i^(b)) with (i)_b = 0, swap records iff @p enabled (i).
+     * Costs 2 * interchangeDistance(b) unit routes.
+     */
+    void interchange(unsigned b,
+                     const std::function<bool(Word i)> &enabled);
+
+    /** Compare-exchange across bit @p b for the sorting baseline;
+     *  same route cost as interchange. */
+    void compareExchange(unsigned b,
+                         const std::function<bool(Word i)> &ascending);
+
+    /**
+     * The same interchange performed LITERALLY: records hop through
+     * the 2^k - 1 intermediate PEs one neighbor link per step, both
+     * directions concurrently, using transit registers. Exists to
+     * validate the cost model: the result equals interchange() and
+     * the unit-route count is the same 2^(k+1).
+     */
+    void interchangeStepwise(unsigned b,
+                             const std::function<bool(Word i)> &enabled);
+
+  private:
+    unsigned n_;
+};
+
+} // namespace srbenes
+
+#endif // SRBENES_SIMD_MCC_HH

@@ -1,0 +1,115 @@
+#include "simd/permute.hh"
+
+#include "common/logging.hh"
+
+namespace srbenes
+{
+
+namespace
+{
+
+/** Axes j with A_j = +j need no routing across dimension j. */
+std::vector<bool>
+fixedAxes(unsigned n, const BpcSpec *bpc)
+{
+    std::vector<bool> fixed(n, false);
+    if (!bpc) {
+        return fixed;
+    }
+    if (bpc->n() != n)
+        fatal("BPC hint width %u does not match machine n = %u",
+              bpc->n(), n);
+    for (unsigned j = 0; j < n; ++j)
+        fixed[j] = (bpc->axis(j) == BpcAxis{j, false});
+    return fixed;
+}
+
+} // namespace
+
+std::vector<unsigned>
+benesSchedule(unsigned n, PermClassHint hint, const BpcSpec *bpc)
+{
+    std::vector<unsigned> full;
+    for (unsigned b = 0; b + 1 < n; ++b)
+        full.push_back(b);
+    full.push_back(n - 1);
+    for (unsigned b = n - 1; b-- > 0;)
+        full.push_back(b);
+
+    std::size_t lo = 0, hi = full.size();
+    if (hint == PermClassHint::Omega)
+        lo = n - 1; // first n-1 stages forced straight
+    else if (hint == PermClassHint::InverseOmega)
+        hi = n; // last n-1 stages unnecessary
+
+    const std::vector<bool> fixed = fixedAxes(n, bpc);
+    std::vector<unsigned> schedule;
+    for (std::size_t k = lo; k < hi; ++k)
+        if (!fixed[full[k]])
+            schedule.push_back(full[k]);
+    return schedule;
+}
+
+SimdPermuteStats
+cccPermute(CubeMachine &m, PermClassHint hint, const BpcSpec *bpc)
+{
+    m.resetCounters();
+    for (unsigned b : benesSchedule(m.n(), hint, bpc))
+        m.interchange(b, [&m, b](Word i) {
+            return bit(m.pe(i).d, b) == 1;
+        });
+    return {m.permutationComplete(), m.unitRoutes(),
+            m.interchangeSteps()};
+}
+
+SimdPermuteStats
+mccPermute(MeshMachine &m, PermClassHint hint, const BpcSpec *bpc)
+{
+    m.resetCounters();
+    for (unsigned b : benesSchedule(m.n(), hint, bpc))
+        m.interchange(b, [&m, b](Word i) {
+            return bit(m.pe(i).d, b) == 1;
+        });
+    return {m.permutationComplete(), m.unitRoutes(),
+            m.interchangeSteps()};
+}
+
+SimdPermuteStats
+pscPermute(ShuffleMachine &m, PermClassHint hint, const BpcSpec *bpc)
+{
+    m.resetCounters();
+    const unsigned n = m.n();
+    const std::vector<bool> fixed = fixedAxes(n, bpc);
+
+    auto exchange_bit = [&m](unsigned b) {
+        m.exchange(
+            [&m, b](Word i) { return bit(m.pe(i).d, b) == 1; });
+    };
+
+    if (hint == PermClassHint::Omega) {
+        // The whole first sweep only rotates the records; one
+        // shuffle produces the same alignment (paper, Section III).
+        if (n > 1)
+            m.shuffleStep();
+    } else {
+        for (unsigned b = 0; b + 1 < n; ++b) {
+            if (!fixed[b])
+                exchange_bit(b);
+            m.unshuffleStep();
+        }
+    }
+
+    if (!fixed[n - 1])
+        exchange_bit(n - 1);
+
+    for (unsigned b = n - 1; b-- > 0;) {
+        m.shuffleStep();
+        if (hint != PermClassHint::InverseOmega && !fixed[b])
+            exchange_bit(b);
+    }
+
+    return {m.permutationComplete(), m.unitRoutes(),
+            m.interchangeSteps()};
+}
+
+} // namespace srbenes

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The Section III permutation algorithms: simulate the self-routing
+ * Benes network on a CCC, PSC or MCC with NO preprocessing.
+ *
+ * The core loop visits cube dimensions b = 0, 1, ..., n-2, n-1,
+ * n-2, ..., 0 (one per Benes stage) and, at each, interchanges the
+ * records of PE pairs (i, i^(b)) with (i)_b = 0 and (D(i))_b = 1 --
+ * exactly the Fig. 3 switch rule. A permutation succeeds iff it is
+ * in F(n).
+ *
+ * Class hints shorten the schedule:
+ *  - Omega:        skip the first n-1 iterations (switches forced
+ *                  straight in the fabric);
+ *  - InverseOmega: skip the last n-1 iterations;
+ *  - a BPC A-vector with A_j = +j: skip both visits of dimension j.
+ */
+
+#ifndef SRBENES_SIMD_PERMUTE_HH
+#define SRBENES_SIMD_PERMUTE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "perm/bpc.hh"
+#include "simd/ccc.hh"
+#include "simd/mcc.hh"
+#include "simd/psc.hh"
+
+namespace srbenes
+{
+
+/** Which class shortcut to apply to the Section III loop. */
+enum class PermClassHint
+{
+    General,      //!< any F(n) permutation; full 2n-1 schedule
+    Omega,        //!< Omega(n) permutation (with the omega bit)
+    InverseOmega, //!< InverseOmega(n) permutation
+};
+
+/** Outcome of a SIMD permutation run. */
+struct SimdPermuteStats
+{
+    bool success = false;           //!< D(i) = i everywhere at the end
+    std::uint64_t unit_routes = 0;  //!< total unit routes consumed
+    std::uint64_t interchanges = 0; //!< interchange steps performed
+};
+
+/**
+ * The dimension schedule 0..n-2, n-1, n-2..0, shortened by @p hint
+ * and by +j fixed axes of @p bpc (may be null).
+ */
+std::vector<unsigned>
+benesSchedule(unsigned n, PermClassHint hint = PermClassHint::General,
+              const BpcSpec *bpc = nullptr);
+
+/** CCC algorithm: one interchange step per schedule entry. */
+SimdPermuteStats
+cccPermute(CubeMachine &m, PermClassHint hint = PermClassHint::General,
+           const BpcSpec *bpc = nullptr);
+
+/**
+ * PSC algorithm: exchange/unshuffle first sweep, middle exchange,
+ * shuffle/exchange return sweep; 4 lg N - 3 unit routes for the
+ * general case.
+ */
+SimdPermuteStats
+pscPermute(ShuffleMachine &m,
+           PermClassHint hint = PermClassHint::General,
+           const BpcSpec *bpc = nullptr);
+
+/**
+ * MCC algorithm: the CCC schedule with mesh interchange costs;
+ * 7 N^1/2 - 8 unit routes for the general case.
+ */
+SimdPermuteStats
+mccPermute(MeshMachine &m, PermClassHint hint = PermClassHint::General,
+           const BpcSpec *bpc = nullptr);
+
+} // namespace srbenes
+
+#endif // SRBENES_SIMD_PERMUTE_HH

@@ -1,0 +1,57 @@
+#include "simd/psc.hh"
+
+#include "common/logging.hh"
+
+namespace srbenes
+{
+
+ShuffleMachine::ShuffleMachine(unsigned n)
+    : SimdMachine(std::size_t{1} << n), n_(n)
+{
+    if (n < 1 || n > 30)
+        fatal("shuffle machine size n = %u out of supported range", n);
+}
+
+void
+ShuffleMachine::exchange(const std::function<bool(Word i)> &enabled)
+{
+    std::vector<Word> selected;
+    for (Word i = 0; i < numPes(); i += 2)
+        if (enabled(i))
+            selected.push_back(i);
+    for (Word i : selected)
+        std::swap(pes_[i], pes_[i + 1]);
+    countUnitRoutes(1);
+}
+
+void
+ShuffleMachine::compareExchange(
+    const std::function<bool(Word i)> &ascending)
+{
+    for (Word i = 0; i < numPes(); i += 2)
+        if ((pes_[i].d > pes_[i + 1].d) == ascending(i))
+            std::swap(pes_[i], pes_[i + 1]);
+    countUnitRoutes(1);
+}
+
+void
+ShuffleMachine::shuffleStep()
+{
+    std::vector<PeRecord> next(pes_.size());
+    for (Word i = 0; i < numPes(); ++i)
+        next[shuffle(i, n_)] = pes_[i];
+    pes_.swap(next);
+    countUnitRoutes(1);
+}
+
+void
+ShuffleMachine::unshuffleStep()
+{
+    std::vector<PeRecord> next(pes_.size());
+    for (Word i = 0; i < numPes(); ++i)
+        next[unshuffle(i, n_)] = pes_[i];
+    pes_.swap(next);
+    countUnitRoutes(1);
+}
+
+} // namespace srbenes

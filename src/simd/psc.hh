@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Perfect Shuffle Computer (PSC): N = 2^n PEs, PE(i) connected to
+ * PE(i^(0)) (exchange), PE(sigma(i)) (shuffle) and PE(sigma^-1(i))
+ * (unshuffle), Section I model 4. Every primitive is one unit route.
+ */
+
+#ifndef SRBENES_SIMD_PSC_HH
+#define SRBENES_SIMD_PSC_HH
+
+#include <functional>
+
+#include "simd/machine.hh"
+
+namespace srbenes
+{
+
+class ShuffleMachine : public SimdMachine
+{
+  public:
+    explicit ShuffleMachine(unsigned n);
+
+    unsigned n() const { return n_; }
+
+    /**
+     * EXCHANGE: for every PE pair (2i, 2i+1), swap records iff
+     * @p enabled (2i) is true (mask evaluated on the even PE against
+     * the pre-step state). One unit route.
+     */
+    void exchange(const std::function<bool(Word i)> &enabled);
+
+    /**
+     * Compare-exchange for the sorting baseline: every pair
+     * (2i, 2i+1) orders its records by destination tag, smaller tag
+     * on the even PE iff @p ascending (2i). One unit route.
+     */
+    void
+    compareExchange(const std::function<bool(Word i)> &ascending);
+
+    /** SHUFFLE: record of PE(i) moves to PE(sigma(i)). One unit
+     *  route. */
+    void shuffleStep();
+
+    /** UNSHUFFLE: record of PE(i) moves to PE(sigma^-1(i)). One unit
+     *  route. */
+    void unshuffleStep();
+
+  private:
+    unsigned n_;
+};
+
+} // namespace srbenes
+
+#endif // SRBENES_SIMD_PSC_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the omega and Batcher gate models: bit-for-bit
+ * agreement with the behavioral simulators (exhaustive at N = 4,
+ * sampled above) and the structural depth comparison behind E9.
+ */
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hh"
+#include "gates/baseline_gates.hh"
+#include "gates/benes_gates.hh"
+#include "networks/batcher.hh"
+#include "networks/omega_network.hh"
+#include "perm/named_bpc.hh"
+#include "perm/omega_class.hh"
+
+namespace srbenes
+{
+namespace
+{
+
+TEST(OmegaGates, MatchesBehavioralExhaustivelyN4)
+{
+    const OmegaGateModel model(2);
+    const OmegaNetwork net(2);
+    std::vector<Word> dest(4);
+    std::iota(dest.begin(), dest.end(), 0);
+    do {
+        const Permutation d(dest);
+        const auto gate = model.simulate(d);
+        const auto behav = net.route(d);
+        ASSERT_EQ(gate.blocked, !behav.success) << d.toString();
+        if (behav.success) {
+            ASSERT_EQ(gate.output_tags, behav.output_tags);
+        }
+    } while (std::next_permutation(dest.begin(), dest.end()));
+}
+
+class OmegaGatesSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(OmegaGatesSweep, MatchesBehavioralOnMixedWorkloads)
+{
+    const unsigned n = GetParam();
+    const OmegaGateModel model(n);
+    const OmegaNetwork net(n);
+    Prng prng(n * 811);
+    for (int trial = 0; trial < 15; ++trial) {
+        const Permutation d =
+            trial % 2
+                ? Permutation::random(std::size_t{1} << n, prng)
+                : named::cyclicShift(n, prng.below(Word{1} << n));
+        const auto gate = model.simulate(d);
+        const auto behav = net.route(d);
+        ASSERT_EQ(gate.blocked, !behav.success) << d.toString();
+        if (behav.success) {
+            ASSERT_EQ(gate.output_tags, behav.output_tags);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, OmegaGatesSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(BatcherGates, SortsExhaustivelyN4)
+{
+    const BatcherGateModel model(2);
+    std::vector<Word> dest(4);
+    std::iota(dest.begin(), dest.end(), 0);
+    do {
+        const auto tags = model.simulate(Permutation(dest));
+        for (Word j = 0; j < 4; ++j)
+            ASSERT_EQ(tags[j], j);
+    } while (std::next_permutation(dest.begin(), dest.end()));
+}
+
+TEST(BatcherGates, SortsRandomPermutations)
+{
+    for (unsigned n : {3u, 4u, 5u}) {
+        const BatcherGateModel model(n);
+        Prng prng(n * 821);
+        for (int trial = 0; trial < 10; ++trial) {
+            const auto tags = model.simulate(
+                Permutation::random(std::size_t{1} << n, prng));
+            for (Word j = 0; j < model.numLines(); ++j)
+                ASSERT_EQ(tags[j], j);
+        }
+    }
+}
+
+TEST(GateDepths, BenesShallowestSelfRoutingFabric)
+{
+    // The E9 argument at gate level: per-stage cost is one mux for
+    // Benes, three levels for omega (control AND/NOT + mux), and a
+    // full n-bit comparator for Batcher -- so among the fabrics
+    // that route ALL permutations by tags alone (Batcher) or a rich
+    // class (Benes), the Benes fabric is far shallower.
+    for (unsigned n : {3u, 4u, 5u}) {
+        const BenesGateModel benes(n, false);
+        const BatcherGateModel batcher(n);
+        EXPECT_EQ(benes.criticalDepth(), 2 * n - 1);
+        EXPECT_GT(batcher.criticalDepth(),
+                  3 * benes.criticalDepth());
+    }
+}
+
+TEST(GateDepths, OmegaDatapathScalesLinearly)
+{
+    // Omega: <= 3 levels per stage plus the conflict-report tree.
+    for (unsigned n : {2u, 4u, 6u}) {
+        const OmegaGateModel model(n);
+        EXPECT_LE(model.criticalDepth(),
+                  3 * n + 2 * n + 4); // datapath + OR tree slack
+        EXPECT_GE(model.criticalDepth(), n);
+    }
+}
+
+TEST(BatcherGates, ComparatorStageCount)
+{
+    const BatcherGateModel model(4);
+    EXPECT_EQ(model.comparatorStages(), 10u);
+}
+
+} // namespace
+} // namespace srbenes

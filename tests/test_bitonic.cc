@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the sorting-based permutation baselines: they must
+ * realize arbitrary permutations (not only F) on all three machines,
+ * with the expected route counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hh"
+#include "perm/f_class.hh"
+#include "simd/bitonic.hh"
+
+namespace srbenes
+{
+namespace
+{
+
+class BitonicSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(BitonicSweep, CubeSortsArbitraryPermutations)
+{
+    const unsigned n = GetParam();
+    CubeMachine m(n);
+    Prng prng(n * 61);
+    for (int trial = 0; trial < 10; ++trial) {
+        const auto d = Permutation::random(std::size_t{1} << n, prng);
+        m.loadIota(d);
+        const auto stats = bitonicPermuteCube(m);
+        ASSERT_TRUE(stats.success);
+        EXPECT_EQ(stats.interchanges, n * (n + 1) / 2);
+        for (Word i = 0; i < m.numPes(); ++i)
+            EXPECT_EQ(m.pe(d[i]).r, i);
+    }
+}
+
+TEST_P(BitonicSweep, ShuffleSortsArbitraryPermutations)
+{
+    const unsigned n = GetParam();
+    ShuffleMachine m(n);
+    Prng prng(n * 67);
+    for (int trial = 0; trial < 10; ++trial) {
+        const auto d = Permutation::random(std::size_t{1} << n, prng);
+        m.loadIota(d);
+        const auto stats = bitonicPermuteShuffle(m);
+        ASSERT_TRUE(stats.success);
+        for (Word i = 0; i < m.numPes(); ++i)
+            EXPECT_EQ(m.pe(d[i]).r, i);
+    }
+}
+
+TEST_P(BitonicSweep, MeshSortsArbitraryPermutations)
+{
+    const unsigned n = GetParam();
+    if (n % 2 != 0)
+        return;
+    MeshMachine m(n);
+    Prng prng(n * 71);
+    for (int trial = 0; trial < 10; ++trial) {
+        const auto d = Permutation::random(std::size_t{1} << n, prng);
+        m.loadIota(d);
+        const auto stats = bitonicPermuteMesh(m);
+        ASSERT_TRUE(stats.success);
+        for (Word i = 0; i < m.numPes(); ++i)
+            EXPECT_EQ(m.pe(d[i]).r, i);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitonicSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 6u, 8u));
+
+TEST(Bitonic, HandlesNonFPermutations)
+{
+    // The very permutation that defeats self-routing (Fig. 5) sorts
+    // fine.
+    const Permutation d{1, 3, 2, 0};
+    ASSERT_FALSE(inFClass(d));
+
+    CubeMachine cube(2);
+    cube.loadIota(d);
+    EXPECT_TRUE(bitonicPermuteCube(cube).success);
+
+    ShuffleMachine psc(2);
+    psc.loadIota(d);
+    EXPECT_TRUE(bitonicPermuteShuffle(psc).success);
+
+    MeshMachine mesh(2);
+    mesh.loadIota(d);
+    EXPECT_TRUE(bitonicPermuteMesh(mesh).success);
+}
+
+TEST(Bitonic, CubeCostIsQuadraticInLogN)
+{
+    // Bench E5's claim in miniature: the sort costs
+    // Theta(log^2 N) interchanges vs 2 log N - 1 for the F
+    // algorithm.
+    CubeMachine m(10);
+    Prng prng(73);
+    m.loadIota(Permutation::random(1024, prng));
+    const auto stats = bitonicPermuteCube(m);
+    EXPECT_TRUE(stats.success);
+    EXPECT_EQ(stats.interchanges, 55u); // 10 * 11 / 2
+    EXPECT_GT(stats.interchanges, 2u * 10 - 1);
+}
+
+TEST(Bitonic, ShuffleRouteCountNearStoneBound)
+{
+    // Stone's perfect-shuffle bitonic sort runs in O(log^2 N)
+    // routes; our rotation-tracking embedding must stay within a
+    // small constant of n^2 + n(n+1)/2.
+    for (unsigned n : {4u, 6u, 8u, 10u}) {
+        ShuffleMachine m(n);
+        Prng prng(n);
+        m.loadIota(Permutation::random(std::size_t{1} << n, prng));
+        const auto stats = bitonicPermuteShuffle(m);
+        ASSERT_TRUE(stats.success);
+        EXPECT_LE(stats.unit_routes, 3ull * n * n);
+    }
+}
+
+TEST(Bitonic, SortIsStableUnderReload)
+{
+    // Running twice from the same load gives identical layouts
+    // (pure determinism check).
+    CubeMachine a(5), b(5);
+    Prng prng(79);
+    const auto d = Permutation::random(32, prng);
+    a.loadIota(d);
+    b.loadIota(d);
+    bitonicPermuteCube(a);
+    bitonicPermuteCube(b);
+    for (Word i = 0; i < 32; ++i)
+        EXPECT_EQ(a.pe(i).r, b.pe(i).r);
+}
+
+} // namespace
+} // namespace srbenes

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit and property tests for the bit-field utilities underlying all
+ * index manipulation in the library.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+#include "common/prng.hh"
+
+namespace srbenes
+{
+namespace
+{
+
+TEST(BitOps, BitExtraction)
+{
+    EXPECT_EQ(bit(0b1010, 0), 0u);
+    EXPECT_EQ(bit(0b1010, 1), 1u);
+    EXPECT_EQ(bit(0b1010, 2), 0u);
+    EXPECT_EQ(bit(0b1010, 3), 1u);
+    EXPECT_EQ(bit(~Word{0}, 63), 1u);
+}
+
+TEST(BitOps, SetBit)
+{
+    EXPECT_EQ(setBit(0b0000, 2, 1), 0b0100u);
+    EXPECT_EQ(setBit(0b1111, 2, 0), 0b1011u);
+    // Only the low bit of the value argument matters.
+    EXPECT_EQ(setBit(0b0000, 1, 0b10), 0b0000u);
+    EXPECT_EQ(setBit(0b0000, 1, 0b11), 0b0010u);
+}
+
+TEST(BitOps, FlipBit)
+{
+    EXPECT_EQ(flipBit(0b1010, 1), 0b1000u);
+    EXPECT_EQ(flipBit(0b1010, 0), 0b1011u);
+    EXPECT_EQ(flipBit(flipBit(12345, 7), 7), 12345u);
+}
+
+TEST(BitOps, BitFieldExtraction)
+{
+    // The paper's example: i = 101101, (i)_{5..3} should drop the low
+    // bits -- here we exercise several windows.
+    const Word i = 0b101101;
+    EXPECT_EQ(bits(i, 5, 3), 0b101u);
+    EXPECT_EQ(bits(i, 3, 1), 0b110u);
+    EXPECT_EQ(bits(i, 0, 0), 1u);
+    EXPECT_EQ(bits(i, 5, 0), i);
+}
+
+TEST(BitOps, LowMask)
+{
+    EXPECT_EQ(lowMask(0), 0u);
+    EXPECT_EQ(lowMask(1), 1u);
+    EXPECT_EQ(lowMask(4), 0b1111u);
+    EXPECT_EQ(lowMask(64), ~Word{0});
+}
+
+TEST(BitOps, ReverseBitsSmall)
+{
+    EXPECT_EQ(reverseBits(0b001, 3), 0b100u);
+    EXPECT_EQ(reverseBits(0b110, 3), 0b011u);
+    EXPECT_EQ(reverseBits(0b101, 3), 0b101u);
+    EXPECT_EQ(reverseBits(0, 8), 0u);
+}
+
+TEST(BitOps, ShuffleIsLeftRotation)
+{
+    // sigma(i_{n-1} ... i_0) = i_{n-2} ... i_0 i_{n-1}.
+    EXPECT_EQ(shuffle(0b100, 3), 0b001u);
+    EXPECT_EQ(shuffle(0b011, 3), 0b110u);
+    EXPECT_EQ(unshuffle(0b001, 3), 0b100u);
+    EXPECT_EQ(unshuffle(0b110, 3), 0b011u);
+}
+
+TEST(BitOps, RotationComposition)
+{
+    EXPECT_EQ(rotateLeft(0b0011, 4, 2), 0b1100u);
+    EXPECT_EQ(rotateRight(0b1100, 4, 2), 0b0011u);
+    EXPECT_EQ(rotateLeft(0b0011, 4, 4), 0b0011u);
+    EXPECT_EQ(rotateLeft(0b0011, 4, 6), 0b1100u);
+}
+
+TEST(BitOps, Log2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(exactLog2(Word{1} << 20), 20u);
+    EXPECT_TRUE(isPowerOfTwo(64));
+    EXPECT_FALSE(isPowerOfTwo(65));
+    EXPECT_FALSE(isPowerOfTwo(0));
+}
+
+TEST(BitOps, ExtractDeposit)
+{
+    EXPECT_EQ(extractBits(0b101101, 0b001111), 0b1101u);
+    EXPECT_EQ(extractBits(0b101101, 0b110000), 0b10u);
+    EXPECT_EQ(depositBits(0b11, 0b0101), 0b0101u);
+    EXPECT_EQ(depositBits(0b10, 0b0101), 0b0100u);
+}
+
+TEST(BitOps, PopCount)
+{
+    EXPECT_EQ(popCount(0), 0u);
+    EXPECT_EQ(popCount(0b1011), 3u);
+    EXPECT_EQ(popCount(~Word{0}), 64u);
+}
+
+/** Property sweep over widths: structural identities that every later
+ *  module relies on. */
+class BitOpsProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(BitOpsProperty, ShuffleUnshuffleInverse)
+{
+    const unsigned n = GetParam();
+    for (Word v = 0; v < (Word{1} << n); ++v) {
+        EXPECT_EQ(unshuffle(shuffle(v, n), n), v);
+        EXPECT_EQ(shuffle(unshuffle(v, n), n), v);
+    }
+}
+
+TEST_P(BitOpsProperty, ReverseIsInvolution)
+{
+    const unsigned n = GetParam();
+    for (Word v = 0; v < (Word{1} << n); ++v)
+        EXPECT_EQ(reverseBits(reverseBits(v, n), n), v);
+}
+
+TEST_P(BitOpsProperty, ShuffleEqualsRotateLeftOne)
+{
+    const unsigned n = GetParam();
+    for (Word v = 0; v < (Word{1} << n); ++v)
+        EXPECT_EQ(shuffle(v, n), rotateLeft(v, n, 1));
+}
+
+TEST_P(BitOpsProperty, ExtractDepositRoundTrip)
+{
+    const unsigned n = GetParam();
+    Prng prng(n);
+    for (int trial = 0; trial < 50; ++trial) {
+        const Word mask = prng.below(Word{1} << n);
+        const Word v = prng.below(Word{1} << n);
+        // Depositing what was extracted reproduces the masked bits.
+        EXPECT_EQ(depositBits(extractBits(v, mask), mask), v & mask);
+        // Extracting what was deposited reproduces the low field.
+        const Word field = prng.below(Word{1} << popCount(mask));
+        EXPECT_EQ(extractBits(depositBits(field, mask), mask), field);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitOpsProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u));
+
+} // namespace
+} // namespace srbenes

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the BPC permutation class: the paper's eq. (3) example,
+ * the +0/-0 notation, algebraic closure, the Lemma 1 / Theorem 2
+ * decomposition against the stage-0 switch equations, and the
+ * recognizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hh"
+#include "perm/bpc.hh"
+#include "perm/f_class.hh"
+#include "perm/omega_class.hh"
+
+namespace srbenes
+{
+namespace
+{
+
+TEST(Bpc, PaperSectionTwoExample)
+{
+    // A = (0, -1, -2): D_i = complement of i's bits 2 and 1, then bit
+    // j goes to position |A_j|. Paper gives D = 6,2,4,0,7,3,5,1.
+    const BpcSpec spec = BpcSpec::fromPaper({"0", "-1", "-2"});
+    const Permutation d = spec.toPermutation();
+    EXPECT_EQ(d, Permutation({6, 2, 4, 0, 7, 3, 5, 1}));
+}
+
+TEST(Bpc, FromPaperParsesSigns)
+{
+    const BpcSpec spec = BpcSpec::fromPaper({"-0", "+2", "1"});
+    // Listed (A_2, A_1, A_0): A_2 = -0, A_1 = +2, A_0 = 1.
+    EXPECT_EQ(spec.axis(2), (BpcAxis{0, true}));
+    EXPECT_EQ(spec.axis(1), (BpcAxis{2, false}));
+    EXPECT_EQ(spec.axis(0), (BpcAxis{1, false}));
+}
+
+TEST(Bpc, ToStringRoundTripsNotation)
+{
+    const std::vector<std::string> entries{"-0", "2", "-1"};
+    EXPECT_EQ(BpcSpec::fromPaper(entries).toString(), "(-0, 2, -1)");
+}
+
+TEST(Bpc, IdentitySpec)
+{
+    EXPECT_EQ(BpcSpec::identity(3).toPermutation(),
+              Permutation::identity(8));
+}
+
+TEST(Bpc, DestinationMatchesEquationThree)
+{
+    // Hand-computed case: A_0 = +1, A_1 = -0 on n = 2.
+    std::vector<BpcAxis> axes{{1, false}, {0, true}};
+    const BpcSpec spec(axes);
+    // i = 00 -> D bits: pos1 = i0 = 0, pos0 = !i1 = 1 -> D = 01.
+    EXPECT_EQ(spec.destinationOf(0), 1u);
+    EXPECT_EQ(spec.destinationOf(1), 3u);
+    EXPECT_EQ(spec.destinationOf(2), 0u);
+    EXPECT_EQ(spec.destinationOf(3), 2u);
+}
+
+class BpcProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(BpcProperty, InverseSpecMatchesPermutationInverse)
+{
+    const unsigned n = GetParam();
+    Prng prng(n * 31 + 1);
+    for (int trial = 0; trial < 25; ++trial) {
+        const BpcSpec spec = BpcSpec::random(n, prng);
+        EXPECT_EQ(spec.inverse().toPermutation(),
+                  spec.toPermutation().inverse());
+    }
+}
+
+TEST_P(BpcProperty, ThenMatchesPermutationThen)
+{
+    const unsigned n = GetParam();
+    Prng prng(n * 31 + 2);
+    for (int trial = 0; trial < 25; ++trial) {
+        const BpcSpec a = BpcSpec::random(n, prng);
+        const BpcSpec b = BpcSpec::random(n, prng);
+        EXPECT_EQ(a.then(b).toPermutation(),
+                  a.toPermutation().then(b.toPermutation()));
+    }
+}
+
+TEST_P(BpcProperty, DecomposeMatchesStageZeroEquations)
+{
+    // Lemma 1 / Theorem 2: the BPC specs predicted for U and L must
+    // equal the actual tag sequences produced by the stage-0
+    // switches (eqs. (1), (2)) with the low bit dropped.
+    const unsigned n = GetParam();
+    if (n < 2)
+        return;
+    Prng prng(n * 31 + 3);
+    for (int trial = 0; trial < 40; ++trial) {
+        const BpcSpec spec = BpcSpec::random(n, prng);
+        const auto [pred_u, pred_l] = spec.decompose();
+
+        const Permutation d = spec.toPermutation();
+        const auto [u_full, l_full] = splitStageZero(d.dest());
+
+        std::vector<Word> u(u_full.size()), l(l_full.size());
+        for (std::size_t i = 0; i < u_full.size(); ++i) {
+            u[i] = u_full[i] >> 1;
+            l[i] = l_full[i] >> 1;
+        }
+        EXPECT_EQ(Permutation(u), pred_u.toPermutation());
+        EXPECT_EQ(Permutation(l), pred_l.toPermutation());
+    }
+}
+
+TEST_P(BpcProperty, RecognizerRoundTrip)
+{
+    const unsigned n = GetParam();
+    Prng prng(n * 31 + 4);
+    for (int trial = 0; trial < 25; ++trial) {
+        const BpcSpec spec = BpcSpec::random(n, prng);
+        const auto found = recognizeBpc(spec.toPermutation());
+        ASSERT_TRUE(found.has_value());
+        EXPECT_EQ(*found, spec);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BpcProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 6u, 8u));
+
+TEST(Bpc, RecognizerRejectsCyclicShift)
+{
+    // Cyclic shift by 1 is not a BPC permutation for n >= 2 (the
+    // paper notes this when separating BPC from inverse omega).
+    for (unsigned n = 2; n <= 6; ++n)
+        EXPECT_FALSE(recognizeBpc(named::cyclicShift(n, 1)));
+}
+
+TEST(Bpc, RecognizerRejectsNonBpcSwap)
+{
+    // Swapping a single pair of a 8-element identity breaks the
+    // bit-linearity BPC requires.
+    std::vector<Word> dest{1, 0, 2, 3, 4, 5, 6, 7};
+    EXPECT_FALSE(recognizeBpc(Permutation(dest)));
+}
+
+TEST(Bpc, DecomposeCaseOnePlainDrop)
+{
+    // |A_0| = 0 with positive sign: both halves carry A' with
+    // A'_j = LMAG(A_{j+1}).
+    const BpcSpec spec = BpcSpec::fromPaper({"-2", "1", "0"});
+    const auto [u, l] = spec.decompose();
+    EXPECT_EQ(u, l);
+    EXPECT_EQ(u.toString(), "(-1, 0)");
+}
+
+TEST(Bpc, RandomSpecIsDeterministic)
+{
+    Prng a(5), b(5);
+    for (int trial = 0; trial < 10; ++trial)
+        EXPECT_EQ(BpcSpec::random(5, a), BpcSpec::random(5, b));
+}
+
+} // namespace
+} // namespace srbenes

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the cube-connected computer and its Section III
+ * permutation algorithm: the Fig. 6 trace, exhaustive equivalence
+ * with F(n) at N = 8, route-count formulas, and the class-hint
+ * schedule optimizations.
+ */
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hh"
+#include "perm/f_class.hh"
+#include "perm/named_bpc.hh"
+#include "perm/omega_class.hh"
+#include "simd/permute.hh"
+
+namespace srbenes
+{
+namespace
+{
+
+TEST(Ccc, InterchangeSwapsSelectedPairs)
+{
+    CubeMachine m(2);
+    m.loadIota(Permutation::identity(4));
+    // Swap only the pair (1, 3) across dimension 1.
+    m.interchange(1, [](Word i) { return i == 1; });
+    EXPECT_EQ(m.pe(0).r, 0u);
+    EXPECT_EQ(m.pe(1).r, 3u);
+    EXPECT_EQ(m.pe(3).r, 1u);
+    EXPECT_EQ(m.unitRoutes(), 1u);
+    EXPECT_EQ(m.interchangeSteps(), 1u);
+}
+
+TEST(Ccc, FigSixBitReversalTrace)
+{
+    // Fig. 6: bit reversal on 8 PEs; the loop runs b = 0, 1, 2, 1, 0
+    // and the destination column converges to the identity.
+    CubeMachine m(3);
+    m.loadIota(named::bitReversal(3).toPermutation());
+
+    const auto schedule = benesSchedule(3);
+    EXPECT_EQ(schedule, (std::vector<unsigned>{0, 1, 2, 1, 0}));
+
+    // First iteration (b = 0): the paper notes PE(6)/PE(7) exchange
+    // because D(6) = 011 has bit 0 = 1, while PE(0)/PE(1) do not
+    // (D(0) = 000).
+    m.interchange(0, [&m](Word i) { return bit(m.pe(i).d, 0) == 1; });
+    EXPECT_EQ(m.pe(6).d, 7u); // D(7) = 111 moved up
+    EXPECT_EQ(m.pe(7).d, 3u);
+    EXPECT_EQ(m.pe(0).d, 0u); // unchanged
+
+    for (unsigned b : {1u, 2u, 1u, 0u})
+        m.interchange(b,
+                      [&m, b](Word i) { return bit(m.pe(i).d, b); });
+    EXPECT_TRUE(m.permutationComplete());
+}
+
+TEST(Ccc, PermuteMatchesFClassExhaustivelyN8)
+{
+    // Section III claims the loop simulates the self-routing network
+    // exactly; check success against Theorem 1 for all 40320
+    // permutations of 8 elements.
+    CubeMachine m(3);
+    std::vector<Word> dest(8);
+    std::iota(dest.begin(), dest.end(), 0);
+    do {
+        const Permutation d(dest);
+        m.loadIota(d);
+        const auto stats = cccPermute(m);
+        ASSERT_EQ(stats.success, inFClass(d)) << d.toString();
+    } while (std::next_permutation(dest.begin(), dest.end()));
+}
+
+TEST(Ccc, DataArrivesWithTags)
+{
+    CubeMachine m(4);
+    Prng prng(19);
+    for (int trial = 0; trial < 20; ++trial) {
+        const Permutation d = BpcSpec::random(4, prng).toPermutation();
+        m.loadIota(d);
+        ASSERT_TRUE(cccPermute(m).success);
+        // Record from PE i must now sit in PE d[i].
+        for (Word i = 0; i < 16; ++i)
+            EXPECT_EQ(m.pe(d[i]).r, i);
+    }
+}
+
+class CccRouteCounts : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CccRouteCounts, GeneralCaseUsesTwoLogNMinusOne)
+{
+    const unsigned n = GetParam();
+    CubeMachine m(n);
+    m.loadIota(named::bitReversal(n).toPermutation());
+    const auto stats = cccPermute(m);
+    EXPECT_TRUE(stats.success);
+    EXPECT_EQ(stats.interchanges, 2 * n - 1);
+    EXPECT_EQ(stats.unit_routes, 2 * n - 1); // 1 route/interchange
+}
+
+TEST_P(CccRouteCounts, TwoRoutesPerInterchangeDoubles)
+{
+    const unsigned n = GetParam();
+    CubeMachine m(n, 2);
+    m.loadIota(named::bitReversal(n).toPermutation());
+    const auto stats = cccPermute(m);
+    EXPECT_TRUE(stats.success);
+    // "If the interchange needs two unit-routes, then 4 log N - 2."
+    EXPECT_EQ(stats.unit_routes, 4 * n - 2);
+}
+
+TEST_P(CccRouteCounts, OmegaHintSkipsFirstHalf)
+{
+    const unsigned n = GetParam();
+    CubeMachine m(n);
+    m.loadIota(named::cyclicShift(n, 3));
+    const auto stats = cccPermute(m, PermClassHint::Omega);
+    EXPECT_TRUE(stats.success);
+    EXPECT_EQ(stats.interchanges, n);
+}
+
+TEST_P(CccRouteCounts, InverseOmegaHintSkipsSecondHalf)
+{
+    const unsigned n = GetParam();
+    CubeMachine m(n);
+    m.loadIota(named::pOrdering(n, 5));
+    const auto stats = cccPermute(m, PermClassHint::InverseOmega);
+    EXPECT_TRUE(stats.success);
+    EXPECT_EQ(stats.interchanges, n);
+}
+
+TEST_P(CccRouteCounts, BpcFixedAxesSkipped)
+{
+    // A permutation that only reverses the low two index bits fixes
+    // axes 2..n-1, so the schedule 0..n-2, n-1, n-2..0 collapses to
+    // the four entries 0, 1, 1, 0 when n > 2.
+    const unsigned n = GetParam();
+    if (n < 3)
+        return;
+    const BpcSpec spec = named::segmentBitReversal(n, 2);
+    CubeMachine m(n);
+    m.loadIota(spec.toPermutation());
+    const auto stats = cccPermute(m, PermClassHint::General, &spec);
+    EXPECT_TRUE(stats.success);
+    EXPECT_EQ(stats.interchanges, 4u); // dims 0, 1, 1, 0
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CccRouteCounts,
+                         ::testing::Values(2u, 3u, 4u, 6u, 8u, 10u));
+
+TEST(Ccc, IdentityNeedsNoExchangesButFullSchedule)
+{
+    CubeMachine m(4);
+    const BpcSpec id = BpcSpec::identity(4);
+    m.loadIota(id.toPermutation());
+    // With the BPC hint, the identity's schedule is empty.
+    const auto stats = cccPermute(m, PermClassHint::General, &id);
+    EXPECT_TRUE(stats.success);
+    EXPECT_EQ(stats.interchanges, 0u);
+}
+
+TEST(Ccc, HintedRunsAgreeWithGeneralRuns)
+{
+    Prng prng(29);
+    const unsigned n = 5;
+    for (int trial = 0; trial < 20; ++trial) {
+        const BpcSpec spec = BpcSpec::random(n, prng);
+        CubeMachine a(n), b(n);
+        a.loadIota(spec.toPermutation());
+        b.loadIota(spec.toPermutation());
+        ASSERT_TRUE(cccPermute(a).success);
+        ASSERT_TRUE(
+            cccPermute(b, PermClassHint::General, &spec).success);
+        for (Word i = 0; i < a.numPes(); ++i)
+            EXPECT_EQ(a.pe(i).r, b.pe(i).r);
+    }
+}
+
+} // namespace
+} // namespace srbenes

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the class census machinery of experiment E3: exhaustive
+ * counts at small n (including the closed-form cardinalities of BPC
+ * and omega) and the sampled-census plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "perm/classify.hh"
+
+namespace srbenes
+{
+namespace
+{
+
+TEST(Classify, ExhaustiveN1)
+{
+    const ClassCensus census = censusExhaustive(1);
+    EXPECT_EQ(census.total, 2u);
+    // Both permutations of (0, 1) are in every class.
+    EXPECT_EQ(census.in_f, 2u);
+    EXPECT_EQ(census.in_omega, 2u);
+    EXPECT_EQ(census.in_inverse, 2u);
+    EXPECT_EQ(census.in_bpc, 2u);
+}
+
+TEST(Classify, ExhaustiveN2)
+{
+    const ClassCensus census = censusExhaustive(2);
+    EXPECT_EQ(census.total, 24u);
+    // |BPC(2)| = 2^2 * 2! = 8; |Omega(2)| = 2^(2*2) = 16.
+    EXPECT_EQ(census.in_bpc, 8u);
+    EXPECT_EQ(census.in_omega, 16u);
+    EXPECT_EQ(census.in_inverse, 16u);
+    // F(2) contains all inverse-omega members and not the Fig. 5
+    // permutation.
+    EXPECT_GE(census.in_f, census.in_inverse);
+    EXPECT_LT(census.in_f, census.total);
+}
+
+TEST(Classify, ExhaustiveN3)
+{
+    const ClassCensus census = censusExhaustive(3);
+    EXPECT_EQ(census.total, 40320u);
+    EXPECT_EQ(census.in_bpc, bpcCardinality(3));   // 48
+    EXPECT_EQ(census.in_omega, 4096u);             // 2^(3*4)
+    EXPECT_EQ(census.in_inverse, 4096u);
+    EXPECT_GE(census.in_f, census.in_inverse);
+    EXPECT_GE(census.in_f, census.in_bpc);
+    EXPECT_LT(census.in_f, census.total);
+}
+
+TEST(Classify, BpcCardinalityFormula)
+{
+    EXPECT_EQ(bpcCardinality(1), 2u);
+    EXPECT_EQ(bpcCardinality(2), 8u);
+    EXPECT_EQ(bpcCardinality(3), 48u);
+    EXPECT_EQ(bpcCardinality(4), 384u);
+    EXPECT_EQ(bpcCardinality(5), 3840u);
+}
+
+TEST(Classify, OmegaCardinalityFormula)
+{
+    EXPECT_DOUBLE_EQ(static_cast<double>(omegaCardinality(1)), 2.0);
+    EXPECT_DOUBLE_EQ(static_cast<double>(omegaCardinality(2)), 16.0);
+    EXPECT_DOUBLE_EQ(static_cast<double>(omegaCardinality(3)),
+                     4096.0);
+}
+
+TEST(Classify, Factorial)
+{
+    EXPECT_DOUBLE_EQ(static_cast<double>(factorial(0)), 1.0);
+    EXPECT_DOUBLE_EQ(static_cast<double>(factorial(4)), 24.0);
+    EXPECT_DOUBLE_EQ(static_cast<double>(factorial(8)), 40320.0);
+}
+
+TEST(Classify, ExactFRecurrenceMatchesBruteForce)
+{
+    // The transfer-matrix recurrence must reproduce the exhaustive
+    // counts before we trust it beyond them.
+    EXPECT_DOUBLE_EQ(static_cast<double>(exactFCardinality(1)), 2.0);
+    EXPECT_DOUBLE_EQ(static_cast<double>(exactFCardinality(2)),
+                     20.0);
+    EXPECT_DOUBLE_EQ(static_cast<double>(exactFCardinality(3)),
+                     11632.0);
+}
+
+TEST(Classify, SampledCensusIsDeterministic)
+{
+    Prng a(5), b(5);
+    const ClassCensus ca = censusSampled(4, 200, a);
+    const ClassCensus cb = censusSampled(4, 200, b);
+    EXPECT_EQ(ca.total, 200u);
+    EXPECT_EQ(ca.in_f, cb.in_f);
+    EXPECT_EQ(ca.in_omega, cb.in_omega);
+    EXPECT_EQ(ca.in_inverse, cb.in_inverse);
+    EXPECT_EQ(ca.in_bpc, cb.in_bpc);
+}
+
+TEST(Classify, SampledCensusOfTinySpaceSeesMembers)
+{
+    // At n = 1 every draw is in every class.
+    Prng prng(6);
+    const ClassCensus census = censusSampled(1, 50, prng);
+    EXPECT_EQ(census.in_f, 50u);
+    EXPECT_EQ(census.in_bpc, 50u);
+}
+
+TEST(Classify, RandomPermutationsAlmostNeverInFForLargeN)
+{
+    Prng prng(7);
+    const ClassCensus census = censusSampled(6, 300, prng);
+    // |F(6)| is astronomically smaller than 64!; a hit would be a
+    // bug, not luck.
+    EXPECT_EQ(census.in_f, 0u);
+    EXPECT_EQ(census.in_bpc, 0u);
+}
+
+} // namespace
+} // namespace srbenes

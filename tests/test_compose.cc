@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Tests for the Theorem 4/5/6 composite constructions: coordinate
+ * system sanity, semantics, and -- the theorems themselves -- closure
+ * of F(n) under the constructions, verified against both the
+ * Theorem 1 test and the simulated fabric.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hh"
+#include "core/self_routing.hh"
+#include "perm/bpc.hh"
+#include "perm/compose.hh"
+#include "perm/f_class.hh"
+#include "perm/named_bpc.hh"
+#include "perm/omega_class.hh"
+
+namespace srbenes
+{
+namespace
+{
+
+/** Draw an F(r) permutation; r = 0 blocks are singletons. */
+Permutation
+randomFPermutation(unsigned r, Prng &prng)
+{
+    if (r == 0)
+        return Permutation::identity(1);
+    return randomFMember(r, prng);
+}
+
+TEST(JPartitionTest, PaperExample)
+{
+    // n = 3, J = {2}: blocks {0,1,2,3} and {4,5,6,7}.
+    // (The paper's J = {1} example gives blocks {0,1,4,5} and
+    // {2,3,6,7} -- checked below.)
+    const JPartition by_two(3, 0b100);
+    EXPECT_EQ(by_two.numBlocks(), 2u);
+    EXPECT_EQ(by_two.blockSize(), 4u);
+    for (Word i = 0; i < 4; ++i)
+        EXPECT_EQ(by_two.blockOf(i), 0u);
+    for (Word i = 4; i < 8; ++i)
+        EXPECT_EQ(by_two.blockOf(i), 1u);
+
+    const JPartition by_one(3, 0b010);
+    for (Word i : {0u, 1u, 4u, 5u})
+        EXPECT_EQ(by_one.blockOf(i), 0u);
+    for (Word i : {2u, 3u, 6u, 7u})
+        EXPECT_EQ(by_one.blockOf(i), 1u);
+}
+
+TEST(JPartitionTest, CoordinatesRoundTrip)
+{
+    Prng prng(3);
+    for (int trial = 0; trial < 20; ++trial) {
+        const unsigned n = 6;
+        const Word mask = prng.below(1u << n);
+        const JPartition part(n, mask);
+        for (Word i = 0; i < (Word{1} << n); ++i) {
+            EXPECT_EQ(part.elementOf(part.blockOf(i), part.rankOf(i)),
+                      i);
+        }
+    }
+}
+
+TEST(JPartitionTest, RankPreservesOrderWithinBlock)
+{
+    const JPartition part(4, 0b0101);
+    // Elements of one block in increasing order must have increasing
+    // ranks.
+    for (Word b = 0; b < part.numBlocks(); ++b) {
+        Word prev_elem = 0;
+        for (Word q = 0; q < part.blockSize(); ++q) {
+            const Word e = part.elementOf(b, q);
+            if (q > 0) {
+                EXPECT_GT(e, prev_elem);
+            }
+            prev_elem = e;
+        }
+    }
+}
+
+TEST(TheoremFour, BlockwiseStaysInF)
+{
+    const SelfRoutingBenes net(5);
+    Prng prng(11);
+    for (int trial = 0; trial < 15; ++trial) {
+        const unsigned n = 5;
+        const Word mask = prng.below(1u << n);
+        const JPartition part(n, mask);
+        std::vector<Permutation> gs;
+        for (std::size_t b = 0; b < part.numBlocks(); ++b)
+            gs.push_back(randomFPermutation(part.freeBits(), prng));
+
+        const Permutation g = blockwisePermutation(n, mask, gs);
+        EXPECT_TRUE(inFClass(g));
+        EXPECT_TRUE(net.route(g).success);
+    }
+}
+
+TEST(TheoremFour, SemanticsKeepBlocksFixed)
+{
+    const unsigned n = 4;
+    const Word mask = 0b1010;
+    const JPartition part(n, mask);
+    Prng prng(13);
+    std::vector<Permutation> gs;
+    for (std::size_t b = 0; b < part.numBlocks(); ++b)
+        gs.push_back(Permutation::random(part.blockSize(), prng));
+    const Permutation g = blockwisePermutation(n, mask, gs);
+    for (Word i = 0; i < g.size(); ++i) {
+        EXPECT_EQ(part.blockOf(g[i]), part.blockOf(i));
+        EXPECT_EQ(part.rankOf(g[i]), gs[part.blockOf(i)][part.rankOf(i)]);
+    }
+}
+
+TEST(TheoremFour, CannonStyleRowMappings)
+{
+    // The matrix mappings the paper lists after Theorem 4, e.g.
+    // A(i, j) -> A(i, (i + j) mod sqrt(N)): a per-row cyclic shift.
+    const unsigned n = 6, m = 3; // 8x8 matrix
+    const Word row_mask = lowMask(n) & ~lowMask(m); // J = row bits
+    std::vector<Permutation> gs;
+    for (Word r = 0; r < 8; ++r)
+        gs.push_back(named::cyclicShift(m, r));
+    const Permutation g = blockwisePermutation(n, row_mask, gs);
+    for (Word r = 0; r < 8; ++r)
+        for (Word c = 0; c < 8; ++c)
+            EXPECT_EQ(g[8 * r + c], 8 * r + ((r + c) % 8));
+    EXPECT_TRUE(inFClass(g));
+}
+
+TEST(TheoremFive, BlockMappedStaysInF)
+{
+    const SelfRoutingBenes net(6);
+    Prng prng(17);
+    for (int trial = 0; trial < 10; ++trial) {
+        const unsigned n = 6;
+        const Word mask = prng.below(1u << n);
+        const JPartition part(n, mask);
+        std::vector<Permutation> gs;
+        for (std::size_t b = 0; b < part.numBlocks(); ++b)
+            gs.push_back(randomFPermutation(part.freeBits(), prng));
+        const Permutation block_perm =
+            randomFPermutation(n - part.freeBits(), prng);
+
+        const Permutation g =
+            blockMappedPermutation(n, mask, gs, block_perm);
+        EXPECT_TRUE(inFClass(g)) << g.toString();
+        EXPECT_TRUE(net.route(g).success);
+    }
+}
+
+TEST(TheoremFive, RowsMapOntoRows)
+{
+    // Rows permuted among themselves (bit-reversal of the row index)
+    // while each row is cyclically shifted.
+    const unsigned n = 4, m = 2;
+    const Word row_mask = lowMask(n) & ~lowMask(m);
+    std::vector<Permutation> gs(4, named::cyclicShift(m, 1));
+    const Permutation rows = named::bitReversal(m).toPermutation();
+    const Permutation g =
+        blockMappedPermutation(n, row_mask, gs, rows);
+    for (Word r = 0; r < 4; ++r)
+        for (Word c = 0; c < 4; ++c)
+            EXPECT_EQ(g[4 * r + c],
+                      4 * reverseBits(r, m) + ((c + 1) % 4));
+    EXPECT_TRUE(inFClass(g));
+}
+
+TEST(TheoremSix, PaperThreeDimensionalExample)
+{
+    // A(i, j, k) -> A'(i', j', k') with i' = (i + j + k) mod 2^r,
+    // j' = (p * j + 1) mod 2^s, k' = j xor k; J_1 = j-bits,
+    // J_2 = k-bits, J_3 = i-bits. Each level's map is in F, so the
+    // composite is in F(n).
+    const unsigned r = 2, s = 2, t = 2, n = r + s + t;
+    const Word i_mask = lowMask(r) << (s + t);
+    const Word j_mask = lowMask(s) << t;
+    const Word k_mask = lowMask(t);
+
+    const auto phi = [&](unsigned level,
+                         const std::vector<Word> &anc) -> Permutation {
+        switch (level) {
+          case 0: // j-field: p-ordering plus shift, p = 3
+            return named::pOrderingShift(s, 3, 1);
+          case 1: // k-field: xor with the ancestor j value
+            return named::bitComplement(t, anc[0]).toPermutation();
+          default: { // i-field: cyclic shift by j + k
+            return named::cyclicShift(r, anc[0] + anc[1]);
+          }
+        }
+    };
+
+    const Permutation g = hierarchicalPermutation(
+        n, {j_mask, k_mask, i_mask}, phi);
+
+    // Check the closed form.
+    for (Word i = 0; i < 4; ++i) {
+        for (Word j = 0; j < 4; ++j) {
+            for (Word k = 0; k < 4; ++k) {
+                const Word idx = (i << 4) | (j << 2) | k;
+                const Word ii = (i + j + k) % 4;
+                const Word jj = (3 * j + 1) % 4;
+                const Word kk = j ^ k;
+                EXPECT_EQ(g[idx], (ii << 4) | (jj << 2) | kk);
+            }
+        }
+    }
+    EXPECT_TRUE(inFClass(g));
+    EXPECT_TRUE(SelfRoutingBenes(n).route(g).success);
+}
+
+TEST(TheoremSix, RandomHierarchiesStayInF)
+{
+    Prng prng(19);
+    const unsigned n = 6;
+    const std::vector<Word> masks{0b110000, 0b001100, 0b000011};
+    for (int trial = 0; trial < 10; ++trial) {
+        const auto phi = [&](unsigned level,
+                             const std::vector<Word> &) {
+            return randomFPermutation(popCount(masks[level]), prng);
+        };
+        const Permutation g = hierarchicalPermutation(n, masks, phi);
+        EXPECT_TRUE(inFClass(g)) << g.toString();
+    }
+}
+
+TEST(TheoremSix, AncestorDependentPhi)
+{
+    // phi that varies per parent block must still give an F member.
+    Prng prng(23);
+    const unsigned n = 5;
+    const std::vector<Word> masks{0b11000, 0b00111};
+    const auto phi = [&](unsigned level, const std::vector<Word> &anc) {
+        if (level == 0)
+            return randomFPermutation(2, prng);
+        return named::cyclicShift(3, anc[0]);
+    };
+    const Permutation g = hierarchicalPermutation(n, masks, phi);
+    EXPECT_TRUE(inFClass(g)) << g.toString();
+}
+
+TEST(Compose, NonFBlocksCanLeaveF)
+{
+    // The theorems REQUIRE the pieces to be in F; feeding a non-F
+    // block permutation can produce a non-F composite. With mask = 0
+    // the construction degenerates to the block permutation itself.
+    const Permutation bad{1, 3, 2, 0};
+    ASSERT_FALSE(inFClass(bad));
+    const Permutation g = blockwisePermutation(2, 0, {bad});
+    EXPECT_EQ(g, bad);
+    EXPECT_FALSE(inFClass(g));
+}
+
+} // namespace
+} // namespace srbenes

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the cycle-structure utilities: decomposition,
+ * construction from cycle notation, order, parity, and powers --
+ * including the algebraic identities that relate them.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hh"
+#include "perm/cycles.hh"
+#include "perm/named_bpc.hh"
+
+namespace srbenes
+{
+namespace
+{
+
+TEST(Cycles, IdentityHasNoCycles)
+{
+    const auto id = Permutation::identity(8);
+    EXPECT_TRUE(cycleDecomposition(id).empty());
+    EXPECT_EQ(permutationOrder(id), 1u);
+    EXPECT_TRUE(isEvenPermutation(id));
+    EXPECT_EQ(countFixedPoints(id), 8u);
+    EXPECT_EQ(toCycleString(id), "()");
+}
+
+TEST(Cycles, HandDecomposition)
+{
+    // (0 2 3)(4 5) with 1 fixed.
+    const Permutation p{2, 1, 3, 0, 5, 4};
+    const auto cycles = cycleDecomposition(p);
+    ASSERT_EQ(cycles.size(), 2u);
+    EXPECT_EQ(cycles[0], (std::vector<Word>{0, 2, 3}));
+    EXPECT_EQ(cycles[1], (std::vector<Word>{4, 5}));
+    EXPECT_EQ(toCycleString(p), "(0 2 3)(4 5)");
+    EXPECT_EQ(countFixedPoints(p), 1u);
+    EXPECT_EQ(permutationOrder(p), 6u); // lcm(3, 2)
+    // 2 + 1 transpositions: odd.
+    EXPECT_FALSE(isEvenPermutation(p));
+}
+
+TEST(Cycles, FromCyclesRoundTrip)
+{
+    Prng prng(83);
+    for (int trial = 0; trial < 30; ++trial) {
+        const auto p = Permutation::random(32, prng);
+        EXPECT_EQ(fromCycles(32, cycleDecomposition(p)), p);
+    }
+}
+
+TEST(Cycles, FromCyclesRejectsOverlap)
+{
+    EXPECT_DEATH(fromCycles(4, {{0, 1}, {1, 2}}), "two cycles");
+    EXPECT_DEATH(fromCycles(4, {{0, 9}}), "out of range");
+}
+
+TEST(Cycles, OrderAnnihilates)
+{
+    Prng prng(89);
+    for (int trial = 0; trial < 20; ++trial) {
+        const auto p = Permutation::random(16, prng);
+        const auto k = permutationOrder(p);
+        EXPECT_EQ(permutationPower(p, k),
+                  Permutation::identity(16));
+        // No smaller positive power may be the identity if k is
+        // prime; in general check a strict divisor.
+        if (k > 1) {
+            EXPECT_NE(permutationPower(p, k - 1),
+                      Permutation::identity(16));
+        }
+    }
+}
+
+TEST(Cycles, PowerMatchesRepeatedComposition)
+{
+    Prng prng(97);
+    const auto p = Permutation::random(16, prng);
+    Permutation acc = Permutation::identity(16);
+    for (std::uint64_t k = 0; k <= 6; ++k) {
+        EXPECT_EQ(permutationPower(p, k), acc);
+        acc = acc.then(p);
+    }
+}
+
+TEST(Cycles, ParityIsMultiplicative)
+{
+    Prng prng(101);
+    for (int trial = 0; trial < 30; ++trial) {
+        const auto a = Permutation::random(16, prng);
+        const auto b = Permutation::random(16, prng);
+        EXPECT_EQ(isEvenPermutation(a.then(b)),
+                  isEvenPermutation(a) == isEvenPermutation(b));
+    }
+}
+
+TEST(Cycles, NamedPermutationStructure)
+{
+    // Vector reversal on 8 elements: four transpositions, even,
+    // order 2.
+    const auto rev = named::vectorReversal(3).toPermutation();
+    EXPECT_EQ(cycleDecomposition(rev).size(), 4u);
+    EXPECT_EQ(permutationOrder(rev), 2u);
+    EXPECT_TRUE(isEvenPermutation(rev));
+
+    // The perfect shuffle on 2^n elements has order n (bit
+    // rotation).
+    for (unsigned n = 2; n <= 8; ++n)
+        EXPECT_EQ(permutationOrder(
+                      named::perfectShuffle(n).toPermutation()),
+                  n);
+}
+
+TEST(Cycles, OrderOfInverseEqualsOrder)
+{
+    Prng prng(103);
+    const auto p = Permutation::random(64, prng);
+    EXPECT_EQ(permutationOrder(p), permutationOrder(p.inverse()));
+}
+
+} // namespace
+} // namespace srbenes

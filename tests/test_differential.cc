@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Differential suite: the library contains SIX independent
+ * realizations of "route permutation D through the self-routing
+ * Benes network" --
+ *
+ *   1. the Theorem 1 recursive membership test (perm/f_class),
+ *   2. the behavioral fabric simulator (core/self_routing),
+ *   3. the gate-level netlist (gates/benes_gates),
+ *   4. the CCC simulation (simd/permute),
+ *   5. the PSC simulation,
+ *   6. the MCC simulation,
+ *
+ * plus two universal paths (Waksman single pass, two-pass plan).
+ * This suite drives all of them with shared workload streams and
+ * requires bitwise agreement, catching any drift between the
+ * theory, the behavioral model, and the hardware model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hh"
+#include "core/self_routing.hh"
+#include "core/two_pass.hh"
+#include "core/waksman.hh"
+#include "gates/benes_gates.hh"
+#include "perm/f_class.hh"
+#include "perm/linear.hh"
+#include "perm/omega_class.hh"
+#include "simd/permute.hh"
+
+namespace srbenes
+{
+namespace
+{
+
+/** One shared workload stream: a mix of F members, affine, omega
+ *  and uniform permutations. */
+std::vector<Permutation>
+workloads(unsigned n, Prng &prng, int count)
+{
+    std::vector<Permutation> out;
+    const std::size_t size = std::size_t{1} << n;
+    for (int k = 0; k < count; ++k) {
+        switch (k % 4) {
+          case 0:
+            out.push_back(randomFMember(n, prng));
+            break;
+          case 1:
+            out.push_back(
+                LinearSpec::random(n, prng).toPermutation());
+            break;
+          case 2:
+            out.push_back(named::pOrderingShift(
+                n, 2 * prng.below(size / 2) + 1,
+                prng.below(size)));
+            break;
+          default:
+            out.push_back(Permutation::random(size, prng));
+            break;
+        }
+    }
+    return out;
+}
+
+class Differential : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(Differential, SixWayAgreementOnSuccess)
+{
+    const unsigned n = GetParam();
+    const SelfRoutingBenes net(n);
+    const BenesGateModel gates(n, false);
+    Prng prng(n * 1013);
+
+    for (const auto &d : workloads(n, prng, 24)) {
+        const bool theory = inFClass(d);
+        const bool behavioral = net.route(d).success;
+
+        const auto gate_tags = gates.simulate(d);
+        bool gate_ok = true;
+        for (Word j = 0; j < gate_tags.size(); ++j)
+            gate_ok = gate_ok && gate_tags[j] == j;
+
+        CubeMachine ccc(n);
+        ccc.loadIota(d);
+        const bool cube = cccPermute(ccc).success;
+
+        ShuffleMachine psc(n);
+        psc.loadIota(d);
+        const bool shuf = pscPermute(psc).success;
+
+        ASSERT_EQ(behavioral, theory) << d.toString();
+        ASSERT_EQ(gate_ok, theory) << d.toString();
+        ASSERT_EQ(cube, theory) << d.toString();
+        ASSERT_EQ(shuf, theory) << d.toString();
+
+        if (n % 2 == 0) {
+            MeshMachine mcc(n);
+            mcc.loadIota(d);
+            ASSERT_EQ(mccPermute(mcc).success, theory)
+                << d.toString();
+        }
+    }
+}
+
+TEST_P(Differential, DataAgreementOnMembers)
+{
+    // For F members, all data-carrying paths must deliver the same
+    // layout.
+    const unsigned n = GetParam();
+    const SelfRoutingBenes net(n);
+    Prng prng(n * 1019);
+    const std::size_t size = std::size_t{1} << n;
+
+    std::vector<Word> data(size);
+    for (std::size_t i = 0; i < size; ++i)
+        data[i] = 7000 + i;
+
+    for (int trial = 0; trial < 10; ++trial) {
+        const Permutation d = randomFMember(n, prng);
+        const auto net_out = net.permutePayloads(d, data);
+        ASSERT_TRUE(net_out.has_value());
+
+        CubeMachine ccc(n);
+        ccc.load(d, data);
+        ASSERT_TRUE(cccPermute(ccc).success);
+        EXPECT_EQ(ccc.payloads(), *net_out);
+
+        ShuffleMachine psc(n);
+        psc.load(d, data);
+        ASSERT_TRUE(pscPermute(psc).success);
+        EXPECT_EQ(psc.payloads(), *net_out);
+    }
+}
+
+TEST_P(Differential, UniversalPathsAgreeOnEverything)
+{
+    // Waksman single pass and the two-pass plan must both realize
+    // arbitrary permutations identically.
+    const unsigned n = GetParam();
+    const SelfRoutingBenes net(n);
+    Prng prng(n * 1021);
+    const std::size_t size = std::size_t{1} << n;
+
+    std::vector<Word> data(size);
+    for (std::size_t i = 0; i < size; ++i)
+        data[i] = 9000 + i;
+
+    for (const auto &d : workloads(n, prng, 12)) {
+        // Reference layout.
+        const auto expect = d.applyTo(data);
+
+        const auto states = waksmanSetup(net.topology(), d);
+        const auto wak = net.routeWithStates(d, states);
+        ASSERT_TRUE(wak.success);
+        std::vector<Word> wak_out(size);
+        for (std::size_t i = 0; i < size; ++i)
+            wak_out[wak.realized_dest[i]] = data[i];
+        EXPECT_EQ(wak_out, expect);
+
+        const auto plan = twoPassPlan(net, d);
+        EXPECT_EQ(twoPassPermute(net, plan, data), expect);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, Differential,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u));
+
+} // namespace
+} // namespace srbenes

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for fault injection and diagnosis: zero-fault equivalence,
+ * misrouting behavior of stuck switches, full single-fault
+ * detection by the generated test set, and localization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hh"
+#include "core/faults.hh"
+#include "perm/f_class.hh"
+#include "perm/named_bpc.hh"
+
+namespace srbenes
+{
+namespace
+{
+
+TEST(Faults, NoFaultsMatchesHealthyRoute)
+{
+    const SelfRoutingBenes net(4);
+    Prng prng(1);
+    for (int trial = 0; trial < 10; ++trial) {
+        const auto d = Permutation::random(16, prng);
+        const auto healthy = net.route(d);
+        const auto faulty = routeWithFaults(net, d, {});
+        EXPECT_EQ(healthy.output_tags, faulty.output_tags);
+        EXPECT_EQ(healthy.states, faulty.states);
+        EXPECT_EQ(healthy.success, faulty.success);
+    }
+}
+
+TEST(Faults, StuckCrossedBreaksIdentity)
+{
+    const SelfRoutingBenes net(3);
+    const auto id = Permutation::identity(8);
+    const StuckFault fault{2, 1, 1};
+    const auto res = routeWithFaults(net, id, {fault});
+    EXPECT_FALSE(res.success);
+    // A single binary switch misroutes exactly two signals.
+    EXPECT_EQ(res.misrouted_outputs.size(), 2u);
+    EXPECT_EQ(res.states[2][1], 1);
+}
+
+TEST(Faults, OpeningHalfFaultsAreMaskedOnPairAlignedTests)
+{
+    // The key testability finding: stages 0..n-2 make free
+    // decisions that the closing half corrects. Vector reversal
+    // maps every input pair onto one output pair, so a stuck
+    // stage-0 switch merely picks the other (equally valid)
+    // decomposition -- the route still succeeds.
+    const SelfRoutingBenes net(4);
+    const auto rev = named::vectorReversal(4).toPermutation();
+    const auto id = Permutation::identity(16);
+    for (std::uint8_t v : {std::uint8_t{0}, std::uint8_t{1}}) {
+        EXPECT_TRUE(
+            routeWithFaults(net, rev, {StuckFault{0, 3, v}})
+                .success);
+        EXPECT_TRUE(
+            routeWithFaults(net, id, {StuckFault{0, 3, v}})
+                .success);
+    }
+}
+
+TEST(Faults, OpeningHalfFaultsDetectedByGenericMembers)
+{
+    // ... but a random F member whose input pairs split across
+    // output pairs exposes the same fault: the flipped
+    // decomposition leaves F and the route breaks.
+    const SelfRoutingBenes net(4);
+    Prng prng(99);
+    bool exposed = false;
+    for (int trial = 0; trial < 50 && !exposed; ++trial) {
+        const auto member = randomFMember(4, prng);
+        const auto healthy = net.route(member).output_tags;
+        const auto faulty =
+            routeWithFaults(net, member, {StuckFault{0, 3, 0}});
+        exposed = faulty.output_tags != healthy;
+    }
+    EXPECT_TRUE(exposed);
+}
+
+TEST(Faults, ClosingHalfFaultsMisrouteImmediately)
+{
+    // Closing-half states are forced by the tags; a flip there
+    // always swaps two outputs.
+    const SelfRoutingBenes net(4);
+    const auto id = Permutation::identity(16);
+    for (unsigned s = 4; s < 7; ++s) {
+        const auto res =
+            routeWithFaults(net, id, {StuckFault{s, 2, 1}});
+        EXPECT_FALSE(res.success) << "stage " << s;
+        EXPECT_EQ(res.misrouted_outputs.size(), 2u);
+    }
+}
+
+TEST(Faults, FaultMatchingStateIsInvisible)
+{
+    // A stuck value that agrees with what self-routing would pick
+    // anyway changes nothing for that permutation.
+    const SelfRoutingBenes net(3);
+    const auto d = named::bitReversal(3).toPermutation();
+    const auto healthy = net.route(d);
+    const StuckFault agree{0, 0,
+                           healthy.states[0][0]};
+    const auto res = routeWithFaults(net, d, {agree});
+    EXPECT_TRUE(res.success);
+    EXPECT_EQ(res.output_tags, healthy.output_tags);
+}
+
+TEST(Faults, TestSetStartsWithIdentity)
+{
+    const SelfRoutingBenes net(3);
+    Prng prng(5);
+    const auto tests = faultTestSet(net, prng);
+    ASSERT_GE(tests.size(), 2u);
+    EXPECT_EQ(tests.front(), Permutation::identity(8));
+    // Every member must itself be routable (otherwise a failed test
+    // says nothing about faults).
+    for (const auto &t : tests)
+        EXPECT_TRUE(net.route(t).success);
+}
+
+class FaultSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(FaultSweep, EverySingleFaultDetected)
+{
+    const unsigned n = GetParam();
+    const SelfRoutingBenes net(n);
+    Prng prng(n * 601);
+    const auto tests = faultTestSet(net, prng);
+
+    const auto &topo = net.topology();
+    for (unsigned s = 0; s < topo.numStages(); ++s) {
+        for (Word i = 0; i < topo.switchesPerStage(); ++i) {
+            for (std::uint8_t v : {std::uint8_t{0},
+                                   std::uint8_t{1}}) {
+                EXPECT_TRUE(testSetDetects(net, tests,
+                                           StuckFault{s, i, v}))
+                    << "stage " << s << " switch " << i
+                    << " stuck " << int(v);
+            }
+        }
+    }
+}
+
+TEST_P(FaultSweep, DiagnosisFindsTheInjectedFault)
+{
+    const unsigned n = GetParam();
+    const SelfRoutingBenes net(n);
+    Prng prng(n * 607);
+    const auto tests = faultTestSet(net, prng);
+
+    const auto &topo = net.topology();
+    for (int trial = 0; trial < 8; ++trial) {
+        const StuckFault fault{
+            static_cast<unsigned>(prng.below(topo.numStages())),
+            prng.below(topo.switchesPerStage()),
+            static_cast<std::uint8_t>(prng.below(2))};
+
+        std::vector<std::vector<Word>> observed;
+        for (const auto &t : tests)
+            observed.push_back(
+                routeWithFaults(net, t, {fault}).output_tags);
+
+        const auto candidates =
+            diagnoseSingleFault(net, tests, observed);
+        // The injected fault must be among the behaviorally
+        // consistent candidates.
+        EXPECT_NE(std::find(candidates.begin(), candidates.end(),
+                            fault),
+                  candidates.end())
+            << "stage " << fault.stage << " switch "
+            << fault.switch_index;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, FaultSweep,
+                         ::testing::Values(2u, 3u, 4u));
+
+TEST(Faults, MultipleFaultsCompose)
+{
+    const SelfRoutingBenes net(3);
+    const auto id = Permutation::identity(8);
+    const std::vector<StuckFault> faults{{0, 0, 1}, {4, 3, 1}};
+    const auto res = routeWithFaults(net, id, faults);
+    EXPECT_FALSE(res.success);
+    EXPECT_EQ(res.states[0][0], 1);
+    EXPECT_EQ(res.states[4][3], 1);
+    // The stage-0 fault is masked (free half); only the closing
+    // stage fault misroutes, swapping outputs 6 and 7.
+    EXPECT_EQ(res.misrouted_outputs, (std::vector<Word>{6, 7}));
+}
+
+TEST(Faults, OutOfRangeFaultDies)
+{
+    const SelfRoutingBenes net(2);
+    EXPECT_DEATH(routeWithFaults(net, Permutation::identity(4),
+                                 {StuckFault{9, 0, 1}}),
+                 "out of range");
+}
+
+} // namespace
+} // namespace srbenes

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the gate-level fabric: netlist primitives, the
+ * structural cost/delay claims (2n muxes per switch, one mux level
+ * per stage), and bit-for-bit equivalence with the behavioral
+ * simulator -- exhaustively at N = 4 and sampled at larger sizes.
+ */
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hh"
+#include "core/self_routing.hh"
+#include "gates/benes_gates.hh"
+#include "perm/f_class.hh"
+#include "perm/named_bpc.hh"
+
+namespace srbenes
+{
+namespace
+{
+
+TEST(Netlist, PrimitiveTruthTables)
+{
+    Netlist net;
+    const NodeId a = net.addInput();
+    const NodeId b = net.addInput();
+    const NodeId s = net.addInput();
+    const NodeId n_not = net.addNot(a);
+    const NodeId n_and = net.addAnd(a, b);
+    const NodeId n_or = net.addOr(a, b);
+    const NodeId n_xor = net.addXor(a, b);
+    const NodeId n_mux = net.addMux(s, a, b);
+
+    for (std::uint8_t va : {0, 1}) {
+        for (std::uint8_t vb : {0, 1}) {
+            for (std::uint8_t vs : {0, 1}) {
+                const auto v = net.evaluate({va, vb, vs});
+                EXPECT_EQ(v[n_not], va ^ 1);
+                EXPECT_EQ(v[n_and], va & vb);
+                EXPECT_EQ(v[n_or], va | vb);
+                EXPECT_EQ(v[n_xor], va ^ vb);
+                EXPECT_EQ(v[n_mux], vs ? vb : va);
+            }
+        }
+    }
+}
+
+TEST(Netlist, DepthAccounting)
+{
+    Netlist net;
+    const NodeId a = net.addInput();
+    const NodeId b = net.addInput();
+    EXPECT_EQ(net.depthOf(a), 0u);
+    const NodeId x = net.addAnd(a, b); // depth 1
+    const NodeId y = net.addOr(x, a);  // depth 2
+    const NodeId z = net.addMux(y, x, b); // depth 3
+    EXPECT_EQ(net.depthOf(x), 1u);
+    EXPECT_EQ(net.depthOf(y), 2u);
+    EXPECT_EQ(net.depthOf(z), 3u);
+    EXPECT_EQ(net.criticalDepth(), 3u);
+}
+
+TEST(Netlist, ConstantsAreShared)
+{
+    Netlist net;
+    const NodeId c0 = net.constant(false);
+    const NodeId c1 = net.constant(true);
+    EXPECT_EQ(net.constant(false), c0);
+    EXPECT_EQ(net.constant(true), c1);
+    const auto v = net.evaluate({});
+    EXPECT_EQ(v[c0], 0);
+    EXPECT_EQ(v[c1], 1);
+}
+
+TEST(Netlist, GateCounts)
+{
+    Netlist net;
+    const NodeId a = net.addInput();
+    net.addNot(a);
+    net.addNot(a);
+    EXPECT_EQ(net.numGates(), 2u);
+    EXPECT_EQ(net.countOf(GateOp::Not), 2u);
+    EXPECT_EQ(net.countOf(GateOp::Input), 1u);
+    EXPECT_EQ(net.numInputs(), 1u);
+}
+
+TEST(GateModel, StructuralCosts)
+{
+    for (unsigned n = 1; n <= 6; ++n) {
+        const BenesGateModel model(n, /*with_omega_input=*/false);
+        const Word size = Word{1} << n;
+        const Word switches = (2 * n - 1) * size / 2;
+        // "2n muxes per switch": each of the n tag bits needs one
+        // mux per output.
+        EXPECT_EQ(model.netlist().countOf(GateOp::Mux),
+                  switches * 2 * n);
+        // Delay: exactly one mux level per stage, no setup phase.
+        EXPECT_EQ(model.criticalDepth(), 2 * n - 1);
+        EXPECT_EQ(model.netlist().numInputs(), size * n);
+    }
+}
+
+TEST(GateModel, OmegaFeatureCost)
+{
+    const unsigned n = 4;
+    const BenesGateModel model(n, true);
+    const Word size = Word{1} << n;
+    // One AND per switch in the n-1 forced stages, one shared NOT.
+    EXPECT_EQ(model.netlist().countOf(GateOp::And),
+              (n - 1) * size / 2);
+    EXPECT_EQ(model.netlist().countOf(GateOp::Not), 1u);
+    // Forced stages stack control AND + mux; still O(log N).
+    EXPECT_LE(model.criticalDepth(), 3 * n);
+}
+
+TEST(GateModel, MatchesBehavioralExhaustivelyN4)
+{
+    const BenesGateModel model(2, true);
+    const SelfRoutingBenes net(2);
+    std::vector<Word> dest(4);
+    std::iota(dest.begin(), dest.end(), 0);
+    do {
+        const Permutation d(dest);
+        for (bool omega : {false, true}) {
+            const auto mode = omega ? RoutingMode::OmegaBit
+                                    : RoutingMode::SelfRouting;
+            ASSERT_EQ(model.simulate(d, omega),
+                      net.route(d, mode).output_tags)
+                << d.toString() << " omega=" << omega;
+        }
+    } while (std::next_permutation(dest.begin(), dest.end()));
+}
+
+class GateModelSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(GateModelSweep, MatchesBehavioralOnRandomPermutations)
+{
+    const unsigned n = GetParam();
+    const BenesGateModel model(n, true);
+    const SelfRoutingBenes net(n);
+    Prng prng(n * 307);
+    for (int trial = 0; trial < 10; ++trial) {
+        // Mix members and non-members of F.
+        const Permutation d =
+            trial % 2 ? Permutation::random(std::size_t{1} << n, prng)
+                      : randomFMember(n, prng);
+        for (bool omega : {false, true}) {
+            const auto mode = omega ? RoutingMode::OmegaBit
+                                    : RoutingMode::SelfRouting;
+            ASSERT_EQ(model.simulate(d, omega),
+                      net.route(d, mode).output_tags)
+                << d.toString();
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, GateModelSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(GateModel, BitReversalDeliversSortedTags)
+{
+    const BenesGateModel model(3, false);
+    const auto tags =
+        model.simulate(named::bitReversal(3).toPermutation());
+    for (Word j = 0; j < 8; ++j)
+        EXPECT_EQ(tags[j], j);
+}
+
+TEST(GateModel, OmegaModeForcesFigFiveThrough)
+{
+    const BenesGateModel model(2, true);
+    const Permutation d{1, 3, 2, 0};
+    // Self mode misroutes; omega mode sorts the tags.
+    const auto self_tags = model.simulate(d, false);
+    EXPECT_NE(self_tags, (std::vector<Word>{0, 1, 2, 3}));
+    EXPECT_EQ(model.simulate(d, true),
+              (std::vector<Word>{0, 1, 2, 3}));
+}
+
+} // namespace
+} // namespace srbenes

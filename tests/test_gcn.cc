@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the generalized connection network: arbitrary mappings
+ * with fanout, the permutation special case, degenerate broadcast
+ * patterns, and the cost model -- exhaustive over all N^N mappings
+ * at N = 4.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hh"
+#include "networks/gcn.hh"
+
+namespace srbenes
+{
+namespace
+{
+
+std::vector<Word>
+iotaData(Word size, Word base)
+{
+    std::vector<Word> v(size);
+    for (Word i = 0; i < size; ++i)
+        v[i] = base + i;
+    return v;
+}
+
+TEST(Gcn, IdentityMapping)
+{
+    const GcnNetwork gcn(3);
+    const auto data = iotaData(8, 100);
+    std::vector<Word> src(8);
+    for (Word j = 0; j < 8; ++j)
+        src[j] = j;
+    EXPECT_EQ(gcn.routeMapping(src, data), data);
+}
+
+TEST(Gcn, FullBroadcast)
+{
+    const GcnNetwork gcn(3);
+    const auto data = iotaData(8, 100);
+    const std::vector<Word> src(8, 5); // everyone wants input 5
+    EXPECT_EQ(gcn.routeMapping(src, data),
+              std::vector<Word>(8, 105));
+}
+
+TEST(Gcn, ExhaustiveAllMappingsN4)
+{
+    // All 4^4 = 256 mappings of a 4-terminal GCN.
+    const GcnNetwork gcn(2);
+    const auto data = iotaData(4, 50);
+    for (unsigned code = 0; code < 256; ++code) {
+        std::vector<Word> src(4);
+        unsigned c = code;
+        for (Word j = 0; j < 4; ++j) {
+            src[j] = c % 4;
+            c /= 4;
+        }
+        const auto out = gcn.routeMapping(src, data);
+        for (Word j = 0; j < 4; ++j)
+            ASSERT_EQ(out[j], data[src[j]]) << "code " << code;
+    }
+}
+
+class GcnSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(GcnSweep, RandomMappings)
+{
+    const unsigned n = GetParam();
+    const GcnNetwork gcn(n);
+    const Word size = Word{1} << n;
+    const auto data = iotaData(size, 1000);
+    Prng prng(n * 401);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<Word> src(size);
+        for (Word j = 0; j < size; ++j)
+            src[j] = prng.below(size);
+        const auto out = gcn.routeMapping(src, data);
+        for (Word j = 0; j < size; ++j)
+            ASSERT_EQ(out[j], data[src[j]]);
+    }
+}
+
+TEST_P(GcnSweep, RandomPermutationsAsMappings)
+{
+    const unsigned n = GetParam();
+    const GcnNetwork gcn(n);
+    const Word size = Word{1} << n;
+    const auto data = iotaData(size, 2000);
+    Prng prng(n * 409);
+    for (int trial = 0; trial < 10; ++trial) {
+        // src = inverse destination vector of a random permutation.
+        const auto d = Permutation::random(size, prng);
+        const auto out = gcn.routeMapping(d.inverse().dest(), data);
+        for (Word i = 0; i < size; ++i)
+            EXPECT_EQ(out[d[i]], data[i]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, GcnSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 6u, 8u));
+
+TEST(Gcn, SkewedFanout)
+{
+    // Input 0 feeds half the outputs, input 1 a quarter, etc.
+    const unsigned n = 4;
+    const GcnNetwork gcn(n);
+    const Word size = 16;
+    const auto data = iotaData(size, 300);
+    std::vector<Word> src(size);
+    for (Word j = 0; j < size; ++j) {
+        Word s = 0;
+        while (s < n && bit(j, n - 1 - s))
+            ++s;
+        src[j] = s;
+    }
+    const auto out = gcn.routeMapping(src, data);
+    for (Word j = 0; j < size; ++j)
+        EXPECT_EQ(out[j], data[src[j]]);
+}
+
+TEST(Gcn, CostModel)
+{
+    const GcnNetwork gcn(4);
+    const GcnCosts costs = gcn.costs();
+    // Two B(4) fabrics: 2 * (16*4 - 8) = 112 switches.
+    EXPECT_EQ(costs.binary_switches, 112u);
+    // 4 copy stages of 16 selectors.
+    EXPECT_EQ(costs.copy_selectors, 64u);
+    // 2 * 7 Benes stages + 4 copy stages.
+    EXPECT_EQ(costs.delay_stages, 18u);
+}
+
+TEST(Gcn, OutOfRangeRequestDies)
+{
+    const GcnNetwork gcn(2);
+    const auto data = iotaData(4, 0);
+    EXPECT_DEATH(
+        { gcn.routeMapping({0, 1, 2, 7}, data); }, "out of range");
+}
+
+} // namespace
+} // namespace srbenes

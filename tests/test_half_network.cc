@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for the half-network decomposition: the exact form of the
+ * paper's "first n stages correspond to an inverse omega network
+ * except for some rearrangement of switches" -- the rearrangement
+ * is precisely one fixed bit-permutation relabeling (the
+ * all-straight map; bit reversal for the omega half). Set
+ * equalities are checked exhaustively over ALL switch settings at
+ * N = 4 and N = 8.
+ */
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hh"
+#include "core/half_network.hh"
+#include "core/self_routing.hh"
+#include "core/waksman.hh"
+#include "perm/bpc.hh"
+#include "perm/named_bpc.hh"
+#include "perm/omega_class.hh"
+
+namespace srbenes
+{
+namespace
+{
+
+/** Load the low bits of @p settings into the switches of stages
+ *  [lo, hi]. */
+SwitchStates
+statesFromBits(const BenesTopology &topo, unsigned lo, unsigned hi,
+               std::uint64_t settings)
+{
+    SwitchStates states = topo.makeStates();
+    unsigned bit_idx = 0;
+    for (unsigned s = lo; s <= hi; ++s)
+        for (Word i = 0; i < topo.switchesPerStage(); ++i)
+            states[s][i] = static_cast<std::uint8_t>(
+                (settings >> bit_idx++) & 1);
+    return states;
+}
+
+/** All mappings a half realizes, over every switch setting. */
+template <typename MapFn>
+std::set<std::vector<Word>>
+enumerateHalf(const BenesTopology &topo, unsigned lo, unsigned hi,
+              MapFn map_fn)
+{
+    const unsigned bits = static_cast<unsigned>(
+        (hi - lo + 1) * topo.switchesPerStage());
+    std::set<std::vector<Word>> out;
+    for (std::uint64_t settings = 0;
+         settings < (std::uint64_t{1} << bits); ++settings) {
+        const auto states = statesFromBits(topo, lo, hi, settings);
+        out.insert(map_fn(topo, states).dest());
+    }
+    return out;
+}
+
+/** All members of a permutation class at size N. */
+template <typename Pred>
+std::set<std::vector<Word>>
+enumerateClass(Word size, Pred pred)
+{
+    std::vector<Word> dest(size);
+    std::iota(dest.begin(), dest.end(), 0);
+    std::set<std::vector<Word>> out;
+    do {
+        if (pred(Permutation(dest)))
+            out.insert(dest);
+    } while (std::next_permutation(dest.begin(), dest.end()));
+    return out;
+}
+
+class HalfNetwork : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(HalfNetwork, FirstHalfIsInverseOmegaTimesUnshuffle)
+{
+    const unsigned n = GetParam();
+    const BenesTopology topo(n);
+    const Word size = topo.numLines();
+
+    const auto realized =
+        enumerateHalf(topo, 0, n - 1, firstHalfMapping);
+
+    // { rho.then(w0) : rho in InverseOmega(n) } with w0 the fixed
+    // all-straight relabeling of this size.
+    const Permutation w0 =
+        firstHalfMapping(topo, topo.makeStates());
+    std::set<std::vector<Word>> expected;
+    for (const auto &rho :
+         enumerateClass(size, [](const Permutation &p) {
+             return isInverseOmega(p);
+         }))
+        expected.insert(Permutation(rho).then(w0).dest());
+
+    EXPECT_EQ(realized, expected);
+    // Injectivity: one distinct mapping per setting.
+    EXPECT_EQ(realized.size(),
+              std::size_t{1} << (n * size / 2));
+}
+
+TEST_P(HalfNetwork, OmegaHalfIsBitReversalTimesOmega)
+{
+    const unsigned n = GetParam();
+    const BenesTopology topo(n);
+    const Word size = topo.numLines();
+
+    const auto realized = enumerateHalf(topo, n - 1, 2 * n - 2,
+                                        omegaHalfMapping);
+
+    const Permutation bitrev =
+        named::bitReversal(n).toPermutation();
+    std::set<std::vector<Word>> expected;
+    for (const auto &om :
+         enumerateClass(size, [](const Permutation &p) {
+             return isOmega(p);
+         }))
+        expected.insert(bitrev.then(Permutation(om)).dest());
+
+    EXPECT_EQ(realized, expected);
+    EXPECT_EQ(realized.size(),
+              std::size_t{1} << (n * size / 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, HalfNetwork,
+                         ::testing::Values(2u, 3u));
+
+TEST(HalfNetwork, RouteFactorsThroughTheHalves)
+{
+    // firstHalf.then(tail) must equal the full realized mapping for
+    // arbitrary switch settings.
+    const unsigned n = 4;
+    const SelfRoutingBenes net(n);
+    const auto &topo = net.topology();
+    Prng prng(41);
+    for (int trial = 0; trial < 20; ++trial) {
+        const auto d = Permutation::random(16, prng);
+        const auto states = waksmanSetup(topo, d);
+        const auto first = firstHalfMapping(topo, states);
+        const auto tail = tailMapping(topo, states);
+        // The Waksman states realize d, so the composition is d.
+        EXPECT_EQ(first.then(tail), d);
+    }
+}
+
+TEST(HalfNetwork, AllStraightFirstHalfRelabelings)
+{
+    // The fixed relabeling w0 depends on n: the inner partial
+    // unshuffles only cancel pairwise against the trailing
+    // boundary. Spot values: identity at n = 2, one unshuffle at
+    // n = 3; always a pure bit-permutation of the line index.
+    EXPECT_EQ(firstHalfMapping(BenesTopology(2),
+                               BenesTopology(2).makeStates()),
+              Permutation::identity(4));
+    EXPECT_EQ(firstHalfMapping(BenesTopology(3),
+                               BenesTopology(3).makeStates()),
+              named::unshuffle(3).toPermutation());
+    for (unsigned n = 2; n <= 6; ++n) {
+        const BenesTopology topo(n);
+        const auto w0 = firstHalfMapping(topo, topo.makeStates());
+        EXPECT_TRUE(recognizeBpc(w0).has_value()) << n;
+    }
+}
+
+TEST(HalfNetwork, AllStraightOmegaHalfIsBitReversal)
+{
+    for (unsigned n = 2; n <= 6; ++n) {
+        const BenesTopology topo(n);
+        EXPECT_EQ(omegaHalfMapping(topo, topo.makeStates()),
+                  named::bitReversal(n).toPermutation())
+            << n;
+    }
+}
+
+TEST(HalfNetwork, SingleStageNetworkDegenerates)
+{
+    const BenesTopology topo(1);
+    const auto states = topo.makeStates();
+    EXPECT_EQ(firstHalfMapping(topo, states),
+              Permutation::identity(2));
+    EXPECT_EQ(tailMapping(topo, states), Permutation::identity(2));
+}
+
+} // namespace
+} // namespace srbenes

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the mesh-connected computer and its Section III
+ * algorithm: interchange distances, the 7 N^1/2 - 8 route count,
+ * exhaustive equivalence with F(n) at N = 4, and data delivery.
+ */
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hh"
+#include "perm/f_class.hh"
+#include "perm/named_bpc.hh"
+#include "simd/permute.hh"
+
+namespace srbenes
+{
+namespace
+{
+
+TEST(Mcc, InterchangeDistances)
+{
+    // n = 6: 8x8 mesh. Column distances for bits 0..2, row distances
+    // for bits 3..5.
+    MeshMachine m(6);
+    EXPECT_EQ(m.side(), 8u);
+    EXPECT_EQ(m.interchangeDistance(0), 1u);
+    EXPECT_EQ(m.interchangeDistance(1), 2u);
+    EXPECT_EQ(m.interchangeDistance(2), 4u);
+    EXPECT_EQ(m.interchangeDistance(3), 1u);
+    EXPECT_EQ(m.interchangeDistance(4), 2u);
+    EXPECT_EQ(m.interchangeDistance(5), 4u);
+}
+
+TEST(Mcc, InterchangeCostsTwiceTheDistance)
+{
+    MeshMachine m(4);
+    m.loadIota(Permutation::identity(16));
+    m.interchange(1, [](Word) { return true; });
+    EXPECT_EQ(m.unitRoutes(), 4u); // distance 2, both directions
+    m.interchange(3, [](Word) { return true; });
+    EXPECT_EQ(m.unitRoutes(), 4u + 4u); // row distance 2
+}
+
+TEST(Mcc, PermuteMatchesFClassExhaustivelyN4)
+{
+    MeshMachine m(2);
+    std::vector<Word> dest(4);
+    std::iota(dest.begin(), dest.end(), 0);
+    do {
+        const Permutation d(dest);
+        m.loadIota(d);
+        ASSERT_EQ(mccPermute(m).success, inFClass(d)) << d.toString();
+    } while (std::next_permutation(dest.begin(), dest.end()));
+}
+
+TEST(Mcc, AgreesWithCubeAlgorithm)
+{
+    Prng prng(47);
+    const unsigned n = 6;
+    for (int trial = 0; trial < 20; ++trial) {
+        const Permutation d = BpcSpec::random(n, prng).toPermutation();
+        CubeMachine cube(n);
+        MeshMachine mesh(n);
+        cube.loadIota(d);
+        mesh.loadIota(d);
+        ASSERT_TRUE(cccPermute(cube).success);
+        ASSERT_TRUE(mccPermute(mesh).success);
+        for (Word i = 0; i < cube.numPes(); ++i)
+            EXPECT_EQ(cube.pe(i).r, mesh.pe(i).r);
+    }
+}
+
+class MccRouteCounts : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(MccRouteCounts, GeneralCaseUsesSevenRootNMinusEight)
+{
+    const unsigned n = GetParam();
+    MeshMachine m(n);
+    m.loadIota(named::bitReversal(n).toPermutation());
+    const auto stats = mccPermute(m);
+    EXPECT_TRUE(stats.success);
+    const Word root = Word{1} << (n / 2);
+    EXPECT_EQ(stats.unit_routes, 7 * root - 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(EvenWidths, MccRouteCounts,
+                         ::testing::Values(2u, 4u, 6u, 8u, 10u, 12u));
+
+TEST(Mcc, DataArrivesWithTags)
+{
+    MeshMachine m(6);
+    Prng prng(53);
+    for (int trial = 0; trial < 10; ++trial) {
+        const Permutation d = BpcSpec::random(6, prng).toPermutation();
+        m.loadIota(d);
+        ASSERT_TRUE(mccPermute(m).success);
+        for (Word i = 0; i < 64; ++i)
+            EXPECT_EQ(m.pe(d[i]).r, i);
+    }
+}
+
+TEST(Mcc, StepwiseInterchangeValidatesCostModel)
+{
+    // The literal neighbor-hop realization must agree with the
+    // accounted teleport in both result and unit-route count, for
+    // every dimension.
+    Prng prng(59);
+    const unsigned n = 6;
+    for (unsigned b = 0; b < n; ++b) {
+        MeshMachine direct(n), literal(n);
+        const Permutation d = Permutation::random(64, prng);
+        direct.loadIota(d);
+        literal.loadIota(d);
+
+        auto pred = [&d](Word i) { return bit(d[i], 0) == 1; };
+        direct.interchange(b, pred);
+        literal.interchangeStepwise(b, pred);
+
+        EXPECT_EQ(direct.unitRoutes(), literal.unitRoutes())
+            << "dim " << b;
+        for (Word i = 0; i < 64; ++i) {
+            EXPECT_EQ(direct.pe(i).r, literal.pe(i).r)
+                << "dim " << b << " pe " << i;
+            EXPECT_EQ(direct.pe(i).d, literal.pe(i).d);
+        }
+    }
+}
+
+TEST(Mcc, StepwisePermuteDeliversLikeAccounted)
+{
+    // Run the whole Section III schedule with literal hops.
+    const unsigned n = 4;
+    MeshMachine m(n);
+    const Permutation d = named::bitReversal(n).toPermutation();
+    m.loadIota(d);
+    for (unsigned b : benesSchedule(n))
+        m.interchangeStepwise(
+            b, [&m, b](Word i) { return bit(m.pe(i).d, b) == 1; });
+    EXPECT_TRUE(m.permutationComplete());
+    EXPECT_EQ(m.unitRoutes(), 7u * 4 - 8); // 7 sqrt(N) - 8
+}
+
+TEST(Mcc, OddWidthRejected)
+{
+    EXPECT_DEATH(
+        {
+            MeshMachine m(3);
+            (void)m;
+        },
+        "even");
+}
+
+TEST(Mcc, TransposeCheaperWithBpcHint)
+{
+    // Matrix transpose fixes no axis, but p-ordering-style BPC
+    // hints can skip: use a spec fixing the row bits.
+    const unsigned n = 6;
+    const BpcSpec spec = named::segmentBitReversal(n, n / 2);
+    MeshMachine with_hint(n), without(n);
+    with_hint.loadIota(spec.toPermutation());
+    without.loadIota(spec.toPermutation());
+    const auto hinted =
+        mccPermute(with_hint, PermClassHint::General, &spec);
+    const auto plain = mccPermute(without);
+    EXPECT_TRUE(hinted.success);
+    EXPECT_TRUE(plain.success);
+    EXPECT_LT(hinted.unit_routes, plain.unit_routes);
+}
+
+} // namespace
+} // namespace srbenes

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the broadcast-capable Benes fabric: 4-state switch
+ * semantics, exact setup (exhaustive over all 256 mappings at
+ * N = 4), permutation compatibility, broadcast patterns, and the
+ * existence of single-pass-infeasible multicasts at N = 8 (why
+ * GCNs spend a second fabric).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hh"
+#include "networks/multicast.hh"
+
+namespace srbenes
+{
+namespace
+{
+
+TEST(Multicast, FourStateSwitchSemantics)
+{
+    const MulticastBenes fabric(1);
+    McStates states(1, {McState::Through});
+    EXPECT_EQ(fabric.routeWithStates(states),
+              (std::vector<Word>{0, 1}));
+    states[0][0] = McState::Cross;
+    EXPECT_EQ(fabric.routeWithStates(states),
+              (std::vector<Word>{1, 0}));
+    states[0][0] = McState::BcastUpper;
+    EXPECT_EQ(fabric.routeWithStates(states),
+              (std::vector<Word>{0, 0}));
+    states[0][0] = McState::BcastLower;
+    EXPECT_EQ(fabric.routeWithStates(states),
+              (std::vector<Word>{1, 1}));
+}
+
+TEST(Multicast, ExhaustiveAllMappingsN4)
+{
+    // Every one of the 4^4 = 256 mappings fits in one pass at
+    // N = 4.
+    const MulticastBenes fabric(2);
+    for (unsigned code = 0; code < 256; ++code) {
+        std::vector<Word> src(4);
+        unsigned c = code;
+        for (Word j = 0; j < 4; ++j) {
+            src[j] = c % 4;
+            c /= 4;
+        }
+        const auto states = fabric.setupMapping(src);
+        ASSERT_TRUE(states.has_value()) << "code " << code;
+        EXPECT_EQ(fabric.routeWithStates(*states), src);
+    }
+}
+
+TEST(Multicast, PermutationsAlwaysFit)
+{
+    // With no fanout the fabric degenerates to a Benes network, so
+    // every permutation must set up.
+    Prng prng(3);
+    for (unsigned n : {2u, 3u, 4u}) {
+        const MulticastBenes fabric(n);
+        for (int trial = 0; trial < 15; ++trial) {
+            const auto d =
+                Permutation::random(std::size_t{1} << n, prng);
+            // src[j] = input feeding output j = d^-1.
+            const auto states = fabric.setupMapping(d.inverse().dest());
+            ASSERT_TRUE(states.has_value()) << d.toString();
+        }
+    }
+}
+
+TEST(Multicast, FullBroadcastFits)
+{
+    for (unsigned n : {2u, 3u, 4u}) {
+        const MulticastBenes fabric(n);
+        const Word size = Word{1} << n;
+        for (Word hot : {Word{0}, size - 1, size / 2}) {
+            const std::vector<Word> src(size, hot);
+            const auto states = fabric.setupMapping(src);
+            ASSERT_TRUE(states.has_value()) << hot;
+            EXPECT_EQ(fabric.routeWithStates(*states), src);
+        }
+    }
+}
+
+TEST(Multicast, SomeMulticastsNeedTwoFabrics)
+{
+    // The reason GCNs exist: at N = 8 some fanout patterns are
+    // single-pass infeasible. Find one deterministically.
+    const MulticastBenes fabric(3);
+    Prng prng(5);
+    bool found_infeasible = false;
+    std::vector<Word> witness;
+    for (int trial = 0; trial < 3000 && !found_infeasible;
+         ++trial) {
+        std::vector<Word> src(8);
+        for (Word j = 0; j < 8; ++j)
+            src[j] = prng.below(8);
+        if (!fabric.setupMapping(src).has_value()) {
+            found_infeasible = true;
+            witness = src;
+        }
+    }
+    EXPECT_TRUE(found_infeasible)
+        << "all sampled multicasts fit -- unexpected";
+}
+
+TEST(Multicast, FeasibleSetupsVerify)
+{
+    Prng prng(7);
+    const MulticastBenes fabric(3);
+    int feasible = 0;
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<Word> src(8);
+        for (Word j = 0; j < 8; ++j)
+            src[j] = prng.below(8);
+        const auto states = fabric.setupMapping(src);
+        if (!states)
+            continue;
+        ++feasible;
+        EXPECT_EQ(fabric.routeWithStates(*states), src);
+    }
+    EXPECT_GT(feasible, 0);
+}
+
+TEST(Multicast, OutOfRangeRequestDies)
+{
+    const MulticastBenes fabric(2);
+    EXPECT_DEATH(fabric.setupMapping({0, 1, 2, 9}), "out of range");
+}
+
+} // namespace
+} // namespace srbenes

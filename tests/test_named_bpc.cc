@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Semantic tests for every named BPC permutation of Table I plus the
+ * FUB representatives: each generator is checked against its
+ * first-principles definition, not against another generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "perm/named_bpc.hh"
+
+namespace srbenes
+{
+namespace
+{
+
+TEST(NamedBpc, MatrixTransposeOn4x4)
+{
+    // n = 4: a 4x4 row-major matrix; element (r, c) at index 4r + c
+    // must move to index 4c + r.
+    const Permutation d = named::matrixTranspose(4).toPermutation();
+    for (Word r = 0; r < 4; ++r)
+        for (Word c = 0; c < 4; ++c)
+            EXPECT_EQ(d[4 * r + c], 4 * c + r);
+}
+
+TEST(NamedBpc, BitReversalDefinition)
+{
+    for (unsigned n = 1; n <= 6; ++n) {
+        const Permutation d = named::bitReversal(n).toPermutation();
+        for (Word i = 0; i < d.size(); ++i)
+            EXPECT_EQ(d[i], reverseBits(i, n));
+    }
+}
+
+TEST(NamedBpc, BitReversalFigFourValues)
+{
+    // The Fig. 4 permutation on B(3).
+    EXPECT_EQ(named::bitReversal(3).toPermutation(),
+              Permutation({0, 4, 2, 6, 1, 5, 3, 7}));
+}
+
+TEST(NamedBpc, VectorReversal)
+{
+    for (unsigned n = 1; n <= 6; ++n) {
+        const Permutation d = named::vectorReversal(n).toPermutation();
+        for (Word i = 0; i < d.size(); ++i)
+            EXPECT_EQ(d[i], d.size() - 1 - i);
+    }
+}
+
+TEST(NamedBpc, PerfectShuffleInterleavesHalves)
+{
+    // The perfect shuffle of a deck: element i of the bottom half
+    // (i < N/2) goes to 2i; element N/2 + i of the top half goes to
+    // 2i + 1.
+    for (unsigned n = 2; n <= 6; ++n) {
+        const Permutation d = named::perfectShuffle(n).toPermutation();
+        const Word half = d.size() / 2;
+        for (Word i = 0; i < half; ++i) {
+            EXPECT_EQ(d[i], 2 * i);
+            EXPECT_EQ(d[half + i], 2 * i + 1);
+        }
+    }
+}
+
+TEST(NamedBpc, UnshuffleInvertsShuffle)
+{
+    for (unsigned n = 1; n <= 6; ++n)
+        EXPECT_EQ(named::unshuffle(n).toPermutation(),
+                  named::perfectShuffle(n).toPermutation().inverse());
+}
+
+TEST(NamedBpc, ShuffledRowMajorInterleavesRowColBits)
+{
+    // (r, c) with m-bit coordinates maps to the index whose bit 2t is
+    // c_t and bit 2t+1 is r_t.
+    const unsigned n = 6, m = 3;
+    const Permutation d = named::shuffledRowMajor(n).toPermutation();
+    for (Word r = 0; r < (Word{1} << m); ++r) {
+        for (Word c = 0; c < (Word{1} << m); ++c) {
+            Word expect = 0;
+            for (unsigned t = 0; t < m; ++t) {
+                expect |= bit(c, t) << (2 * t);
+                expect |= bit(r, t) << (2 * t + 1);
+            }
+            EXPECT_EQ(d[(r << m) | c], expect);
+        }
+    }
+}
+
+TEST(NamedBpc, BitShuffleInvertsShuffledRowMajor)
+{
+    for (unsigned n = 2; n <= 8; n += 2) {
+        EXPECT_EQ(
+            named::shuffledRowMajor(n)
+                .then(named::bitShuffle(n))
+                .toPermutation(),
+            Permutation::identity(std::size_t{1} << n));
+    }
+}
+
+TEST(NamedBpc, TableOneVectorNotation)
+{
+    // The A-vectors for n = 4, written in the paper's notation.
+    const auto rows = named::tableOne(4);
+    ASSERT_EQ(rows.size(), 7u);
+    EXPECT_EQ(rows[0].name, "Matrix Transpose");
+    EXPECT_EQ(rows[0].spec.toString(), "(1, 0, 3, 2)");
+    EXPECT_EQ(rows[1].spec.toString(), "(0, 1, 2, 3)"); // bit reversal
+    EXPECT_EQ(rows[2].spec.toString(),
+              "(-3, -2, -1, -0)"); // vector reversal
+    EXPECT_EQ(rows[3].spec.toString(),
+              "(0, 3, 2, 1)"); // perfect shuffle: j -> j+1 mod n
+    EXPECT_EQ(rows[4].spec.toString(), "(2, 1, 0, 3)"); // unshuffle
+    EXPECT_EQ(rows[5].spec.toString(),
+              "(3, 1, 2, 0)"); // shuffled row major
+    EXPECT_EQ(rows[6].spec.toString(), "(3, 1, 2, 0)"); // bit shuffle
+}
+
+TEST(NamedBpc, ShuffledRowMajorAndBitShuffleDifferBeyondFourBits)
+{
+    // They coincide at n = 4 (self-inverse there) but not at n = 6.
+    EXPECT_EQ(named::shuffledRowMajor(4), named::bitShuffle(4));
+    EXPECT_NE(named::shuffledRowMajor(6), named::bitShuffle(6));
+}
+
+TEST(NamedBpc, SegmentBitReversalOnlyTouchesLowBits)
+{
+    const unsigned n = 5, k = 3;
+    const Permutation d =
+        named::segmentBitReversal(n, k).toPermutation();
+    for (Word i = 0; i < d.size(); ++i) {
+        EXPECT_EQ(d[i] >> k, i >> k);
+        EXPECT_EQ(d[i] & lowMask(k), reverseBits(i & lowMask(k), k));
+    }
+}
+
+TEST(NamedBpc, SegmentPerfectShuffle)
+{
+    const unsigned n = 5, k = 3;
+    const Permutation d =
+        named::segmentPerfectShuffle(n, k).toPermutation();
+    for (Word i = 0; i < d.size(); ++i) {
+        EXPECT_EQ(d[i] >> k, i >> k);
+        EXPECT_EQ(d[i] & lowMask(k), shuffle(i & lowMask(k), k));
+    }
+}
+
+TEST(NamedBpc, BitComplementXors)
+{
+    const unsigned n = 4;
+    for (Word mask = 0; mask < 16; ++mask) {
+        const Permutation d =
+            named::bitComplement(n, mask).toPermutation();
+        for (Word i = 0; i < d.size(); ++i)
+            EXPECT_EQ(d[i], i ^ mask);
+    }
+}
+
+TEST(NamedBpc, BitComplementFullMaskIsVectorReversal)
+{
+    EXPECT_EQ(named::bitComplement(5, lowMask(5)),
+              named::vectorReversal(5));
+}
+
+} // namespace
+} // namespace srbenes

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the baseline fabrics (omega, Batcher, crossbar) and the
+ * uniform PermutationNetwork interface: cost formulas of Section I
+ * and routing power of each fabric.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hh"
+#include "networks/batcher.hh"
+#include "networks/benes_adapter.hh"
+#include "networks/crossbar.hh"
+#include "networks/network_iface.hh"
+#include "networks/omega_network.hh"
+#include "perm/f_class.hh"
+#include "perm/named_bpc.hh"
+#include "perm/omega_class.hh"
+
+namespace srbenes
+{
+namespace
+{
+
+TEST(Networks, CostFormulas)
+{
+    for (unsigned n = 1; n <= 10; ++n) {
+        const Word size = Word{1} << n;
+
+        const SelfRoutingBenesNet benes(n);
+        EXPECT_EQ(benes.numSwitches(), size * n - size / 2);
+        EXPECT_EQ(benes.delayStages(), 2 * n - 1);
+
+        const OmegaNetwork omega(n);
+        EXPECT_EQ(omega.numSwitches(), n * size / 2);
+        EXPECT_EQ(omega.delayStages(), n);
+
+        const BatcherNetwork batcher(n);
+        EXPECT_EQ(batcher.delayStages(), n * (n + 1) / 2);
+        EXPECT_EQ(batcher.numSwitches(),
+                  (size / 2) * n * (n + 1) / 2);
+
+        const Crossbar xbar(n);
+        EXPECT_EQ(xbar.numSwitches(), size * size);
+        EXPECT_EQ(xbar.delayStages(), 1u);
+    }
+}
+
+TEST(Networks, BatcherRoutesEverything)
+{
+    Prng prng(3);
+    for (unsigned n = 1; n <= 8; ++n) {
+        const BatcherNetwork net(n);
+        for (int trial = 0; trial < 10; ++trial)
+            EXPECT_TRUE(net.tryRoute(
+                Permutation::random(std::size_t{1} << n, prng)));
+    }
+}
+
+TEST(Networks, CrossbarRoutesEverything)
+{
+    Prng prng(4);
+    const Crossbar net(5);
+    for (int trial = 0; trial < 10; ++trial)
+        EXPECT_TRUE(net.tryRoute(Permutation::random(32, prng)));
+}
+
+TEST(Networks, OmegaRejectsBitReversalButBenesRoutesIt)
+{
+    // Bit reversal needs the Benes fabric: it conflicts in an omega
+    // network for n >= 3 but is a BPC (hence F) permutation.
+    for (unsigned n = 3; n <= 8; ++n) {
+        const auto d = named::bitReversal(n).toPermutation();
+        EXPECT_FALSE(OmegaNetwork(n).tryRoute(d)) << n;
+        EXPECT_TRUE(SelfRoutingBenesNet(n).tryRoute(d)) << n;
+    }
+}
+
+TEST(Networks, OmegaConflictDiagnostics)
+{
+    const OmegaNetwork net(3);
+    const auto res =
+        net.route(named::bitReversal(3).toPermutation());
+    EXPECT_FALSE(res.success);
+    ASSERT_TRUE(res.conflict_stage.has_value());
+    EXPECT_LT(*res.conflict_stage, 3u);
+    EXPECT_GT(res.conflicts, 0u);
+}
+
+TEST(Networks, OmegaRoutesItsOwnClass)
+{
+    Prng prng(5);
+    for (unsigned n = 2; n <= 6; ++n) {
+        // Cyclic shifts and p-orderings are omega permutations.
+        for (int trial = 0; trial < 10; ++trial) {
+            const Word k = prng.below(Word{1} << n);
+            EXPECT_TRUE(
+                OmegaNetwork(n).tryRoute(named::cyclicShift(n, k)));
+        }
+    }
+}
+
+TEST(Networks, WaksmanAdapterRoutesEverything)
+{
+    Prng prng(6);
+    const WaksmanBenesNet net(6);
+    for (int trial = 0; trial < 10; ++trial)
+        EXPECT_TRUE(net.tryRoute(Permutation::random(64, prng)));
+}
+
+TEST(Networks, SelfRoutingAdapterMatchesFClass)
+{
+    Prng prng(7);
+    const SelfRoutingBenesNet net(4);
+    for (int trial = 0; trial < 50; ++trial) {
+        const auto d = Permutation::random(16, prng);
+        EXPECT_EQ(net.tryRoute(d), inFClass(d));
+    }
+}
+
+TEST(Networks, AllNetworksFactory)
+{
+    const auto nets = allNetworks(4);
+    ASSERT_EQ(nets.size(), 6u);
+    EXPECT_EQ(nets[0]->name(), "benes-self");
+    EXPECT_EQ(nets[1]->name(), "benes-waksman");
+    EXPECT_EQ(nets[2]->name(), "omega");
+    EXPECT_EQ(nets[3]->name(), "batcher");
+    EXPECT_EQ(nets[4]->name(), "odd-even-merge");
+    EXPECT_EQ(nets[5]->name(), "crossbar");
+    for (const auto &net : nets) {
+        EXPECT_EQ(net->numLines(), 16u);
+        EXPECT_TRUE(net->tryRoute(Permutation::identity(16)));
+    }
+}
+
+TEST(Networks, DelayOrdering)
+{
+    // The paper's Section I trade-off: crossbar < omega < benes <
+    // batcher in delay (strict from n = 3; at n = 2 Benes and
+    // Batcher tie at 3 stages).
+    for (unsigned n = 3; n <= 10; ++n) {
+        EXPECT_LT(Crossbar(n).delayStages(),
+                  OmegaNetwork(n).delayStages());
+        EXPECT_LT(OmegaNetwork(n).delayStages(),
+                  SelfRoutingBenesNet(n).delayStages());
+        EXPECT_LT(SelfRoutingBenesNet(n).delayStages(),
+                  BatcherNetwork(n).delayStages());
+    }
+}
+
+} // namespace
+} // namespace srbenes

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the odd-even merge sorting network: comparator count
+ * and depth formulas, universal routing (exhaustive at N = 8), and
+ * the cost advantage over the bitonic construction.
+ */
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hh"
+#include "networks/batcher.hh"
+#include "networks/odd_even.hh"
+
+namespace srbenes
+{
+namespace
+{
+
+TEST(OddEven, ComparatorCountFormula)
+{
+    // C(N) = N/4 (lg^2 N - lg N + 4) - 1.
+    for (unsigned n = 1; n <= 12; ++n) {
+        const OddEvenMergeNetwork net(n);
+        const Word size = Word{1} << n;
+        EXPECT_EQ(net.numSwitches(),
+                  size * (n * n - n + 4) / 4 - 1)
+            << n;
+    }
+}
+
+TEST(OddEven, DepthMatchesBitonic)
+{
+    for (unsigned n = 1; n <= 12; ++n) {
+        const OddEvenMergeNetwork net(n);
+        EXPECT_EQ(net.delayStages(), n * (n + 1) / 2) << n;
+    }
+}
+
+TEST(OddEven, FewerComparatorsThanBitonic)
+{
+    for (unsigned n = 2; n <= 12; ++n) {
+        const OddEvenMergeNetwork oem(n);
+        const BatcherNetwork bitonic(n);
+        EXPECT_LT(oem.numSwitches(), bitonic.numSwitches()) << n;
+    }
+}
+
+TEST(OddEven, SortsAllPermutationsN8)
+{
+    const OddEvenMergeNetwork net(3);
+    std::vector<Word> dest(8);
+    std::iota(dest.begin(), dest.end(), 0);
+    do {
+        ASSERT_TRUE(net.tryRoute(Permutation(dest)));
+    } while (std::next_permutation(dest.begin(), dest.end()));
+}
+
+class OddEvenSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(OddEvenSweep, SortsRandomPermutations)
+{
+    const unsigned n = GetParam();
+    const OddEvenMergeNetwork net(n);
+    Prng prng(n * 907);
+    for (int trial = 0; trial < 10; ++trial)
+        EXPECT_TRUE(net.tryRoute(
+            Permutation::random(std::size_t{1} << n, prng)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, OddEvenSweep,
+                         ::testing::Values(1u, 2u, 4u, 6u, 8u, 10u));
+
+TEST(OddEven, ComparatorsAreWellFormed)
+{
+    const OddEvenMergeNetwork net(4);
+    for (const auto &c : net.comparators()) {
+        EXPECT_LT(c.low, c.high);
+        EXPECT_LT(c.high, net.numLines());
+    }
+}
+
+TEST(OddEven, KnownSmallCounts)
+{
+    EXPECT_EQ(OddEvenMergeNetwork(1).numSwitches(), 1u);
+    EXPECT_EQ(OddEvenMergeNetwork(2).numSwitches(), 5u);
+    EXPECT_EQ(OddEvenMergeNetwork(3).numSwitches(), 19u);
+    EXPECT_EQ(OddEvenMergeNetwork(4).numSwitches(), 63u);
+}
+
+} // namespace
+} // namespace srbenes

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the omega / inverse-omega classes: the window predicates
+ * are cross-validated against the actual omega-network simulation
+ * (exhaustively for N <= 8), and every Section II inverse-omega
+ * generator is checked for membership and semantics.
+ */
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hh"
+#include "networks/omega_network.hh"
+#include "perm/omega_class.hh"
+
+namespace srbenes
+{
+namespace
+{
+
+TEST(OmegaClass, IdentityIsInBothClasses)
+{
+    for (unsigned n = 1; n <= 6; ++n) {
+        const auto id = Permutation::identity(std::size_t{1} << n);
+        EXPECT_TRUE(isOmega(id));
+        EXPECT_TRUE(isInverseOmega(id));
+    }
+}
+
+TEST(OmegaClass, PaperFigFiveExample)
+{
+    // D = (1, 3, 2, 0) is an Omega(2) permutation (the paper routes
+    // it on an omega network) but, as Fig. 5 shows, not in F(2) --
+    // here we check the omega side.
+    const Permutation d{1, 3, 2, 0};
+    EXPECT_TRUE(isOmega(d));
+}
+
+TEST(OmegaClass, PredicateMatchesNetworkExhaustively)
+{
+    // Ground truth: the simulated omega network. Every permutation
+    // of 8 elements agrees with the window predicate.
+    const unsigned n = 3;
+    const OmegaNetwork net(n);
+    std::vector<Word> dest(8);
+    std::iota(dest.begin(), dest.end(), 0);
+    std::uint64_t members = 0;
+    do {
+        const Permutation p(dest);
+        const bool sim = net.route(p).success;
+        ASSERT_EQ(sim, isOmega(p)) << p.toString();
+        members += sim;
+    } while (std::next_permutation(dest.begin(), dest.end()));
+    // |Omega(3)| = 2^(3 * 4) = 4096 of the 40320.
+    EXPECT_EQ(members, 4096u);
+}
+
+TEST(OmegaClass, InversePredicateMatchesBackwardNetworkExhaustively)
+{
+    const unsigned n = 3;
+    const OmegaNetwork net(n);
+    std::vector<Word> dest(8);
+    std::iota(dest.begin(), dest.end(), 0);
+    do {
+        const Permutation p(dest);
+        ASSERT_EQ(net.routeInverse(p).success, isInverseOmega(p))
+            << p.toString();
+    } while (std::next_permutation(dest.begin(), dest.end()));
+}
+
+TEST(OmegaClass, InverseOmegaIsOmegaOfInverse)
+{
+    Prng prng(123);
+    for (unsigned n = 2; n <= 6; ++n) {
+        for (int trial = 0; trial < 50; ++trial) {
+            const auto p =
+                Permutation::random(std::size_t{1} << n, prng);
+            EXPECT_EQ(isInverseOmega(p), isOmega(p.inverse()));
+        }
+    }
+}
+
+class OmegaGenerators : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(OmegaGenerators, CyclicShiftSemanticsAndMembership)
+{
+    const unsigned n = GetParam();
+    const Word size = Word{1} << n;
+    for (Word k : {Word{0}, Word{1}, Word{3}, size - 1}) {
+        const Permutation d = named::cyclicShift(n, k);
+        for (Word i = 0; i < size; ++i)
+            EXPECT_EQ(d[i], (i + k) % size);
+        // The paper lists cyclic shifts in InverseOmega(n) and notes
+        // they are in Omega(n) too.
+        EXPECT_TRUE(isInverseOmega(d));
+        EXPECT_TRUE(isOmega(d));
+    }
+}
+
+TEST_P(OmegaGenerators, POrderingMembership)
+{
+    const unsigned n = GetParam();
+    const Word size = Word{1} << n;
+    for (Word p : {Word{1}, Word{3}, Word{5}, Word{7}}) {
+        const Permutation d = named::pOrdering(n, p);
+        for (Word i = 0; i < size; ++i)
+            EXPECT_EQ(d[i], (p * i) % size);
+        EXPECT_TRUE(isInverseOmega(d));
+        EXPECT_TRUE(isOmega(d));
+    }
+}
+
+TEST_P(OmegaGenerators, InversePOrderingUnscrambles)
+{
+    const unsigned n = GetParam();
+    for (Word p : {Word{3}, Word{5}, Word{9}}) {
+        const Permutation fwd = named::pOrdering(n, p);
+        const Permutation inv = named::inversePOrdering(n, p);
+        EXPECT_EQ(fwd.then(inv),
+                  Permutation::identity(std::size_t{1} << n));
+    }
+}
+
+TEST_P(OmegaGenerators, FubLambdaMembership)
+{
+    const unsigned n = GetParam();
+    Prng prng(n);
+    for (int trial = 0; trial < 10; ++trial) {
+        const Word p = 2 * prng.below(Word{1} << (n - 1)) + 1;
+        const Word k = prng.below(Word{1} << n);
+        const Permutation d = named::pOrderingShift(n, p, k);
+        EXPECT_TRUE(isInverseOmega(d)) << d.toString();
+        EXPECT_TRUE(isOmega(d)) << d.toString();
+    }
+}
+
+TEST_P(OmegaGenerators, FubDeltaMembership)
+{
+    const unsigned n = GetParam();
+    for (unsigned seg = 1; seg <= n; ++seg) {
+        for (Word k : {Word{1}, Word{2}, (Word{1} << seg) - 1}) {
+            const Permutation d = named::segmentCyclicShift(n, seg, k);
+            EXPECT_TRUE(isInverseOmega(d)) << d.toString();
+        }
+    }
+}
+
+TEST_P(OmegaGenerators, FubEtaMembership)
+{
+    const unsigned n = GetParam();
+    for (unsigned k = 1; k < n; ++k) {
+        const Permutation d = named::conditionalExchange(n, k);
+        // Pairs (2i, 2i+1) swap iff bit k of the index is one.
+        for (Word i = 0; i < d.size(); i += 2) {
+            if (bit(i, k)) {
+                EXPECT_EQ(d[i], i + 1);
+                EXPECT_EQ(d[i + 1], i);
+            } else {
+                EXPECT_EQ(d[i], i);
+                EXPECT_EQ(d[i + 1], i + 1);
+            }
+        }
+        EXPECT_TRUE(isInverseOmega(d)) << d.toString();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, OmegaGenerators,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u, 8u));
+
+TEST(OmegaClass, OddInverseMod2n)
+{
+    for (unsigned n = 1; n <= 20; ++n)
+        for (Word p = 1; p < 32; p += 2)
+            EXPECT_EQ((p * named::oddInverseMod2n(p, n)) & lowMask(n),
+                      1u);
+}
+
+TEST(OmegaClass, SegmentShiftDegenerateCases)
+{
+    // A whole-vector segment equals a plain cyclic shift; a 1-element
+    // shift of 0 is the identity.
+    EXPECT_EQ(named::segmentCyclicShift(4, 4, 5),
+              named::cyclicShift(4, 5));
+    EXPECT_EQ(named::segmentCyclicShift(4, 2, 0),
+              Permutation::identity(16));
+}
+
+TEST(OmegaClass, RandomPermutationsRarelyOmega)
+{
+    // Sanity: for n = 4 the omega class has 2^32 of 16! ~ 2 * 10^13
+    // members; 200 random draws should essentially never hit it.
+    Prng prng(77);
+    int hits = 0;
+    for (int trial = 0; trial < 200; ++trial)
+        hits += isOmega(Permutation::random(16, prng));
+    EXPECT_LE(hits, 2);
+}
+
+} // namespace
+} // namespace srbenes

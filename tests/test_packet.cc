@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the packet-switched fabric: universal delivery
+ * (exhaustive at N = 8), latency bounds, contention behavior
+ * (identity flows stall-free, bit reversal collides even though it
+ * is in F -- the circuit rule is strictly stronger), streaming
+ * throughput, and backpressure with tiny FIFOs.
+ */
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hh"
+#include "packet/packet_benes.hh"
+#include "perm/f_class.hh"
+#include "perm/named_bpc.hh"
+#include "perm/omega_class.hh"
+
+namespace srbenes
+{
+namespace
+{
+
+TEST(Packet, IdentityFlowsWithoutStalls)
+{
+    for (unsigned n : {2u, 4u, 6u}) {
+        PacketBenes fabric(n);
+        const auto stats = fabric.runPermutation(
+            Permutation::identity(std::size_t{1} << n));
+        EXPECT_TRUE(stats.all_delivered);
+        EXPECT_EQ(stats.stalls, 0u);
+        // One hop per stage after injection.
+        EXPECT_EQ(stats.min_latency, 2 * n - 1);
+        EXPECT_EQ(stats.max_latency, 2 * n - 1);
+    }
+}
+
+TEST(Packet, AllPermutationsDeliverN8)
+{
+    PacketBenes fabric(3);
+    std::vector<Word> dest(8);
+    std::iota(dest.begin(), dest.end(), 0);
+    do {
+        const auto stats =
+            fabric.runPermutation(Permutation(dest));
+        ASSERT_TRUE(stats.all_delivered) << Permutation(dest).toString();
+    } while (std::next_permutation(dest.begin(), dest.end()));
+}
+
+TEST(Packet, LatencyLowerBoundIsStageCount)
+{
+    PacketBenes fabric(4);
+    Prng prng(3);
+    for (int trial = 0; trial < 20; ++trial) {
+        const auto stats = fabric.runPermutation(
+            Permutation::random(16, prng));
+        EXPECT_TRUE(stats.all_delivered);
+        EXPECT_GE(stats.min_latency, 7u);
+        EXPECT_GE(stats.max_latency, stats.min_latency);
+        EXPECT_GE(stats.avg_latency,
+                  static_cast<double>(stats.min_latency));
+    }
+}
+
+TEST(Packet, BitReversalStallsDespiteBeingInF)
+{
+    // The central comparison: the circuit-switched rule carries bit
+    // reversal conflict-free (it is in F), but per-packet tag
+    // routing collides (e.g.\ tags 0 and 4 at stage-0 switch 0 both
+    // request port 0).
+    const unsigned n = 4;
+    const Permutation d = named::bitReversal(n).toPermutation();
+    ASSERT_TRUE(inFClass(d));
+    PacketBenes fabric(n);
+    const auto stats = fabric.runPermutation(d);
+    EXPECT_TRUE(stats.all_delivered);
+    EXPECT_GT(stats.max_latency, 2 * n - 1);
+}
+
+TEST(Packet, CyclicShiftFlowsCheaply)
+{
+    // Cyclic shifts distribute across ports evenly at each stage.
+    PacketBenes fabric(5);
+    const auto stats =
+        fabric.runPermutation(named::cyclicShift(5, 7));
+    EXPECT_TRUE(stats.all_delivered);
+    EXPECT_LE(stats.avg_latency, 2.0 * (2 * 5 - 1));
+}
+
+TEST(Packet, StreamThroughputApproachesOneBatchPerCycle)
+{
+    // Identity batches stream at full rate: K batches in
+    // (2n-1) + K cycles (one extra for the injection offset).
+    const unsigned n = 3;
+    PacketBenes fabric(n);
+    const int batches = 32;
+    const std::vector<Permutation> stream(
+        batches, Permutation::identity(8));
+    const auto stats = fabric.runStream(stream);
+    EXPECT_TRUE(stats.all_delivered);
+    EXPECT_EQ(stats.stalls, 0u);
+    EXPECT_LE(stats.cycles, (2 * n - 1) + batches + 1u);
+}
+
+TEST(Packet, TinyFifosStillDeliver)
+{
+    PacketConfig cfg;
+    cfg.fifo_capacity = 1;
+    PacketBenes fabric(4, cfg);
+    Prng prng(5);
+    for (int trial = 0; trial < 10; ++trial) {
+        const auto stats = fabric.runPermutation(
+            Permutation::random(16, prng));
+        EXPECT_TRUE(stats.all_delivered);
+    }
+}
+
+TEST(Packet, DeeperFifosReduceStalls)
+{
+    const unsigned n = 5;
+    Prng prng(7);
+    const auto d = Permutation::random(32, prng);
+
+    PacketConfig shallow;
+    shallow.fifo_capacity = 1;
+    PacketConfig deep;
+    deep.fifo_capacity = 8;
+
+    const auto s1 = PacketBenes(n, shallow).runPermutation(d);
+    const auto s2 = PacketBenes(n, deep).runPermutation(d);
+    EXPECT_TRUE(s1.all_delivered);
+    EXPECT_TRUE(s2.all_delivered);
+    EXPECT_LE(s2.stalls, s1.stalls);
+}
+
+TEST(Packet, OccupancyBoundedByCapacity)
+{
+    PacketConfig cfg;
+    cfg.fifo_capacity = 3;
+    PacketBenes fabric(4, cfg);
+    Prng prng(11);
+    const auto stats =
+        fabric.runPermutation(Permutation::random(16, prng));
+    EXPECT_LE(stats.max_occupancy, 3u);
+}
+
+} // namespace
+} // namespace srbenes

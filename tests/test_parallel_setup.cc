@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the CIC machine and the data-parallel Benes setup:
+ * correctness (exhaustive at N = 8, sampled to N = 1024),
+ * equivalence of effect with the serial Waksman setup, and the
+ * O(log^2 N) parallel step count against O(N log N) serial work.
+ */
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hh"
+#include "core/parallel_setup.hh"
+#include "core/self_routing.hh"
+#include "core/waksman.hh"
+
+namespace srbenes
+{
+namespace
+{
+
+TEST(Cic, RouteMovesValues)
+{
+    CicMachine cic(4);
+    std::vector<Word> v{10, 11, 12, 13};
+    cic.route(Permutation({2, 0, 3, 1}), v);
+    EXPECT_EQ(v, (std::vector<Word>{11, 13, 10, 12}));
+    EXPECT_EQ(cic.unitRoutes(), 1u);
+}
+
+TEST(Cic, ScatterRespectsMask)
+{
+    CicMachine cic(4);
+    std::vector<Word> v{1, 2, 3, 4};
+    cic.scatter({3, 0, 0, 0}, {true, false, false, false}, v);
+    EXPECT_EQ(v, (std::vector<Word>{1, 2, 3, 1}));
+}
+
+TEST(Cic, ScatterCollisionDies)
+{
+    CicMachine cic(4);
+    std::vector<Word> v{1, 2, 3, 4};
+    EXPECT_DEATH(cic.scatter({0, 0, 2, 3}, {true, true, true, true},
+                             v),
+                 "collision");
+}
+
+TEST(Cic, GatherAllowsFanout)
+{
+    CicMachine cic(4);
+    std::vector<Word> v{7, 8, 9, 10};
+    cic.gather({1, 1, 1, 0}, v);
+    EXPECT_EQ(v, (std::vector<Word>{8, 8, 8, 7}));
+}
+
+TEST(Cic, CountersAccumulate)
+{
+    CicMachine cic(2);
+    std::vector<Word> v{0, 1};
+    cic.route(Permutation({1, 0}), v);
+    cic.localStep();
+    cic.localStep();
+    EXPECT_EQ(cic.unitRoutes(), 1u);
+    EXPECT_EQ(cic.computeSteps(), 2u);
+    EXPECT_EQ(cic.totalSteps(), 3u);
+    cic.resetCounters();
+    EXPECT_EQ(cic.totalSteps(), 0u);
+}
+
+TEST(ParallelSetup, SingleSwitch)
+{
+    const SelfRoutingBenes net(1);
+    for (const Permutation &d : {Permutation({0, 1}),
+                                 Permutation({1, 0})}) {
+        const auto states = parallelSetup(net.topology(), d);
+        EXPECT_TRUE(net.routeWithStates(d, states).success);
+    }
+}
+
+TEST(ParallelSetup, AllPermutationsN8)
+{
+    const SelfRoutingBenes net(3);
+    std::vector<Word> dest(8);
+    std::iota(dest.begin(), dest.end(), 0);
+    do {
+        const Permutation d(dest);
+        const auto states = parallelSetup(net.topology(), d);
+        ASSERT_TRUE(net.routeWithStates(d, states).success)
+            << d.toString();
+    } while (std::next_permutation(dest.begin(), dest.end()));
+}
+
+class ParallelSetupSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ParallelSetupSweep, RandomPermutationsRealized)
+{
+    const unsigned n = GetParam();
+    const SelfRoutingBenes net(n);
+    Prng prng(n * 509);
+    for (int trial = 0; trial < 10; ++trial) {
+        const auto d = Permutation::random(std::size_t{1} << n, prng);
+        const auto states = parallelSetup(net.topology(), d);
+        ASSERT_TRUE(net.routeWithStates(d, states).success);
+    }
+}
+
+TEST_P(ParallelSetupSweep, SameEffectAsWaksman)
+{
+    // The realizations may differ switch-by-switch but must induce
+    // the same input-to-output mapping.
+    const unsigned n = GetParam();
+    const SelfRoutingBenes net(n);
+    Prng prng(n * 521);
+    const auto d = Permutation::random(std::size_t{1} << n, prng);
+    const auto par = net.routeWithStates(
+        d, parallelSetup(net.topology(), d));
+    const auto ser = net.routeWithStates(
+        d, waksmanSetup(net.topology(), d));
+    ASSERT_TRUE(par.success);
+    ASSERT_TRUE(ser.success);
+    EXPECT_EQ(par.realized_dest, ser.realized_dest);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ParallelSetupSweep,
+                         ::testing::Values(2u, 3u, 4u, 5u, 7u, 10u));
+
+TEST(ParallelSetup, StepCountIsPolylog)
+{
+    // Parallel steps must grow like n^2, not like N: compare n = 4
+    // and n = 8 (N grows 16x, steps should grow ~4x).
+    Prng prng(3);
+    ParallelSetupStats s4, s8;
+    {
+        const BenesTopology topo(4);
+        parallelSetup(topo, Permutation::random(16, prng), &s4);
+    }
+    {
+        const BenesTopology topo(8);
+        parallelSetup(topo, Permutation::random(256, prng), &s8);
+    }
+    EXPECT_GT(s4.total(), 0u);
+    // 16x data, at most ~5x steps if O(log^2 N).
+    EXPECT_LT(s8.total(), 6 * s4.total());
+}
+
+TEST(ParallelSetup, StatsReported)
+{
+    const BenesTopology topo(5);
+    Prng prng(9);
+    ParallelSetupStats stats;
+    parallelSetup(topo, Permutation::random(32, prng), &stats);
+    EXPECT_GT(stats.unit_routes, 0u);
+    EXPECT_GT(stats.compute_steps, 0u);
+}
+
+} // namespace
+} // namespace srbenes

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the perfect-shuffle computer and its Section III
+ * algorithm: primitive semantics, exhaustive equivalence with F(n)
+ * at N = 8, the 4 lg N - 3 route count, and the omega /
+ * inverse-omega schedule variants.
+ */
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hh"
+#include "perm/f_class.hh"
+#include "perm/named_bpc.hh"
+#include "perm/omega_class.hh"
+#include "simd/permute.hh"
+
+namespace srbenes
+{
+namespace
+{
+
+TEST(Psc, ShuffleMovesRecordAlongSigma)
+{
+    ShuffleMachine m(3);
+    m.loadIota(Permutation::identity(8));
+    m.shuffleStep();
+    for (Word i = 0; i < 8; ++i)
+        EXPECT_EQ(m.pe(shuffle(i, 3)).r, i);
+    EXPECT_EQ(m.unitRoutes(), 1u);
+}
+
+TEST(Psc, UnshuffleInvertsShuffle)
+{
+    ShuffleMachine m(4);
+    Prng prng(1);
+    m.loadIota(Permutation::random(16, prng));
+    const auto before = m.payloads();
+    m.shuffleStep();
+    m.unshuffleStep();
+    EXPECT_EQ(m.payloads(), before);
+    EXPECT_EQ(m.unitRoutes(), 2u);
+}
+
+TEST(Psc, ExchangeSwapsAdjacentPairs)
+{
+    ShuffleMachine m(2);
+    m.loadIota(Permutation::identity(4));
+    m.exchange([](Word i) { return i == 2; });
+    EXPECT_EQ(m.pe(0).r, 0u);
+    EXPECT_EQ(m.pe(2).r, 3u);
+    EXPECT_EQ(m.pe(3).r, 2u);
+}
+
+TEST(Psc, PermuteMatchesFClassExhaustivelyN8)
+{
+    ShuffleMachine m(3);
+    std::vector<Word> dest(8);
+    std::iota(dest.begin(), dest.end(), 0);
+    do {
+        const Permutation d(dest);
+        m.loadIota(d);
+        ASSERT_EQ(pscPermute(m).success, inFClass(d)) << d.toString();
+    } while (std::next_permutation(dest.begin(), dest.end()));
+}
+
+TEST(Psc, AgreesWithCubeAlgorithm)
+{
+    // The PSC code is a mechanical simulation of the CCC loop; both
+    // must deliver identical data layouts on F permutations.
+    Prng prng(31);
+    const unsigned n = 6;
+    for (int trial = 0; trial < 20; ++trial) {
+        const Permutation d = BpcSpec::random(n, prng).toPermutation();
+        CubeMachine cube(n);
+        ShuffleMachine psc(n);
+        cube.loadIota(d);
+        psc.loadIota(d);
+        ASSERT_TRUE(cccPermute(cube).success);
+        ASSERT_TRUE(pscPermute(psc).success);
+        for (Word i = 0; i < cube.numPes(); ++i)
+            EXPECT_EQ(cube.pe(i).r, psc.pe(i).r);
+    }
+}
+
+class PscRouteCounts : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(PscRouteCounts, GeneralCaseUsesFourLogNMinusThree)
+{
+    const unsigned n = GetParam();
+    ShuffleMachine m(n);
+    m.loadIota(named::bitReversal(n).toPermutation());
+    const auto stats = pscPermute(m);
+    EXPECT_TRUE(stats.success);
+    EXPECT_EQ(stats.unit_routes, 4 * n - 3);
+}
+
+TEST_P(PscRouteCounts, OmegaVariantCheaper)
+{
+    const unsigned n = GetParam();
+    if (n < 2)
+        return;
+    ShuffleMachine m(n);
+    m.loadIota(named::cyclicShift(n, 1));
+    const auto stats = pscPermute(m, PermClassHint::Omega);
+    EXPECT_TRUE(stats.success);
+    // One shuffle replaces the n-1 exchange/unshuffle pairs:
+    // 1 + 1 + 2(n-1) = 2n routes.
+    EXPECT_EQ(stats.unit_routes, 2u * n);
+    EXPECT_LT(stats.unit_routes, 4u * n - 3);
+}
+
+TEST_P(PscRouteCounts, InverseOmegaVariantCheaper)
+{
+    const unsigned n = GetParam();
+    if (n < 2)
+        return;
+    ShuffleMachine m(n);
+    m.loadIota(named::pOrdering(n, 3));
+    const auto stats = pscPermute(m, PermClassHint::InverseOmega);
+    EXPECT_TRUE(stats.success);
+    // Exchanges are skipped on the return sweep but the n-1 homing
+    // shuffles remain: 2(n-1) + 1 + (n-1) = 3n - 2.
+    EXPECT_EQ(stats.unit_routes, 3u * n - 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PscRouteCounts,
+                         ::testing::Values(2u, 3u, 4u, 6u, 8u, 10u));
+
+TEST(Psc, OmegaVariantMatchesOmegaClassExhaustively)
+{
+    // With the omega-mode schedule the PSC realizes exactly Omega(3).
+    ShuffleMachine m(3);
+    std::vector<Word> dest(8);
+    std::iota(dest.begin(), dest.end(), 0);
+    do {
+        const Permutation d(dest);
+        m.loadIota(d);
+        ASSERT_EQ(pscPermute(m, PermClassHint::Omega).success,
+                  isOmega(d))
+            << d.toString();
+    } while (std::next_permutation(dest.begin(), dest.end()));
+}
+
+TEST(Psc, BpcFixedAxesSaveExchanges)
+{
+    const unsigned n = 6;
+    const BpcSpec spec = named::segmentBitReversal(n, 2);
+    ShuffleMachine m(n);
+    m.loadIota(spec.toPermutation());
+    const auto stats = pscPermute(m, PermClassHint::General, &spec);
+    EXPECT_TRUE(stats.success);
+    // All 2(n-1) shuffles/unshuffles remain; only 4 of the 2n-1
+    // exchanges survive (dims 0, 1, 1, 0).
+    EXPECT_EQ(stats.unit_routes, 2u * (n - 1) + 4u);
+}
+
+TEST(Psc, DataArrivesWithTags)
+{
+    ShuffleMachine m(5);
+    Prng prng(41);
+    for (int trial = 0; trial < 10; ++trial) {
+        const Permutation d = BpcSpec::random(5, prng).toPermutation();
+        m.loadIota(d);
+        ASSERT_TRUE(pscPermute(m).success);
+        for (Word i = 0; i < 32; ++i)
+            EXPECT_EQ(m.pe(d[i]).r, i);
+    }
+}
+
+} // namespace
+} // namespace srbenes

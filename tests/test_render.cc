@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the route renderer backing the Fig. 4 / Fig. 5 benches.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/render.hh"
+#include "perm/named_bpc.hh"
+
+namespace srbenes
+{
+namespace
+{
+
+TEST(Render, ToBinary)
+{
+    EXPECT_EQ(toBinary(0, 3), "000");
+    EXPECT_EQ(toBinary(5, 3), "101");
+    EXPECT_EQ(toBinary(6, 3), "110");
+    EXPECT_EQ(toBinary(1, 1), "1");
+}
+
+TEST(Render, FigFourRenderContainsTagsAndVerdict)
+{
+    const SelfRoutingBenes net(3);
+    RouteTrace trace;
+    const auto res = net.route(named::bitReversal(3).toPermutation(),
+                               RoutingMode::SelfRouting, &trace);
+    const std::string art =
+        renderRoute(net.topology(), trace, res);
+
+    EXPECT_NE(art.find("B(3), N = 8, 5 stages"), std::string::npos);
+    // Stage headers carry the control bit (0 1 2 1 0).
+    EXPECT_NE(art.find("s2(b2)"), std::string::npos);
+    EXPECT_NE(art.find("s4(b0)"), std::string::npos);
+    // Input tag column includes 110 (input 3's destination).
+    EXPECT_NE(art.find("110"), std::string::npos);
+    EXPECT_NE(art.find("verdict: permutation realized"),
+              std::string::npos);
+}
+
+TEST(Render, FigFiveRenderReportsMisroute)
+{
+    const SelfRoutingBenes net(2);
+    RouteTrace trace;
+    const auto res = net.route(Permutation({1, 3, 2, 0}),
+                               RoutingMode::SelfRouting, &trace);
+    const std::string art =
+        renderRoute(net.topology(), trace, res);
+    EXPECT_NE(art.find("NOT realized"), std::string::npos);
+    EXPECT_NE(art.find("misrouted outputs"), std::string::npos);
+}
+
+TEST(Render, CompactStateDiagram)
+{
+    const SelfRoutingBenes net(3);
+    const auto res =
+        net.route(named::vectorReversal(3).toPermutation());
+    const std::string art = renderStates(net.topology(), res.states);
+    // Vector reversal: stages 0..2 fully crossed, 3..4 straight
+    // (see test_stats); every switch row reads XXX==.
+    EXPECT_NE(art.find("XXX=="), std::string::npos);
+    EXPECT_NE(art.find("switch  stages 0..4"), std::string::npos);
+    // Four switch rows.
+    EXPECT_NE(art.find(" 3      XXX=="), std::string::npos);
+}
+
+TEST(Render, CompactDiagramIdentityAllStraight)
+{
+    const SelfRoutingBenes net(2);
+    const auto res = net.route(Permutation::identity(4));
+    const std::string art = renderStates(net.topology(), res.states);
+    EXPECT_NE(art.find("==="), std::string::npos);
+    EXPECT_EQ(art.find('X'), std::string::npos);
+}
+
+TEST(Render, SwitchStateMatrixPrinted)
+{
+    const SelfRoutingBenes net(2);
+    RouteTrace trace;
+    const auto res = net.route(Permutation::identity(4),
+                               RoutingMode::SelfRouting, &trace);
+    const std::string art =
+        renderRoute(net.topology(), trace, res);
+    EXPECT_NE(art.find("stage 0: 0 0"), std::string::npos);
+    EXPECT_NE(art.find("stage 2: 0 0"), std::string::npos);
+}
+
+} // namespace
+} // namespace srbenes

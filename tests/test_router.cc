@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the routing facade: strategy selection, plan reuse,
+ * correct delivery under every strategy, and the Waksman
+ * preference knob.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hh"
+#include "core/router.hh"
+#include "perm/f_class.hh"
+#include "perm/named_bpc.hh"
+#include "perm/omega_class.hh"
+
+namespace srbenes
+{
+namespace
+{
+
+std::vector<Word>
+iotaData(std::size_t size)
+{
+    std::vector<Word> v(size);
+    for (std::size_t i = 0; i < size; ++i)
+        v[i] = 600 + i;
+    return v;
+}
+
+TEST(Router, PicksSelfRoutingForFMembers)
+{
+    const Router router(4);
+    Prng prng(1);
+    for (int trial = 0; trial < 20; ++trial) {
+        const auto plan = router.plan(randomFMember(4, prng));
+        EXPECT_EQ(plan.strategy, RouteStrategy::SelfRouting);
+        EXPECT_EQ(plan.passes, 1u);
+    }
+}
+
+TEST(Router, PicksOmegaBitForOmegaOnlyMembers)
+{
+    // (1,3,2,0) is Omega(2) but not F(2).
+    const Router router(2);
+    const auto plan = router.plan(Permutation({1, 3, 2, 0}));
+    EXPECT_EQ(plan.strategy, RouteStrategy::OmegaBit);
+}
+
+TEST(Router, PicksTwoPassForTheRest)
+{
+    const Router router(4);
+    Prng prng(3);
+    int seen = 0;
+    for (int trial = 0; trial < 50; ++trial) {
+        const auto d = Permutation::random(16, prng);
+        if (inFClass(d) || isOmega(d))
+            continue;
+        const auto plan = router.plan(d);
+        EXPECT_EQ(plan.strategy, RouteStrategy::TwoPass);
+        EXPECT_EQ(plan.passes, 2u);
+        ++seen;
+    }
+    EXPECT_GT(seen, 30);
+}
+
+TEST(Router, WaksmanPreferenceKnob)
+{
+    const Router router(4, /*prefer_waksman=*/true);
+    Prng prng(5);
+    for (int trial = 0; trial < 50; ++trial) {
+        const auto d = Permutation::random(16, prng);
+        if (inFClass(d) || isOmega(d))
+            continue;
+        const auto plan = router.plan(d);
+        EXPECT_EQ(plan.strategy, RouteStrategy::Waksman);
+        EXPECT_EQ(plan.passes, 1u);
+        return;
+    }
+    FAIL() << "no generic permutation sampled";
+}
+
+TEST(Router, DeliversUnderEveryStrategy)
+{
+    for (bool prefer_waksman : {false, true}) {
+        const Router router(5, prefer_waksman);
+        Prng prng(7);
+        const auto data = iotaData(32);
+        // A workload mix covering every strategy.
+        std::vector<Permutation> mix{
+            randomFMember(5, prng),
+            named::cyclicShift(5, 9).inverse(), // omega member
+            Permutation::random(32, prng),
+            Permutation::random(32, prng),
+        };
+        for (const auto &d : mix) {
+            const auto out = router.route(d, data);
+            for (Word i = 0; i < 32; ++i)
+                ASSERT_EQ(out[d[i]], data[i])
+                    << d.toString() << " waksman="
+                    << prefer_waksman;
+        }
+    }
+}
+
+TEST(Router, PlansAreReusable)
+{
+    const Router router(4);
+    Prng prng(9);
+    const auto d = Permutation::random(16, prng);
+    const auto plan = router.plan(d);
+    for (int run = 0; run < 3; ++run) {
+        std::vector<Word> data(16);
+        for (Word i = 0; i < 16; ++i)
+            data[i] = 100 * run + i;
+        const auto out = router.execute(plan, data);
+        for (Word i = 0; i < 16; ++i)
+            EXPECT_EQ(out[d[i]], 100 * run + i);
+    }
+}
+
+TEST(Router, StrategyNames)
+{
+    EXPECT_STREQ(routeStrategyName(RouteStrategy::SelfRouting),
+                 "self-routing");
+    EXPECT_STREQ(routeStrategyName(RouteStrategy::TwoPass),
+                 "two-pass");
+    EXPECT_STREQ(routeStrategyName(RouteStrategy::Waksman),
+                 "waksman");
+    EXPECT_STREQ(routeStrategyName(RouteStrategy::OmegaBit),
+                 "omega-bit");
+}
+
+TEST(Router, SizeMismatchDies)
+{
+    const Router router(3);
+    EXPECT_DEATH(router.plan(Permutation::identity(4)),
+                 "does not match");
+}
+
+} // namespace
+} // namespace srbenes

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the self-routing fabric: the Fig. 4 worked example, the
+ * Fig. 5 failure, the omega-bit extension (exhaustively equal to
+ * Omega membership at N = 8), payload transport, and diagnostics.
+ */
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hh"
+#include "core/self_routing.hh"
+#include "perm/f_class.hh"
+#include "perm/named_bpc.hh"
+#include "perm/omega_class.hh"
+
+namespace srbenes
+{
+namespace
+{
+
+TEST(SelfRouting, IdentityRoutesEverywhere)
+{
+    for (unsigned n = 1; n <= 8; ++n) {
+        const SelfRoutingBenes net(n);
+        const auto res =
+            net.route(Permutation::identity(std::size_t{1} << n));
+        EXPECT_TRUE(res.success);
+        // Identity tags put every switch in state 0.
+        for (const auto &stage : res.states)
+            for (auto s : stage)
+                EXPECT_EQ(s, 0);
+    }
+}
+
+TEST(SelfRouting, FigFourBitReversal)
+{
+    // Fig. 4: bit reversal on B(3) succeeds under self-routing.
+    const SelfRoutingBenes net(3);
+    RouteTrace trace;
+    const auto res = net.route(named::bitReversal(3).toPermutation(),
+                               RoutingMode::SelfRouting, &trace);
+    ASSERT_TRUE(res.success);
+
+    // The figure's input column: destination tags 000, 100, 010,
+    // 110, 001, 101, 011, 111 on lines 0..7.
+    EXPECT_EQ(trace.tags_at_stage.front(),
+              (std::vector<Word>{0, 4, 2, 6, 1, 5, 3, 7}));
+    // Output column: tag j on line j.
+    EXPECT_EQ(trace.tags_at_stage.back(),
+              (std::vector<Word>{0, 1, 2, 3, 4, 5, 6, 7}));
+
+    // Stage 0 reads bit 0 of the upper tags (0, 2, 1, 3):
+    // states 0, 0, 1, 1.
+    EXPECT_EQ(res.states[0],
+              (std::vector<std::uint8_t>{0, 0, 1, 1}));
+}
+
+TEST(SelfRouting, FigFiveFailure)
+{
+    // Fig. 5: D = (1, 3, 2, 0) misroutes on B(2).
+    const SelfRoutingBenes net(2);
+    const auto res = net.route(Permutation({1, 3, 2, 0}));
+    EXPECT_FALSE(res.success);
+    EXPECT_FALSE(res.misrouted_outputs.empty());
+    // Misrouted outputs carry somebody else's tag.
+    for (Word j : res.misrouted_outputs)
+        EXPECT_NE(res.output_tags[j], j);
+}
+
+TEST(SelfRouting, RealizedDestMatchesRequestOnSuccess)
+{
+    Prng prng(13);
+    const SelfRoutingBenes net(5);
+    for (int trial = 0; trial < 30; ++trial) {
+        const BpcSpec spec = BpcSpec::random(5, prng);
+        const Permutation d = spec.toPermutation();
+        const auto res = net.route(d);
+        ASSERT_TRUE(res.success) << spec.toString();
+        for (Word i = 0; i < d.size(); ++i)
+            EXPECT_EQ(res.realized_dest[i], d[i]);
+    }
+}
+
+TEST(SelfRouting, GateDelayIsStageCount)
+{
+    for (unsigned n = 1; n <= 6; ++n) {
+        const SelfRoutingBenes net(n);
+        const auto res =
+            net.route(Permutation::identity(std::size_t{1} << n));
+        EXPECT_EQ(res.gate_delay, 2 * n - 1);
+    }
+}
+
+TEST(SelfRouting, OmegaBitMatchesOmegaClassExhaustively)
+{
+    // With the omega bit set, the network realizes exactly the
+    // Omega(3) permutations -- all 40320 cases checked.
+    const SelfRoutingBenes net(3);
+    std::vector<Word> dest(8);
+    std::iota(dest.begin(), dest.end(), 0);
+    do {
+        const Permutation p(dest);
+        ASSERT_EQ(net.route(p, RoutingMode::OmegaBit).success,
+                  isOmega(p))
+            << p.toString();
+    } while (std::next_permutation(dest.begin(), dest.end()));
+}
+
+TEST(SelfRouting, OmegaBitForcesEarlyStagesStraight)
+{
+    const SelfRoutingBenes net(4);
+    const auto res = net.route(named::cyclicShift(4, 5),
+                               RoutingMode::OmegaBit);
+    ASSERT_TRUE(res.success);
+    for (unsigned s = 0; s + 1 < net.n(); ++s)
+        for (auto state : res.states[s])
+            EXPECT_EQ(state, 0);
+}
+
+TEST(SelfRouting, FigFiveRoutesWithOmegaBit)
+{
+    // (1,3,2,0) is in Omega(2), so the omega bit rescues it.
+    const SelfRoutingBenes net(2);
+    EXPECT_TRUE(
+        net.route(Permutation({1, 3, 2, 0}), RoutingMode::OmegaBit)
+            .success);
+}
+
+TEST(SelfRouting, PayloadsFollowTags)
+{
+    const SelfRoutingBenes net(4);
+    const Permutation d = named::bitReversal(4).toPermutation();
+    std::vector<Word> data(16);
+    for (Word i = 0; i < 16; ++i)
+        data[i] = 1000 + i;
+
+    const auto out = net.permutePayloads(d, data);
+    ASSERT_TRUE(out.has_value());
+    for (Word i = 0; i < 16; ++i)
+        EXPECT_EQ((*out)[d[i]], 1000 + i);
+}
+
+TEST(SelfRouting, PayloadsRefusedWhenNotInF)
+{
+    const SelfRoutingBenes net(2);
+    const std::vector<Word> data{9, 8, 7, 6};
+    EXPECT_FALSE(
+        net.permutePayloads(Permutation({1, 3, 2, 0}), data)
+            .has_value());
+}
+
+TEST(SelfRouting, TraceHasOneSnapshotPerStagePlusOutput)
+{
+    const SelfRoutingBenes net(4);
+    RouteTrace trace;
+    net.route(Permutation::identity(16), RoutingMode::SelfRouting,
+              &trace);
+    EXPECT_EQ(trace.tags_at_stage.size(),
+              net.topology().numStages() + 1u);
+}
+
+class SelfRoutingSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SelfRoutingSweep, RandomBpcAlwaysRoutes)
+{
+    const unsigned n = GetParam();
+    const SelfRoutingBenes net(n);
+    Prng prng(n * 977);
+    for (int trial = 0; trial < 20; ++trial) {
+        const auto d = BpcSpec::random(n, prng).toPermutation();
+        EXPECT_TRUE(net.route(d).success);
+    }
+}
+
+TEST_P(SelfRoutingSweep, RandomPermutationAgreesWithTheoremOne)
+{
+    const unsigned n = GetParam();
+    const SelfRoutingBenes net(n);
+    Prng prng(n * 1009);
+    for (int trial = 0; trial < 20; ++trial) {
+        const auto d = Permutation::random(std::size_t{1} << n, prng);
+        EXPECT_EQ(net.route(d).success, inFClass(d));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SelfRoutingSweep,
+                         ::testing::Values(2u, 3u, 4u, 6u, 8u, 10u));
+
+} // namespace
+} // namespace srbenes

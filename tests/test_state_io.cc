@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for switch-state packing: sizes, roundtrips (bytes and
+ * hex), padding validation, and end-to-end "store the setup, load
+ * it later, route with it".
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hh"
+#include "core/self_routing.hh"
+#include "core/state_io.hh"
+#include "core/waksman.hh"
+
+namespace srbenes
+{
+namespace
+{
+
+TEST(StateIo, PackedSize)
+{
+    // B(3): 20 switches -> 3 bytes; B(4): 56 -> 7 bytes.
+    EXPECT_EQ(packedStateSize(BenesTopology(3)), 3u);
+    EXPECT_EQ(packedStateSize(BenesTopology(4)), 7u);
+    EXPECT_EQ(packedStateSize(BenesTopology(1)), 1u);
+}
+
+TEST(StateIo, RoundTripBytes)
+{
+    Prng prng(11);
+    for (unsigned n : {1u, 2u, 3u, 5u, 8u}) {
+        const BenesTopology topo(n);
+        const auto d =
+            Permutation::random(std::size_t{1} << n, prng);
+        const auto states = waksmanSetup(topo, d);
+        EXPECT_EQ(unpackStates(topo, packStates(topo, states)),
+                  states)
+            << n;
+    }
+}
+
+TEST(StateIo, RoundTripHex)
+{
+    Prng prng(13);
+    const BenesTopology topo(6);
+    const auto states =
+        waksmanSetup(topo, Permutation::random(64, prng));
+    const std::string hex = statesToHex(topo, states);
+    EXPECT_EQ(hex.size(), 2 * packedStateSize(topo));
+    EXPECT_EQ(statesFromHex(topo, hex), states);
+}
+
+TEST(StateIo, AllZeroAndAllOne)
+{
+    const BenesTopology topo(3);
+    const SwitchStates zeros = topo.makeStates();
+    const auto zero_bytes = packStates(topo, zeros);
+    for (auto b : zero_bytes)
+        EXPECT_EQ(b, 0);
+
+    SwitchStates ones = topo.makeStates();
+    for (auto &stage : ones)
+        for (auto &s : stage)
+            s = 1;
+    const auto one_bytes = packStates(topo, ones);
+    // 20 switches: two full bytes then 4 bits.
+    EXPECT_EQ(one_bytes[0], 0xff);
+    EXPECT_EQ(one_bytes[1], 0xff);
+    EXPECT_EQ(one_bytes[2], 0x0f);
+}
+
+TEST(StateIo, RejectsBadPadding)
+{
+    const BenesTopology topo(3);
+    auto bytes = packStates(topo, topo.makeStates());
+    bytes.back() = 0x80; // bit 23: beyond the 20 switches
+    EXPECT_DEATH(unpackStates(topo, bytes), "padding");
+}
+
+TEST(StateIo, RejectsWrongSizes)
+{
+    const BenesTopology topo(3);
+    EXPECT_DEATH(unpackStates(topo, std::vector<std::uint8_t>(2)),
+                 "expected");
+    EXPECT_DEATH(statesFromHex(topo, "ab"), "expected");
+    EXPECT_DEATH(statesFromHex(topo, "zzzzzz"), "hex digit");
+}
+
+TEST(StateIo, StoredSetupStillRoutes)
+{
+    // The deployment flow: compute once, serialize, load, route.
+    const SelfRoutingBenes net(5);
+    Prng prng(17);
+    const auto d = Permutation::random(32, prng);
+    const std::string blob =
+        statesToHex(net.topology(), waksmanSetup(net.topology(), d));
+
+    const auto loaded = statesFromHex(net.topology(), blob);
+    EXPECT_TRUE(net.routeWithStates(d, loaded).success);
+}
+
+} // namespace
+} // namespace srbenes

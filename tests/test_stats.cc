@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the switch-state instrumentation, including the
+ * identities that link it to the routing semantics: identity routes
+ * leave every switch straight; the omega-bit mode idles exactly the
+ * first n-1 stages; vector reversal crosses every switch.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/self_routing.hh"
+#include "core/stats.hh"
+#include "core/waksman.hh"
+#include "perm/named_bpc.hh"
+#include "perm/omega_class.hh"
+
+namespace srbenes
+{
+namespace
+{
+
+TEST(Stats, IdentityRouteIsAllStraight)
+{
+    const SelfRoutingBenes net(4);
+    const auto res = net.route(Permutation::identity(16));
+    EXPECT_EQ(countCrossed(res.states), 0u);
+    EXPECT_DOUBLE_EQ(crossedFraction(res.states), 0.0);
+    EXPECT_EQ(idleStages(res.states).size(), 7u);
+}
+
+TEST(Stats, VectorReversalCrossesExactlyTheOpeningStages)
+{
+    // Vector reversal decomposes into itself (Theorem 2 case 1 with
+    // A_0 = -0): the opening stage of every recursion level is
+    // fully crossed, while every closing stage is straight (the
+    // upper input there always carries the even tag). Crossed
+    // stages are therefore 0..n-1, fraction n / (2n-1).
+    for (unsigned n = 2; n <= 6; ++n) {
+        const SelfRoutingBenes net(n);
+        const auto res =
+            net.route(named::vectorReversal(n).toPermutation());
+        ASSERT_TRUE(res.success);
+        const auto util = stageUtilization(res.states);
+        for (unsigned s = 0; s < 2 * n - 1; ++s)
+            EXPECT_DOUBLE_EQ(util[s], s < n ? 1.0 : 0.0)
+                << "n " << n << " stage " << s;
+        EXPECT_DOUBLE_EQ(crossedFraction(res.states),
+                         static_cast<double>(n) / (2 * n - 1));
+    }
+}
+
+TEST(Stats, OmegaBitIdlesFirstStages)
+{
+    const SelfRoutingBenes net(4);
+    const auto res =
+        net.route(named::cyclicShift(4, 7), RoutingMode::OmegaBit);
+    ASSERT_TRUE(res.success);
+    const auto idle = idleStages(res.states);
+    // Stages 0..n-2 forced straight; possibly more idle by chance.
+    for (unsigned s = 0; s + 1 < 4; ++s)
+        EXPECT_NE(std::find(idle.begin(), idle.end(), s), idle.end());
+}
+
+TEST(Stats, StageUtilizationShape)
+{
+    const SelfRoutingBenes net(3);
+    const auto res =
+        net.route(named::bitReversal(3).toPermutation());
+    const auto util = stageUtilization(res.states);
+    ASSERT_EQ(util.size(), 5u);
+    // From the Fig. 4 reproduction: stages 0, 2, 4 cross half their
+    // switches; stages 1, 3 are straight.
+    EXPECT_DOUBLE_EQ(util[0], 0.5);
+    EXPECT_DOUBLE_EQ(util[1], 0.0);
+    EXPECT_DOUBLE_EQ(util[2], 0.5);
+    EXPECT_DOUBLE_EQ(util[3], 0.0);
+    EXPECT_DOUBLE_EQ(util[4], 0.5);
+}
+
+TEST(Stats, HammingDistanceBetweenDriveStyles)
+{
+    // Self-routing and Waksman may legitimately pick different
+    // realizations; the distance is well defined and zero against
+    // itself.
+    const SelfRoutingBenes net(4);
+    const Permutation d = named::bitReversal(4).toPermutation();
+    const auto self_res = net.route(d);
+    const auto wak = waksmanSetup(net.topology(), d);
+    EXPECT_EQ(statesHammingDistance(self_res.states,
+                                    self_res.states),
+              0u);
+    const Word dist = statesHammingDistance(self_res.states, wak);
+    EXPECT_LE(dist, net.topology().numSwitches());
+}
+
+TEST(Stats, IdleStagesMatchBpcFixedAxes)
+{
+    // A BPC permutation fixing axis j never routes across dimension
+    // j, so the stages controlled by bit j stay straight.
+    const SelfRoutingBenes net(5);
+    const BpcSpec spec = named::segmentBitReversal(5, 2);
+    const auto res = net.route(spec.toPermutation());
+    ASSERT_TRUE(res.success);
+    const auto idle = idleStages(res.states);
+    // Bits 2..4 fixed: stages with controlBit in {2,3,4} are idle.
+    for (unsigned s = 0; s < net.topology().numStages(); ++s) {
+        if (net.topology().controlBit(s) >= 2) {
+            EXPECT_NE(std::find(idle.begin(), idle.end(), s),
+                      idle.end())
+                << "stage " << s;
+        }
+    }
+}
+
+} // namespace
+} // namespace srbenes

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Tests for the text-table formatter used by all bench output.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+namespace srbenes
+{
+namespace
+{
+
+TEST(TextTable, AlignsColumnsToWidestCell)
+{
+    TextTable t({"a", "bbbb"});
+    t.addRow({"wide-cell", "1"});
+    t.addRow({"x", "22"});
+
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+
+    EXPECT_NE(out.find("a          bbbb"), std::string::npos);
+    EXPECT_NE(out.find("wide-cell  1"), std::string::npos);
+    EXPECT_NE(out.find("x          22"), std::string::npos);
+}
+
+TEST(TextTable, HeaderRuleMatchesWidths)
+{
+    TextTable t({"col"});
+    t.addRow({"abcdef"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("------"), std::string::npos);
+}
+
+TEST(TextTable, NumericCells)
+{
+    TextTable t({"u64", "int", "dbl"});
+    t.newRow();
+    t.addCell(std::uint64_t{18446744073709551615ull});
+    t.addCell(-42);
+    t.addCell(3.14159, 2);
+
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("18446744073709551615"), std::string::npos);
+    EXPECT_NE(out.find("-42"), std::string::npos);
+    EXPECT_NE(out.find("3.14"), std::string::npos);
+}
+
+TEST(TextTable, RowCount)
+{
+    TextTable t({"x"});
+    EXPECT_EQ(t.numRows(), 0u);
+    t.addRow({"1"});
+    t.addRow({"2"});
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+} // namespace
+} // namespace srbenes

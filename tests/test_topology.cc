@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the flattened B(n) topology: counts, control bits, and
+ * the recursive wiring of Fig. 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/topology.hh"
+
+namespace srbenes
+{
+namespace
+{
+
+TEST(Topology, CountsMatchPaperFormulas)
+{
+    for (unsigned n = 1; n <= 10; ++n) {
+        const BenesTopology topo(n);
+        const Word size = Word{1} << n;
+        EXPECT_EQ(topo.numLines(), size);
+        EXPECT_EQ(topo.numStages(), 2 * n - 1);
+        EXPECT_EQ(topo.switchesPerStage(), size / 2);
+        // "The total number of binary switches in the network is
+        // N log N - N/2."
+        EXPECT_EQ(topo.numSwitches(), size * n - size / 2);
+    }
+}
+
+TEST(Topology, ControlBitsPalindrome)
+{
+    // Stage b and stage 2n-2-b use bit b; B(3) reads 0 1 2 1 0.
+    const BenesTopology topo(3);
+    const std::vector<unsigned> expect{0, 1, 2, 1, 0};
+    for (unsigned s = 0; s < topo.numStages(); ++s)
+        EXPECT_EQ(topo.controlBit(s), expect[s]);
+}
+
+TEST(Topology, ControlBitsGeneral)
+{
+    for (unsigned n = 1; n <= 8; ++n) {
+        const BenesTopology topo(n);
+        for (unsigned s = 0; s < topo.numStages(); ++s) {
+            EXPECT_EQ(topo.controlBit(s),
+                      topo.controlBit(2 * n - 2 - s));
+            EXPECT_LE(topo.controlBit(s), n - 1);
+        }
+        EXPECT_EQ(topo.controlBit(n - 1), n - 1); // middle stage
+    }
+}
+
+TEST(Topology, WiringIsAPermutationAtEveryBoundary)
+{
+    for (unsigned n = 2; n <= 8; ++n) {
+        const BenesTopology topo(n);
+        for (unsigned s = 0; s + 1 < topo.numStages(); ++s) {
+            std::vector<bool> hit(topo.numLines(), false);
+            for (Word line = 0; line < topo.numLines(); ++line) {
+                const Word to = topo.wireToNext(s, line);
+                ASSERT_LT(to, topo.numLines());
+                ASSERT_FALSE(hit[to])
+                    << "boundary " << s << " line " << line;
+                hit[to] = true;
+            }
+        }
+    }
+}
+
+TEST(Topology, B2WiringMatchesFigOne)
+{
+    // B(2): the two middle switches are the B(1) subnetworks; the
+    // opening stage's upper outputs (lines 0, 2) must reach lines
+    // 0 and 1 (upper B(1)), the lower outputs lines 2 and 3.
+    const BenesTopology topo(2);
+    EXPECT_EQ(topo.wireToNext(0, 0), 0u); // switch0 upper -> Bu in 0
+    EXPECT_EQ(topo.wireToNext(0, 1), 2u); // switch0 lower -> Bl in 0
+    EXPECT_EQ(topo.wireToNext(0, 2), 1u); // switch1 upper -> Bu in 1
+    EXPECT_EQ(topo.wireToNext(0, 3), 3u); // switch1 lower -> Bl in 1
+    // Closing boundary is the mirror image.
+    EXPECT_EQ(topo.wireToNext(1, 0), 0u); // Bu out 0 -> switch0 upper
+    EXPECT_EQ(topo.wireToNext(1, 1), 2u); // Bu out 1 -> switch1 upper
+    EXPECT_EQ(topo.wireToNext(1, 2), 1u); // Bl out 0 -> switch0 lower
+    EXPECT_EQ(topo.wireToNext(1, 3), 3u); // Bl out 1 -> switch1 lower
+}
+
+TEST(Topology, FirstBoundarySplitsParityHalves)
+{
+    // In B(n) the opening stage must send even lines of each switch
+    // pair into the upper half [0, N/2) and odd lines into the lower
+    // half [N/2, N).
+    for (unsigned n = 2; n <= 6; ++n) {
+        const BenesTopology topo(n);
+        const Word half = topo.numLines() / 2;
+        for (Word line = 0; line < topo.numLines(); ++line) {
+            const Word to = topo.wireToNext(0, line);
+            if (line % 2 == 0)
+                EXPECT_LT(to, half);
+            else
+                EXPECT_GE(to, half);
+        }
+    }
+}
+
+TEST(Topology, SubnetworkBoundariesStayInTheirHalf)
+{
+    // Boundaries strictly inside the two B(n-1) halves never cross
+    // the midline.
+    for (unsigned n = 3; n <= 6; ++n) {
+        const BenesTopology topo(n);
+        const Word half = topo.numLines() / 2;
+        for (unsigned s = 1; s + 2 < topo.numStages(); ++s) {
+            for (Word line = 0; line < topo.numLines(); ++line) {
+                const Word to = topo.wireToNext(s, line);
+                EXPECT_EQ(line < half, to < half)
+                    << "boundary " << s << " line " << line;
+            }
+        }
+    }
+}
+
+TEST(Topology, MakeStatesShape)
+{
+    const BenesTopology topo(4);
+    const SwitchStates states = topo.makeStates();
+    ASSERT_EQ(states.size(), topo.numStages());
+    for (const auto &stage : states) {
+        ASSERT_EQ(stage.size(), topo.switchesPerStage());
+        for (auto s : stage)
+            EXPECT_EQ(s, 0);
+    }
+}
+
+TEST(Topology, B1HasSingleSwitchNoWiring)
+{
+    const BenesTopology topo(1);
+    EXPECT_EQ(topo.numStages(), 1u);
+    EXPECT_EQ(topo.numSwitches(), 1u);
+}
+
+} // namespace
+} // namespace srbenes

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for two-pass universal routing: the factorization
+ * D = P1 o P2 with P1 in InverseOmega(n) and P2 in Omega(n), and its
+ * execution as two self-routed passes (pass 2 with the omega bit).
+ * Checked exhaustively for N <= 8 and sampled to N = 1024.
+ */
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hh"
+#include "core/two_pass.hh"
+#include "perm/f_class.hh"
+#include "perm/omega_class.hh"
+
+namespace srbenes
+{
+namespace
+{
+
+void
+checkPlan(const SelfRoutingBenes &net, const Permutation &d)
+{
+    const TwoPassPlan plan = twoPassPlan(net, d);
+
+    // Factorization identity.
+    ASSERT_EQ(plan.first.then(plan.second), d) << d.toString();
+
+    // Class memberships that make the two passes self-routable.
+    EXPECT_TRUE(isInverseOmega(plan.first))
+        << "P1 = " << plan.first.toString();
+    EXPECT_TRUE(isOmega(plan.second))
+        << "P2 = " << plan.second.toString();
+    EXPECT_TRUE(inFClass(plan.first));
+
+    // Operational check: both passes actually route.
+    EXPECT_TRUE(net.route(plan.first).success);
+    EXPECT_TRUE(
+        net.route(plan.second, RoutingMode::OmegaBit).success);
+}
+
+TEST(TwoPass, ExhaustiveN4)
+{
+    const SelfRoutingBenes net(2);
+    std::vector<Word> dest(4);
+    std::iota(dest.begin(), dest.end(), 0);
+    do {
+        checkPlan(net, Permutation(dest));
+    } while (std::next_permutation(dest.begin(), dest.end()));
+}
+
+TEST(TwoPass, ExhaustiveN8)
+{
+    const SelfRoutingBenes net(3);
+    std::vector<Word> dest(8);
+    std::iota(dest.begin(), dest.end(), 0);
+    do {
+        checkPlan(net, Permutation(dest));
+    } while (std::next_permutation(dest.begin(), dest.end()));
+}
+
+class TwoPassSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(TwoPassSweep, RandomPermutations)
+{
+    const unsigned n = GetParam();
+    const SelfRoutingBenes net(n);
+    Prng prng(n * 211);
+    for (int trial = 0; trial < 10; ++trial)
+        checkPlan(net,
+                  Permutation::random(std::size_t{1} << n, prng));
+}
+
+TEST_P(TwoPassSweep, PayloadsDelivered)
+{
+    const unsigned n = GetParam();
+    const SelfRoutingBenes net(n);
+    Prng prng(n * 223);
+    const auto d = Permutation::random(std::size_t{1} << n, prng);
+    const TwoPassPlan plan = twoPassPlan(net, d);
+
+    std::vector<Word> data(d.size());
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = 5000 + i;
+    const auto out = twoPassPermute(net, plan, data);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        EXPECT_EQ(out[d[i]], 5000 + i);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, TwoPassSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 6u, 8u,
+                                           10u));
+
+TEST(TwoPass, FigFiveCounterexampleNowRoutes)
+{
+    // The permutation that defeats single-pass self-routing.
+    const SelfRoutingBenes net(2);
+    const Permutation d{1, 3, 2, 0};
+    ASSERT_FALSE(net.route(d).success);
+    const TwoPassPlan plan = twoPassPlan(net, d);
+    const auto out =
+        twoPassPermute(net, plan, {Word{10}, 11, 12, 13});
+    EXPECT_EQ(out, (std::vector<Word>{13, 10, 12, 11}));
+}
+
+TEST(TwoPass, IdentityFactorsTrivially)
+{
+    const SelfRoutingBenes net(4);
+    const auto id = Permutation::identity(16);
+    const TwoPassPlan plan = twoPassPlan(net, id);
+    EXPECT_EQ(plan.first.then(plan.second), id);
+}
+
+TEST(TwoPass, FMembersStillWorkInOnePassButPlanIsValid)
+{
+    // Two-pass is universal, so it must also handle F members.
+    const SelfRoutingBenes net(5);
+    Prng prng(5);
+    const Permutation d = randomFMember(5, prng);
+    checkPlan(net, d);
+}
+
+} // namespace
+} // namespace srbenes

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the external Waksman/looping setup: the fabric with
+ * self-setting disabled must realize EVERY permutation, exhaustively
+ * for N <= 8 and sampled up to N = 1024.
+ */
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hh"
+#include "core/self_routing.hh"
+#include "core/waksman.hh"
+#include "perm/bpc.hh"
+#include "perm/f_class.hh"
+
+namespace srbenes
+{
+namespace
+{
+
+TEST(Waksman, SingleSwitch)
+{
+    const SelfRoutingBenes net(1);
+    for (const Permutation &d : {Permutation({0, 1}),
+                                 Permutation({1, 0})}) {
+        const auto states = waksmanSetup(net.topology(), d);
+        EXPECT_TRUE(net.routeWithStates(d, states).success);
+    }
+}
+
+TEST(Waksman, AllPermutationsN4)
+{
+    const SelfRoutingBenes net(2);
+    std::vector<Word> dest(4);
+    std::iota(dest.begin(), dest.end(), 0);
+    do {
+        const Permutation d(dest);
+        const auto states = waksmanSetup(net.topology(), d);
+        ASSERT_TRUE(net.routeWithStates(d, states).success)
+            << d.toString();
+    } while (std::next_permutation(dest.begin(), dest.end()));
+}
+
+TEST(Waksman, AllPermutationsN8)
+{
+    const SelfRoutingBenes net(3);
+    std::vector<Word> dest(8);
+    std::iota(dest.begin(), dest.end(), 0);
+    do {
+        const Permutation d(dest);
+        const auto states = waksmanSetup(net.topology(), d);
+        ASSERT_TRUE(net.routeWithStates(d, states).success)
+            << d.toString();
+    } while (std::next_permutation(dest.begin(), dest.end()));
+}
+
+class WaksmanSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(WaksmanSweep, RandomPermutationsRealized)
+{
+    const unsigned n = GetParam();
+    const SelfRoutingBenes net(n);
+    Prng prng(n * 131);
+    for (int trial = 0; trial < 15; ++trial) {
+        const auto d = Permutation::random(std::size_t{1} << n, prng);
+        const auto states = waksmanSetup(net.topology(), d);
+        ASSERT_TRUE(net.routeWithStates(d, states).success);
+    }
+}
+
+TEST_P(WaksmanSweep, HandlesPermutationsOutsideF)
+{
+    // The point of external setup: permutations the self-router
+    // cannot do. Find a random non-F permutation and realize it.
+    const unsigned n = GetParam();
+    const SelfRoutingBenes net(n);
+    Prng prng(n * 137);
+    for (int trial = 0; trial < 200; ++trial) {
+        const auto d = Permutation::random(std::size_t{1} << n, prng);
+        if (inFClass(d))
+            continue;
+        EXPECT_FALSE(net.route(d).success);
+        const auto states = waksmanSetup(net.topology(), d);
+        EXPECT_TRUE(net.routeWithStates(d, states).success);
+        return;
+    }
+    FAIL() << "no non-F permutation sampled (astronomically "
+              "unlikely)";
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WaksmanSweep,
+                         ::testing::Values(2u, 3u, 4u, 5u, 7u, 10u));
+
+TEST(Waksman, StateArrayShape)
+{
+    const BenesTopology topo(4);
+    Prng prng(7);
+    const auto states =
+        waksmanSetup(topo, Permutation::random(16, prng));
+    ASSERT_EQ(states.size(), topo.numStages());
+    for (const auto &stage : states)
+        ASSERT_EQ(stage.size(), topo.switchesPerStage());
+}
+
+TEST(Waksman, SelfRoutableInputsMayDifferInStatesButAgreeInEffect)
+{
+    // For a permutation in F both drive styles succeed; the realized
+    // destinations must agree even if individual switch states
+    // differ (the Benes decomposition is not unique).
+    const SelfRoutingBenes net(4);
+    Prng prng(23);
+    const Permutation d = BpcSpec::random(4, prng).toPermutation();
+    const auto self_res = net.route(d);
+    const auto states = waksmanSetup(net.topology(), d);
+    const auto ext_res = net.routeWithStates(d, states);
+    ASSERT_TRUE(self_res.success);
+    ASSERT_TRUE(ext_res.success);
+    EXPECT_EQ(self_res.realized_dest, ext_res.realized_dest);
+}
+
+} // namespace
+} // namespace srbenes
