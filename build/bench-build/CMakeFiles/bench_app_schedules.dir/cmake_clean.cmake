@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_app_schedules"
+  "../bench/bench_app_schedules.pdb"
+  "CMakeFiles/bench_app_schedules.dir/bench_app_schedules.cc.o"
+  "CMakeFiles/bench_app_schedules.dir/bench_app_schedules.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_app_schedules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

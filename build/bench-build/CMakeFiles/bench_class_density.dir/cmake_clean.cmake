@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_class_density"
+  "../bench/bench_class_density.pdb"
+  "CMakeFiles/bench_class_density.dir/bench_class_density.cc.o"
+  "CMakeFiles/bench_class_density.dir/bench_class_density.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_class_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

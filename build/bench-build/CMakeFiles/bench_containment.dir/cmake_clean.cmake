@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_containment"
+  "../bench/bench_containment.pdb"
+  "CMakeFiles/bench_containment.dir/bench_containment.cc.o"
+  "CMakeFiles/bench_containment.dir/bench_containment.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_containment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_switch_rule"
+  "../bench/bench_fig3_switch_rule.pdb"
+  "CMakeFiles/bench_fig3_switch_rule.dir/bench_fig3_switch_rule.cc.o"
+  "CMakeFiles/bench_fig3_switch_rule.dir/bench_fig3_switch_rule.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_switch_rule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

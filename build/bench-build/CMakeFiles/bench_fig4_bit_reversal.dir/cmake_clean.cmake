@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_bit_reversal"
+  "../bench/bench_fig4_bit_reversal.pdb"
+  "CMakeFiles/bench_fig4_bit_reversal.dir/bench_fig4_bit_reversal.cc.o"
+  "CMakeFiles/bench_fig4_bit_reversal.dir/bench_fig4_bit_reversal.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_bit_reversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_gate_model"
+  "../bench/bench_gate_model.pdb"
+  "CMakeFiles/bench_gate_model.dir/bench_gate_model.cc.o"
+  "CMakeFiles/bench_gate_model.dir/bench_gate_model.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gate_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

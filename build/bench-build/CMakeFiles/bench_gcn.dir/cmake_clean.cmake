@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_gcn"
+  "../bench/bench_gcn.pdb"
+  "CMakeFiles/bench_gcn.dir/bench_gcn.cc.o"
+  "CMakeFiles/bench_gcn.dir/bench_gcn.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gcn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

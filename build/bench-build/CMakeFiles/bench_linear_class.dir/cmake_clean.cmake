@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_linear_class"
+  "../bench/bench_linear_class.pdb"
+  "CMakeFiles/bench_linear_class.dir/bench_linear_class.cc.o"
+  "CMakeFiles/bench_linear_class.dir/bench_linear_class.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_linear_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_network_costs"
+  "../bench/bench_network_costs.pdb"
+  "CMakeFiles/bench_network_costs.dir/bench_network_costs.cc.o"
+  "CMakeFiles/bench_network_costs.dir/bench_network_costs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_network_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

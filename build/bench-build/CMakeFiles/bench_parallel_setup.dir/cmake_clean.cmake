@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_parallel_setup"
+  "../bench/bench_parallel_setup.pdb"
+  "CMakeFiles/bench_parallel_setup.dir/bench_parallel_setup.cc.o"
+  "CMakeFiles/bench_parallel_setup.dir/bench_parallel_setup.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_setup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

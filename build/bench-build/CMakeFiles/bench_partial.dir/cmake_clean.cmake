@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_partial"
+  "../bench/bench_partial.pdb"
+  "CMakeFiles/bench_partial.dir/bench_partial.cc.o"
+  "CMakeFiles/bench_partial.dir/bench_partial.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

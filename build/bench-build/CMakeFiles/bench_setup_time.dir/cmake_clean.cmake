@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_setup_time"
+  "../bench/bench_setup_time.pdb"
+  "CMakeFiles/bench_setup_time.dir/bench_setup_time.cc.o"
+  "CMakeFiles/bench_setup_time.dir/bench_setup_time.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_setup_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

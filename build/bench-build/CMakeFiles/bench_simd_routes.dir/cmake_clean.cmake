@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_simd_routes"
+  "../bench/bench_simd_routes.pdb"
+  "CMakeFiles/bench_simd_routes.dir/bench_simd_routes.cc.o"
+  "CMakeFiles/bench_simd_routes.dir/bench_simd_routes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simd_routes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

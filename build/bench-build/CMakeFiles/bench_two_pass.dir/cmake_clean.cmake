@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_two_pass"
+  "../bench/bench_two_pass.pdb"
+  "CMakeFiles/bench_two_pass.dir/bench_two_pass.cc.o"
+  "CMakeFiles/bench_two_pass.dir/bench_two_pass.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_two_pass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_reorder.dir/fft_reorder.cc.o"
+  "CMakeFiles/fft_reorder.dir/fft_reorder.cc.o.d"
+  "fft_reorder"
+  "fft_reorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

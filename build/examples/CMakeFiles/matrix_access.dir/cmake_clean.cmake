@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_access.dir/matrix_access.cc.o"
+  "CMakeFiles/matrix_access.dir/matrix_access.cc.o.d"
+  "matrix_access"
+  "matrix_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simd_permute.dir/simd_permute.cc.o"
+  "CMakeFiles/simd_permute.dir/simd_permute.cc.o.d"
+  "simd_permute"
+  "simd_permute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simd_permute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

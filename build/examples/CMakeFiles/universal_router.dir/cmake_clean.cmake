@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/universal_router.dir/universal_router.cc.o"
+  "CMakeFiles/universal_router.dir/universal_router.cc.o.d"
+  "universal_router"
+  "universal_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/universal_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

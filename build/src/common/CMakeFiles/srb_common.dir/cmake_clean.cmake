@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srb_common.dir/bitops.cc.o"
+  "CMakeFiles/srb_common.dir/bitops.cc.o.d"
+  "CMakeFiles/srb_common.dir/logging.cc.o"
+  "CMakeFiles/srb_common.dir/logging.cc.o.d"
+  "CMakeFiles/srb_common.dir/prng.cc.o"
+  "CMakeFiles/srb_common.dir/prng.cc.o.d"
+  "CMakeFiles/srb_common.dir/table.cc.o"
+  "CMakeFiles/srb_common.dir/table.cc.o.d"
+  "libsrb_common.a"
+  "libsrb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

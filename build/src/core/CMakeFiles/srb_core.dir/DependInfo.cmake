@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/faults.cc" "src/core/CMakeFiles/srb_core.dir/faults.cc.o" "gcc" "src/core/CMakeFiles/srb_core.dir/faults.cc.o.d"
+  "/root/repo/src/core/half_network.cc" "src/core/CMakeFiles/srb_core.dir/half_network.cc.o" "gcc" "src/core/CMakeFiles/srb_core.dir/half_network.cc.o.d"
+  "/root/repo/src/core/parallel_setup.cc" "src/core/CMakeFiles/srb_core.dir/parallel_setup.cc.o" "gcc" "src/core/CMakeFiles/srb_core.dir/parallel_setup.cc.o.d"
+  "/root/repo/src/core/partial.cc" "src/core/CMakeFiles/srb_core.dir/partial.cc.o" "gcc" "src/core/CMakeFiles/srb_core.dir/partial.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/srb_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/srb_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/render.cc" "src/core/CMakeFiles/srb_core.dir/render.cc.o" "gcc" "src/core/CMakeFiles/srb_core.dir/render.cc.o.d"
+  "/root/repo/src/core/router.cc" "src/core/CMakeFiles/srb_core.dir/router.cc.o" "gcc" "src/core/CMakeFiles/srb_core.dir/router.cc.o.d"
+  "/root/repo/src/core/self_routing.cc" "src/core/CMakeFiles/srb_core.dir/self_routing.cc.o" "gcc" "src/core/CMakeFiles/srb_core.dir/self_routing.cc.o.d"
+  "/root/repo/src/core/state_io.cc" "src/core/CMakeFiles/srb_core.dir/state_io.cc.o" "gcc" "src/core/CMakeFiles/srb_core.dir/state_io.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/core/CMakeFiles/srb_core.dir/stats.cc.o" "gcc" "src/core/CMakeFiles/srb_core.dir/stats.cc.o.d"
+  "/root/repo/src/core/topology.cc" "src/core/CMakeFiles/srb_core.dir/topology.cc.o" "gcc" "src/core/CMakeFiles/srb_core.dir/topology.cc.o.d"
+  "/root/repo/src/core/two_pass.cc" "src/core/CMakeFiles/srb_core.dir/two_pass.cc.o" "gcc" "src/core/CMakeFiles/srb_core.dir/two_pass.cc.o.d"
+  "/root/repo/src/core/waksman.cc" "src/core/CMakeFiles/srb_core.dir/waksman.cc.o" "gcc" "src/core/CMakeFiles/srb_core.dir/waksman.cc.o.d"
+  "/root/repo/src/core/waksman_reduced.cc" "src/core/CMakeFiles/srb_core.dir/waksman_reduced.cc.o" "gcc" "src/core/CMakeFiles/srb_core.dir/waksman_reduced.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simd/CMakeFiles/srb_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/perm/CMakeFiles/srb_perm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/srb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srb_core.dir/faults.cc.o"
+  "CMakeFiles/srb_core.dir/faults.cc.o.d"
+  "CMakeFiles/srb_core.dir/half_network.cc.o"
+  "CMakeFiles/srb_core.dir/half_network.cc.o.d"
+  "CMakeFiles/srb_core.dir/parallel_setup.cc.o"
+  "CMakeFiles/srb_core.dir/parallel_setup.cc.o.d"
+  "CMakeFiles/srb_core.dir/partial.cc.o"
+  "CMakeFiles/srb_core.dir/partial.cc.o.d"
+  "CMakeFiles/srb_core.dir/pipeline.cc.o"
+  "CMakeFiles/srb_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/srb_core.dir/render.cc.o"
+  "CMakeFiles/srb_core.dir/render.cc.o.d"
+  "CMakeFiles/srb_core.dir/router.cc.o"
+  "CMakeFiles/srb_core.dir/router.cc.o.d"
+  "CMakeFiles/srb_core.dir/self_routing.cc.o"
+  "CMakeFiles/srb_core.dir/self_routing.cc.o.d"
+  "CMakeFiles/srb_core.dir/state_io.cc.o"
+  "CMakeFiles/srb_core.dir/state_io.cc.o.d"
+  "CMakeFiles/srb_core.dir/stats.cc.o"
+  "CMakeFiles/srb_core.dir/stats.cc.o.d"
+  "CMakeFiles/srb_core.dir/topology.cc.o"
+  "CMakeFiles/srb_core.dir/topology.cc.o.d"
+  "CMakeFiles/srb_core.dir/two_pass.cc.o"
+  "CMakeFiles/srb_core.dir/two_pass.cc.o.d"
+  "CMakeFiles/srb_core.dir/waksman.cc.o"
+  "CMakeFiles/srb_core.dir/waksman.cc.o.d"
+  "CMakeFiles/srb_core.dir/waksman_reduced.cc.o"
+  "CMakeFiles/srb_core.dir/waksman_reduced.cc.o.d"
+  "libsrb_core.a"
+  "libsrb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srb_gates.dir/baseline_gates.cc.o"
+  "CMakeFiles/srb_gates.dir/baseline_gates.cc.o.d"
+  "CMakeFiles/srb_gates.dir/benes_gates.cc.o"
+  "CMakeFiles/srb_gates.dir/benes_gates.cc.o.d"
+  "CMakeFiles/srb_gates.dir/netlist.cc.o"
+  "CMakeFiles/srb_gates.dir/netlist.cc.o.d"
+  "CMakeFiles/srb_gates.dir/pipelined_gates.cc.o"
+  "CMakeFiles/srb_gates.dir/pipelined_gates.cc.o.d"
+  "libsrb_gates.a"
+  "libsrb_gates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srb_gates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

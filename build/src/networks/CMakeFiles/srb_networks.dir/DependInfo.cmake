@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/networks/batcher.cc" "src/networks/CMakeFiles/srb_networks.dir/batcher.cc.o" "gcc" "src/networks/CMakeFiles/srb_networks.dir/batcher.cc.o.d"
+  "/root/repo/src/networks/crossbar.cc" "src/networks/CMakeFiles/srb_networks.dir/crossbar.cc.o" "gcc" "src/networks/CMakeFiles/srb_networks.dir/crossbar.cc.o.d"
+  "/root/repo/src/networks/gcn.cc" "src/networks/CMakeFiles/srb_networks.dir/gcn.cc.o" "gcc" "src/networks/CMakeFiles/srb_networks.dir/gcn.cc.o.d"
+  "/root/repo/src/networks/multicast.cc" "src/networks/CMakeFiles/srb_networks.dir/multicast.cc.o" "gcc" "src/networks/CMakeFiles/srb_networks.dir/multicast.cc.o.d"
+  "/root/repo/src/networks/network_iface.cc" "src/networks/CMakeFiles/srb_networks.dir/network_iface.cc.o" "gcc" "src/networks/CMakeFiles/srb_networks.dir/network_iface.cc.o.d"
+  "/root/repo/src/networks/odd_even.cc" "src/networks/CMakeFiles/srb_networks.dir/odd_even.cc.o" "gcc" "src/networks/CMakeFiles/srb_networks.dir/odd_even.cc.o.d"
+  "/root/repo/src/networks/omega_network.cc" "src/networks/CMakeFiles/srb_networks.dir/omega_network.cc.o" "gcc" "src/networks/CMakeFiles/srb_networks.dir/omega_network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/srb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/perm/CMakeFiles/srb_perm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/srb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/srb_simd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

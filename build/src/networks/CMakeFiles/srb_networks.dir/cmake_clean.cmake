@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srb_networks.dir/batcher.cc.o"
+  "CMakeFiles/srb_networks.dir/batcher.cc.o.d"
+  "CMakeFiles/srb_networks.dir/crossbar.cc.o"
+  "CMakeFiles/srb_networks.dir/crossbar.cc.o.d"
+  "CMakeFiles/srb_networks.dir/gcn.cc.o"
+  "CMakeFiles/srb_networks.dir/gcn.cc.o.d"
+  "CMakeFiles/srb_networks.dir/multicast.cc.o"
+  "CMakeFiles/srb_networks.dir/multicast.cc.o.d"
+  "CMakeFiles/srb_networks.dir/network_iface.cc.o"
+  "CMakeFiles/srb_networks.dir/network_iface.cc.o.d"
+  "CMakeFiles/srb_networks.dir/odd_even.cc.o"
+  "CMakeFiles/srb_networks.dir/odd_even.cc.o.d"
+  "CMakeFiles/srb_networks.dir/omega_network.cc.o"
+  "CMakeFiles/srb_networks.dir/omega_network.cc.o.d"
+  "libsrb_networks.a"
+  "libsrb_networks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srb_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

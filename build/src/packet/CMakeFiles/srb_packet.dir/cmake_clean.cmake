@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srb_packet.dir/packet_benes.cc.o"
+  "CMakeFiles/srb_packet.dir/packet_benes.cc.o.d"
+  "libsrb_packet.a"
+  "libsrb_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srb_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perm/bpc.cc" "src/perm/CMakeFiles/srb_perm.dir/bpc.cc.o" "gcc" "src/perm/CMakeFiles/srb_perm.dir/bpc.cc.o.d"
+  "/root/repo/src/perm/classify.cc" "src/perm/CMakeFiles/srb_perm.dir/classify.cc.o" "gcc" "src/perm/CMakeFiles/srb_perm.dir/classify.cc.o.d"
+  "/root/repo/src/perm/compose.cc" "src/perm/CMakeFiles/srb_perm.dir/compose.cc.o" "gcc" "src/perm/CMakeFiles/srb_perm.dir/compose.cc.o.d"
+  "/root/repo/src/perm/cycles.cc" "src/perm/CMakeFiles/srb_perm.dir/cycles.cc.o" "gcc" "src/perm/CMakeFiles/srb_perm.dir/cycles.cc.o.d"
+  "/root/repo/src/perm/f_class.cc" "src/perm/CMakeFiles/srb_perm.dir/f_class.cc.o" "gcc" "src/perm/CMakeFiles/srb_perm.dir/f_class.cc.o.d"
+  "/root/repo/src/perm/f_diagnosis.cc" "src/perm/CMakeFiles/srb_perm.dir/f_diagnosis.cc.o" "gcc" "src/perm/CMakeFiles/srb_perm.dir/f_diagnosis.cc.o.d"
+  "/root/repo/src/perm/linear.cc" "src/perm/CMakeFiles/srb_perm.dir/linear.cc.o" "gcc" "src/perm/CMakeFiles/srb_perm.dir/linear.cc.o.d"
+  "/root/repo/src/perm/named_bpc.cc" "src/perm/CMakeFiles/srb_perm.dir/named_bpc.cc.o" "gcc" "src/perm/CMakeFiles/srb_perm.dir/named_bpc.cc.o.d"
+  "/root/repo/src/perm/omega_class.cc" "src/perm/CMakeFiles/srb_perm.dir/omega_class.cc.o" "gcc" "src/perm/CMakeFiles/srb_perm.dir/omega_class.cc.o.d"
+  "/root/repo/src/perm/permutation.cc" "src/perm/CMakeFiles/srb_perm.dir/permutation.cc.o" "gcc" "src/perm/CMakeFiles/srb_perm.dir/permutation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/srb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srb_perm.dir/bpc.cc.o"
+  "CMakeFiles/srb_perm.dir/bpc.cc.o.d"
+  "CMakeFiles/srb_perm.dir/classify.cc.o"
+  "CMakeFiles/srb_perm.dir/classify.cc.o.d"
+  "CMakeFiles/srb_perm.dir/compose.cc.o"
+  "CMakeFiles/srb_perm.dir/compose.cc.o.d"
+  "CMakeFiles/srb_perm.dir/cycles.cc.o"
+  "CMakeFiles/srb_perm.dir/cycles.cc.o.d"
+  "CMakeFiles/srb_perm.dir/f_class.cc.o"
+  "CMakeFiles/srb_perm.dir/f_class.cc.o.d"
+  "CMakeFiles/srb_perm.dir/f_diagnosis.cc.o"
+  "CMakeFiles/srb_perm.dir/f_diagnosis.cc.o.d"
+  "CMakeFiles/srb_perm.dir/linear.cc.o"
+  "CMakeFiles/srb_perm.dir/linear.cc.o.d"
+  "CMakeFiles/srb_perm.dir/named_bpc.cc.o"
+  "CMakeFiles/srb_perm.dir/named_bpc.cc.o.d"
+  "CMakeFiles/srb_perm.dir/omega_class.cc.o"
+  "CMakeFiles/srb_perm.dir/omega_class.cc.o.d"
+  "CMakeFiles/srb_perm.dir/permutation.cc.o"
+  "CMakeFiles/srb_perm.dir/permutation.cc.o.d"
+  "libsrb_perm.a"
+  "libsrb_perm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srb_perm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simd/bitonic.cc" "src/simd/CMakeFiles/srb_simd.dir/bitonic.cc.o" "gcc" "src/simd/CMakeFiles/srb_simd.dir/bitonic.cc.o.d"
+  "/root/repo/src/simd/ccc.cc" "src/simd/CMakeFiles/srb_simd.dir/ccc.cc.o" "gcc" "src/simd/CMakeFiles/srb_simd.dir/ccc.cc.o.d"
+  "/root/repo/src/simd/cic.cc" "src/simd/CMakeFiles/srb_simd.dir/cic.cc.o" "gcc" "src/simd/CMakeFiles/srb_simd.dir/cic.cc.o.d"
+  "/root/repo/src/simd/machine.cc" "src/simd/CMakeFiles/srb_simd.dir/machine.cc.o" "gcc" "src/simd/CMakeFiles/srb_simd.dir/machine.cc.o.d"
+  "/root/repo/src/simd/mcc.cc" "src/simd/CMakeFiles/srb_simd.dir/mcc.cc.o" "gcc" "src/simd/CMakeFiles/srb_simd.dir/mcc.cc.o.d"
+  "/root/repo/src/simd/permute.cc" "src/simd/CMakeFiles/srb_simd.dir/permute.cc.o" "gcc" "src/simd/CMakeFiles/srb_simd.dir/permute.cc.o.d"
+  "/root/repo/src/simd/psc.cc" "src/simd/CMakeFiles/srb_simd.dir/psc.cc.o" "gcc" "src/simd/CMakeFiles/srb_simd.dir/psc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perm/CMakeFiles/srb_perm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/srb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

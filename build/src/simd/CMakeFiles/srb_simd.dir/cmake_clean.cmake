@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srb_simd.dir/bitonic.cc.o"
+  "CMakeFiles/srb_simd.dir/bitonic.cc.o.d"
+  "CMakeFiles/srb_simd.dir/ccc.cc.o"
+  "CMakeFiles/srb_simd.dir/ccc.cc.o.d"
+  "CMakeFiles/srb_simd.dir/cic.cc.o"
+  "CMakeFiles/srb_simd.dir/cic.cc.o.d"
+  "CMakeFiles/srb_simd.dir/machine.cc.o"
+  "CMakeFiles/srb_simd.dir/machine.cc.o.d"
+  "CMakeFiles/srb_simd.dir/mcc.cc.o"
+  "CMakeFiles/srb_simd.dir/mcc.cc.o.d"
+  "CMakeFiles/srb_simd.dir/permute.cc.o"
+  "CMakeFiles/srb_simd.dir/permute.cc.o.d"
+  "CMakeFiles/srb_simd.dir/psc.cc.o"
+  "CMakeFiles/srb_simd.dir/psc.cc.o.d"
+  "libsrb_simd.a"
+  "libsrb_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srb_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

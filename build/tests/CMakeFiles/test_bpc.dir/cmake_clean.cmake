@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bpc.dir/test_bpc.cc.o"
+  "CMakeFiles/test_bpc.dir/test_bpc.cc.o.d"
+  "test_bpc"
+  "test_bpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

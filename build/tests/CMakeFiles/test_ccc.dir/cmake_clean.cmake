@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ccc.dir/test_ccc.cc.o"
+  "CMakeFiles/test_ccc.dir/test_ccc.cc.o.d"
+  "test_ccc"
+  "test_ccc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ccc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_f_class.dir/test_f_class.cc.o"
+  "CMakeFiles/test_f_class.dir/test_f_class.cc.o.d"
+  "test_f_class"
+  "test_f_class.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_f_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

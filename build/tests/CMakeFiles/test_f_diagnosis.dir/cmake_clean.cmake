@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_f_diagnosis.dir/test_f_diagnosis.cc.o"
+  "CMakeFiles/test_f_diagnosis.dir/test_f_diagnosis.cc.o.d"
+  "test_f_diagnosis"
+  "test_f_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_f_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

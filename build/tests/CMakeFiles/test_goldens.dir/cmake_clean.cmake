@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_goldens.dir/test_goldens.cc.o"
+  "CMakeFiles/test_goldens.dir/test_goldens.cc.o.d"
+  "test_goldens"
+  "test_goldens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_goldens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

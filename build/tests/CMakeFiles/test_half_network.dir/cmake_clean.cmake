@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_half_network.dir/test_half_network.cc.o"
+  "CMakeFiles/test_half_network.dir/test_half_network.cc.o.d"
+  "test_half_network"
+  "test_half_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_half_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

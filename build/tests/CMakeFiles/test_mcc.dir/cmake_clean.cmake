@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mcc.dir/test_mcc.cc.o"
+  "CMakeFiles/test_mcc.dir/test_mcc.cc.o.d"
+  "test_mcc"
+  "test_mcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_named_bpc.dir/test_named_bpc.cc.o"
+  "CMakeFiles/test_named_bpc.dir/test_named_bpc.cc.o.d"
+  "test_named_bpc"
+  "test_named_bpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_named_bpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

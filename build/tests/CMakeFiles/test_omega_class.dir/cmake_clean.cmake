@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_omega_class.dir/test_omega_class.cc.o"
+  "CMakeFiles/test_omega_class.dir/test_omega_class.cc.o.d"
+  "test_omega_class"
+  "test_omega_class.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_omega_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

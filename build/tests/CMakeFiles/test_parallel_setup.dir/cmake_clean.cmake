@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_setup.dir/test_parallel_setup.cc.o"
+  "CMakeFiles/test_parallel_setup.dir/test_parallel_setup.cc.o.d"
+  "test_parallel_setup"
+  "test_parallel_setup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_setup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

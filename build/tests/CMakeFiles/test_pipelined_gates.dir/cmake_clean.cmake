@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipelined_gates.dir/test_pipelined_gates.cc.o"
+  "CMakeFiles/test_pipelined_gates.dir/test_pipelined_gates.cc.o.d"
+  "test_pipelined_gates"
+  "test_pipelined_gates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipelined_gates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_psc.dir/test_psc.cc.o"
+  "CMakeFiles/test_psc.dir/test_psc.cc.o.d"
+  "test_psc"
+  "test_psc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_psc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_self_routing.cc" "tests/CMakeFiles/test_self_routing.dir/test_self_routing.cc.o" "gcc" "tests/CMakeFiles/test_self_routing.dir/test_self_routing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/packet/CMakeFiles/srb_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/CMakeFiles/srb_gates.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/srb_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/networks/CMakeFiles/srb_networks.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/srb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/perm/CMakeFiles/srb_perm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/srb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_self_routing.dir/test_self_routing.cc.o"
+  "CMakeFiles/test_self_routing.dir/test_self_routing.cc.o.d"
+  "test_self_routing"
+  "test_self_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_self_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simd_machine.dir/test_simd_machine.cc.o"
+  "CMakeFiles/test_simd_machine.dir/test_simd_machine.cc.o.d"
+  "test_simd_machine"
+  "test_simd_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simd_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_state_io.dir/test_state_io.cc.o"
+  "CMakeFiles/test_state_io.dir/test_state_io.cc.o.d"
+  "test_state_io"
+  "test_state_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_state_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_waksman.dir/test_waksman.cc.o"
+  "CMakeFiles/test_waksman.dir/test_waksman.cc.o.d"
+  "test_waksman"
+  "test_waksman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_waksman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

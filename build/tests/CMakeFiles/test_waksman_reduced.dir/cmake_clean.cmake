@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_waksman_reduced.dir/test_waksman_reduced.cc.o"
+  "CMakeFiles/test_waksman_reduced.dir/test_waksman_reduced.cc.o.d"
+  "test_waksman_reduced"
+  "test_waksman_reduced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_waksman_reduced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
