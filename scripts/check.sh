@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Build and test both configurations: the default RelWithDebInfo tree
+# and the asan+ubsan tree. One command instead of folklore:
+#
+#     scripts/check.sh            # both presets
+#     scripts/check.sh release    # just one
+#
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+    presets=(release asan-ubsan)
+fi
+
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+for preset in "${presets[@]}"; do
+    echo "== preset: ${preset} =="
+    cmake --preset "${preset}"
+    cmake --build --preset "${preset}" -j "${jobs}"
+    ctest --preset "${preset}" -j "${jobs}"
+done

@@ -1,0 +1,455 @@
+#include "core/fast_engine.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace srbenes
+{
+
+namespace
+{
+
+/**
+ * Mask of lanes whose slot-bit @p b is clear — the physical upper
+ * inputs of a bit-b exchange stage — for in-word distances (b < 6).
+ */
+constexpr Word kUpperMask[6] = {
+    0x5555555555555555ULL, 0x3333333333333333ULL,
+    0x0f0f0f0f0f0f0f0fULL, 0x00ff00ff00ff00ffULL,
+    0x0000ffff0000ffffULL, 0x00000000ffffffffULL,
+};
+
+/** Reusable bit-plane arena; capacity persists across routes. */
+thread_local std::vector<Word> t_planes;
+
+} // namespace
+
+FastEngine::FastEngine(unsigned n)
+    : n_(n)
+{
+    // The reference topology enforces 1 <= n <= 30; mirror it (and
+    // let it do the check) by building the wiring tables from it.
+    const BenesTopology topo(n);
+    num_lines_ = topo.numLines();
+    lane_words_ = (num_lines_ + 63) / 64;
+
+    const Word size = num_lines_;
+    const unsigned stages = numStages();
+    const unsigned boundaries = stages - 1;
+
+    flat_wires_.resize(Word{boundaries} * size);
+    for (unsigned s = 0; s < boundaries; ++s)
+        for (Word line = 0; line < size; ++line)
+            flat_wires_[Word{s} * size + line] = topo.wireToNext(s, line);
+
+    // Walk the fabric once, composing the fixed wirings into the
+    // slot <-> physical-line maps and checking the conjugated
+    // exchange structure this engine relies on.
+    std::vector<Word> pos(size); // physical line of slot x
+    std::vector<Word> inv(size); // slot on physical line p
+    std::iota(pos.begin(), pos.end(), Word{0});
+    std::iota(inv.begin(), inv.end(), Word{0});
+    std::vector<Word> scratch(size);
+
+    switch_slot_.resize(Word{stages} * switchesPerStage());
+    for (unsigned s = 0; s < stages; ++s) {
+        const Word d = Word{1} << topo.controlBit(s);
+        for (Word i = 0; i < switchesPerStage(); ++i) {
+            const Word up = inv[2 * i];
+            const Word lo = inv[2 * i + 1];
+            if ((up ^ lo) != d || (up & d) != 0)
+                panic("stage %u switch %llu pairs slots %llu/%llu; "
+                      "not an upper-first bit-%u exchange",
+                      s, static_cast<unsigned long long>(i),
+                      static_cast<unsigned long long>(up),
+                      static_cast<unsigned long long>(lo),
+                      topo.controlBit(s));
+            switch_slot_[Word{s} * switchesPerStage() + i] = up;
+        }
+        if (s + 1 < stages) {
+            const Word *wire = flat_wires_.data() + Word{s} * size;
+            for (Word x = 0; x < size; ++x)
+                scratch[x] = wire[pos[x]];
+            pos.swap(scratch);
+            for (Word x = 0; x < size; ++x)
+                inv[pos[x]] = x;
+        }
+    }
+
+    out_slot_of_output_ = inv;     // slot feeding output j
+    output_of_slot_ = pos;         // output fed by slot x
+
+    success_pattern_.assign(Word{n_} * lane_words_, 0);
+    for (Word x = 0; x < size; ++x) {
+        const Word home = output_of_slot_[x];
+        for (unsigned b = 0; b < n_; ++b)
+            success_pattern_[Word{b} * lane_words_ + (x >> 6)] |=
+                bit(home, b) << (x & 63);
+    }
+}
+
+void
+FastEngine::loadTagPlanes(const Permutation &d,
+                          std::vector<Word> &planes) const
+{
+    planes.assign(Word{n_} * lane_words_, 0);
+    for (Word x = 0; x < num_lines_; ++x) {
+        const Word v = d[x];
+        const Word w = x >> 6;
+        const unsigned sh = x & 63;
+        for (unsigned b = 0; b < n_; ++b)
+            planes[Word{b} * lane_words_ + w] |= bit(v, b) << sh;
+    }
+}
+
+void
+FastEngine::runPlanes(std::vector<Word> &planes, FastPlan &plan,
+                      const std::vector<Word> *forced,
+                      RoutingMode mode) const
+{
+    const unsigned stages = numStages();
+    const Word W = lane_words_;
+    plan.n = n_;
+    plan.ctrl.assign(Word{stages} * W, 0);
+
+    for (unsigned s = 0; s < stages; ++s) {
+        const unsigned b = std::min(s, 2 * n_ - 2 - s);
+        Word *ctrl = plan.ctrl.data() + Word{s} * W;
+        const Word *pb = planes.data() + Word{b} * W;
+
+        // Control masks: bit b of the tag on each upper input, read
+        // before any exchange of this stage (Fig. 3), unless the
+        // states are forced or the omega bit holds the stage open.
+        if (forced) {
+            std::memcpy(ctrl, forced->data() + Word{s} * W,
+                        W * sizeof(Word));
+        } else if (mode == RoutingMode::OmegaBit && s + 1 < n_) {
+            // stages 0 .. n-2 stay straight; masks remain zero
+        } else if (b < 6) {
+            const Word m = kUpperMask[b];
+            for (Word w = 0; w < W; ++w)
+                ctrl[w] = pb[w] & m;
+        } else {
+            const Word dw = Word{1} << (b - 6);
+            for (Word w = 0; w < W; ++w)
+                ctrl[w] = (w & dw) ? 0 : pb[w];
+        }
+
+        // Conditional exchange of every plane at distance 2^b.
+        if (b < 6) {
+            const unsigned dist = 1u << b;
+            for (unsigned p = 0; p < n_; ++p) {
+                Word *P = planes.data() + Word{p} * W;
+                for (Word w = 0; w < W; ++w) {
+                    const Word v = P[w];
+                    const Word t = (v ^ (v >> dist)) & ctrl[w];
+                    P[w] = v ^ t ^ (t << dist);
+                }
+            }
+        } else {
+            const Word dw = Word{1} << (b - 6);
+            for (unsigned p = 0; p < n_; ++p) {
+                Word *P = planes.data() + Word{p} * W;
+                for (Word w = 0; w < W; ++w) {
+                    if (w & dw)
+                        continue;
+                    const Word t = (P[w] ^ P[w + dw]) & ctrl[w];
+                    P[w] ^= t;
+                    P[w + dw] ^= t;
+                }
+            }
+        }
+    }
+}
+
+void
+FastEngine::finishPlan(FastPlan &plan, const Permutation &d,
+                       const std::vector<Word> &planes) const
+{
+    const Word size = num_lines_;
+    plan.dest.resize(size);
+    plan.src.resize(size);
+    plan.misrouted_outputs.clear();
+
+    // Success iff the final planes equal the home pattern: every
+    // output's tag is its own index.
+    plan.success =
+        std::equal(planes.begin(), planes.end(), success_pattern_.begin());
+    if (plan.success) {
+        // Tags ride with their signals, and d is a permutation, so
+        // success pins the whole lane mapping to d itself.
+        for (Word i = 0; i < size; ++i) {
+            plan.dest[i] = d[i];
+            plan.src[d[i]] = i;
+        }
+        return;
+    }
+
+    // Misroute path (non-F self-routing attempts, fault studies):
+    // unpack each slot's tag and recover its origin through d^-1.
+    std::vector<Word> dinv(size);
+    for (Word i = 0; i < size; ++i)
+        dinv[d[i]] = i;
+    for (Word x = 0; x < size; ++x) {
+        const Word w = x >> 6;
+        const unsigned sh = x & 63;
+        Word tag = 0;
+        for (unsigned b = 0; b < n_; ++b)
+            tag |= ((planes[Word{b} * lane_words_ + w] >> sh) & 1u) << b;
+        const Word j = output_of_slot_[x];
+        const Word origin = dinv[tag];
+        plan.src[j] = origin;
+        plan.dest[origin] = j;
+        if (tag != j)
+            plan.misrouted_outputs.push_back(j);
+    }
+    std::sort(plan.misrouted_outputs.begin(),
+              plan.misrouted_outputs.end());
+}
+
+FastPlan
+FastEngine::routePlan(const Permutation &d, RoutingMode mode) const
+{
+    if (d.size() != num_lines_)
+        fatal("permutation size %zu does not match network N = %llu",
+              d.size(), static_cast<unsigned long long>(num_lines_));
+    FastPlan plan;
+    loadTagPlanes(d, t_planes);
+    runPlanes(t_planes, plan, nullptr, mode);
+    finishPlan(plan, d, t_planes);
+    return plan;
+}
+
+FastPlan
+FastEngine::planWithStates(const Permutation &d,
+                           const SwitchStates &states) const
+{
+    if (states.size() != numStages())
+        fatal("state array has %zu stages, network has %u",
+              states.size(), numStages());
+    PackedStates packed = packStates(states);
+    return planWithPacked(d, packed);
+}
+
+FastPlan
+FastEngine::planWithPacked(const Permutation &d,
+                           const PackedStates &packed) const
+{
+    if (d.size() != num_lines_)
+        fatal("permutation size %zu does not match network N = %llu",
+              d.size(), static_cast<unsigned long long>(num_lines_));
+    if (packed.n != n_ ||
+        packed.words.size() != Word{numStages()} * packed.words_per_stage)
+        fatal("packed states shaped for another network");
+
+    // Scatter the physical-order bits onto upper-input slots once;
+    // the route itself then runs exactly like the self-set case.
+    const unsigned stages = numStages();
+    std::vector<Word> forced(Word{stages} * lane_words_, 0);
+    for (unsigned s = 0; s < stages; ++s) {
+        const Word *slot = switch_slot_.data() + Word{s} * switchesPerStage();
+        for (Word i = 0; i < switchesPerStage(); ++i) {
+            if (!packed.get(s, i))
+                continue;
+            const Word x = slot[i];
+            forced[Word{s} * lane_words_ + (x >> 6)] |= Word{1}
+                                                        << (x & 63);
+        }
+    }
+
+    FastPlan plan;
+    loadTagPlanes(d, t_planes);
+    runPlanes(t_planes, plan, &forced, RoutingMode::SelfRouting);
+    finishPlan(plan, d, t_planes);
+    return plan;
+}
+
+RouteResult
+FastEngine::toRouteResult(const FastPlan &plan,
+                          const Permutation &d) const
+{
+    RouteResult res;
+    res.success = plan.success;
+    res.gate_delay = numStages();
+    res.states = planStates(plan);
+    res.realized_dest = plan.dest;
+    res.misrouted_outputs = plan.misrouted_outputs;
+    res.output_tags.resize(num_lines_);
+    for (Word j = 0; j < num_lines_; ++j)
+        res.output_tags[j] = d[plan.src[j]];
+    return res;
+}
+
+RouteResult
+FastEngine::route(const Permutation &d, RoutingMode mode) const
+{
+    return toRouteResult(routePlan(d, mode), d);
+}
+
+RouteResult
+FastEngine::routeWithStates(const Permutation &d,
+                            const SwitchStates &states) const
+{
+    return toRouteResult(planWithStates(d, states), d);
+}
+
+void
+FastEngine::executeInto(const FastPlan &plan,
+                        const std::vector<Word> &data,
+                        std::vector<Word> &out) const
+{
+    if (data.size() != num_lines_)
+        fatal("payload vector size %zu != N = %llu", data.size(),
+              static_cast<unsigned long long>(num_lines_));
+    if (plan.src.size() != num_lines_)
+        fatal("plan shaped for another network");
+    out.resize(num_lines_);
+    const Word *src = plan.src.data();
+    const Word *in = data.data();
+    for (Word j = 0; j < num_lines_; ++j)
+        out[j] = in[src[j]];
+}
+
+std::vector<Word>
+FastEngine::execute(const FastPlan &plan,
+                    const std::vector<Word> &data) const
+{
+    std::vector<Word> out;
+    executeInto(plan, data, out);
+    return out;
+}
+
+std::vector<std::vector<Word>>
+FastEngine::executeMany(const FastPlan &plan,
+                        const std::vector<std::vector<Word>> &batch,
+                        unsigned num_threads) const
+{
+    std::vector<std::vector<Word>> outs(batch.size());
+    if (num_threads <= 1 || batch.empty()) {
+        for (std::size_t v = 0; v < batch.size(); ++v)
+            executeInto(plan, batch[v], outs[v]);
+        return outs;
+    }
+
+    for (std::size_t v = 0; v < batch.size(); ++v) {
+        if (batch[v].size() != num_lines_)
+            fatal("payload vector size %zu != N = %llu",
+                  batch[v].size(),
+                  static_cast<unsigned long long>(num_lines_));
+        outs[v].resize(num_lines_);
+    }
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    const Word T = std::min<Word>(std::min(num_threads, hw), num_lines_);
+    const Word *src = plan.src.data();
+    auto worker = [&](Word lo, Word hi) {
+        for (std::size_t v = 0; v < batch.size(); ++v) {
+            const Word *in = batch[v].data();
+            Word *out = outs[v].data();
+            for (Word j = lo; j < hi; ++j)
+                out[j] = in[src[j]];
+        }
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(T);
+    const Word chunk = (num_lines_ + T - 1) / T;
+    for (Word t = 0; t < T; ++t) {
+        const Word lo = t * chunk;
+        const Word hi = std::min(num_lines_, lo + chunk);
+        if (lo >= hi)
+            break;
+        threads.emplace_back(worker, lo, hi);
+    }
+    for (auto &th : threads)
+        th.join();
+    return outs;
+}
+
+std::vector<std::vector<Word>>
+FastEngine::routeBatch(const Permutation &d,
+                       const std::vector<std::vector<Word>> &batch,
+                       RoutingMode mode, unsigned num_threads) const
+{
+    return executeMany(routePlan(d, mode), batch, num_threads);
+}
+
+SwitchStates
+FastEngine::planStates(const FastPlan &plan) const
+{
+    if (plan.ctrl.size() != Word{numStages()} * lane_words_)
+        fatal("plan carries no per-stage control masks");
+    SwitchStates out(numStages(),
+                     std::vector<std::uint8_t>(switchesPerStage()));
+    for (unsigned s = 0; s < numStages(); ++s) {
+        const Word *ctrl = plan.ctrl.data() + Word{s} * lane_words_;
+        const Word *slot = switch_slot_.data() + Word{s} * switchesPerStage();
+        for (Word i = 0; i < switchesPerStage(); ++i) {
+            const Word x = slot[i];
+            out[s][i] = static_cast<std::uint8_t>(
+                (ctrl[x >> 6] >> (x & 63)) & 1u);
+        }
+    }
+    return out;
+}
+
+PackedStates
+FastEngine::planPackedStates(const FastPlan &plan) const
+{
+    if (plan.ctrl.size() != Word{numStages()} * lane_words_)
+        fatal("plan carries no per-stage control masks");
+    PackedStates packed;
+    packed.n = n_;
+    packed.words_per_stage = (switchesPerStage() + 63) / 64;
+    packed.words.assign(Word{numStages()} * packed.words_per_stage, 0);
+    for (unsigned s = 0; s < numStages(); ++s) {
+        const Word *ctrl = plan.ctrl.data() + Word{s} * lane_words_;
+        const Word *slot = switch_slot_.data() + Word{s} * switchesPerStage();
+        for (Word i = 0; i < switchesPerStage(); ++i) {
+            const Word x = slot[i];
+            if ((ctrl[x >> 6] >> (x & 63)) & 1u)
+                packed.set(s, i, true);
+        }
+    }
+    return packed;
+}
+
+PackedStates
+FastEngine::packStates(const SwitchStates &states) const
+{
+    if (states.size() != numStages())
+        fatal("state array has %zu stages, network has %u",
+              states.size(), numStages());
+    PackedStates packed;
+    packed.n = n_;
+    packed.words_per_stage = (switchesPerStage() + 63) / 64;
+    packed.words.assign(Word{numStages()} * packed.words_per_stage, 0);
+    for (unsigned s = 0; s < numStages(); ++s) {
+        if (states[s].size() != switchesPerStage())
+            fatal("stage %u has %zu switches, network has %llu", s,
+                  states[s].size(),
+                  static_cast<unsigned long long>(switchesPerStage()));
+        for (Word i = 0; i < switchesPerStage(); ++i)
+            if (states[s][i])
+                packed.set(s, i, true);
+    }
+    return packed;
+}
+
+SwitchStates
+FastEngine::unpackStates(const PackedStates &packed) const
+{
+    if (packed.n != n_ ||
+        packed.words.size() != Word{numStages()} * packed.words_per_stage)
+        fatal("packed states shaped for another network");
+    SwitchStates out(numStages(),
+                     std::vector<std::uint8_t>(switchesPerStage()));
+    for (unsigned s = 0; s < numStages(); ++s)
+        for (Word i = 0; i < switchesPerStage(); ++i)
+            out[s][i] = packed.get(s, i) ? 1 : 0;
+    return out;
+}
+
+} // namespace srbenes

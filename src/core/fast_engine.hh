@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Bit-sliced flat routing engine: the software analogue of the
+ * paper's hardware parallelism.
+ *
+ * The reference simulator (SelfRoutingBenes) moves one (tag, origin)
+ * pair at a time through vector<vector<>> wiring tables: O(N log N)
+ * branchy scalar work per route. This engine evaluates ALL N/2
+ * switches of a stage with a handful of word operations per 64 lanes.
+ *
+ * Two observations make that possible:
+ *
+ * 1. Conjugation flattens the wiring away. Let C_s be the composition
+ *    of the fixed inter-stage wirings up to the input of stage s
+ *    (C_0 = identity). Tracking every signal in "stage-0 coordinates"
+ *    — slot x holds the signal that entered on input x of the first
+ *    stage if nothing had moved — each stage s becomes a CONDITIONAL
+ *    EXCHANGE between slots x and x ^ 2^b, b = controlBit(s), with
+ *    the physical upper input on the slot whose bit b is 0. (This is
+ *    the same structure that makes B(n) an inverse-omega network
+ *    followed by an omega network; the constructor derives the slot
+ *    maps from the flattened gather tables and verifies the exchange
+ *    property rather than assuming it.) No data is ever moved for a
+ *    boundary: one fixed output gather remains at the very end.
+ *
+ * 2. Bit-slicing turns the Fig. 3 rule into word ops. Destination
+ *    tags are stored as n bit-planes of N lanes packed into 64-bit
+ *    words: bit x of plane b is bit b of the tag in slot x. The
+ *    control mask of stage s is plane b restricted to lanes with
+ *    slot-bit b clear (the upper inputs), read BEFORE the exchange —
+ *    exactly "bit b of the tag on the upper input". The exchange
+ *    itself is the classic delta swap
+ *        t = (P ^ (P >> 2^b)) & ctrl;   P ^= t ^ (t << 2^b);
+ *    applied to every plane (or an XOR swap of whole words when the
+ *    exchange distance crosses word boundaries).
+ *
+ * Switch states come out of a route as per-stage control masks in
+ * slot order; converters produce the physical-order SwitchStates /
+ * PackedStates forms on demand (compatibility with WaksmanSetup and
+ * state_io), so the hot path never pays the scalar transposition.
+ *
+ * The execution side is split from planning the way Router plans
+ * are: routePlan() runs the fabric once bit-sliced and materializes
+ * the realized lane mapping; executeMany() then applies one routed
+ * configuration to B payload vectors as contiguous gathers,
+ * optionally sharding lanes across std::thread workers for large N.
+ */
+
+#ifndef SRBENES_CORE_FAST_ENGINE_HH
+#define SRBENES_CORE_FAST_ENGINE_HH
+
+#include <vector>
+
+#include "core/self_routing.hh"
+#include "core/topology.hh"
+#include "perm/permutation.hh"
+
+namespace srbenes
+{
+
+/**
+ * Switch states packed one bit per switch, stage-major, switch i of
+ * a stage at word i/64 bit i%64 — the same bit order state_io uses,
+ * but word-addressed so a stage's 64-switch groups are single loads.
+ */
+struct PackedStates
+{
+    unsigned n = 0;
+    /** Words per stage, ceil((N/2) / 64). */
+    Word words_per_stage = 0;
+    /** (2n-1) * words_per_stage words, contiguous. */
+    std::vector<Word> words;
+
+    bool
+    get(unsigned stage, Word sw) const
+    {
+        const Word w = words[stage * words_per_stage + (sw >> 6)];
+        return (w >> (sw & 63)) & 1u;
+    }
+
+    void
+    set(unsigned stage, Word sw, bool v)
+    {
+        Word &w = words[stage * words_per_stage + (sw >> 6)];
+        const Word m = Word{1} << (sw & 63);
+        w = v ? (w | m) : (w & ~m);
+    }
+};
+
+/**
+ * One routed configuration, kept in the engine's native form. The
+ * realized lane mapping is always well defined (switches permute
+ * lanes whether or not every tag reached its destination), so a plan
+ * can be executed even when success is false — Router never does,
+ * but diagnostics may.
+ */
+struct FastPlan
+{
+    unsigned n = 0;
+    /** True iff every tag reached its numbered output. */
+    bool success = false;
+    /**
+     * Per-stage switch control masks in SLOT order: (2n-1) stages x
+     * laneWords() words; bit x of stage s's mask is the state of the
+     * exchange on slots {x, x ^ 2^controlBit(s)} (only bits with
+     * slot-bit controlBit(s) clear are used). Convert with
+     * FastEngine::planStates / planPackedStates. Empty for composed
+     * plans that only carry an execution mapping.
+     */
+    std::vector<Word> ctrl;
+    /** Output terminal reached by each input's signal. */
+    std::vector<Word> dest;
+    /** Inverse gather table: input whose signal reached output j. */
+    std::vector<Word> src;
+    /** Outputs whose tag differs from their index, ascending. */
+    std::vector<Word> misrouted_outputs;
+};
+
+class FastEngine
+{
+  public:
+    explicit FastEngine(unsigned n);
+
+    unsigned n() const { return n_; }
+    Word numLines() const { return num_lines_; }
+    unsigned numStages() const { return 2 * n_ - 1; }
+    Word switchesPerStage() const { return num_lines_ / 2; }
+    /** 64-bit words per bit-plane of N lanes. */
+    Word laneWords() const { return lane_words_; }
+
+    /**
+     * Flat contiguous gather table for @p boundary (0 <= boundary <=
+     * 2n-3): the stage-(boundary+1) input line fed by output @p line
+     * of stage @p boundary. Same values as BenesTopology::wireToNext,
+     * one cache-friendly array per boundary.
+     */
+    Word
+    wireToNext(unsigned boundary, Word line) const
+    {
+        return flat_wires_[boundary * num_lines_ + line];
+    }
+
+    /** Route @p d bit-sliced; the hot planning path. */
+    FastPlan routePlan(const Permutation &d,
+                       RoutingMode mode = RoutingMode::SelfRouting) const;
+
+    /** Route with externally supplied states (Waksman path). */
+    FastPlan planWithStates(const Permutation &d,
+                            const SwitchStates &states) const;
+
+    /** Route with externally supplied packed states. */
+    FastPlan planWithPacked(const Permutation &d,
+                            const PackedStates &packed) const;
+
+    /**
+     * Drop-in equivalents of SelfRoutingBenes::route /
+     * routeWithStates: bit-for-bit identical RouteResult (states,
+     * output_tags, realized_dest, misrouted_outputs, success), built
+     * from a bit-sliced pass plus the compatibility converters.
+     */
+    RouteResult route(const Permutation &d,
+                      RoutingMode mode = RoutingMode::SelfRouting) const;
+    RouteResult routeWithStates(const Permutation &d,
+                                const SwitchStates &states) const;
+
+    /** Apply a routed configuration to one payload vector. */
+    std::vector<Word> execute(const FastPlan &plan,
+                              const std::vector<Word> &data) const;
+
+    /** Allocation-free variant; @p out is resized to N. */
+    void executeInto(const FastPlan &plan, const std::vector<Word> &data,
+                     std::vector<Word> &out) const;
+
+    /**
+     * Apply one routed configuration to B payload vectors. With
+     * @p num_threads > 1 the N output lanes are sharded across
+     * std::thread workers (worth it for large N * B only; callers
+     * pick the threshold).
+     */
+    std::vector<std::vector<Word>>
+    executeMany(const FastPlan &plan,
+                const std::vector<std::vector<Word>> &batch,
+                unsigned num_threads = 1) const;
+
+    /** Plan once, then executeMany: route + batched transport. */
+    std::vector<std::vector<Word>>
+    routeBatch(const Permutation &d,
+               const std::vector<std::vector<Word>> &batch,
+               RoutingMode mode = RoutingMode::SelfRouting,
+               unsigned num_threads = 1) const;
+
+    /** Physical-order switch states of a routed plan. */
+    SwitchStates planStates(const FastPlan &plan) const;
+    /** Packed physical-order switch states of a routed plan. */
+    PackedStates planPackedStates(const FastPlan &plan) const;
+
+    /** SwitchStates -> packed bitset (state_io bit order). */
+    PackedStates packStates(const SwitchStates &states) const;
+    /** Packed bitset -> SwitchStates; fatal()s on a shape mismatch. */
+    SwitchStates unpackStates(const PackedStates &packed) const;
+
+  private:
+    void loadTagPlanes(const Permutation &d,
+                       std::vector<Word> &planes) const;
+    void runPlanes(std::vector<Word> &planes, FastPlan &plan,
+                   const std::vector<Word> *forced,
+                   RoutingMode mode) const;
+    void finishPlan(FastPlan &plan, const Permutation &d,
+                    const std::vector<Word> &planes) const;
+    RouteResult toRouteResult(const FastPlan &plan,
+                              const Permutation &d) const;
+
+    unsigned n_;
+    Word num_lines_;
+    Word lane_words_;
+    /** Contiguous wiring gather tables, boundary-major. */
+    std::vector<Word> flat_wires_;
+    /** Stage-major: slot on the upper input of physical switch i. */
+    std::vector<Word> switch_slot_;
+    /** Slot feeding physical output j after the last stage. */
+    std::vector<Word> out_slot_of_output_;
+    /** Physical output fed by slot x (inverse of the above). */
+    std::vector<Word> output_of_slot_;
+    /** Expected final tag planes when every tag reaches home. */
+    std::vector<Word> success_pattern_;
+};
+
+} // namespace srbenes
+
+#endif // SRBENES_CORE_FAST_ENGINE_HH

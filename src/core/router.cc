@@ -8,6 +8,27 @@
 namespace srbenes
 {
 
+namespace
+{
+
+/**
+ * FNV-1a over the destination words. Collisions only cost a cache
+ * miss: planCached compares the stored permutation before reuse.
+ */
+std::uint64_t
+permHash(const Permutation &d)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (Word v : d.dest()) {
+        h ^= v;
+        h *= 1099511628211ULL;
+        h ^= h >> 29; // spread the low-entropy small values
+    }
+    return h;
+}
+
+} // namespace
+
 const char *
 routeStrategyName(RouteStrategy s)
 {
@@ -24,8 +45,10 @@ routeStrategyName(RouteStrategy s)
     return "?";
 }
 
-Router::Router(unsigned n, bool prefer_waksman)
-    : net_(n), prefer_waksman_(prefer_waksman)
+Router::Router(unsigned n, bool prefer_waksman,
+               std::size_t plan_cache_capacity)
+    : net_(n), engine_(n), prefer_waksman_(prefer_waksman),
+      cache_capacity_(plan_cache_capacity)
 {
 }
 
@@ -37,22 +60,97 @@ Router::plan(const Permutation &d) const
               d.size(),
               static_cast<unsigned long long>(net_.numLines()));
 
-    if (inFClass(d))
-        return RoutePlan{RouteStrategy::SelfRouting, d, {}, {}, 1};
-    if (isOmega(d))
-        return RoutePlan{RouteStrategy::OmegaBit, d, {}, {}, 1};
-    if (prefer_waksman_) {
-        return RoutePlan{RouteStrategy::Waksman, d, {},
-                         waksmanSetup(net_.topology(), d), 1};
+    if (inFClass(d)) {
+        auto fast = std::make_shared<FastPlan>(engine_.routePlan(d));
+        if (!fast->success)
+            panic("self-routing plan failed for a planned F member");
+        return RoutePlan{RouteStrategy::SelfRouting, d, {}, {}, 1,
+                         std::move(fast)};
     }
-    return RoutePlan{RouteStrategy::TwoPass, d, twoPassPlan(net_, d),
-                     {}, 2};
+    if (isOmega(d)) {
+        auto fast = std::make_shared<FastPlan>(
+            engine_.routePlan(d, RoutingMode::OmegaBit));
+        if (!fast->success)
+            panic("omega-bit plan failed for a planned Omega member");
+        return RoutePlan{RouteStrategy::OmegaBit, d, {}, {}, 1,
+                         std::move(fast)};
+    }
+    if (prefer_waksman_) {
+        SwitchStates states = waksmanSetup(net_.topology(), d);
+        auto fast =
+            std::make_shared<FastPlan>(engine_.planWithStates(d, states));
+        if (!fast->success)
+            panic("waksman plan failed to realize its permutation");
+        return RoutePlan{RouteStrategy::Waksman, d, {},
+                         std::move(states), 1, std::move(fast)};
+    }
+
+    TwoPassPlan tp = twoPassPlan(net_, d);
+    const FastPlan p1 = engine_.routePlan(tp.first);
+    const FastPlan p2 =
+        engine_.routePlan(tp.second, RoutingMode::OmegaBit);
+    if (!p1.success || !p2.success)
+        panic("two-pass plan failed one of its self-routed passes");
+    // Compose the two verified passes into one execution mapping;
+    // the per-pass switch states live in the TwoPassPlan if needed.
+    auto fast = std::make_shared<FastPlan>();
+    fast->n = p1.n;
+    fast->success = true;
+    fast->dest.resize(d.size());
+    fast->src.resize(d.size());
+    for (Word i = 0; i < d.size(); ++i)
+        fast->dest[i] = p2.dest[p1.dest[i]];
+    for (Word i = 0; i < d.size(); ++i)
+        fast->src[fast->dest[i]] = i;
+    return RoutePlan{RouteStrategy::TwoPass, d, std::move(tp), {}, 2,
+                     std::move(fast)};
+}
+
+std::shared_ptr<const RoutePlan>
+Router::planCached(const Permutation &d) const
+{
+    if (cache_capacity_ == 0)
+        return std::make_shared<const RoutePlan>(plan(d));
+
+    const std::uint64_t h = permHash(d);
+    {
+        std::lock_guard<std::mutex> lock(cache_mu_);
+        auto it = cache_index_.find(h);
+        if (it != cache_index_.end() && it->second->plan->perm == d) {
+            ++cache_hits_;
+            lru_.splice(lru_.begin(), lru_, it->second);
+            return it->second->plan;
+        }
+        ++cache_misses_;
+    }
+
+    // Plan outside the lock; concurrent misses on the same pattern
+    // just plan twice and the later insert wins.
+    auto planned = std::make_shared<const RoutePlan>(plan(d));
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = cache_index_.find(h);
+    if (it != cache_index_.end()) {
+        // Same hash: either a racing insert of this pattern or a
+        // collision; either way the newcomer replaces it.
+        lru_.erase(it->second);
+        cache_index_.erase(it);
+    }
+    lru_.push_front(CacheEntry{h, planned});
+    cache_index_[h] = lru_.begin();
+    while (lru_.size() > cache_capacity_) {
+        cache_index_.erase(lru_.back().hash);
+        lru_.pop_back();
+    }
+    return planned;
 }
 
 std::vector<Word>
 Router::execute(const RoutePlan &plan,
                 const std::vector<Word> &data) const
 {
+    if (plan.fast && plan.fast->success)
+        return engine_.execute(*plan.fast, data);
+
     switch (plan.strategy) {
       case RouteStrategy::SelfRouting: {
         const auto out = net_.permutePayloads(plan.perm, data);
@@ -87,11 +185,75 @@ Router::execute(const RoutePlan &plan,
     panic("unreachable routing strategy");
 }
 
+void
+Router::executeInto(const RoutePlan &plan,
+                    const std::vector<Word> &data,
+                    std::vector<Word> &out) const
+{
+    if (plan.fast && plan.fast->success) {
+        engine_.executeInto(*plan.fast, data, out);
+        return;
+    }
+    out = execute(plan, data);
+}
+
+std::vector<std::vector<Word>>
+Router::executeMany(const RoutePlan &plan,
+                    const std::vector<std::vector<Word>> &batch,
+                    unsigned num_threads) const
+{
+    if (plan.fast && plan.fast->success)
+        return engine_.executeMany(*plan.fast, batch, num_threads);
+    std::vector<std::vector<Word>> outs(batch.size());
+    for (std::size_t v = 0; v < batch.size(); ++v)
+        outs[v] = execute(plan, batch[v]);
+    return outs;
+}
+
 std::vector<Word>
 Router::route(const Permutation &d,
               const std::vector<Word> &data) const
 {
-    return execute(plan(d), data);
+    return execute(*planCached(d), data);
+}
+
+std::vector<std::vector<Word>>
+Router::routeBatch(const Permutation &d,
+                   const std::vector<std::vector<Word>> &batch,
+                   unsigned num_threads) const
+{
+    return executeMany(*planCached(d), batch, num_threads);
+}
+
+std::size_t
+Router::planCacheSize() const
+{
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    return lru_.size();
+}
+
+std::size_t
+Router::planCacheHits() const
+{
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    return cache_hits_;
+}
+
+std::size_t
+Router::planCacheMisses() const
+{
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    return cache_misses_;
+}
+
+void
+Router::clearPlanCache() const
+{
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    lru_.clear();
+    cache_index_.clear();
+    cache_hits_ = 0;
+    cache_misses_ = 0;
 }
 
 } // namespace srbenes

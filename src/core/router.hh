@@ -16,14 +16,31 @@
  * Plans are immutable and reusable: plan once per communication
  * pattern, execute per data vector (the paper's SIMD setting, where
  * the same pattern recurs every iteration).
+ *
+ * Two layers make the reuse path near-free:
+ *
+ *  - every plan is verified through the bit-sliced FastEngine at
+ *    planning time and carries the realized lane mapping, so
+ *    execute() is a single contiguous gather — no fabric
+ *    re-simulation, no allocation beyond the result (and none at
+ *    all via executeInto);
+ *  - route() consults an LRU plan cache keyed by a permutation
+ *    hash, so a recurring pattern skips classification and planning
+ *    entirely after its first appearance.
  */
 
 #ifndef SRBENES_CORE_ROUTER_HH
 #define SRBENES_CORE_ROUTER_HH
 
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 
+#include "core/fast_engine.hh"
 #include "core/self_routing.hh"
 #include "core/two_pass.hh"
 
@@ -52,6 +69,14 @@ struct RoutePlan
     std::optional<SwitchStates> states;
     /** Passes through the fabric per executed vector. */
     unsigned passes = 1;
+    /**
+     * Realized lane mapping, verified through the FastEngine at
+     * planning time (for TwoPass, the composition of both passes; its
+     * ctrl masks are then empty). Plans built by Router always carry
+     * it; a hand-assembled plan without it falls back to the
+     * reference fabric simulation in execute().
+     */
+    std::shared_ptr<const FastPlan> fast;
 };
 
 class Router
@@ -61,25 +86,84 @@ class Router
      * @param prefer_waksman resolve non-F/non-Omega permutations
      *        with a single externally-set pass instead of two
      *        self-routed ones.
+     * @param plan_cache_capacity distinct recurring patterns kept
+     *        hot; 0 disables the cache.
      */
-    explicit Router(unsigned n, bool prefer_waksman = false);
+    explicit Router(unsigned n, bool prefer_waksman = false,
+                    std::size_t plan_cache_capacity = 64);
 
     const SelfRoutingBenes &fabric() const { return net_; }
+    const FastEngine &engine() const { return engine_; }
 
     /** Plan the cheapest strategy for @p d. */
     RoutePlan plan(const Permutation &d) const;
+
+    /**
+     * Plan through the LRU cache: a repeated pattern returns the
+     * cached plan without re-classifying or re-routing. Thread-safe.
+     */
+    std::shared_ptr<const RoutePlan>
+    planCached(const Permutation &d) const;
 
     /** Move a data vector along a previously computed plan. */
     std::vector<Word> execute(const RoutePlan &plan,
                               const std::vector<Word> &data) const;
 
-    /** Convenience: plan + execute in one call. */
+    /**
+     * Allocation-free execute for plans carrying a fast mapping:
+     * gathers into @p out, reusing its capacity.
+     */
+    void executeInto(const RoutePlan &plan,
+                     const std::vector<Word> &data,
+                     std::vector<Word> &out) const;
+
+    /**
+     * Apply one plan to B payload vectors; lanes are sharded across
+     * @p num_threads std::thread workers when > 1.
+     */
+    std::vector<std::vector<Word>>
+    executeMany(const RoutePlan &plan,
+                const std::vector<std::vector<Word>> &batch,
+                unsigned num_threads = 1) const;
+
+    /** Convenience: cached plan + execute in one call. */
     std::vector<Word> route(const Permutation &d,
                             const std::vector<Word> &data) const;
 
+    /** Cached plan + executeMany in one call. */
+    std::vector<std::vector<Word>>
+    routeBatch(const Permutation &d,
+               const std::vector<std::vector<Word>> &batch,
+               unsigned num_threads = 1) const;
+
+    /** @{ Plan-cache introspection (for tests and telemetry). */
+    std::size_t planCacheSize() const;
+    std::size_t planCacheHits() const;
+    std::size_t planCacheMisses() const;
+    std::size_t planCacheCapacity() const { return cache_capacity_; }
+    void clearPlanCache() const;
+    /** @} */
+
   private:
+    struct CacheEntry
+    {
+        std::uint64_t hash;
+        std::shared_ptr<const RoutePlan> plan;
+    };
+
     SelfRoutingBenes net_;
+    FastEngine engine_;
     bool prefer_waksman_;
+    std::size_t cache_capacity_;
+
+    /** LRU list, most recent first, plus a hash index into it. */
+    mutable std::mutex cache_mu_;
+    mutable std::list<CacheEntry> lru_;
+    mutable std::unordered_map<std::uint64_t,
+                               std::list<CacheEntry>::iterator>
+        cache_index_;
+    mutable std::size_t cache_hits_ = 0;
+    mutable std::size_t cache_misses_ = 0;
 };
 
 } // namespace srbenes

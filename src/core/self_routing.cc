@@ -5,6 +5,25 @@
 namespace srbenes
 {
 
+namespace
+{
+
+/** One in-flight signal: its destination tag and where it entered. */
+struct Signal
+{
+    Word tag;
+    Word origin;
+};
+
+/**
+ * Reusable per-thread signal arenas; capacity persists across calls
+ * so the steady state allocates nothing.
+ */
+thread_local std::vector<Signal> t_cur;
+thread_local std::vector<Signal> t_next;
+
+} // namespace
+
 SelfRoutingBenes::SelfRoutingBenes(unsigned n)
     : topo_(n)
 {
@@ -14,7 +33,16 @@ RouteResult
 SelfRoutingBenes::route(const Permutation &d, RoutingMode mode,
                         RouteTrace *trace) const
 {
-    return run(d, nullptr, mode, trace);
+    RouteResult res;
+    runInto(d, nullptr, mode, trace, res);
+    return res;
+}
+
+void
+SelfRoutingBenes::routeInto(const Permutation &d, RouteResult &res,
+                            RoutingMode mode, RouteTrace *trace) const
+{
+    runInto(d, nullptr, mode, trace, res);
 }
 
 RouteResult
@@ -25,7 +53,9 @@ SelfRoutingBenes::routeWithStates(const Permutation &d,
     if (states.size() != topo_.numStages())
         fatal("state array has %zu stages, network has %u",
               states.size(), topo_.numStages());
-    return run(d, &states, RoutingMode::SelfRouting, trace);
+    RouteResult res;
+    runInto(d, &states, RoutingMode::SelfRouting, trace, res);
+    return res;
 }
 
 std::optional<std::vector<Word>>
@@ -37,7 +67,8 @@ SelfRoutingBenes::permutePayloads(const Permutation &d,
         fatal("payload vector size %zu != N = %llu", data.size(),
               static_cast<unsigned long long>(numLines()));
 
-    const RouteResult res = route(d, mode);
+    thread_local RouteResult res;
+    routeInto(d, res, mode);
     if (!res.success)
         return std::nullopt;
 
@@ -47,28 +78,30 @@ SelfRoutingBenes::permutePayloads(const Permutation &d,
     return out;
 }
 
-RouteResult
-SelfRoutingBenes::run(const Permutation &d, const SwitchStates *forced,
-                      RoutingMode mode, RouteTrace *trace) const
+void
+SelfRoutingBenes::runInto(const Permutation &d,
+                          const SwitchStates *forced, RoutingMode mode,
+                          RouteTrace *trace, RouteResult &res) const
 {
     const Word size = numLines();
     if (d.size() != size)
         fatal("permutation size %zu does not match network N = %llu",
               d.size(), static_cast<unsigned long long>(size));
 
-    struct Signal
-    {
-        Word tag;
-        Word origin;
-    };
-
-    std::vector<Signal> cur(size);
+    std::vector<Signal> &cur = t_cur;
+    std::vector<Signal> &next = t_next;
+    cur.resize(size);
+    next.resize(size);
     for (Word i = 0; i < size; ++i)
         cur[i] = Signal{d[i], i};
 
-    RouteResult res;
-    res.states = topo_.makeStates();
-    res.gate_delay = topo_.numStages();
+    const unsigned stages = topo_.numStages();
+    // Reshape in place: every element below is overwritten.
+    res.states.resize(stages);
+    for (auto &stage : res.states)
+        stage.resize(topo_.switchesPerStage());
+    res.gate_delay = stages;
+    res.misrouted_outputs.clear();
 
     auto snapshot = [&]() {
         if (!trace)
@@ -79,8 +112,6 @@ SelfRoutingBenes::run(const Permutation &d, const SwitchStates *forced,
         trace->tags_at_stage.push_back(std::move(tags));
     };
 
-    std::vector<Signal> next(size);
-    const unsigned stages = topo_.numStages();
     for (unsigned s = 0; s < stages; ++s) {
         snapshot();
 
@@ -123,7 +154,6 @@ SelfRoutingBenes::run(const Permutation &d, const SwitchStates *forced,
             res.misrouted_outputs.push_back(j);
         }
     }
-    return res;
 }
 
 } // namespace srbenes

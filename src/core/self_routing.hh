@@ -82,6 +82,17 @@ class SelfRoutingBenes
                       RouteTrace *trace = nullptr) const;
 
     /**
+     * As route(), but reusing the capacity of a caller-held result
+     * (and a thread_local signal arena) instead of allocating: a
+     * steady-state caller that keeps its RouteResult across calls
+     * routes without touching the heap. route() and
+     * permutePayloads() are thin wrappers over this.
+     */
+    void routeInto(const Permutation &d, RouteResult &res,
+                   RoutingMode mode = RoutingMode::SelfRouting,
+                   RouteTrace *trace = nullptr) const;
+
+    /**
      * Route with the self-setting logic disabled and the switch
      * states supplied externally (Waksman setup path). The tags are
      * still carried through so the result can be verified.
@@ -100,8 +111,9 @@ class SelfRoutingBenes
                     RoutingMode mode = RoutingMode::SelfRouting) const;
 
   private:
-    RouteResult run(const Permutation &d, const SwitchStates *forced,
-                    RoutingMode mode, RouteTrace *trace) const;
+    void runInto(const Permutation &d, const SwitchStates *forced,
+                 RoutingMode mode, RouteTrace *trace,
+                 RouteResult &res) const;
 
     BenesTopology topo_;
 };

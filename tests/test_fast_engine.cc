@@ -1,0 +1,386 @@
+/**
+ * @file
+ * Differential tests for the bit-sliced fast engine against the
+ * reference SelfRoutingBenes simulator: exhaustive at n = 2, 3,
+ * randomized over every permutation class at n = 4..10, in both
+ * routing modes and under forced (Waksman) states — states,
+ * output_tags, realized_dest, misrouted_outputs and success must
+ * match bit for bit. Also covers the packed-state round trips, the
+ * batched executors, and the Router plan cache.
+ */
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hh"
+#include "core/fast_engine.hh"
+#include "core/router.hh"
+#include "core/two_pass.hh"
+#include "core/waksman.hh"
+#include "perm/bpc.hh"
+#include "perm/f_class.hh"
+#include "perm/named_bpc.hh"
+#include "perm/omega_class.hh"
+
+namespace srbenes
+{
+namespace
+{
+
+void
+expectSameResult(const RouteResult &ref, const RouteResult &fast,
+                 const Permutation &d)
+{
+    ASSERT_EQ(ref.success, fast.success) << d.toString();
+    ASSERT_EQ(ref.output_tags, fast.output_tags) << d.toString();
+    ASSERT_EQ(ref.realized_dest, fast.realized_dest) << d.toString();
+    ASSERT_EQ(ref.states, fast.states) << d.toString();
+    ASSERT_EQ(ref.misrouted_outputs, fast.misrouted_outputs)
+        << d.toString();
+    ASSERT_EQ(ref.gate_delay, fast.gate_delay) << d.toString();
+}
+
+void
+compareBothModes(const SelfRoutingBenes &net, const FastEngine &eng,
+                 const Permutation &d)
+{
+    for (RoutingMode mode :
+         {RoutingMode::SelfRouting, RoutingMode::OmegaBit}) {
+        const RouteResult ref = net.route(d, mode);
+        const RouteResult fast = eng.route(d, mode);
+        expectSameResult(ref, fast, d);
+    }
+}
+
+TEST(FastEngine, ExhaustiveDifferentialSmall)
+{
+    for (unsigned n : {1u, 2u, 3u}) {
+        const SelfRoutingBenes net(n);
+        const FastEngine eng(n);
+        std::vector<Word> dest(Word{1} << n);
+        std::iota(dest.begin(), dest.end(), Word{0});
+        do {
+            compareBothModes(net, eng, Permutation(dest));
+        } while (std::next_permutation(dest.begin(), dest.end()));
+    }
+}
+
+TEST(FastEngine, RandomizedDifferentialAllClasses)
+{
+    Prng prng(42);
+    for (unsigned n = 4; n <= 10; ++n) {
+        const SelfRoutingBenes net(n);
+        const FastEngine eng(n);
+        const std::size_t size = std::size_t{1} << n;
+        const int trials = n <= 7 ? 20 : 6;
+        for (int t = 0; t < trials; ++t) {
+            const Permutation any = Permutation::random(size, prng);
+            const TwoPassPlan tp = twoPassPlan(net, any);
+            // F members, BPC members, the two-pass factors (an
+            // inverse-omega and an omega member), and arbitrary
+            // permutations — the last mostly FAIL under
+            // self-routing, checking the misroute reporting too.
+            const Permutation cases[] = {
+                randomFMember(n, prng),
+                BpcSpec::random(n, prng).toPermutation(),
+                tp.first,
+                tp.second,
+                any,
+            };
+            for (const auto &d : cases)
+                compareBothModes(net, eng, d);
+        }
+    }
+}
+
+TEST(FastEngine, WaksmanForcedStatesDifferential)
+{
+    Prng prng(7);
+    for (unsigned n = 2; n <= 9; ++n) {
+        const SelfRoutingBenes net(n);
+        const FastEngine eng(n);
+        for (int t = 0; t < 8; ++t) {
+            const auto d =
+                Permutation::random(std::size_t{1} << n, prng);
+            const SwitchStates states =
+                waksmanSetup(net.topology(), d);
+            const RouteResult ref = net.routeWithStates(d, states);
+            const RouteResult fast = eng.routeWithStates(d, states);
+            ASSERT_TRUE(fast.success);
+            expectSameResult(ref, fast, d);
+
+            // Deliberately mismatched forced states (for a different
+            // permutation) must misroute identically as well.
+            const auto other =
+                Permutation::random(std::size_t{1} << n, prng);
+            expectSameResult(net.routeWithStates(other, states),
+                             eng.routeWithStates(other, states),
+                             other);
+        }
+    }
+}
+
+TEST(FastEngine, FlatWiringMatchesTopology)
+{
+    for (unsigned n = 1; n <= 8; ++n) {
+        const BenesTopology topo(n);
+        const FastEngine eng(n);
+        for (unsigned s = 0; s + 1 < topo.numStages(); ++s)
+            for (Word line = 0; line < topo.numLines(); ++line)
+                ASSERT_EQ(eng.wireToNext(s, line),
+                          topo.wireToNext(s, line));
+    }
+}
+
+TEST(FastEngine, PackedStatesRoundTrip)
+{
+    Prng prng(13);
+    for (unsigned n = 1; n <= 9; ++n) {
+        const FastEngine eng(n);
+        // Random dense states round-trip through the packed form.
+        SwitchStates states(eng.numStages(),
+                            std::vector<std::uint8_t>(
+                                eng.switchesPerStage()));
+        for (auto &stage : states)
+            for (auto &s : stage)
+                s = static_cast<std::uint8_t>(prng.below(2));
+        const PackedStates packed = eng.packStates(states);
+        EXPECT_EQ(eng.unpackStates(packed), states);
+
+        // Bit accessors agree with the source array.
+        for (unsigned s = 0; s < eng.numStages(); ++s)
+            for (Word i = 0; i < eng.switchesPerStage(); ++i)
+                ASSERT_EQ(packed.get(s, i), states[s][i] != 0);
+    }
+}
+
+TEST(FastEngine, PlanStatesMatchReferenceAndPackedForm)
+{
+    Prng prng(17);
+    for (unsigned n = 2; n <= 9; ++n) {
+        const SelfRoutingBenes net(n);
+        const FastEngine eng(n);
+        const Permutation d = randomFMember(n, prng);
+        const FastPlan plan = eng.routePlan(d);
+        ASSERT_TRUE(plan.success);
+        const SwitchStates states = eng.planStates(plan);
+        EXPECT_EQ(states, net.route(d).states);
+        EXPECT_EQ(eng.unpackStates(eng.planPackedStates(plan)),
+                  states);
+    }
+}
+
+TEST(FastEngine, PlanWithPackedEqualsPlanWithStates)
+{
+    Prng prng(19);
+    const unsigned n = 6;
+    const SelfRoutingBenes net(n);
+    const FastEngine eng(n);
+    const auto d = Permutation::random(64, prng);
+    const SwitchStates states = waksmanSetup(net.topology(), d);
+    const FastPlan a = eng.planWithStates(d, states);
+    const FastPlan b = eng.planWithPacked(d, eng.packStates(states));
+    EXPECT_EQ(a.success, b.success);
+    EXPECT_EQ(a.dest, b.dest);
+    EXPECT_EQ(a.src, b.src);
+    EXPECT_EQ(a.ctrl, b.ctrl);
+}
+
+TEST(FastEngine, ExecuteMatchesPermutationApply)
+{
+    Prng prng(23);
+    for (unsigned n : {3u, 6u, 8u}) {
+        const FastEngine eng(n);
+        const std::size_t size = std::size_t{1} << n;
+        const Permutation d = randomFMember(n, prng);
+        const FastPlan plan = eng.routePlan(d);
+        ASSERT_TRUE(plan.success);
+
+        std::vector<Word> data(size);
+        for (std::size_t i = 0; i < size; ++i)
+            data[i] = 1000 + i;
+        EXPECT_EQ(eng.execute(plan, data), d.applyTo(data));
+
+        // executeInto reuses the output buffer.
+        std::vector<Word> out;
+        eng.executeInto(plan, data, out);
+        EXPECT_EQ(out, d.applyTo(data));
+        eng.executeInto(plan, data, out);
+        EXPECT_EQ(out, d.applyTo(data));
+    }
+}
+
+TEST(FastEngine, RouteBatchSerialAndThreaded)
+{
+    Prng prng(29);
+    const unsigned n = 8;
+    const std::size_t size = std::size_t{1} << n;
+    const FastEngine eng(n);
+    const Permutation d = randomFMember(n, prng);
+
+    std::vector<std::vector<Word>> batch(10);
+    for (std::size_t v = 0; v < batch.size(); ++v) {
+        batch[v].resize(size);
+        for (std::size_t i = 0; i < size; ++i)
+            batch[v][i] = v * 10000 + i;
+    }
+
+    const auto serial = eng.routeBatch(d, batch);
+    const auto threaded =
+        eng.routeBatch(d, batch, RoutingMode::SelfRouting, 4);
+    ASSERT_EQ(serial.size(), batch.size());
+    for (std::size_t v = 0; v < batch.size(); ++v) {
+        EXPECT_EQ(serial[v], d.applyTo(batch[v]));
+        EXPECT_EQ(threaded[v], serial[v]);
+    }
+}
+
+TEST(FastEngine, RouteIntoReusesResultBuffers)
+{
+    Prng prng(31);
+    const unsigned n = 6;
+    const SelfRoutingBenes net(n);
+    RouteResult reused;
+    for (int t = 0; t < 5; ++t) {
+        const auto d = Permutation::random(64, prng);
+        net.routeInto(d, reused);
+        const RouteResult fresh = net.route(d);
+        expectSameResult(fresh, reused, d);
+    }
+}
+
+TEST(RouterCache, HitsAndMisses)
+{
+    Prng prng(37);
+    const Router router(5, false, 8);
+    const std::size_t size = 32;
+    std::vector<Word> data(size);
+    std::iota(data.begin(), data.end(), Word{100});
+
+    const auto d1 = Permutation::random(size, prng);
+    const auto d2 = Permutation::random(size, prng);
+
+    EXPECT_EQ(router.planCacheSize(), 0u);
+    const auto out1 = router.route(d1, data);
+    EXPECT_EQ(router.planCacheMisses(), 1u);
+    EXPECT_EQ(router.planCacheHits(), 0u);
+
+    const auto out1b = router.route(d1, data);
+    EXPECT_EQ(router.planCacheMisses(), 1u);
+    EXPECT_EQ(router.planCacheHits(), 1u);
+    EXPECT_EQ(out1, out1b);
+    EXPECT_EQ(out1, d1.applyTo(data));
+
+    const auto out2 = router.route(d2, data);
+    EXPECT_EQ(router.planCacheMisses(), 2u);
+    EXPECT_EQ(router.planCacheSize(), 2u);
+    EXPECT_EQ(out2, d2.applyTo(data));
+
+    // The cached plan is the same object, not a re-plan.
+    const auto p1 = router.planCached(d1);
+    const auto p2 = router.planCached(d1);
+    EXPECT_EQ(p1.get(), p2.get());
+
+    router.clearPlanCache();
+    EXPECT_EQ(router.planCacheSize(), 0u);
+    EXPECT_EQ(router.planCacheHits(), 0u);
+}
+
+TEST(RouterCache, LruEviction)
+{
+    Prng prng(41);
+    const Router router(4, false, 2);
+    const std::size_t size = 16;
+    std::vector<Word> data(size);
+    std::iota(data.begin(), data.end(), Word{0});
+
+    const auto a = Permutation::random(size, prng);
+    const auto b = Permutation::random(size, prng);
+    const auto c = Permutation::random(size, prng);
+
+    router.route(a, data); // cache: a
+    router.route(b, data); // cache: b a
+    router.route(a, data); // hit -> a b
+    EXPECT_EQ(router.planCacheHits(), 1u);
+    router.route(c, data); // evicts b -> c a
+    EXPECT_EQ(router.planCacheSize(), 2u);
+    router.route(a, data); // still cached
+    EXPECT_EQ(router.planCacheHits(), 2u);
+    router.route(b, data); // evicted: a miss again
+    EXPECT_EQ(router.planCacheMisses(), 4u);
+}
+
+TEST(RouterCache, ZeroCapacityDisablesCaching)
+{
+    Prng prng(43);
+    const Router router(4, false, 0);
+    const std::size_t size = 16;
+    std::vector<Word> data(size);
+    std::iota(data.begin(), data.end(), Word{0});
+    const auto d = Permutation::random(size, prng);
+    router.route(d, data);
+    router.route(d, data);
+    EXPECT_EQ(router.planCacheSize(), 0u);
+    EXPECT_EQ(router.planCacheHits(), 0u);
+}
+
+TEST(Router, FastPathDeliversUnderEveryStrategy)
+{
+    Prng prng(47);
+    for (bool prefer_waksman : {false, true}) {
+        const Router router(5, prefer_waksman);
+        const std::size_t size = 32;
+        std::vector<Word> data(size);
+        std::iota(data.begin(), data.end(), Word{7});
+
+        const std::vector<Permutation> mix{
+            randomFMember(5, prng),                 // self-routing
+            named::cyclicShift(5, 9).inverse(),     // omega-bit
+            Permutation::random(size, prng),        // two-pass/waksman
+            Permutation::random(size, prng),
+        };
+        for (const auto &d : mix) {
+            const auto plan = router.plan(d);
+            ASSERT_TRUE(plan.fast != nullptr);
+            ASSERT_TRUE(plan.fast->success);
+            EXPECT_EQ(plan.fast->dest, d.dest());
+            EXPECT_EQ(router.execute(plan, data), d.applyTo(data));
+
+            std::vector<Word> out;
+            router.executeInto(plan, data, out);
+            EXPECT_EQ(out, d.applyTo(data));
+
+            const std::vector<std::vector<Word>> batch{data, data};
+            for (const auto &o : router.executeMany(plan, batch, 2))
+                EXPECT_EQ(o, d.applyTo(data));
+        }
+    }
+}
+
+TEST(Router, RouteBatchMatchesPerVectorRoute)
+{
+    Prng prng(53);
+    const Router router(6);
+    const std::size_t size = 64;
+    const auto d = Permutation::random(size, prng);
+    std::vector<std::vector<Word>> batch(5);
+    for (std::size_t v = 0; v < batch.size(); ++v) {
+        batch[v].resize(size);
+        for (std::size_t i = 0; i < size; ++i)
+            batch[v][i] = v * 1000 + i;
+    }
+    const auto outs = router.routeBatch(d, batch);
+    ASSERT_EQ(outs.size(), batch.size());
+    for (std::size_t v = 0; v < batch.size(); ++v)
+        EXPECT_EQ(outs[v], d.applyTo(batch[v]));
+
+    // A second batch with the same pattern hits the plan cache.
+    const auto again = router.routeBatch(d, batch, 2);
+    EXPECT_EQ(again, outs);
+    EXPECT_EQ(router.planCacheHits(), 1u);
+}
+
+} // namespace
+} // namespace srbenes
