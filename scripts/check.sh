@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Build and test both configurations: the default RelWithDebInfo tree
-# and the asan+ubsan tree. One command instead of folklore:
+# Build and test every configuration: the default RelWithDebInfo
+# tree, the asan+ubsan tree, and the tsan tree (which exists chiefly
+# for the stream-engine and router concurrency tests). One command
+# instead of folklore:
 #
-#     scripts/check.sh            # both presets
+#     scripts/check.sh            # all presets
 #     scripts/check.sh release    # just one
 #
 set -euo pipefail
@@ -10,7 +12,7 @@ cd "$(dirname "$0")/.."
 
 presets=("$@")
 if [ ${#presets[@]} -eq 0 ]; then
-    presets=(release asan-ubsan)
+    presets=(release asan-ubsan tsan)
 fi
 
 jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)

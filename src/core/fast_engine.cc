@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "core/fast_kernels.hh"
 
 namespace srbenes
 {
@@ -113,6 +114,7 @@ FastEngine::runPlanes(std::vector<Word> &planes, FastPlan &plan,
 {
     const unsigned stages = numStages();
     const Word W = lane_words_;
+    const KernelTable &kern = activeKernels();
     plan.n = n_;
     plan.ctrl.assign(Word{stages} * W, 0);
 
@@ -139,30 +141,13 @@ FastEngine::runPlanes(std::vector<Word> &planes, FastPlan &plan,
                 ctrl[w] = (w & dw) ? 0 : pb[w];
         }
 
-        // Conditional exchange of every plane at distance 2^b.
-        if (b < 6) {
-            const unsigned dist = 1u << b;
-            for (unsigned p = 0; p < n_; ++p) {
-                Word *P = planes.data() + Word{p} * W;
-                for (Word w = 0; w < W; ++w) {
-                    const Word v = P[w];
-                    const Word t = (v ^ (v >> dist)) & ctrl[w];
-                    P[w] = v ^ t ^ (t << dist);
-                }
-            }
-        } else {
-            const Word dw = Word{1} << (b - 6);
-            for (unsigned p = 0; p < n_; ++p) {
-                Word *P = planes.data() + Word{p} * W;
-                for (Word w = 0; w < W; ++w) {
-                    if (w & dw)
-                        continue;
-                    const Word t = (P[w] ^ P[w + dw]) & ctrl[w];
-                    P[w] ^= t;
-                    P[w + dw] ^= t;
-                }
-            }
-        }
+        // Conditional exchange of every plane at distance 2^b,
+        // through the runtime-dispatched kernel table.
+        if (b < 6)
+            kern.deltaSwap(planes.data(), n_, W, ctrl, W, 1u << b);
+        else
+            kern.pairSwap(planes.data(), n_, W, ctrl, W,
+                          Word{1} << (b - 6));
     }
 }
 
@@ -308,10 +293,8 @@ FastEngine::executeInto(const FastPlan &plan,
     if (plan.src.size() != num_lines_)
         fatal("plan shaped for another network");
     out.resize(num_lines_);
-    const Word *src = plan.src.data();
-    const Word *in = data.data();
-    for (Word j = 0; j < num_lines_; ++j)
-        out[j] = in[src[j]];
+    activeKernels().gather(out.data(), data.data(), plan.src.data(),
+                           num_lines_);
 }
 
 std::vector<Word>
@@ -345,13 +328,11 @@ FastEngine::executeMany(const FastPlan &plan,
     const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
     const Word T = std::min<Word>(std::min(num_threads, hw), num_lines_);
     const Word *src = plan.src.data();
+    const KernelTable &kern = activeKernels();
     auto worker = [&](Word lo, Word hi) {
-        for (std::size_t v = 0; v < batch.size(); ++v) {
-            const Word *in = batch[v].data();
-            Word *out = outs[v].data();
-            for (Word j = lo; j < hi; ++j)
-                out[j] = in[src[j]];
-        }
+        for (std::size_t v = 0; v < batch.size(); ++v)
+            kern.gather(outs[v].data() + lo, batch[v].data(), src + lo,
+                        hi - lo);
     };
     std::vector<std::thread> threads;
     threads.reserve(T);

@@ -1,0 +1,347 @@
+#include "core/fast_kernels.hh"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define SRBENES_X86_KERNELS 1
+#include <immintrin.h>
+#else
+#define SRBENES_X86_KERNELS 0
+#endif
+
+namespace srbenes
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------- scalar
+
+void
+gatherScalar(Word *out, const Word *in, const Word *src, Word count)
+{
+    for (Word j = 0; j < count; ++j)
+        out[j] = in[src[j]];
+}
+
+void
+deltaSwapScalar(Word *planes, unsigned nplanes, Word stride,
+                const Word *ctrl, Word words, unsigned dist)
+{
+    for (unsigned p = 0; p < nplanes; ++p) {
+        Word *P = planes + Word{p} * stride;
+        for (Word w = 0; w < words; ++w) {
+            const Word v = P[w];
+            const Word t = (v ^ (v >> dist)) & ctrl[w];
+            P[w] = v ^ t ^ (t << dist);
+        }
+    }
+}
+
+void
+pairSwapScalar(Word *planes, unsigned nplanes, Word stride,
+               const Word *ctrl, Word words, Word dw)
+{
+    for (unsigned p = 0; p < nplanes; ++p) {
+        Word *P = planes + Word{p} * stride;
+        for (Word w = 0; w < words; ++w) {
+            if (w & dw)
+                continue;
+            const Word t = (P[w] ^ P[w + dw]) & ctrl[w];
+            P[w] ^= t;
+            P[w + dw] ^= t;
+        }
+    }
+}
+
+constexpr KernelTable kScalarTable = {gatherScalar, deltaSwapScalar,
+                                      pairSwapScalar, "scalar"};
+
+#if SRBENES_X86_KERNELS
+
+// ----------------------------------------------------------------- AVX2
+
+__attribute__((target("avx2"))) void
+gatherAvx2(Word *out, const Word *in, const Word *src, Word count)
+{
+    Word j = 0;
+    for (; j + 4 <= count; j += 4) {
+        const __m256i idx = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + j));
+        const __m256i v = _mm256_i64gather_epi64(
+            reinterpret_cast<const long long *>(in), idx, 8);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + j), v);
+    }
+    for (; j < count; ++j)
+        out[j] = in[src[j]];
+}
+
+__attribute__((target("avx2"))) void
+deltaSwapAvx2(Word *planes, unsigned nplanes, Word stride,
+              const Word *ctrl, Word words, unsigned dist)
+{
+    const __m128i shift = _mm_cvtsi32_si128(static_cast<int>(dist));
+    for (unsigned p = 0; p < nplanes; ++p) {
+        Word *P = planes + Word{p} * stride;
+        Word w = 0;
+        for (; w + 4 <= words; w += 4) {
+            const __m256i v = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(P + w));
+            const __m256i c = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(ctrl + w));
+            const __m256i t = _mm256_and_si256(
+                _mm256_xor_si256(v, _mm256_srl_epi64(v, shift)), c);
+            const __m256i x =
+                _mm256_xor_si256(t, _mm256_sll_epi64(t, shift));
+            _mm256_storeu_si256(reinterpret_cast<__m256i *>(P + w),
+                                _mm256_xor_si256(v, x));
+        }
+        for (; w < words; ++w) {
+            const Word v = P[w];
+            const Word t = (v ^ (v >> dist)) & ctrl[w];
+            P[w] = v ^ t ^ (t << dist);
+        }
+    }
+}
+
+__attribute__((target("avx2"))) void
+pairSwapAvx2(Word *planes, unsigned nplanes, Word stride,
+             const Word *ctrl, Word words, Word dw)
+{
+    if (dw < 4) {
+        pairSwapScalar(planes, nplanes, stride, ctrl, words, dw);
+        return;
+    }
+    for (unsigned p = 0; p < nplanes; ++p) {
+        Word *P = planes + Word{p} * stride;
+        for (Word base = 0; base + 2 * dw <= words; base += 2 * dw) {
+            for (Word w = base; w < base + dw; w += 4) {
+                const __m256i a = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(P + w));
+                const __m256i b = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(P + w + dw));
+                const __m256i c = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(ctrl + w));
+                const __m256i t =
+                    _mm256_and_si256(_mm256_xor_si256(a, b), c);
+                _mm256_storeu_si256(reinterpret_cast<__m256i *>(P + w),
+                                    _mm256_xor_si256(a, t));
+                _mm256_storeu_si256(
+                    reinterpret_cast<__m256i *>(P + w + dw),
+                    _mm256_xor_si256(b, t));
+            }
+        }
+    }
+}
+
+constexpr KernelTable kAvx2Table = {gatherAvx2, deltaSwapAvx2,
+                                    pairSwapAvx2, "avx2"};
+
+// --------------------------------------------------------------- AVX-512
+
+// GCC's avx512fintrin.h trips -Wmaybe-uninitialized on its own
+// undefined-passthrough idiom; the warnings point into the system
+// header, not at this code.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+__attribute__((target("avx512f"))) void
+gatherAvx512(Word *out, const Word *in, const Word *src, Word count)
+{
+    Word j = 0;
+    for (; j + 8 <= count; j += 8) {
+        const __m512i idx = _mm512_loadu_si512(src + j);
+        const __m512i v = _mm512_i64gather_epi64(idx, in, 8);
+        _mm512_storeu_si512(out + j, v);
+    }
+    if (j < count) {
+        const __mmask8 m =
+            static_cast<__mmask8>((1u << (count - j)) - 1u);
+        const __m512i zero = _mm512_setzero_si512();
+        const __m512i idx = _mm512_mask_loadu_epi64(zero, m, src + j);
+        const __m512i v =
+            _mm512_mask_i64gather_epi64(zero, m, idx, in, 8);
+        _mm512_mask_storeu_epi64(out + j, m, v);
+    }
+}
+
+__attribute__((target("avx512f"))) void
+deltaSwapAvx512(Word *planes, unsigned nplanes, Word stride,
+                const Word *ctrl, Word words, unsigned dist)
+{
+    const __m128i shift = _mm_cvtsi32_si128(static_cast<int>(dist));
+    for (unsigned p = 0; p < nplanes; ++p) {
+        Word *P = planes + Word{p} * stride;
+        Word w = 0;
+        for (; w + 8 <= words; w += 8) {
+            const __m512i v = _mm512_loadu_si512(P + w);
+            const __m512i c = _mm512_loadu_si512(ctrl + w);
+            const __m512i t = _mm512_and_si512(
+                _mm512_xor_si512(v, _mm512_srl_epi64(v, shift)), c);
+            const __m512i x =
+                _mm512_xor_si512(t, _mm512_sll_epi64(t, shift));
+            _mm512_storeu_si512(P + w, _mm512_xor_si512(v, x));
+        }
+        for (; w < words; ++w) {
+            const Word v = P[w];
+            const Word t = (v ^ (v >> dist)) & ctrl[w];
+            P[w] = v ^ t ^ (t << dist);
+        }
+    }
+}
+
+__attribute__((target("avx512f"))) void
+pairSwapAvx512(Word *planes, unsigned nplanes, Word stride,
+               const Word *ctrl, Word words, Word dw)
+{
+    if (dw < 8) {
+        pairSwapAvx2(planes, nplanes, stride, ctrl, words, dw);
+        return;
+    }
+    for (unsigned p = 0; p < nplanes; ++p) {
+        Word *P = planes + Word{p} * stride;
+        for (Word base = 0; base + 2 * dw <= words; base += 2 * dw) {
+            for (Word w = base; w < base + dw; w += 8) {
+                const __m512i a = _mm512_loadu_si512(P + w);
+                const __m512i b = _mm512_loadu_si512(P + w + dw);
+                const __m512i c = _mm512_loadu_si512(ctrl + w);
+                const __m512i t =
+                    _mm512_and_si512(_mm512_xor_si512(a, b), c);
+                _mm512_storeu_si512(P + w, _mm512_xor_si512(a, t));
+                _mm512_storeu_si512(P + w + dw,
+                                    _mm512_xor_si512(b, t));
+            }
+        }
+    }
+}
+
+#pragma GCC diagnostic pop
+
+constexpr KernelTable kAvx512Table = {gatherAvx512, deltaSwapAvx512,
+                                      pairSwapAvx512, "avx512"};
+
+#endif // SRBENES_X86_KERNELS
+
+// ------------------------------------------------------------- dispatch
+
+bool
+simdDisabledByEnv()
+{
+    const char *env = std::getenv("SRBENES_DISABLE_SIMD");
+    return env && env[0] != '\0' &&
+           !(env[0] == '0' && env[1] == '\0');
+}
+
+std::atomic<const KernelTable *> g_active{nullptr};
+
+} // namespace
+
+const char *
+simdLevelName(SimdLevel level)
+{
+    switch (level) {
+      case SimdLevel::Scalar:
+        return "scalar";
+      case SimdLevel::Avx2:
+        return "avx2";
+      case SimdLevel::Avx512:
+        return "avx512";
+    }
+    return "?";
+}
+
+bool
+simdLevelCompiled(SimdLevel level)
+{
+#if SRBENES_X86_KERNELS
+    (void)level;
+    return true;
+#else
+    return level == SimdLevel::Scalar;
+#endif
+}
+
+bool
+simdLevelSupported(SimdLevel level)
+{
+    if (level == SimdLevel::Scalar)
+        return true;
+#if SRBENES_X86_KERNELS
+    __builtin_cpu_init();
+    if (level == SimdLevel::Avx2)
+        return __builtin_cpu_supports("avx2");
+    return __builtin_cpu_supports("avx512f");
+#else
+    return false;
+#endif
+}
+
+SimdLevel
+detectSimdLevel()
+{
+    if (simdDisabledByEnv())
+        return SimdLevel::Scalar;
+    if (simdLevelSupported(SimdLevel::Avx512))
+        return SimdLevel::Avx512;
+    if (simdLevelSupported(SimdLevel::Avx2))
+        return SimdLevel::Avx2;
+    return SimdLevel::Scalar;
+}
+
+const KernelTable &
+kernelsFor(SimdLevel level)
+{
+    if (!simdLevelSupported(level))
+        fatal("SIMD level %s is not supported on this host",
+              simdLevelName(level));
+    switch (level) {
+      case SimdLevel::Scalar:
+        return kScalarTable;
+#if SRBENES_X86_KERNELS
+      case SimdLevel::Avx2:
+        return kAvx2Table;
+      case SimdLevel::Avx512:
+        return kAvx512Table;
+#else
+      default:
+        break;
+#endif
+    }
+    return kScalarTable;
+}
+
+const KernelTable &
+activeKernels()
+{
+    const KernelTable *t = g_active.load(std::memory_order_acquire);
+    if (!t) {
+        t = &kernelsFor(detectSimdLevel());
+        g_active.store(t, std::memory_order_release);
+    }
+    return *t;
+}
+
+SimdLevel
+activeSimdLevel()
+{
+    const KernelTable *t = &activeKernels();
+#if SRBENES_X86_KERNELS
+    if (t == &kAvx512Table)
+        return SimdLevel::Avx512;
+    if (t == &kAvx2Table)
+        return SimdLevel::Avx2;
+#endif
+    (void)t;
+    return SimdLevel::Scalar;
+}
+
+void
+setSimdLevel(SimdLevel level)
+{
+    g_active.store(&kernelsFor(level), std::memory_order_release);
+}
+
+} // namespace srbenes

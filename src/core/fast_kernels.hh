@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD kernels for the two FastEngine hot loops:
+ * the per-stage bit-plane delta swap and the final payload gather.
+ *
+ * One binary serves any x86-64 host: scalar bodies are always
+ * compiled, AVX2 and AVX-512 bodies are compiled with per-function
+ * target attributes and selected at startup via cpuid
+ * (__builtin_cpu_supports). The active implementation sits behind a
+ * function-pointer table so the choice costs one indirect call per
+ * stage / per payload vector, not per word.
+ *
+ * Dispatch can be overridden two ways:
+ *
+ *  - the SRBENES_DISABLE_SIMD environment variable (any value other
+ *    than empty or "0") pins the scalar table — CI uses this to
+ *    exercise the fallback on AVX hosts;
+ *  - setSimdLevel() pins an explicit level at runtime — the
+ *    differential tests use this to run the same route through every
+ *    compiled-in kernel and compare bit-for-bit.
+ *
+ * Non-x86 builds (or compilers without the target attribute) compile
+ * the scalar table only; detection then always answers Scalar.
+ */
+
+#ifndef SRBENES_CORE_FAST_KERNELS_HH
+#define SRBENES_CORE_FAST_KERNELS_HH
+
+#include "common/bitops.hh"
+
+namespace srbenes
+{
+
+enum class SimdLevel
+{
+    Scalar, //!< portable word-at-a-time loops
+    Avx2,   //!< 256-bit: 4 lanes per op, vpgatherqq payload gather
+    Avx512, //!< 512-bit: 8 lanes per op, masked tails
+};
+
+const char *simdLevelName(SimdLevel level);
+
+/**
+ * The dispatched operations. All three treat `planes` as `nplanes`
+ * bit-plane rows of `words` 64-bit words each, row r starting at
+ * `planes + r * stride`.
+ */
+struct KernelTable
+{
+    /**
+     * Payload gather: out[j] = in[src[j]] for j in [0, count).
+     * `out` must not alias `in`.
+     */
+    void (*gather)(Word *out, const Word *in, const Word *src,
+                   Word count);
+
+    /**
+     * In-word conditional exchange at distance `dist` (1 <= dist <=
+     * 32, a power of two): for every plane row and word w,
+     *     t = (P[w] ^ (P[w] >> dist)) & ctrl[w];
+     *     P[w] ^= t ^ (t << dist);
+     */
+    void (*deltaSwap)(Word *planes, unsigned nplanes, Word stride,
+                      const Word *ctrl, Word words, unsigned dist);
+
+    /**
+     * Cross-word conditional exchange at distance `dw` words (a power
+     * of two): for every plane row and every word w with (w & dw) == 0,
+     *     t = (P[w] ^ P[w + dw]) & ctrl[w];
+     *     P[w] ^= t; P[w + dw] ^= t;
+     */
+    void (*pairSwap)(Word *planes, unsigned nplanes, Word stride,
+                     const Word *ctrl, Word words, Word dw);
+
+    const char *name;
+};
+
+/** True iff this binary carries kernels for @p level at all. */
+bool simdLevelCompiled(SimdLevel level);
+
+/** True iff @p level is compiled in AND this host's cpuid allows it. */
+bool simdLevelSupported(SimdLevel level);
+
+/**
+ * The level startup dispatch would pick right now: the best
+ * supported level, or Scalar when SRBENES_DISABLE_SIMD is set.
+ * Re-reads the environment on every call (cheap; used at init and in
+ * tests).
+ */
+SimdLevel detectSimdLevel();
+
+/** The table behind the level; fatal()s if unsupported on this host. */
+const KernelTable &kernelsFor(SimdLevel level);
+
+/** The currently active table (detection runs on first use). */
+const KernelTable &activeKernels();
+
+/** The level of the currently active table. */
+SimdLevel activeSimdLevel();
+
+/**
+ * Pin the active table to @p level (fatal()s if unsupported). Not a
+ * hot-path call: intended for tests and benchmark setup, before
+ * worker threads start.
+ */
+void setSimdLevel(SimdLevel level);
+
+} // namespace srbenes
+
+#endif // SRBENES_CORE_FAST_KERNELS_HH

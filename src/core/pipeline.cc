@@ -6,7 +6,8 @@ namespace srbenes
 {
 
 PipelinedBenes::PipelinedBenes(unsigned n)
-    : topo_(n), slots_(topo_.numStages())
+    : topo_(n), regs_(topo_.numStages(), Frame(topo_.numLines())),
+      full_(topo_.numStages(), 0)
 {
 }
 
@@ -19,26 +20,24 @@ PipelinedBenes::inject(const Permutation &d, std::vector<Word> payloads)
     if (payloads.size() != d.size())
         fatal("payload count %zu != N = %zu", payloads.size(), d.size());
 
-    Frame frame(d.size());
+    Frame frame;
+    if (!spare_.empty()) {
+        frame = std::move(spare_.back());
+        spare_.pop_back();
+    }
+    frame.resize(d.size());
     for (std::size_t i = 0; i < d.size(); ++i)
         frame[i] = Signal{d[i], payloads[i]};
     pending_.push_back(std::move(frame));
 }
 
 void
-PipelinedBenes::advance(Frame &frame, unsigned s) const
+PipelinedBenes::exchange(Frame &frame, unsigned s) const
 {
     const unsigned b = topo_.controlBit(s);
     for (Word i = 0; i < topo_.switchesPerStage(); ++i)
         if (bit(frame[2 * i].tag, b))
             std::swap(frame[2 * i], frame[2 * i + 1]);
-
-    if (s + 1 < topo_.numStages()) {
-        Frame next(frame.size());
-        for (Word line = 0; line < frame.size(); ++line)
-            next[topo_.wireToNext(s, line)] = frame[line];
-        frame.swap(next);
-    }
 }
 
 std::optional<PipelineOutput>
@@ -48,18 +47,21 @@ PipelinedBenes::clockTick()
 
     // A queued vector enters stage 0 at the start of the clock, so
     // stage 0 processes it during this very cycle (latency is
-    // exactly the 2n-1 stages).
-    if (!slots_[0] && !pending_.empty()) {
-        slots_[0] = std::move(pending_.front());
+    // exactly the 2n-1 stages). The queued frame's storage goes back
+    // to the spare list for the next inject().
+    if (!full_[0] && !pending_.empty()) {
+        regs_[0].swap(pending_.front());
+        spare_.push_back(std::move(pending_.front()));
         pending_.pop_front();
+        full_[0] = 1;
     }
 
     // The last stage's register drains to the outputs.
     std::optional<PipelineOutput> out;
     const unsigned last = topo_.numStages() - 1;
-    if (slots_[last]) {
-        Frame frame = std::move(*slots_[last]);
-        advance(frame, last);
+    if (full_[last]) {
+        Frame &frame = regs_[last];
+        exchange(frame, last);
 
         PipelineOutput po;
         po.success = true;
@@ -72,21 +74,36 @@ PipelinedBenes::clockTick()
                 po.success = false;
         }
         out = std::move(po);
-        slots_[last].reset();
+        full_[last] = 0;
     }
 
-    // Every earlier stage processes its register and latches the
-    // result into the next stage's register.
+    // Every earlier stage processes its register in place, then
+    // latches the result through the fixed wiring into the next
+    // stage's register — a scatter between two persistent frames, no
+    // allocation.
     for (unsigned s = last; s > 0; --s) {
-        if (slots_[s - 1]) {
-            Frame frame = std::move(*slots_[s - 1]);
-            advance(frame, s - 1);
-            slots_[s] = std::move(frame);
-            slots_[s - 1].reset();
-        }
+        if (!full_[s - 1])
+            continue;
+        Frame &cur = regs_[s - 1];
+        Frame &next = regs_[s];
+        exchange(cur, s - 1);
+        for (Word line = 0; line < cur.size(); ++line)
+            next[topo_.wireToNext(s - 1, line)] = cur[line];
+        full_[s] = 1;
+        full_[s - 1] = 0;
     }
 
     return out;
+}
+
+std::vector<PipelineOutput>
+PipelinedBenes::drain()
+{
+    std::vector<PipelineOutput> outs;
+    while (!drained())
+        if (auto out = clockTick())
+            outs.push_back(std::move(*out));
+    return outs;
 }
 
 bool
@@ -94,8 +111,8 @@ PipelinedBenes::drained() const
 {
     if (!pending_.empty())
         return false;
-    for (const auto &slot : slots_)
-        if (slot)
+    for (std::uint8_t f : full_)
+        if (f)
             return false;
     return true;
 }

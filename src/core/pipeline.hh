@@ -51,8 +51,17 @@ class PipelinedBenes
     /**
      * Advance one clock: every stage register moves forward by one
      * stage; returns the vector leaving the last stage, if any.
+     * Steady-state ticks are allocation-free: stage registers are
+     * fixed storage latched in place, and drained injection frames
+     * are recycled for the next inject().
      */
     std::optional<PipelineOutput> clockTick();
+
+    /**
+     * Tick until every queued and in-flight vector has left the
+     * network; returns the emerging vectors in output order.
+     */
+    std::vector<PipelineOutput> drain();
 
     /** Clocks elapsed since construction. */
     std::uint64_t cyclesElapsed() const { return cycles_; }
@@ -68,13 +77,20 @@ class PipelinedBenes
     };
     using Frame = std::vector<Signal>;
 
-    /** Run @p frame through stage @p s and the wiring after it. */
-    void advance(Frame &frame, unsigned s) const;
+    /** Apply stage @p s's exchanges to its register, in place. */
+    void exchange(Frame &frame, unsigned s) const;
 
     BenesTopology topo_;
-    /** slots_[s]: vector waiting at the input of stage s. */
-    std::vector<std::optional<Frame>> slots_;
+    /**
+     * regs_[s]: the register at the input of stage s. Storage is
+     * allocated once at construction (numStages() frames of N
+     * signals) and never reallocated; full_[s] tracks occupancy.
+     */
+    std::vector<Frame> regs_;
+    std::vector<std::uint8_t> full_;
     std::deque<Frame> pending_;
+    /** Drained injection frames, reused by inject(). */
+    std::vector<Frame> spare_;
     std::uint64_t cycles_ = 0;
 };
 

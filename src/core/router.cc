@@ -1,5 +1,8 @@
 #include "core/router.hh"
 
+#include <algorithm>
+#include <mutex>
+
 #include "common/logging.hh"
 #include "core/waksman.hh"
 #include "perm/f_class.hh"
@@ -8,15 +11,12 @@
 namespace srbenes
 {
 
-namespace
-{
-
 /**
  * FNV-1a over the destination words. Collisions only cost a cache
  * miss: planCached compares the stored permutation before reuse.
  */
 std::uint64_t
-permHash(const Permutation &d)
+Router::hashPermutation(const Permutation &d)
 {
     std::uint64_t h = 1469598103934665603ULL;
     for (Word v : d.dest()) {
@@ -26,8 +26,6 @@ permHash(const Permutation &d)
     }
     return h;
 }
-
-} // namespace
 
 const char *
 routeStrategyName(RouteStrategy s)
@@ -46,10 +44,24 @@ routeStrategyName(RouteStrategy s)
 }
 
 Router::Router(unsigned n, bool prefer_waksman,
-               std::size_t plan_cache_capacity)
+               std::size_t plan_cache_capacity, unsigned cache_shards)
     : net_(n), engine_(n), prefer_waksman_(prefer_waksman),
       cache_capacity_(plan_cache_capacity)
 {
+    std::size_t nshards = std::max(1u, cache_shards);
+    if (cache_capacity_ > 0)
+        nshards = std::min(nshards, cache_capacity_);
+    shards_.reserve(nshards);
+    for (std::size_t i = 0; i < nshards; ++i)
+        shards_.push_back(std::make_unique<CacheShard>());
+}
+
+Router::CacheShard &
+Router::shardFor(std::uint64_t hash) const
+{
+    // The low bits index buckets inside the shard's map; pick the
+    // shard from well-mixed high bits so the two stay independent.
+    return *shards_[(hash >> 32) % shards_.size()];
 }
 
 RoutePlan
@@ -60,12 +72,16 @@ Router::plan(const Permutation &d) const
               d.size(),
               static_cast<unsigned long long>(net_.numLines()));
 
-    if (inFClass(d)) {
+    // Try the destination-tag pass directly instead of classifying
+    // first: the engine's conflict detection IS the F-membership
+    // test (a permutation self-routes iff it is in F), and one
+    // bit-sliced routing pass costs a fraction of the structural
+    // inFClass check.
+    {
         auto fast = std::make_shared<FastPlan>(engine_.routePlan(d));
-        if (!fast->success)
-            panic("self-routing plan failed for a planned F member");
-        return RoutePlan{RouteStrategy::SelfRouting, d, {}, {}, 1,
-                         std::move(fast)};
+        if (fast->success)
+            return RoutePlan{RouteStrategy::SelfRouting, d, {}, {}, 1,
+                             std::move(fast)};
     }
     if (isOmega(d)) {
         auto fast = std::make_shared<FastPlan>(
@@ -112,34 +128,62 @@ Router::planCached(const Permutation &d) const
     if (cache_capacity_ == 0)
         return std::make_shared<const RoutePlan>(plan(d));
 
-    const std::uint64_t h = permHash(d);
+    const std::uint64_t h = hashPermutation(d);
+    CacheShard &sh = shardFor(h);
     {
-        std::lock_guard<std::mutex> lock(cache_mu_);
-        auto it = cache_index_.find(h);
-        if (it != cache_index_.end() && it->second->plan->perm == d) {
-            ++cache_hits_;
-            lru_.splice(lru_.begin(), lru_, it->second);
-            return it->second->plan;
+        std::shared_lock<std::shared_mutex> lock(sh.mu);
+        auto it = sh.map.find(h);
+        if (it != sh.map.end() && it->second.plan->perm == d) {
+            sh.hits.fetch_add(1, std::memory_order_relaxed);
+            it->second.last_used.store(
+                tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+            return it->second.plan;
         }
-        ++cache_misses_;
     }
+    sh.misses.fetch_add(1, std::memory_order_relaxed);
 
     // Plan outside the lock; concurrent misses on the same pattern
     // just plan twice and the later insert wins.
     auto planned = std::make_shared<const RoutePlan>(plan(d));
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    auto it = cache_index_.find(h);
-    if (it != cache_index_.end()) {
-        // Same hash: either a racing insert of this pattern or a
-        // collision; either way the newcomer replaces it.
-        lru_.erase(it->second);
-        cache_index_.erase(it);
+    const std::uint64_t now =
+        tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+    {
+        std::unique_lock<std::shared_mutex> lock(sh.mu);
+        auto [it, inserted] = sh.map.try_emplace(h, planned, now);
+        if (!inserted) {
+            // Same hash: either a racing insert of this pattern or a
+            // collision; either way the newcomer replaces the plan.
+            it->second.plan = planned;
+            it->second.last_used.store(now, std::memory_order_relaxed);
+        }
     }
-    lru_.push_front(CacheEntry{h, planned});
-    cache_index_[h] = lru_.begin();
-    while (lru_.size() > cache_capacity_) {
-        cache_index_.erase(lru_.back().hash);
-        lru_.pop_back();
+
+    // Capacity is global, not per shard: evict the globally
+    // least-recently-stamped entries. Scanning every shard is fine
+    // here — insertion already paid for a full plan, and hits never
+    // reach this path.
+    while (planCacheSize() > cache_capacity_) {
+        CacheShard *vsh = nullptr;
+        std::uint64_t vhash = 0;
+        std::uint64_t vstamp = ~std::uint64_t{0};
+        for (const auto &cand : shards_) {
+            std::shared_lock<std::shared_mutex> lock(cand->mu);
+            for (const auto &[eh, entry] : cand->map) {
+                const std::uint64_t stamp =
+                    entry.last_used.load(std::memory_order_relaxed);
+                if (stamp < vstamp) {
+                    vsh = cand.get();
+                    vhash = eh;
+                    vstamp = stamp;
+                }
+            }
+        }
+        if (!vsh)
+            break;
+        std::unique_lock<std::shared_mutex> lock(vsh->mu);
+        if (vsh->map.erase(vhash))
+            vsh->evictions.fetch_add(1, std::memory_order_relaxed);
     }
     return planned;
 }
@@ -225,35 +269,71 @@ Router::routeBatch(const Permutation &d,
     return executeMany(*planCached(d), batch, num_threads);
 }
 
+std::vector<CacheShardStats>
+Router::cacheStats() const
+{
+    std::vector<CacheShardStats> stats;
+    stats.reserve(shards_.size());
+    for (const auto &sh : shards_) {
+        CacheShardStats s;
+        {
+            std::shared_lock<std::shared_mutex> lock(sh->mu);
+            s.size = sh->map.size();
+        }
+        s.hits = sh->hits.load(std::memory_order_relaxed);
+        s.misses = sh->misses.load(std::memory_order_relaxed);
+        s.evictions = sh->evictions.load(std::memory_order_relaxed);
+        stats.push_back(s);
+    }
+    return stats;
+}
+
 std::size_t
 Router::planCacheSize() const
 {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    return lru_.size();
+    std::size_t total = 0;
+    for (const auto &s : cacheStats())
+        total += s.size;
+    return total;
 }
 
 std::size_t
 Router::planCacheHits() const
 {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    return cache_hits_;
+    std::size_t total = 0;
+    for (const auto &s : cacheStats())
+        total += s.hits;
+    return total;
 }
 
 std::size_t
 Router::planCacheMisses() const
 {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    return cache_misses_;
+    std::size_t total = 0;
+    for (const auto &s : cacheStats())
+        total += s.misses;
+    return total;
+}
+
+std::size_t
+Router::planCacheEvictions() const
+{
+    std::size_t total = 0;
+    for (const auto &s : cacheStats())
+        total += s.evictions;
+    return total;
 }
 
 void
 Router::clearPlanCache() const
 {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    lru_.clear();
-    cache_index_.clear();
-    cache_hits_ = 0;
-    cache_misses_ = 0;
+    for (const auto &sh : shards_) {
+        std::unique_lock<std::shared_mutex> lock(sh->mu);
+        sh->map.clear();
+        sh->hits.store(0, std::memory_order_relaxed);
+        sh->misses.store(0, std::memory_order_relaxed);
+        sh->evictions.store(0, std::memory_order_relaxed);
+    }
 }
 
 } // namespace srbenes

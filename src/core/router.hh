@@ -24,21 +24,23 @@
  *    execute() is a single contiguous gather — no fabric
  *    re-simulation, no allocation beyond the result (and none at
  *    all via executeInto);
- *  - route() consults an LRU plan cache keyed by a permutation
- *    hash, so a recurring pattern skips classification and planning
- *    entirely after its first appearance.
+ *  - route() consults a sharded, read-mostly plan cache keyed by a
+ *    permutation hash, so a recurring pattern skips classification
+ *    and planning entirely after its first appearance, and
+ *    concurrent readers on different shards never serialize.
  */
 
 #ifndef SRBENES_CORE_ROUTER_HH
 #define SRBENES_CORE_ROUTER_HH
 
+#include <atomic>
 #include <cstdint>
-#include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/fast_engine.hh"
 #include "core/self_routing.hh"
@@ -79,6 +81,15 @@ struct RoutePlan
     std::shared_ptr<const FastPlan> fast;
 };
 
+/** One plan-cache shard's counters, as returned by cacheStats(). */
+struct CacheShardStats
+{
+    std::size_t size = 0;
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t evictions = 0;
+};
+
 class Router
 {
   public:
@@ -87,10 +98,15 @@ class Router
      *        with a single externally-set pass instead of two
      *        self-routed ones.
      * @param plan_cache_capacity distinct recurring patterns kept
-     *        hot; 0 disables the cache.
+     *        hot across all shards; 0 disables the cache.
+     * @param cache_shards independent cache shards; lookups take one
+     *        shard's reader lock only, so K threads with disjoint
+     *        working sets never serialize. Clamped to
+     *        [1, plan_cache_capacity] when the cache is enabled.
      */
     explicit Router(unsigned n, bool prefer_waksman = false,
-                    std::size_t plan_cache_capacity = 64);
+                    std::size_t plan_cache_capacity = 64,
+                    unsigned cache_shards = 8);
 
     const SelfRoutingBenes &fabric() const { return net_; }
     const FastEngine &engine() const { return engine_; }
@@ -99,11 +115,18 @@ class Router
     RoutePlan plan(const Permutation &d) const;
 
     /**
-     * Plan through the LRU cache: a repeated pattern returns the
-     * cached plan without re-classifying or re-routing. Thread-safe.
+     * Plan through the sharded plan cache: a repeated pattern
+     * returns the cached plan without re-classifying or re-routing.
+     * Thread-safe; hits take one shard's reader lock only.
      */
     std::shared_ptr<const RoutePlan>
     planCached(const Permutation &d) const;
+
+    /**
+     * The cache hash; exposed so callers that pre-compute it (the
+     * streaming layer) shard their own tiers consistently.
+     */
+    static std::uint64_t hashPermutation(const Permutation &d);
 
     /** Move a data vector along a previously computed plan. */
     std::vector<Word> execute(const RoutePlan &plan,
@@ -140,30 +163,48 @@ class Router
     std::size_t planCacheSize() const;
     std::size_t planCacheHits() const;
     std::size_t planCacheMisses() const;
+    std::size_t planCacheEvictions() const;
     std::size_t planCacheCapacity() const { return cache_capacity_; }
+    std::size_t planCacheShards() const { return shards_.size(); }
+    /** Per-shard size/capacity/hits/misses/evictions. */
+    std::vector<CacheShardStats> cacheStats() const;
     void clearPlanCache() const;
     /** @} */
 
   private:
-    struct CacheEntry
+    /**
+     * One shard: a read-mostly hash -> plan map. Hits touch only the
+     * shard's reader lock plus a relaxed recency stamp; inserts take
+     * the writer lock and evict the least-recently-stamped entry
+     * when the shard is over its share of the capacity.
+     */
+    struct CacheShard
     {
-        std::uint64_t hash;
-        std::shared_ptr<const RoutePlan> plan;
+        struct Entry
+        {
+            Entry(std::shared_ptr<const RoutePlan> p, std::uint64_t t)
+                : plan(std::move(p)), last_used(t)
+            {
+            }
+            std::shared_ptr<const RoutePlan> plan;
+            std::atomic<std::uint64_t> last_used;
+        };
+        mutable std::shared_mutex mu;
+        std::unordered_map<std::uint64_t, Entry> map;
+        std::atomic<std::size_t> hits{0};
+        std::atomic<std::size_t> misses{0};
+        std::atomic<std::size_t> evictions{0};
     };
+
+    CacheShard &shardFor(std::uint64_t hash) const;
 
     SelfRoutingBenes net_;
     FastEngine engine_;
     bool prefer_waksman_;
     std::size_t cache_capacity_;
-
-    /** LRU list, most recent first, plus a hash index into it. */
-    mutable std::mutex cache_mu_;
-    mutable std::list<CacheEntry> lru_;
-    mutable std::unordered_map<std::uint64_t,
-                               std::list<CacheEntry>::iterator>
-        cache_index_;
-    mutable std::size_t cache_hits_ = 0;
-    mutable std::size_t cache_misses_ = 0;
+    mutable std::vector<std::unique_ptr<CacheShard>> shards_;
+    /** Global recency clock for the stamps. */
+    mutable std::atomic<std::uint64_t> tick_{0};
 };
 
 } // namespace srbenes

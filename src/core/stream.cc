@@ -1,0 +1,437 @@
+#include "core/stream.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.hh"
+
+namespace srbenes
+{
+
+namespace
+{
+
+std::uint64_t
+nowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+std::size_t
+ceilPow2(std::size_t v)
+{
+    std::size_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    // splitmix64 finalizer
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
+/** How many requests a worker pops from one ring before moving on. */
+constexpr unsigned kBurst = 32;
+
+/** Empty ring scans before a worker blocks on its doorbell. */
+constexpr unsigned kIdleSpins = 16;
+
+} // namespace
+
+Hash128
+hashPermutation128(const Permutation &d)
+{
+    constexpr unsigned L = 8;
+    std::uint64_t a[L], b[L];
+    for (unsigned l = 0; l < L; ++l) {
+        a[l] = mix64(0x243f6a8885a308d3ULL + l);
+        b[l] = mix64(0x13198a2e03707344ULL + l);
+    }
+
+    const std::vector<Word> &v = d.dest();
+    const std::size_t size = v.size();
+    const std::size_t full = size - size % L;
+    for (std::size_t i = 0; i < full; i += L) {
+        for (unsigned l = 0; l < L; ++l) {
+            const std::uint64_t x = v[i + l];
+            a[l] = (a[l] ^ x) * 0x9e3779b97f4a7c15ULL;
+            a[l] ^= a[l] >> 32;
+            b[l] = (b[l] ^ (x + i)) * 0xc2b2ae3d27d4eb4fULL;
+            b[l] ^= b[l] >> 29;
+        }
+    }
+    for (std::size_t i = full; i < size; ++i) {
+        const unsigned l = i % L;
+        a[l] = (a[l] ^ v[i]) * 0x9e3779b97f4a7c15ULL;
+        a[l] ^= a[l] >> 32;
+        b[l] = (b[l] ^ (v[i] + i)) * 0xc2b2ae3d27d4eb4fULL;
+        b[l] ^= b[l] >> 29;
+    }
+
+    Hash128 h;
+    h.lo = mix64(size);
+    h.hi = mix64(~std::uint64_t{size});
+    for (unsigned l = 0; l < L; ++l) {
+        h.lo = mix64(h.lo ^ a[l]);
+        h.hi = mix64(h.hi ^ b[l]);
+    }
+    return h;
+}
+
+StreamEngine::StreamEngine(unsigned n, StreamOptions opts)
+    : router_(n, opts.prefer_waksman, opts.shared_cache_capacity,
+              opts.shared_cache_shards),
+      opts_(opts)
+{
+    if (opts_.workers == 0)
+        fatal("stream engine needs at least one worker");
+    if (opts_.producers == 0)
+        fatal("stream engine needs at least one producer");
+    opts_.ring_capacity = ceilPow2(std::max<std::size_t>(
+        2, opts_.ring_capacity));
+    opts_.local_cache_slots = ceilPow2(std::max<std::size_t>(
+        8, opts_.local_cache_slots));
+
+    const std::size_t pairs =
+        std::size_t{opts_.producers} * opts_.workers;
+    submit_rings_.reserve(pairs);
+    result_rings_.reserve(pairs);
+    for (std::size_t i = 0; i < pairs; ++i) {
+        submit_rings_.push_back(
+            std::make_unique<SpscRing<StreamRequest>>(
+                opts_.ring_capacity));
+        result_rings_.push_back(
+            std::make_unique<SpscRing<StreamResult>>(
+                opts_.ring_capacity));
+    }
+    producer_bells_.reserve(opts_.producers);
+    for (unsigned p = 0; p < opts_.producers; ++p)
+        producer_bells_.push_back(std::make_unique<Doorbell>());
+
+    producers_.resize(opts_.producers);
+    for (unsigned p = 0; p < opts_.producers; ++p) {
+        producers_[p].eng_ = this;
+        producers_[p].index_ = p;
+    }
+
+    workers_.reserve(opts_.workers);
+    for (unsigned w = 0; w < opts_.workers; ++w) {
+        auto ws = std::make_unique<WorkerState>();
+        ws->table.resize(opts_.local_cache_slots);
+        workers_.push_back(std::move(ws));
+    }
+}
+
+StreamEngine::~StreamEngine()
+{
+    if (started_ && !stopped_)
+        stop();
+}
+
+StreamEngine::Producer &
+StreamEngine::producer(unsigned i)
+{
+    if (i >= producers_.size())
+        fatal("producer index %u out of range (%zu handles)", i,
+              producers_.size());
+    return producers_[i];
+}
+
+bool
+StreamEngine::Producer::trySubmit(std::uint64_t id,
+                                  std::shared_ptr<const Permutation> perm,
+                                  std::vector<Word> &payload)
+{
+    StreamEngine &eng = *eng_;
+    if (perm->size() != eng.numLines())
+        fatal("stream request permutation size %zu != N = %llu",
+              perm->size(),
+              static_cast<unsigned long long>(eng.numLines()));
+    if (payload.size() != perm->size())
+        fatal("stream request payload size %zu != N = %zu",
+              payload.size(), perm->size());
+
+    StreamRequest req;
+    req.id = id;
+    req.producer = index_;
+    req.hash = memoizedHash(perm);
+    req.perm = std::move(perm);
+    req.payload = std::move(payload);
+
+    // Pattern-affine dispatch: the same permutation always reaches
+    // the same worker, so local plan caches never duplicate entries.
+    const unsigned w =
+        static_cast<unsigned>(req.hash.hi % eng.opts_.workers);
+    req.submit_ns = nowNs();
+    if (!eng.submitRing(index_, w).tryPush(std::move(req))) {
+        payload = std::move(req.payload); // hand the storage back
+        return false;
+    }
+    ++submitted_;
+    eng.workers_[w]->bell.ring();
+    return true;
+}
+
+const Hash128 &
+StreamEngine::Producer::memoizedHash(
+    const std::shared_ptr<const Permutation> &perm)
+{
+    // Direct-mapped by pointer identity. The slot's shared_ptr keeps
+    // the memoized pattern alive, so a matching address is always
+    // the same object; replacing a slot drops the old reference.
+    MemoSlot &slot =
+        memo_[mix64(reinterpret_cast<std::uintptr_t>(perm.get())) %
+              kMemoSlots];
+    if (slot.perm.get() != perm.get()) {
+        slot.hash = hashPermutation128(*perm);
+        slot.perm = perm;
+    }
+    return slot.hash;
+}
+
+bool
+StreamEngine::Producer::tryPoll(StreamResult &out)
+{
+    StreamEngine &eng = *eng_;
+    const unsigned K = eng.opts_.workers;
+    for (unsigned i = 0; i < K; ++i) {
+        const unsigned w = (poll_rr_ + i) % K;
+        if (eng.resultRing(index_, w).tryPop(out)) {
+            poll_rr_ = (w + 1) % K;
+            ++received_;
+            // The pop freed result-ring space; a worker may be
+            // blocked on it.
+            eng.workers_[w]->bell.ring();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+StreamEngine::Producer::awaitResult(StreamResult &out)
+{
+    StreamEngine &eng = *eng_;
+    while (!tryPoll(out)) {
+        eng.producer_bells_[index_]->waitUntil([&] {
+            for (unsigned w = 0; w < eng.opts_.workers; ++w)
+                if (!eng.resultRing(index_, w).empty())
+                    return true;
+            return false;
+        });
+    }
+}
+
+const RoutePlan *
+StreamEngine::lookupPlan(WorkerState &ws, const StreamRequest &req)
+{
+    const std::size_t mask = ws.table.size() - 1;
+    const std::size_t base = req.hash.lo & mask;
+    constexpr std::size_t kProbe = 4;
+
+    ++ws.op;
+    for (std::size_t i = 0; i < kProbe; ++i) {
+        LocalSlot &slot = ws.table[(base + i) & mask];
+        if (slot.plan && slot.hash == req.hash &&
+            (!opts_.verify_local_hits ||
+             slot.plan->perm == *req.perm)) {
+            slot.stamp = ws.op;
+            ws.local_hits.fetch_add(1, std::memory_order_relaxed);
+            return slot.plan.get();
+        }
+    }
+
+    // Local miss: shared sharded tier (plans if genuinely new),
+    // then adopt into the probe window, evicting the stalest slot.
+    ws.shared_lookups.fetch_add(1, std::memory_order_relaxed);
+    std::shared_ptr<const RoutePlan> plan =
+        router_.planCached(*req.perm);
+    LocalSlot *victim = &ws.table[base];
+    for (std::size_t i = 0; i < kProbe; ++i) {
+        LocalSlot &slot = ws.table[(base + i) & mask];
+        if (!slot.plan) {
+            victim = &slot;
+            break;
+        }
+        if (slot.stamp < victim->stamp)
+            victim = &slot;
+    }
+    victim->hash = req.hash;
+    victim->plan = std::move(plan);
+    victim->stamp = ws.op;
+    return victim->plan.get();
+}
+
+void
+StreamEngine::process(WorkerState &ws, unsigned w, StreamRequest &req)
+{
+    const RoutePlan *plan = lookupPlan(ws, req);
+
+    // Gather into the worker's scratch, then swap storage with the
+    // request payload: steady state allocates nothing.
+    router_.engine().executeInto(*plan->fast, req.payload, ws.scratch);
+    ws.scratch.swap(req.payload);
+
+    StreamResult res;
+    res.id = req.id;
+    res.worker = w;
+    res.payload = std::move(req.payload);
+    res.submit_ns = req.submit_ns;
+    res.complete_ns = nowNs();
+
+    ws.requests.fetch_add(1, std::memory_order_relaxed);
+    if (ws.latencies.size() < opts_.latency_sample_cap) {
+        const std::uint64_t lat = res.latencyNs();
+        ws.latencies.push_back(static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(lat, ~std::uint32_t{0})));
+    }
+
+    SpscRing<StreamResult> &ring = resultRing(req.producer, w);
+    if (!ring.tryPush(std::move(res))) {
+        // Backpressure: block until the producer drains (it rings
+        // this worker's bell on every pop). The contract stands:
+        // producers must keep polling.
+        do {
+            ws.bell.waitUntil([&] { return !ring.full(); });
+        } while (!ring.tryPush(std::move(res)));
+    }
+    producer_bells_[req.producer]->ring();
+}
+
+void
+StreamEngine::workerMain(unsigned w)
+{
+    WorkerState &ws = *workers_[w];
+    const unsigned P = opts_.producers;
+    unsigned idle = 0;
+    StreamRequest req;
+
+    for (;;) {
+        bool any = false;
+        for (unsigned p = 0; p < P; ++p) {
+            SpscRing<StreamRequest> &ring = submitRing(p, w);
+            for (unsigned burst = 0;
+                 burst < kBurst && ring.tryPop(req); ++burst) {
+                process(ws, w, req);
+                any = true;
+            }
+        }
+        if (any) {
+            idle = 0;
+            continue;
+        }
+        if (stop_requested_.load(std::memory_order_acquire)) {
+            bool drained = true;
+            for (unsigned p = 0; p < P && drained; ++p)
+                drained = submitRing(p, w).empty();
+            if (drained)
+                return;
+            continue;
+        }
+        if (++idle < kIdleSpins)
+            continue;
+        idle = 0;
+        ws.bell.waitUntil([&] {
+            if (stop_requested_.load(std::memory_order_acquire))
+                return true;
+            for (unsigned p = 0; p < P; ++p)
+                if (!submitRing(p, w).empty())
+                    return true;
+            return false;
+        });
+    }
+}
+
+void
+StreamEngine::start()
+{
+    if (started_)
+        fatal("stream engine started twice");
+    started_ = true;
+    start_ns_ = nowNs();
+    threads_.reserve(opts_.workers);
+    for (unsigned w = 0; w < opts_.workers; ++w)
+        threads_.emplace_back([this, w] { workerMain(w); });
+}
+
+void
+StreamEngine::stop()
+{
+    if (!started_ || stopped_)
+        return;
+    stop_requested_.store(true, std::memory_order_release);
+    for (auto &ws : workers_)
+        ws->bell.ring();
+    for (std::thread &t : threads_)
+        t.join();
+    threads_.clear();
+    stop_ns_ = nowNs();
+    stopped_ = true;
+}
+
+void
+StreamEngine::resetStats()
+{
+    // Quiescence (see the header contract) makes this race-free:
+    // idle workers never touch their sample buffers or counters.
+    for (auto &ws : workers_) {
+        ws->latencies.clear();
+        ws->requests.store(0, std::memory_order_relaxed);
+        ws->local_hits.store(0, std::memory_order_relaxed);
+        ws->shared_lookups.store(0, std::memory_order_relaxed);
+    }
+    start_ns_ = nowNs();
+}
+
+StreamStats
+StreamEngine::stats() const
+{
+    StreamStats st;
+    std::vector<std::uint32_t> lat;
+    for (const auto &ws : workers_) {
+        st.requests += ws->requests.load(std::memory_order_relaxed);
+        st.local_hits +=
+            ws->local_hits.load(std::memory_order_relaxed);
+        st.shared_lookups +=
+            ws->shared_lookups.load(std::memory_order_relaxed);
+        if (stopped_)
+            lat.insert(lat.end(), ws->latencies.begin(),
+                       ws->latencies.end());
+    }
+    st.payload_words = st.requests * numLines();
+
+    const std::uint64_t end = stopped_ ? stop_ns_ : nowNs();
+    if (started_ && end > start_ns_)
+        st.elapsed_sec = (end - start_ns_) * 1e-9;
+    if (st.elapsed_sec > 0) {
+        st.perms_per_sec = st.requests / st.elapsed_sec;
+        st.payload_gb_per_sec =
+            st.payload_words * 8.0 / st.elapsed_sec / 1e9;
+    }
+
+    if (!lat.empty()) {
+        auto pct = [&](double q) {
+            const std::size_t k = static_cast<std::size_t>(
+                q * (lat.size() - 1));
+            std::nth_element(lat.begin(), lat.begin() + k, lat.end());
+            return static_cast<std::uint64_t>(lat[k]);
+        };
+        st.p50_ns = pct(0.50);
+        st.p99_ns = pct(0.99);
+    }
+
+    st.shared_shards = router_.cacheStats();
+    return st;
+}
+
+} // namespace srbenes

@@ -1,0 +1,404 @@
+/**
+ * @file
+ * Streaming throughput engine: sustained routing of many independent
+ * requests, the software analogue of Section IV's observation that a
+ * registered B(n) accepts a new N-vector every clock.
+ *
+ * Shape of the machine:
+ *
+ *   producers ──SPSC──▶ K worker threads ──SPSC──▶ producers
+ *
+ *  - Each (producer, worker) pair owns one lock-free single-producer
+ *    single-consumer ring for requests and one for results, so the
+ *    aggregate is a multi-producer pipeline with no shared queue and
+ *    no lock on the hot path.
+ *  - A request is dispatched to the worker chosen by its permutation
+ *    hash, so a recurring pattern always lands on the same worker and
+ *    its THREAD-LOCAL plan cache: a hit costs a probe of a small
+ *    open-addressed table — no lock, no reference-count traffic.
+ *  - Local misses fall through to the Router's sharded read-mostly
+ *    tier (shared across workers), and only a genuinely new pattern
+ *    pays for planning.
+ *  - Execution is one contiguous payload gather through the
+ *    runtime-dispatched SIMD kernels, into a worker-owned scratch
+ *    buffer that is swapped with the request's payload storage —
+ *    zero allocation per request in steady state.
+ *
+ * Each request carries its submit timestamp; workers stamp
+ * completion, so StreamStats reports true submit→complete latency
+ * (p50/p99) along with perms/sec and payload GB/s.
+ *
+ * Contract: producers must keep polling their results; a worker
+ * facing a full result ring waits (backpressure) rather than drop.
+ * Call stop() only after draining (received == submitted), or keep
+ * polling concurrently while stop() runs.
+ */
+
+#ifndef SRBENES_CORE_STREAM_HH
+#define SRBENES_CORE_STREAM_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/router.hh"
+
+namespace srbenes
+{
+
+/**
+ * 128-bit content hash of a permutation: two independent 8-lane
+ * multiply-xorshift chains, folded with a splitmix finalizer. The
+ * independent lanes break the sequential multiply dependency that
+ * makes a classic FNV pass latency-bound, so hashing an N-word
+ * destination vector runs at near store-bandwidth. Computed once at
+ * submit time and reused for worker dispatch and both cache tiers.
+ */
+struct Hash128
+{
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    bool operator==(const Hash128 &other) const = default;
+};
+
+Hash128 hashPermutation128(const Permutation &d);
+
+/**
+ * Eventcount doorbell: lets a consumer block (futex, via C++20
+ * atomic wait) when its rings run dry, without the classic
+ * single-core spin-yield pathology — sched_yield under CFS often
+ * returns straight to the caller, burning a whole scheduler quantum
+ * before the peer runs. ring() costs two uncontended atomic ops when
+ * nobody is waiting.
+ */
+class Doorbell
+{
+  public:
+    /** Wake any sleeper; call after publishing work. */
+    void
+    ring()
+    {
+        seq_.fetch_add(1, std::memory_order_release);
+        if (waiters_.load(std::memory_order_acquire) > 0)
+            seq_.notify_all();
+    }
+
+    /**
+     * Block until @p pred() is true. The predicate is re-evaluated
+     * after every ring; spurious wakes are harmless.
+     */
+    template <typename Pred>
+    void
+    waitUntil(Pred pred)
+    {
+        while (!pred()) {
+            const std::uint64_t s =
+                seq_.load(std::memory_order_acquire);
+            if (pred())
+                return;
+            waiters_.fetch_add(1, std::memory_order_seq_cst);
+            if (!pred())
+                seq_.wait(s, std::memory_order_acquire);
+            waiters_.fetch_sub(1, std::memory_order_release);
+        }
+    }
+
+  private:
+    std::atomic<std::uint64_t> seq_{0};
+    std::atomic<std::uint32_t> waiters_{0};
+};
+
+/**
+ * Lock-free single-producer single-consumer ring of fixed
+ * power-of-two capacity. tryPush only consumes @p v on success.
+ */
+template <typename T>
+class SpscRing
+{
+  public:
+    explicit SpscRing(std::size_t capacity_pow2)
+        : buf_(capacity_pow2), mask_(capacity_pow2 - 1)
+    {
+    }
+
+    bool
+    tryPush(T &&v)
+    {
+        const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+        if (t - head_cache_ >= buf_.size()) {
+            head_cache_ = head_.load(std::memory_order_acquire);
+            if (t - head_cache_ >= buf_.size())
+                return false;
+        }
+        buf_[t & mask_] = std::move(v);
+        tail_.store(t + 1, std::memory_order_release);
+        return true;
+    }
+
+    bool
+    tryPop(T &out)
+    {
+        const std::uint64_t h = head_.load(std::memory_order_relaxed);
+        if (h == tail_cache_) {
+            tail_cache_ = tail_.load(std::memory_order_acquire);
+            if (h == tail_cache_)
+                return false;
+        }
+        out = std::move(buf_[h & mask_]);
+        head_.store(h + 1, std::memory_order_release);
+        return true;
+    }
+
+    bool
+    empty() const
+    {
+        return head_.load(std::memory_order_acquire) ==
+               tail_.load(std::memory_order_acquire);
+    }
+
+    bool
+    full() const
+    {
+        return tail_.load(std::memory_order_acquire) -
+                   head_.load(std::memory_order_acquire) >=
+               buf_.size();
+    }
+
+  private:
+    std::vector<T> buf_;
+    std::uint64_t mask_;
+    alignas(64) std::atomic<std::uint64_t> head_{0}; //!< consumer
+    alignas(64) std::uint64_t tail_cache_ = 0;       //!< consumer-owned
+    alignas(64) std::atomic<std::uint64_t> tail_{0}; //!< producer
+    alignas(64) std::uint64_t head_cache_ = 0;       //!< producer-owned
+};
+
+/** One routing request in flight. */
+struct StreamRequest
+{
+    std::uint64_t id = 0;
+    unsigned producer = 0;
+    Hash128 hash;
+    std::shared_ptr<const Permutation> perm;
+    std::vector<Word> payload;
+    std::uint64_t submit_ns = 0;
+};
+
+/** One completed request. */
+struct StreamResult
+{
+    std::uint64_t id = 0;
+    unsigned worker = 0;
+    std::vector<Word> payload; //!< routed into output order
+    std::uint64_t submit_ns = 0;
+    std::uint64_t complete_ns = 0;
+
+    std::uint64_t latencyNs() const { return complete_ns - submit_ns; }
+};
+
+struct StreamOptions
+{
+    /** Router worker threads (K). */
+    unsigned workers = 2;
+    /** Producer handles that will submit (fixed up front). */
+    unsigned producers = 1;
+    /** Requests per (producer, worker) ring; power of two. */
+    std::size_t ring_capacity = 1024;
+    /** Per-worker local plan-cache slots; power of two. */
+    std::size_t local_cache_slots = 256;
+    /** Shared Router tier capacity / shards. */
+    std::size_t shared_cache_capacity = 512;
+    unsigned shared_cache_shards = 8;
+    bool prefer_waksman = false;
+    /**
+     * Confirm local-tier hits with a full permutation comparison
+     * (the shared Router tier always confirms). Off trusts the
+     * 128-bit content hash as identity.
+     */
+    bool verify_local_hits = true;
+    /** Per-worker cap on retained latency samples. */
+    std::size_t latency_sample_cap = 1u << 20;
+};
+
+/** Aggregate accounting over one start()..stop() run. */
+struct StreamStats
+{
+    std::uint64_t requests = 0;
+    std::uint64_t payload_words = 0;
+    double elapsed_sec = 0;
+    double perms_per_sec = 0;
+    double payload_gb_per_sec = 0;
+    /** Submit→complete latency percentiles; exact after stop(). */
+    std::uint64_t p50_ns = 0;
+    std::uint64_t p99_ns = 0;
+    /** Plan lookups resolved in a worker's local table. */
+    std::uint64_t local_hits = 0;
+    /** Local misses that consulted the shared Router tier. */
+    std::uint64_t shared_lookups = 0;
+    /** The shared tier's per-shard counters. */
+    std::vector<CacheShardStats> shared_shards;
+};
+
+class StreamEngine
+{
+  public:
+    explicit StreamEngine(unsigned n, StreamOptions opts = {});
+    ~StreamEngine();
+
+    StreamEngine(const StreamEngine &) = delete;
+    StreamEngine &operator=(const StreamEngine &) = delete;
+
+    unsigned n() const { return router_.engine().n(); }
+    Word numLines() const { return router_.engine().numLines(); }
+    const Router &router() const { return router_; }
+    const StreamOptions &options() const { return opts_; }
+
+    /**
+     * The submitting half of the pipeline. Each producer handle is
+     * single-threaded: one thread per handle, fixed at construction
+     * via StreamOptions::producers.
+     */
+    class Producer
+    {
+      public:
+        /**
+         * Hash @p perm, stamp the submit time, and enqueue on the
+         * owning worker's ring. @p payload is consumed only on
+         * success; false means that worker's ring is full and the
+         * caller should poll results, then retry. Re-submissions of
+         * a recently seen shared Permutation object skip re-hashing:
+         * the handle memoizes hashes by pointer identity in a small
+         * direct-mapped table, holding a reference per slot so a
+         * memoized address can never be recycled under it.
+         */
+        bool trySubmit(std::uint64_t id,
+                       std::shared_ptr<const Permutation> perm,
+                       std::vector<Word> &payload);
+
+        /** Pop one completed result from any worker, if available. */
+        bool tryPoll(StreamResult &out);
+
+        /**
+         * Block (futex) until a result is available and pop it.
+         * Requires received() < submitted(); with nothing in flight
+         * this never returns.
+         */
+        void awaitResult(StreamResult &out);
+
+        std::uint64_t submitted() const { return submitted_; }
+        std::uint64_t received() const { return received_; }
+
+      private:
+        friend class StreamEngine;
+
+        /** One entry of the pointer-keyed hash memo. */
+        struct MemoSlot
+        {
+            std::shared_ptr<const Permutation> perm; //!< keepalive
+            Hash128 hash;
+        };
+        static constexpr std::size_t kMemoSlots = 32;
+
+        const Hash128 &
+        memoizedHash(const std::shared_ptr<const Permutation> &perm);
+
+        StreamEngine *eng_ = nullptr;
+        unsigned index_ = 0;
+        unsigned poll_rr_ = 0;
+        std::uint64_t submitted_ = 0;
+        std::uint64_t received_ = 0;
+        MemoSlot memo_[kMemoSlots];
+    };
+
+    /** Producer handle @p i (0 <= i < options().producers). */
+    Producer &producer(unsigned i);
+
+    /** Launch the K worker threads. */
+    void start();
+
+    /**
+     * Signal the workers to finish every queued request and join
+     * them. Producers must have stopped submitting; results still
+     * waiting in completion rings remain pollable after stop().
+     */
+    void stop();
+
+    bool running() const { return started_ && !stopped_; }
+
+    /**
+     * Merged accounting. Counters are live at any time; latency
+     * percentiles and elapsed time are exact once stop() returned.
+     */
+    StreamStats stats() const;
+
+    /**
+     * Zero the per-worker counters and latency samples and restart
+     * the elapsed-time clock, so a benchmark can exclude its warmup
+     * phase. The engine must be quiescent: every submitted request
+     * drained and no concurrent submissions. Cached plans (local
+     * tables and the shared tier) survive; the shared-tier
+     * hit/miss/eviction counters span the engine's whole lifetime.
+     */
+    void resetStats();
+
+  private:
+    /** One slot of a worker's open-addressed local plan table. */
+    struct LocalSlot
+    {
+        Hash128 hash;
+        std::shared_ptr<const RoutePlan> plan;
+        std::uint64_t stamp = 0;
+    };
+
+    struct alignas(64) WorkerState
+    {
+        std::vector<LocalSlot> table;
+        std::uint64_t op = 0;
+        std::vector<Word> scratch;
+        std::vector<std::uint32_t> latencies;
+        std::atomic<std::uint64_t> requests{0};
+        std::atomic<std::uint64_t> local_hits{0};
+        std::atomic<std::uint64_t> shared_lookups{0};
+        /** Rung by producers on submit and on result-ring drain. */
+        Doorbell bell;
+    };
+
+    SpscRing<StreamRequest> &
+    submitRing(unsigned producer, unsigned worker)
+    {
+        return *submit_rings_[std::size_t{producer} * opts_.workers +
+                              worker];
+    }
+    SpscRing<StreamResult> &
+    resultRing(unsigned producer, unsigned worker)
+    {
+        return *result_rings_[std::size_t{producer} * opts_.workers +
+                              worker];
+    }
+
+    void workerMain(unsigned w);
+    void process(WorkerState &ws, unsigned w, StreamRequest &req);
+    const RoutePlan *lookupPlan(WorkerState &ws,
+                                const StreamRequest &req);
+
+    Router router_;
+    StreamOptions opts_;
+    std::vector<std::unique_ptr<SpscRing<StreamRequest>>> submit_rings_;
+    std::vector<std::unique_ptr<SpscRing<StreamResult>>> result_rings_;
+    /** Rung by workers when they complete a result for producer i. */
+    std::vector<std::unique_ptr<Doorbell>> producer_bells_;
+    std::vector<Producer> producers_;
+    std::vector<std::unique_ptr<WorkerState>> workers_;
+    std::vector<std::thread> threads_;
+    std::atomic<bool> stop_requested_{false};
+    bool started_ = false;
+    bool stopped_ = false;
+    std::uint64_t start_ns_ = 0;
+    std::uint64_t stop_ns_ = 0;
+};
+
+} // namespace srbenes
+
+#endif // SRBENES_CORE_STREAM_HH

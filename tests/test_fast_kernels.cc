@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Differential tests for the runtime-dispatched SIMD kernels: every
+ * compiled-and-supported level (scalar, AVX2, AVX-512) must agree
+ * with the scalar kernel bit-for-bit — on raw kernel invocations
+ * with awkward tails, and on whole routes through FastEngine,
+ * exhaustively at n <= 3 and randomized at n = 4..10. Also covers
+ * the SRBENES_DISABLE_SIMD escape hatch.
+ */
+
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hh"
+#include "core/fast_engine.hh"
+#include "core/fast_kernels.hh"
+#include "core/self_routing.hh"
+#include "core/waksman.hh"
+#include "perm/f_class.hh"
+#include "perm/permutation.hh"
+
+namespace
+{
+
+using namespace srbenes;
+
+std::vector<SimdLevel>
+supportedLevels()
+{
+    std::vector<SimdLevel> levels{SimdLevel::Scalar};
+    if (simdLevelSupported(SimdLevel::Avx2))
+        levels.push_back(SimdLevel::Avx2);
+    if (simdLevelSupported(SimdLevel::Avx512))
+        levels.push_back(SimdLevel::Avx512);
+    return levels;
+}
+
+/** Restores the startup dispatch choice when a test ends. */
+class KernelLevelGuard
+{
+  public:
+    ~KernelLevelGuard() { setSimdLevel(detectSimdLevel()); }
+};
+
+std::vector<Word>
+randomWords(std::size_t count, Prng &prng)
+{
+    std::vector<Word> v(count);
+    for (auto &w : v)
+        w = prng();
+    return v;
+}
+
+TEST(FastKernels, ScalarAlwaysAvailable)
+{
+    EXPECT_TRUE(simdLevelCompiled(SimdLevel::Scalar));
+    EXPECT_TRUE(simdLevelSupported(SimdLevel::Scalar));
+    EXPECT_STREQ(kernelsFor(SimdLevel::Scalar).name, "scalar");
+}
+
+TEST(FastKernels, GatherMatchesScalarIncludingTails)
+{
+    Prng prng(71);
+    const KernelTable &ref = kernelsFor(SimdLevel::Scalar);
+    for (SimdLevel level : supportedLevels()) {
+        const KernelTable &k = kernelsFor(level);
+        for (std::size_t count :
+             {std::size_t{1}, std::size_t{3}, std::size_t{7},
+              std::size_t{8}, std::size_t{9}, std::size_t{31},
+              std::size_t{64}, std::size_t{70}, std::size_t{255}}) {
+            const std::vector<Word> in = randomWords(count, prng);
+            std::vector<Word> src(count);
+            for (std::size_t j = 0; j < count; ++j)
+                src[j] = prng.below(count);
+            std::vector<Word> expect(count), got(count, ~Word{0});
+            ref.gather(expect.data(), in.data(), src.data(), count);
+            k.gather(got.data(), in.data(), src.data(), count);
+            EXPECT_EQ(got, expect)
+                << k.name << " count=" << count;
+        }
+    }
+}
+
+TEST(FastKernels, DeltaSwapMatchesScalar)
+{
+    Prng prng(72);
+    const KernelTable &ref = kernelsFor(SimdLevel::Scalar);
+    for (SimdLevel level : supportedLevels()) {
+        const KernelTable &k = kernelsFor(level);
+        for (Word words : {Word{1}, Word{3}, Word{4}, Word{7},
+                           Word{8}, Word{9}, Word{16}, Word{21}}) {
+            for (unsigned dist : {1u, 2u, 4u, 8u, 16u, 32u}) {
+                const unsigned nplanes = 5;
+                std::vector<Word> expect =
+                    randomWords(nplanes * words, prng);
+                std::vector<Word> got = expect;
+                const std::vector<Word> ctrl =
+                    randomWords(words, prng);
+                ref.deltaSwap(expect.data(), nplanes, words,
+                              ctrl.data(), words, dist);
+                k.deltaSwap(got.data(), nplanes, words, ctrl.data(),
+                            words, dist);
+                EXPECT_EQ(got, expect) << k.name << " words=" << words
+                                       << " dist=" << dist;
+            }
+        }
+    }
+}
+
+TEST(FastKernels, PairSwapMatchesScalar)
+{
+    Prng prng(73);
+    const KernelTable &ref = kernelsFor(SimdLevel::Scalar);
+    for (SimdLevel level : supportedLevels()) {
+        const KernelTable &k = kernelsFor(level);
+        for (Word dw : {Word{1}, Word{2}, Word{4}, Word{8},
+                        Word{16}}) {
+            for (Word pairs : {Word{1}, Word{2}, Word{4}}) {
+                const Word words = 2 * dw * pairs;
+                const unsigned nplanes = 4;
+                std::vector<Word> expect =
+                    randomWords(nplanes * words, prng);
+                std::vector<Word> got = expect;
+                const std::vector<Word> ctrl =
+                    randomWords(words, prng);
+                ref.pairSwap(expect.data(), nplanes, words,
+                             ctrl.data(), words, dw);
+                k.pairSwap(got.data(), nplanes, words, ctrl.data(),
+                           words, dw);
+                EXPECT_EQ(got, expect) << k.name << " words=" << words
+                                       << " dw=" << dw;
+            }
+        }
+    }
+}
+
+void
+expectSameRoute(const RouteResult &a, const RouteResult &b,
+                const char *what)
+{
+    EXPECT_EQ(a.success, b.success) << what;
+    EXPECT_EQ(a.states, b.states) << what;
+    EXPECT_EQ(a.output_tags, b.output_tags) << what;
+    EXPECT_EQ(a.realized_dest, b.realized_dest) << what;
+    EXPECT_EQ(a.misrouted_outputs, b.misrouted_outputs) << what;
+}
+
+TEST(FastKernels, ExhaustiveRouteParityAtSmallN)
+{
+    KernelLevelGuard guard;
+    for (unsigned n = 1; n <= 3; ++n) {
+        const Word N = Word{1} << n;
+        const SelfRoutingBenes net(n);
+        const FastEngine engine(n);
+        std::vector<Word> dest(N);
+        for (Word i = 0; i < N; ++i)
+            dest[i] = i;
+        do {
+            const Permutation d(dest);
+            const RouteResult ref = net.route(d);
+            for (SimdLevel level : supportedLevels()) {
+                setSimdLevel(level);
+                expectSameRoute(engine.route(d), ref,
+                                simdLevelName(level));
+            }
+        } while (std::next_permutation(dest.begin(), dest.end()));
+    }
+}
+
+TEST(FastKernels, RandomizedRouteParityAcrossLevels)
+{
+    KernelLevelGuard guard;
+    Prng prng(74);
+    for (unsigned n = 4; n <= 10; ++n) {
+        const Word N = Word{1} << n;
+        const SelfRoutingBenes net(n);
+        const FastEngine engine(n);
+        for (int rep = 0; rep < 3; ++rep) {
+            // An F member (self-routes), an arbitrary permutation
+            // (usually misroutes), and a Waksman-forced route all
+            // must agree with the reference at every level.
+            const Permutation f = randomFMember(n, prng);
+            const Permutation any = Permutation::random(N, prng);
+            const SwitchStates forced =
+                waksmanSetup(net.topology(), any);
+            const RouteResult ref_f = net.route(f);
+            const RouteResult ref_any = net.route(any);
+            const RouteResult ref_forced =
+                net.routeWithStates(any, forced);
+            for (SimdLevel level : supportedLevels()) {
+                setSimdLevel(level);
+                expectSameRoute(engine.route(f), ref_f,
+                                simdLevelName(level));
+                expectSameRoute(engine.route(any), ref_any,
+                                simdLevelName(level));
+                expectSameRoute(engine.routeWithStates(any, forced),
+                                ref_forced, simdLevelName(level));
+            }
+        }
+    }
+}
+
+TEST(FastKernels, ExecutePayloadParityAcrossLevels)
+{
+    KernelLevelGuard guard;
+    Prng prng(75);
+    for (unsigned n : {5u, 8u}) {
+        const Word N = Word{1} << n;
+        const FastEngine engine(n);
+        const Permutation d = randomFMember(n, prng);
+        const std::vector<Word> data = randomWords(N, prng);
+
+        setSimdLevel(SimdLevel::Scalar);
+        const FastPlan plan = engine.routePlan(d);
+        const std::vector<Word> expect = engine.execute(plan, data);
+        EXPECT_EQ(expect, d.applyTo(data));
+
+        for (SimdLevel level : supportedLevels()) {
+            setSimdLevel(level);
+            EXPECT_EQ(engine.execute(plan, data), expect)
+                << simdLevelName(level);
+        }
+    }
+}
+
+TEST(FastKernels, DisableSimdEnvForcesScalar)
+{
+    KernelLevelGuard guard;
+    ASSERT_EQ(setenv("SRBENES_DISABLE_SIMD", "1", 1), 0);
+    EXPECT_EQ(detectSimdLevel(), SimdLevel::Scalar);
+    setSimdLevel(detectSimdLevel());
+    EXPECT_EQ(activeSimdLevel(), SimdLevel::Scalar);
+    EXPECT_STREQ(activeKernels().name, "scalar");
+
+    // "0" and empty mean "not disabled".
+    ASSERT_EQ(setenv("SRBENES_DISABLE_SIMD", "0", 1), 0);
+    EXPECT_EQ(detectSimdLevel(), detectSimdLevel());
+    ASSERT_EQ(unsetenv("SRBENES_DISABLE_SIMD"), 0);
+
+    // With the variable gone, detection follows cpuid again.
+    const SimdLevel host = detectSimdLevel();
+    EXPECT_TRUE(simdLevelSupported(host));
+}
+
+} // namespace

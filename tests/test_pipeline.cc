@@ -174,5 +174,60 @@ TEST(Pipeline, MatchesUnpipelinedResults)
     EXPECT_EQ(received, 4);
 }
 
+TEST(Pipeline, DrainCollectsEverythingInOrder)
+{
+    const unsigned n = 3;
+    PipelinedBenes pipe(n);
+    Prng prng(92);
+    std::vector<Permutation> perms;
+    for (int v = 0; v < 5; ++v) {
+        perms.push_back(BpcSpec::random(n, prng).toPermutation());
+        pipe.inject(perms.back(), iotaPayload(8, 10 * v));
+    }
+
+    const auto outs = pipe.drain();
+    ASSERT_EQ(outs.size(), 5u);
+    EXPECT_TRUE(pipe.drained());
+    // Vectors emerge in injection order, last one after latency + 4.
+    EXPECT_EQ(pipe.cyclesElapsed(), pipe.latency() + 4);
+    for (int v = 0; v < 5; ++v) {
+        ASSERT_TRUE(outs[v].success);
+        for (Word i = 0; i < 8; ++i)
+            EXPECT_EQ(outs[v].payloads[perms[v][i]], 10 * v + i);
+    }
+
+    // Draining an empty pipeline is a no-op.
+    const auto again = pipe.drain();
+    EXPECT_TRUE(again.empty());
+    EXPECT_EQ(pipe.cyclesElapsed(), pipe.latency() + 4);
+}
+
+TEST(Pipeline, SteadyStateReusesInjectionFrames)
+{
+    // Drained frames are recycled: interleaved inject/tick over many
+    // rounds keeps working and produces correct payloads throughout.
+    // (The allocation-free claim itself is covered by running this
+    // under the sanitizers; here we pin down the recycling logic.)
+    const unsigned n = 2;
+    PipelinedBenes pipe(n);
+    const auto id = Permutation::identity(4);
+    int received = 0;
+    for (int round = 0; round < 50; ++round) {
+        pipe.inject(id, iotaPayload(4, round));
+        const auto out = pipe.clockTick();
+        if (out) {
+            ASSERT_TRUE(out->success);
+            EXPECT_EQ(out->payloads, iotaPayload(4, received));
+            ++received;
+        }
+    }
+    for (const auto &out : pipe.drain()) {
+        EXPECT_EQ(out.payloads, iotaPayload(4, received));
+        ++received;
+    }
+    EXPECT_EQ(received, 50);
+    EXPECT_TRUE(pipe.drained());
+}
+
 } // namespace
 } // namespace srbenes

@@ -1,0 +1,485 @@
+/**
+ * @file
+ * Streaming-engine tests: the lock-free SPSC ring, the 128-bit
+ * permutation hash, an 8-thread hammer on the Router's sharded plan
+ * cache, and end-to-end StreamEngine runs checked payload-for-payload
+ * against Permutation::applyTo and the reference simulator.
+ */
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hh"
+#include "core/router.hh"
+#include "core/self_routing.hh"
+#include "core/stream.hh"
+#include "perm/f_class.hh"
+#include "perm/permutation.hh"
+
+namespace
+{
+
+using namespace srbenes;
+
+std::vector<Word>
+iotaPayload(std::size_t size, Word base)
+{
+    std::vector<Word> v(size);
+    for (std::size_t i = 0; i < size; ++i)
+        v[i] = base + i;
+    return v;
+}
+
+// ------------------------------------------------------------ Hash128
+
+TEST(Hash128Test, EqualPermutationsHashEqual)
+{
+    Prng prng(41);
+    const Permutation d = Permutation::random(64, prng);
+    const Permutation copy(d.dest());
+    EXPECT_EQ(hashPermutation128(d), hashPermutation128(copy));
+}
+
+TEST(Hash128Test, DistinctPermutationsHashDistinct)
+{
+    // Not a collision-resistance proof, just a smoke check that the
+    // lanes actually mix: many random and near-identical patterns
+    // must produce unique 128-bit values.
+    Prng prng(42);
+    std::map<std::pair<std::uint64_t, std::uint64_t>,
+             std::vector<Word>>
+        seen;
+    auto check = [&](const Permutation &d) {
+        const Hash128 h = hashPermutation128(d);
+        auto [it, inserted] =
+            seen.try_emplace({h.lo, h.hi}, d.dest());
+        if (!inserted) {
+            EXPECT_EQ(it->second, d.dest()) << "128-bit collision";
+        }
+    };
+    for (int rep = 0; rep < 200; ++rep)
+        check(Permutation::random(64, prng));
+    // Adjacent transpositions of the identity differ in two words.
+    std::vector<Word> dest(64);
+    for (Word i = 0; i < 64; ++i)
+        dest[i] = i;
+    check(Permutation(dest));
+    for (Word i = 0; i + 1 < 64; ++i) {
+        std::swap(dest[i], dest[i + 1]);
+        check(Permutation(dest));
+        std::swap(dest[i], dest[i + 1]);
+    }
+    EXPECT_GE(seen.size(), 200u);
+}
+
+TEST(Hash128Test, SizeIsPartOfTheHash)
+{
+    const Permutation a(std::vector<Word>{0, 1});
+    const Permutation b(std::vector<Word>{0, 1, 2, 3});
+    EXPECT_FALSE(hashPermutation128(a) == hashPermutation128(b));
+}
+
+// ----------------------------------------------------------- SpscRing
+
+TEST(SpscRingTest, FillDrainAndWrap)
+{
+    SpscRing<int> ring(4);
+    EXPECT_TRUE(ring.empty());
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 4; ++i)
+            EXPECT_TRUE(ring.tryPush(round * 10 + i));
+        int overflow = 99;
+        EXPECT_FALSE(ring.tryPush(std::move(overflow)));
+        for (int i = 0; i < 4; ++i) {
+            int out = -1;
+            ASSERT_TRUE(ring.tryPop(out));
+            EXPECT_EQ(out, round * 10 + i);
+        }
+        int out = -1;
+        EXPECT_FALSE(ring.tryPop(out));
+        EXPECT_TRUE(ring.empty());
+    }
+}
+
+TEST(SpscRingTest, FailedPushKeepsValueIntact)
+{
+    SpscRing<std::vector<int>> ring(2);
+    EXPECT_TRUE(ring.tryPush(std::vector<int>{1}));
+    EXPECT_TRUE(ring.tryPush(std::vector<int>{2}));
+    std::vector<int> v{3, 4, 5};
+    EXPECT_FALSE(ring.tryPush(std::move(v)));
+    EXPECT_EQ(v, (std::vector<int>{3, 4, 5}));
+}
+
+TEST(SpscRingTest, TwoThreadStressPreservesFifo)
+{
+    // Yield when the ring pushes back: on a single-core host a bare
+    // spin burns a whole scheduler quantum per failed attempt.
+    constexpr std::uint64_t kCount = 100000;
+    SpscRing<std::uint64_t> ring(64);
+    std::thread producer([&] {
+        for (std::uint64_t i = 0; i < kCount;) {
+            std::uint64_t v = i;
+            if (ring.tryPush(std::move(v)))
+                ++i;
+            else
+                std::this_thread::yield();
+        }
+    });
+    std::uint64_t expect = 0;
+    bool ordered = true;
+    while (expect < kCount) {
+        std::uint64_t out;
+        if (ring.tryPop(out)) {
+            ordered = ordered && out == expect;
+            ++expect;
+        } else {
+            std::this_thread::yield();
+        }
+    }
+    producer.join();
+    EXPECT_TRUE(ordered);
+    EXPECT_TRUE(ring.empty());
+}
+
+// -------------------------------------------- Router under contention
+
+TEST(RouterConcurrency, EightThreadsHammerThePlanCache)
+{
+    // 8 threads route a working set larger than the cache through one
+    // shared Router: every output must still be exact, and the
+    // sharded counters must balance (probes == hits + misses, final
+    // size within capacity).
+    const unsigned n = 5;
+    const Word N = Word{1} << n;
+    constexpr unsigned kThreads = 8;
+    constexpr int kPatterns = 12;
+    constexpr int kIters = 60;
+    const Router router(n, false, /*capacity=*/8, /*shards=*/4);
+
+    Prng seed_prng(43);
+    std::vector<Permutation> patterns;
+    for (int i = 0; i < kPatterns; ++i)
+        patterns.push_back(randomFMember(n, seed_prng));
+
+    std::vector<std::thread> threads;
+    std::vector<int> failures(kThreads, 0);
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            Prng prng(100 + t);
+            for (int it = 0; it < kIters; ++it) {
+                const Permutation &d =
+                    patterns[prng.below(kPatterns)];
+                const auto plan = router.planCached(d);
+                if (plan->perm != d) {
+                    ++failures[t];
+                    continue;
+                }
+                if (it % 4 == 0) {
+                    std::vector<std::vector<Word>> batch(
+                        3, iotaPayload(N, t * 1000));
+                    const auto outs =
+                        router.executeMany(*plan, batch, 2);
+                    for (const auto &out : outs)
+                        for (Word i = 0; i < N; ++i)
+                            if (out[d[i]] != batch[0][i])
+                                ++failures[t];
+                } else {
+                    const auto out =
+                        router.execute(*plan, iotaPayload(N, it));
+                    for (Word i = 0; i < N; ++i)
+                        if (out[d[i]] != Word(it) + i)
+                            ++failures[t];
+                }
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    for (unsigned t = 0; t < kThreads; ++t)
+        EXPECT_EQ(failures[t], 0) << "thread " << t;
+
+    const auto stats = router.cacheStats();
+    EXPECT_EQ(stats.size(), router.planCacheShards());
+    std::size_t hits = 0, misses = 0, size = 0;
+    for (const auto &s : stats) {
+        hits += s.hits;
+        misses += s.misses;
+        size += s.size;
+    }
+    EXPECT_EQ(hits, router.planCacheHits());
+    EXPECT_EQ(misses, router.planCacheMisses());
+    EXPECT_EQ(hits + misses,
+              std::size_t{kThreads} * kIters);
+    EXPECT_LE(size, 8u);
+    EXPECT_GT(hits, 0u);
+    // 12 patterns can't fit in 8 slots, so evictions must occur.
+    EXPECT_GT(router.planCacheEvictions(), 0u);
+}
+
+// -------------------------------------------------------- StreamEngine
+
+/**
+ * Drives a StreamEngine from this thread: submits @p total requests
+ * over @p patterns, polling whenever the ring pushes back, and
+ * returns every result received.
+ */
+std::vector<StreamResult>
+pump(StreamEngine &eng, StreamEngine::Producer &prod,
+     const std::vector<std::shared_ptr<const Permutation>> &patterns,
+     std::uint64_t total, Prng &prng)
+{
+    const Word N = eng.numLines();
+    std::vector<StreamResult> results;
+    results.reserve(total);
+    StreamResult res;
+    std::uint64_t id = 0;
+    while (id < total) {
+        const auto &perm = patterns[prng.below(patterns.size())];
+        std::vector<Word> payload = iotaPayload(N, id * N);
+        while (!prod.trySubmit(id, perm, payload))
+            if (prod.tryPoll(res))
+                results.push_back(std::move(res));
+        ++id;
+        if (prod.tryPoll(res))
+            results.push_back(std::move(res));
+    }
+    while (prod.received() < prod.submitted())
+        if (prod.tryPoll(res))
+            results.push_back(std::move(res));
+    return results;
+}
+
+TEST(StreamEngineTest, RoutesEveryRequestExactly)
+{
+    const unsigned n = 6;
+    const Word N = Word{1} << n;
+    StreamOptions opts;
+    opts.workers = 2;
+    opts.ring_capacity = 32; // small: exercises backpressure
+    StreamEngine eng(n, opts);
+
+    Prng prng(44);
+    std::vector<std::shared_ptr<const Permutation>> patterns;
+    for (int i = 0; i < 6; ++i)
+        patterns.push_back(std::make_shared<const Permutation>(
+            randomFMember(n, prng)));
+    // Record which pattern each id used so results can be verified
+    // after the fact (results may arrive out of order across
+    // workers).
+    std::vector<std::size_t> pattern_of;
+
+    eng.start();
+    auto &prod = eng.producer(0);
+    constexpr std::uint64_t kTotal = 500;
+    std::vector<StreamResult> results;
+    {
+        Prng choose(45);
+        StreamResult res;
+        for (std::uint64_t id = 0; id < kTotal; ++id) {
+            const std::size_t pi = choose.below(patterns.size());
+            pattern_of.push_back(pi);
+            std::vector<Word> payload = iotaPayload(N, id * N);
+            while (!prod.trySubmit(id, patterns[pi], payload))
+                if (prod.tryPoll(res))
+                    results.push_back(std::move(res));
+            if (prod.tryPoll(res))
+                results.push_back(std::move(res));
+        }
+        while (prod.received() < prod.submitted())
+            if (prod.tryPoll(res))
+                results.push_back(std::move(res));
+    }
+    eng.stop();
+    EXPECT_FALSE(eng.running());
+
+    ASSERT_EQ(results.size(), kTotal);
+    std::vector<bool> seen(kTotal, false);
+    for (const auto &res : results) {
+        ASSERT_LT(res.id, kTotal);
+        EXPECT_FALSE(seen[res.id]) << "duplicate id " << res.id;
+        seen[res.id] = true;
+        const Permutation &d = *patterns[pattern_of[res.id]];
+        EXPECT_EQ(res.payload, d.applyTo(iotaPayload(N, res.id * N)))
+            << "id " << res.id;
+        EXPECT_GE(res.complete_ns, res.submit_ns);
+    }
+
+    const StreamStats st = eng.stats();
+    EXPECT_EQ(st.requests, kTotal);
+    EXPECT_EQ(st.payload_words, kTotal * N);
+    EXPECT_EQ(st.local_hits + st.shared_lookups, kTotal);
+    // Six recurring patterns: nearly everything after warmup is a
+    // local hit.
+    EXPECT_GE(st.local_hits, kTotal - 64);
+    EXPECT_GT(st.perms_per_sec, 0.0);
+    EXPECT_GE(st.p99_ns, st.p50_ns);
+    EXPECT_EQ(st.shared_shards.size(), eng.router().planCacheShards());
+}
+
+TEST(StreamEngineTest, MatchesReferenceSimulatorForFMembers)
+{
+    // Bit-for-bit parity of streamed payloads against the reference
+    // SelfRoutingBenes simulator on every sampled request.
+    const unsigned n = 4;
+    const Word N = Word{1} << n;
+    const SelfRoutingBenes net(n);
+    StreamEngine eng(n, {});
+
+    Prng prng(46);
+    std::vector<std::shared_ptr<const Permutation>> patterns;
+    for (int i = 0; i < 4; ++i)
+        patterns.push_back(std::make_shared<const Permutation>(
+            randomFMember(n, prng)));
+
+    eng.start();
+    Prng choose(47);
+    std::vector<std::size_t> pattern_of;
+    auto &prod = eng.producer(0);
+    std::vector<StreamResult> results;
+    StreamResult res;
+    constexpr std::uint64_t kTotal = 64;
+    for (std::uint64_t id = 0; id < kTotal; ++id) {
+        const std::size_t pi = choose.below(patterns.size());
+        pattern_of.push_back(pi);
+        std::vector<Word> payload = iotaPayload(N, id * 100);
+        while (!prod.trySubmit(id, patterns[pi], payload))
+            if (prod.tryPoll(res))
+                results.push_back(std::move(res));
+        if (prod.tryPoll(res))
+            results.push_back(std::move(res));
+    }
+    while (prod.received() < prod.submitted())
+        if (prod.tryPoll(res))
+            results.push_back(std::move(res));
+    eng.stop();
+
+    ASSERT_EQ(results.size(), kTotal);
+    for (const auto &r : results) {
+        const auto ref = net.permutePayloads(
+            *patterns[pattern_of[r.id]], iotaPayload(N, r.id * 100));
+        ASSERT_TRUE(ref.has_value());
+        EXPECT_EQ(r.payload, *ref) << "id " << r.id;
+    }
+}
+
+TEST(StreamEngineTest, MultipleProducersAndColdPatterns)
+{
+    // Two producer threads, each mixing a hot set with freshly drawn
+    // cold patterns (forcing shared-tier traffic and evictions).
+    const unsigned n = 5;
+    const Word N = Word{1} << n;
+    StreamOptions opts;
+    opts.workers = 2;
+    opts.producers = 2;
+    opts.shared_cache_capacity = 16;
+    opts.local_cache_slots = 8;
+    StreamEngine eng(n, opts);
+    eng.start();
+
+    constexpr std::uint64_t kPerProducer = 300;
+    std::vector<std::vector<StreamResult>> got(2);
+    std::vector<std::vector<Permutation>> used(2);
+    std::vector<std::thread> pumps;
+    for (unsigned p = 0; p < 2; ++p) {
+        pumps.emplace_back([&, p] {
+            Prng prng(48 + p);
+            auto &prod = eng.producer(p);
+            std::vector<std::shared_ptr<const Permutation>> hot;
+            for (int i = 0; i < 3; ++i)
+                hot.push_back(std::make_shared<const Permutation>(
+                    randomFMember(n, prng)));
+            StreamResult res;
+            for (std::uint64_t id = 0; id < kPerProducer; ++id) {
+                std::shared_ptr<const Permutation> perm;
+                if (prng.below(8) == 0) // cold draw
+                    perm = std::make_shared<const Permutation>(
+                        randomFMember(n, prng));
+                else
+                    perm = hot[prng.below(hot.size())];
+                used[p].push_back(*perm);
+                std::vector<Word> payload = iotaPayload(N, id);
+                while (!prod.trySubmit(id, perm, payload))
+                    if (prod.tryPoll(res))
+                        got[p].push_back(std::move(res));
+                if (prod.tryPoll(res))
+                    got[p].push_back(std::move(res));
+            }
+            while (prod.received() < prod.submitted())
+                if (prod.tryPoll(res))
+                    got[p].push_back(std::move(res));
+        });
+    }
+    for (auto &t : pumps)
+        t.join();
+    eng.stop();
+
+    for (unsigned p = 0; p < 2; ++p) {
+        ASSERT_EQ(got[p].size(), kPerProducer) << "producer " << p;
+        for (const auto &r : got[p]) {
+            const Permutation &d = used[p][r.id];
+            EXPECT_EQ(r.payload, d.applyTo(iotaPayload(N, r.id)));
+        }
+    }
+    const StreamStats st = eng.stats();
+    EXPECT_EQ(st.requests, 2 * kPerProducer);
+    EXPECT_GT(st.shared_lookups, 0u);
+    std::size_t shard_size = 0;
+    for (const auto &s : st.shared_shards)
+        shard_size += s.size;
+    EXPECT_LE(shard_size, opts.shared_cache_capacity);
+}
+
+TEST(StreamEngineTest, ResultsRemainPollableAfterStop)
+{
+    const unsigned n = 3;
+    const Word N = Word{1} << n;
+    StreamEngine eng(n, {});
+    auto perm = std::make_shared<const Permutation>(
+        Permutation::identity(N));
+    eng.start();
+    auto &prod = eng.producer(0);
+    for (std::uint64_t id = 0; id < 4; ++id) {
+        std::vector<Word> payload = iotaPayload(N, id);
+        ASSERT_TRUE(prod.trySubmit(id, perm, payload));
+    }
+    // Wait for completion without draining the result rings, then
+    // stop; the four results must still be pollable.
+    while (eng.stats().requests < 4)
+        std::this_thread::yield();
+    eng.stop();
+    StreamResult res;
+    unsigned polled = 0;
+    while (prod.tryPoll(res)) {
+        EXPECT_EQ(res.payload, iotaPayload(N, res.id));
+        ++polled;
+    }
+    EXPECT_EQ(polled, 4u);
+}
+
+TEST(StreamEngineTest, PumpHelperSurvivesRandomMix)
+{
+    // A denser randomized pass through the shared pump() helper.
+    const unsigned n = 7;
+    StreamOptions opts;
+    opts.workers = 3;
+    StreamEngine eng(n, opts);
+    Prng prng(49);
+    std::vector<std::shared_ptr<const Permutation>> patterns;
+    for (int i = 0; i < 8; ++i)
+        patterns.push_back(std::make_shared<const Permutation>(
+            randomFMember(n, prng)));
+    eng.start();
+    const auto results =
+        pump(eng, eng.producer(0), patterns, 400, prng);
+    eng.stop();
+    EXPECT_EQ(results.size(), 400u);
+    EXPECT_EQ(eng.stats().requests, 400u);
+}
+
+} // namespace
