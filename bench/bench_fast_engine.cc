@@ -23,6 +23,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -125,7 +126,17 @@ main()
                      "threaded ns", "cached ns", "speedup",
                      "thr speedup", "cached speedup"});
 
-    for (unsigned n : {4u, 8u, 10u, 12u, 14u, 16u}) {
+    // SRBENES_BENCH_SMOKE=1: the CI smoke configuration — fewer
+    // sizes, so the run proves the binary and its JSON are healthy
+    // without tying up a runner.
+    const char *smoke_env = std::getenv("SRBENES_BENCH_SMOKE");
+    const bool smoke = smoke_env && smoke_env[0] != '\0' &&
+                       !(smoke_env[0] == '0' && smoke_env[1] == '\0');
+    std::vector<unsigned> sizes{4u, 8u, 10u, 12u, 14u, 16u};
+    if (smoke)
+        sizes = {4u, 8u, 10u};
+
+    for (unsigned n : sizes) {
         const Word N = Word{1} << n;
         const SelfRoutingBenes net(n);
         const FastEngine engine(n);
@@ -133,7 +144,7 @@ main()
         const Permutation d = randomFMember(n, prng);
 
         std::vector<std::size_t> batches{1, 8, 64};
-        if (n >= 16)
+        if (n >= 16 || smoke)
             batches = {1, 8}; // keep the total runtime bounded
 
         for (std::size_t B : batches) {

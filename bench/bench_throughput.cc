@@ -36,6 +36,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <thread>
@@ -323,8 +324,16 @@ main()
         unsigned n;
         std::uint64_t requests;
     };
-    for (const Config cfg :
-         {Config{8, 60000}, Config{10, 30000}, Config{12, 15000}}) {
+    // SRBENES_BENCH_SMOKE=1: the CI smoke configuration — the same
+    // pipeline at a fraction of the schedule, proving the binary
+    // and its JSON are healthy without tying up a runner.
+    const char *smoke_env = std::getenv("SRBENES_BENCH_SMOKE");
+    const bool smoke = smoke_env && smoke_env[0] != '\0' &&
+                       !(smoke_env[0] == '0' && smoke_env[1] == '\0');
+    std::vector<Config> configs{{8, 60000}, {10, 30000}, {12, 15000}};
+    if (smoke)
+        configs = {{8, 4000}, {10, 2000}, {12, 1000}};
+    for (const Config cfg : configs) {
         const auto sched = makeSchedule(cfg.n, cfg.requests, prng);
 
         Row row;

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# CI bench smoke: run the perf-tracking benchmarks in their reduced
+# SRBENES_BENCH_SMOKE configuration and validate every BENCH_*.json
+# they emit. The point is not numbers (a shared runner can't produce
+# meaningful ones) but proof that the binaries run to completion and
+# their JSON stays machine-readable from PR to PR.
+#
+#     scripts/bench_smoke.sh [build-dir]     # default: build
+#
+# JSON files land in the current directory; exits nonzero if a bench
+# fails or emits malformed JSON.
+set -uo pipefail
+
+build_dir="${1:-build}"
+cd "$(dirname "$0")/.."
+
+benches=(bench_fast_engine bench_throughput bench_obs_overhead)
+failed=0
+
+for bench in "${benches[@]}"; do
+    bin="${build_dir}/bench/${bench}"
+    if [ ! -x "${bin}" ]; then
+        echo "MISSING: ${bin} (build the '${build_dir%%-*}' preset first)"
+        failed=1
+        continue
+    fi
+    echo "== ${bench} (smoke) =="
+    if ! SRBENES_BENCH_SMOKE=1 "${bin}"; then
+        echo "FAILED: ${bench}"
+        failed=1
+    fi
+done
+
+echo
+echo "== validating BENCH_*.json =="
+shopt -s nullglob
+jsons=(BENCH_*.json)
+if [ ${#jsons[@]} -eq 0 ]; then
+    echo "no BENCH_*.json produced"
+    failed=1
+fi
+for f in "${jsons[@]}"; do
+    if python3 -m json.tool "${f}" > /dev/null; then
+        echo "  ${f}: ok"
+    else
+        echo "  ${f}: MALFORMED"
+        failed=1
+    fi
+done
+
+exit "${failed}"

@@ -7,7 +7,13 @@
 #     scripts/check.sh            # all presets
 #     scripts/check.sh release    # just one
 #
-set -euo pipefail
+# A failing preset no longer aborts the run: every requested preset
+# is built and tested, a per-preset summary is printed at the end,
+# and the exit code is nonzero iff any preset failed. CI fans the
+# presets out as a matrix, but locally one invocation covering all
+# three is the common case and a tsan-only breakage should not hide
+# behind an asan one.
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
 presets=("$@")
@@ -17,9 +23,30 @@ fi
 
 jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
 
+declare -A status
+failed=0
+
+run_preset() {
+    local preset="$1"
+    cmake --preset "${preset}" &&
+        cmake --build --preset "${preset}" -j "${jobs}" &&
+        ctest --preset "${preset}" -j "${jobs}"
+}
+
 for preset in "${presets[@]}"; do
     echo "== preset: ${preset} =="
-    cmake --preset "${preset}"
-    cmake --build --preset "${preset}" -j "${jobs}"
-    ctest --preset "${preset}" -j "${jobs}"
+    if run_preset "${preset}"; then
+        status["${preset}"]="ok"
+    else
+        status["${preset}"]="FAILED"
+        failed=1
+    fi
 done
+
+echo
+echo "== summary =="
+for preset in "${presets[@]}"; do
+    printf '  %-12s %s\n' "${preset}" "${status[${preset}]}"
+done
+
+exit "${failed}"

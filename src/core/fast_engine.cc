@@ -29,7 +29,7 @@ thread_local std::vector<Word> t_planes;
 
 } // namespace
 
-FastEngine::FastEngine(unsigned n)
+FastEngine::FastEngine(unsigned n, obs::MetricsRegistry *metrics)
     : n_(n)
 {
     // The reference topology enforces 1 <= n <= 30; mirror it (and
@@ -90,6 +90,16 @@ FastEngine::FastEngine(unsigned n)
         for (unsigned b = 0; b < n_; ++b)
             success_pattern_[Word{b} * lane_words_ + (x >> 6)] |=
                 bit(home, b) << (x & 63);
+    }
+
+    if (metrics) {
+        const std::string inst = metrics->uniqueInstance("engine");
+        routes_planned_ = &metrics->counter(
+            "srbenes_engine_routes_planned_total", {{"engine", inst}});
+        executes_ = &metrics->counter(
+            "srbenes_engine_executes_total", {{"engine", inst}});
+        batch_vectors_ = &metrics->histogram(
+            "srbenes_engine_batch_vectors", {{"engine", inst}});
     }
 }
 
@@ -206,6 +216,8 @@ FastEngine::routePlan(const Permutation &d, RoutingMode mode) const
     loadTagPlanes(d, t_planes);
     runPlanes(t_planes, plan, nullptr, mode);
     finishPlan(plan, d, t_planes);
+    if (routes_planned_)
+        routes_planned_->inc();
     return plan;
 }
 
@@ -295,6 +307,8 @@ FastEngine::executeInto(const FastPlan &plan,
     out.resize(num_lines_);
     activeKernels().gather(out.data(), data.data(), plan.src.data(),
                            num_lines_);
+    if (executes_)
+        executes_->inc();
 }
 
 std::vector<Word>
@@ -312,6 +326,8 @@ FastEngine::executeMany(const FastPlan &plan,
                         unsigned num_threads) const
 {
     std::vector<std::vector<Word>> outs(batch.size());
+    if (batch_vectors_)
+        batch_vectors_->observe(batch.size());
     if (num_threads <= 1 || batch.empty()) {
         for (std::size_t v = 0; v < batch.size(); ++v)
             executeInto(plan, batch[v], outs[v]);
@@ -346,6 +362,8 @@ FastEngine::executeMany(const FastPlan &plan,
     }
     for (auto &th : threads)
         th.join();
+    if (executes_)
+        executes_->inc(batch.size());
     return outs;
 }
 

@@ -53,6 +53,7 @@
 
 #include "core/self_routing.hh"
 #include "core/topology.hh"
+#include "obs/metrics.hh"
 #include "perm/permutation.hh"
 
 namespace srbenes
@@ -119,7 +120,14 @@ struct FastPlan
 class FastEngine
 {
   public:
-    explicit FastEngine(unsigned n);
+    /**
+     * @param metrics registry receiving this engine's instruments
+     *        (routes planned, vectors executed, batch-size
+     *        histogram). nullptr disables instrumentation.
+     */
+    explicit FastEngine(unsigned n,
+                        obs::MetricsRegistry *metrics =
+                            obs::defaultRegistry());
 
     unsigned n() const { return n_; }
     Word numLines() const { return num_lines_; }
@@ -223,6 +231,12 @@ class FastEngine
     std::vector<Word> output_of_slot_;
     /** Expected final tag planes when every tag reaches home. */
     std::vector<Word> success_pattern_;
+
+    /** @{ Observability (obs/metrics.hh); null when disabled. */
+    obs::Counter *routes_planned_ = nullptr;
+    obs::Counter *executes_ = nullptr;
+    obs::Histogram *batch_vectors_ = nullptr;
+    /** @} */
 };
 
 } // namespace srbenes

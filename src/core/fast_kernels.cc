@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
 #define SRBENES_X86_KERNELS 1
@@ -237,6 +238,22 @@ simdDisabledByEnv()
 
 std::atomic<const KernelTable *> g_active{nullptr};
 
+/**
+ * Record a kernel-table selection in the global registry. Dispatch
+ * is rare (first use plus explicit setSimdLevel calls), so this
+ * never touches the per-route hot path.
+ */
+void
+recordDispatch(SimdLevel level)
+{
+    auto &reg = obs::MetricsRegistry::global();
+    reg.counter("srbenes_simd_dispatch_total",
+                {{"level", simdLevelName(level)}})
+        .inc();
+    reg.gauge("srbenes_simd_active_level")
+        .set(static_cast<std::int64_t>(level));
+}
+
 } // namespace
 
 const char *
@@ -318,8 +335,10 @@ activeKernels()
 {
     const KernelTable *t = g_active.load(std::memory_order_acquire);
     if (!t) {
-        t = &kernelsFor(detectSimdLevel());
+        const SimdLevel level = detectSimdLevel();
+        t = &kernelsFor(level);
         g_active.store(t, std::memory_order_release);
+        recordDispatch(level);
     }
     return *t;
 }
@@ -342,6 +361,7 @@ void
 setSimdLevel(SimdLevel level)
 {
     g_active.store(&kernelsFor(level), std::memory_order_release);
+    recordDispatch(level);
 }
 
 } // namespace srbenes

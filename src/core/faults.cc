@@ -2,10 +2,27 @@
 
 #include "common/logging.hh"
 #include "core/stats.hh"
+#include "obs/metrics.hh"
 #include "perm/f_class.hh"
 
 namespace srbenes
 {
+
+namespace
+{
+
+/**
+ * Fault tooling is free-function-shaped, so its counters live as
+ * function-local statics in the global registry (registration is a
+ * one-time cold path; the references stay valid for process life).
+ */
+obs::Counter &
+faultCounter(const char *name)
+{
+    return obs::MetricsRegistry::global().counter(name);
+}
+
+} // namespace
 
 RouteResult
 routeWithFaults(const SelfRoutingBenes &net, const Permutation &d,
@@ -17,6 +34,10 @@ routeWithFaults(const SelfRoutingBenes &net, const Permutation &d,
     if (d.size() != size)
         fatal("permutation size %zu does not match network N = %llu",
               d.size(), static_cast<unsigned long long>(size));
+
+    static obs::Counter &injected =
+        faultCounter("srbenes_faults_injected_total");
+    injected.inc(faults.size());
 
     // Overlay: -1 = healthy, else the stuck value.
     std::vector<std::vector<int>> overlay(
@@ -135,11 +156,18 @@ testSetDetects(const SelfRoutingBenes &net,
                const std::vector<Permutation> &tests,
                const StuckFault &fault)
 {
+    static obs::Counter &checks =
+        faultCounter("srbenes_faults_detect_checks_total");
+    static obs::Counter &detected =
+        faultCounter("srbenes_faults_detected_total");
+    checks.inc();
     for (const auto &t : tests) {
         const auto healthy = net.route(t);
         const auto faulty = routeWithFaults(net, t, {fault});
-        if (healthy.output_tags != faulty.output_tags)
+        if (healthy.output_tags != faulty.output_tags) {
+            detected.inc();
             return true;
+        }
     }
     return false;
 }
@@ -153,6 +181,10 @@ diagnoseSingleFault(const SelfRoutingBenes &net,
     if (observed.size() != tests.size())
         fatal("need one observation per test (%zu tests, %zu "
               "observations)", tests.size(), observed.size());
+
+    static obs::Counter &diagnoses =
+        faultCounter("srbenes_faults_diagnoses_total");
+    diagnoses.inc();
 
     std::vector<StuckFault> candidates;
     for (unsigned s = 0; s < topo.numStages(); ++s) {

@@ -5,10 +5,33 @@
 namespace srbenes
 {
 
-PipelinedBenes::PipelinedBenes(unsigned n)
+PipelinedBenes::PipelinedBenes(unsigned n,
+                               obs::MetricsRegistry *metrics)
     : topo_(n), regs_(topo_.numStages(), Frame(topo_.numLines())),
       full_(topo_.numStages(), 0)
 {
+    if (metrics) {
+        const std::string inst = metrics->uniqueInstance("pipeline");
+        ticks_ = &metrics->counter("srbenes_pipeline_ticks_total",
+                                   {{"pipeline", inst}});
+        injects_ = &metrics->counter("srbenes_pipeline_injects_total",
+                                     {{"pipeline", inst}});
+        emerges_ = &metrics->counter("srbenes_pipeline_emerges_total",
+                                     {{"pipeline", inst}});
+        in_flight_ = &metrics->gauge("srbenes_pipeline_in_flight",
+                                     {{"pipeline", inst}});
+        drain_depth_ = &metrics->histogram(
+            "srbenes_pipeline_drain_depth", {{"pipeline", inst}});
+    }
+}
+
+std::uint64_t
+PipelinedBenes::inFlight() const
+{
+    std::uint64_t depth = pending_.size();
+    for (std::uint8_t f : full_)
+        depth += f;
+    return depth;
 }
 
 void
@@ -29,6 +52,10 @@ PipelinedBenes::inject(const Permutation &d, std::vector<Word> payloads)
     for (std::size_t i = 0; i < d.size(); ++i)
         frame[i] = Signal{d[i], payloads[i]};
     pending_.push_back(std::move(frame));
+    if (injects_) {
+        injects_->inc();
+        in_flight_->set(static_cast<std::int64_t>(inFlight()));
+    }
 }
 
 void
@@ -93,12 +120,20 @@ PipelinedBenes::clockTick()
         full_[s - 1] = 0;
     }
 
+    if (ticks_) {
+        ticks_->inc();
+        if (out)
+            emerges_->inc();
+        in_flight_->set(static_cast<std::int64_t>(inFlight()));
+    }
     return out;
 }
 
 std::vector<PipelineOutput>
 PipelinedBenes::drain()
 {
+    if (drain_depth_)
+        drain_depth_->observe(inFlight());
     std::vector<PipelineOutput> outs;
     while (!drained())
         if (auto out = clockTick())

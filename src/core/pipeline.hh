@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/topology.hh"
+#include "obs/metrics.hh"
 #include "perm/permutation.hh"
 
 namespace srbenes
@@ -35,7 +36,14 @@ struct PipelineOutput
 class PipelinedBenes
 {
   public:
-    explicit PipelinedBenes(unsigned n);
+    /**
+     * @param metrics registry receiving this pipeline's instruments
+     *        (ticks, injects, emerges, in-flight gauge, drain-depth
+     *        histogram). nullptr disables instrumentation.
+     */
+    explicit PipelinedBenes(unsigned n,
+                            obs::MetricsRegistry *metrics =
+                                obs::defaultRegistry());
 
     const BenesTopology &topology() const { return topo_; }
 
@@ -92,6 +100,17 @@ class PipelinedBenes
     /** Drained injection frames, reused by inject(). */
     std::vector<Frame> spare_;
     std::uint64_t cycles_ = 0;
+
+    /** @{ Observability (obs/metrics.hh); null when disabled. */
+    obs::Counter *ticks_ = nullptr;
+    obs::Counter *injects_ = nullptr;
+    obs::Counter *emerges_ = nullptr;
+    obs::Gauge *in_flight_ = nullptr;
+    obs::Histogram *drain_depth_ = nullptr;
+    /** @} */
+
+    /** Vectors queued plus occupying a stage register. */
+    std::uint64_t inFlight() const;
 };
 
 } // namespace srbenes

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "core/waksman.hh"
+#include "obs/trace.hh"
 #include "perm/f_class.hh"
 #include "perm/omega_class.hh"
 
@@ -44,9 +45,10 @@ routeStrategyName(RouteStrategy s)
 }
 
 Router::Router(unsigned n, bool prefer_waksman,
-               std::size_t plan_cache_capacity, unsigned cache_shards)
-    : net_(n), engine_(n), prefer_waksman_(prefer_waksman),
-      cache_capacity_(plan_cache_capacity)
+               std::size_t plan_cache_capacity, unsigned cache_shards,
+               obs::MetricsRegistry *metrics)
+    : net_(n), engine_(n, metrics), prefer_waksman_(prefer_waksman),
+      cache_capacity_(plan_cache_capacity), metrics_(metrics)
 {
     std::size_t nshards = std::max(1u, cache_shards);
     if (cache_capacity_ > 0)
@@ -54,6 +56,34 @@ Router::Router(unsigned n, bool prefer_waksman,
     shards_.reserve(nshards);
     for (std::size_t i = 0; i < nshards; ++i)
         shards_.push_back(std::make_unique<CacheShard>());
+
+    if (!metrics_)
+        return;
+    const std::string inst = metrics_->uniqueInstance("router");
+    for (std::size_t i = 0; i < nshards; ++i) {
+        const obs::Labels labels{{"router", inst},
+                                 {"shard", std::to_string(i)}};
+        shards_[i]->hits = &metrics_->counter(
+            "srbenes_router_plan_cache_hits_total", labels);
+        shards_[i]->misses = &metrics_->counter(
+            "srbenes_router_plan_cache_misses_total", labels);
+        shards_[i]->evictions = &metrics_->counter(
+            "srbenes_router_plan_cache_evictions_total", labels);
+    }
+    for (RouteStrategy s :
+         {RouteStrategy::SelfRouting, RouteStrategy::OmegaBit,
+          RouteStrategy::TwoPass, RouteStrategy::Waksman})
+        plans_by_strategy_[static_cast<int>(s)] = &metrics_->counter(
+            "srbenes_router_plans_total",
+            {{"router", inst}, {"strategy", routeStrategyName(s)}});
+    classified_engine_ = &metrics_->counter(
+        "srbenes_router_classification_total",
+        {{"router", inst}, {"path", "engine"}});
+    classified_structural_ = &metrics_->counter(
+        "srbenes_router_classification_total",
+        {{"router", inst}, {"path", "structural"}});
+    cold_plan_ns_ = &metrics_->histogram(
+        "srbenes_router_plan_cold_ns", {{"router", inst}});
 }
 
 Router::CacheShard &
@@ -66,6 +96,29 @@ Router::shardFor(std::uint64_t hash) const
 
 RoutePlan
 Router::plan(const Permutation &d) const
+{
+    // The instrumented wrapper around the real planner: cold plans
+    // are the expensive event worth a span and a latency histogram;
+    // the strategy counters double as the engine-vs-structural
+    // classification census (the engine's conflict detection IS the
+    // F-membership test, so SelfRouting == engine-classified).
+    obs::Tracer::Span span(
+        metrics_ ? &obs::Tracer::global() : nullptr, "router.plan");
+    const std::uint64_t t0 = metrics_ ? obs::monotonicNs() : 0;
+    RoutePlan p = planImpl(d);
+    if (metrics_) {
+        cold_plan_ns_->observe(obs::monotonicNs() - t0);
+        plans_by_strategy_[static_cast<int>(p.strategy)]->inc();
+        if (p.strategy == RouteStrategy::SelfRouting)
+            classified_engine_->inc();
+        else
+            classified_structural_->inc();
+    }
+    return p;
+}
+
+RoutePlan
+Router::planImpl(const Permutation &d) const
 {
     if (d.size() != net_.numLines())
         fatal("permutation size %zu does not match router N = %llu",
@@ -134,14 +187,16 @@ Router::planCached(const Permutation &d) const
         std::shared_lock<std::shared_mutex> lock(sh.mu);
         auto it = sh.map.find(h);
         if (it != sh.map.end() && it->second.plan->perm == d) {
-            sh.hits.fetch_add(1, std::memory_order_relaxed);
+            if (sh.hits)
+                sh.hits->inc();
             it->second.last_used.store(
                 tick_.fetch_add(1, std::memory_order_relaxed) + 1,
                 std::memory_order_relaxed);
             return it->second.plan;
         }
     }
-    sh.misses.fetch_add(1, std::memory_order_relaxed);
+    if (sh.misses)
+        sh.misses->inc();
 
     // Plan outside the lock; concurrent misses on the same pattern
     // just plan twice and the later insert wins.
@@ -182,8 +237,8 @@ Router::planCached(const Permutation &d) const
         if (!vsh)
             break;
         std::unique_lock<std::shared_mutex> lock(vsh->mu);
-        if (vsh->map.erase(vhash))
-            vsh->evictions.fetch_add(1, std::memory_order_relaxed);
+        if (vsh->map.erase(vhash) && vsh->evictions)
+            vsh->evictions->inc();
     }
     return planned;
 }
@@ -280,9 +335,9 @@ Router::cacheStats() const
             std::shared_lock<std::shared_mutex> lock(sh->mu);
             s.size = sh->map.size();
         }
-        s.hits = sh->hits.load(std::memory_order_relaxed);
-        s.misses = sh->misses.load(std::memory_order_relaxed);
-        s.evictions = sh->evictions.load(std::memory_order_relaxed);
+        s.hits = sh->hits ? sh->hits->value() : 0;
+        s.misses = sh->misses ? sh->misses->value() : 0;
+        s.evictions = sh->evictions ? sh->evictions->value() : 0;
         stats.push_back(s);
     }
     return stats;
@@ -330,9 +385,12 @@ Router::clearPlanCache() const
     for (const auto &sh : shards_) {
         std::unique_lock<std::shared_mutex> lock(sh->mu);
         sh->map.clear();
-        sh->hits.store(0, std::memory_order_relaxed);
-        sh->misses.store(0, std::memory_order_relaxed);
-        sh->evictions.store(0, std::memory_order_relaxed);
+        if (sh->hits)
+            sh->hits->reset();
+        if (sh->misses)
+            sh->misses->reset();
+        if (sh->evictions)
+            sh->evictions->reset();
     }
 }
 

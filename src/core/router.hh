@@ -45,6 +45,7 @@
 #include "core/fast_engine.hh"
 #include "core/self_routing.hh"
 #include "core/two_pass.hh"
+#include "obs/metrics.hh"
 
 namespace srbenes
 {
@@ -103,10 +104,17 @@ class Router
      *        shard's reader lock only, so K threads with disjoint
      *        working sets never serialize. Clamped to
      *        [1, plan_cache_capacity] when the cache is enabled.
+     * @param metrics registry receiving this router's instruments
+     *        (plan-cache hit/miss/eviction per shard, strategy
+     *        counts, cold-plan latency). nullptr disables
+     *        instrumentation; the default is the process-global
+     *        registry.
      */
     explicit Router(unsigned n, bool prefer_waksman = false,
                     std::size_t plan_cache_capacity = 64,
-                    unsigned cache_shards = 8);
+                    unsigned cache_shards = 8,
+                    obs::MetricsRegistry *metrics =
+                        obs::defaultRegistry());
 
     const SelfRoutingBenes &fabric() const { return net_; }
     const FastEngine &engine() const { return engine_; }
@@ -191,12 +199,14 @@ class Router
         };
         mutable std::shared_mutex mu;
         std::unordered_map<std::uint64_t, Entry> map;
-        std::atomic<std::size_t> hits{0};
-        std::atomic<std::size_t> misses{0};
-        std::atomic<std::size_t> evictions{0};
+        /** Registry-served counters; null when metrics are off. */
+        obs::Counter *hits = nullptr;
+        obs::Counter *misses = nullptr;
+        obs::Counter *evictions = nullptr;
     };
 
     CacheShard &shardFor(std::uint64_t hash) const;
+    RoutePlan planImpl(const Permutation &d) const;
 
     SelfRoutingBenes net_;
     FastEngine engine_;
@@ -205,6 +215,14 @@ class Router
     mutable std::vector<std::unique_ptr<CacheShard>> shards_;
     /** Global recency clock for the stamps. */
     mutable std::atomic<std::uint64_t> tick_{0};
+
+    /** @{ Observability (obs/metrics.hh); null when disabled. */
+    obs::MetricsRegistry *metrics_;
+    obs::Counter *plans_by_strategy_[4] = {};
+    obs::Counter *classified_engine_ = nullptr;
+    obs::Counter *classified_structural_ = nullptr;
+    obs::Histogram *cold_plan_ns_ = nullptr;
+    /** @} */
 };
 
 } // namespace srbenes

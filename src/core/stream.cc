@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 
 #include "common/logging.hh"
 
@@ -90,7 +91,7 @@ hashPermutation128(const Permutation &d)
 
 StreamEngine::StreamEngine(unsigned n, StreamOptions opts)
     : router_(n, opts.prefer_waksman, opts.shared_cache_capacity,
-              opts.shared_cache_shards),
+              opts.shared_cache_shards, opts.metrics),
       opts_(opts)
 {
     if (opts_.workers == 0)
@@ -125,9 +126,29 @@ StreamEngine::StreamEngine(unsigned n, StreamOptions opts)
     }
 
     workers_.reserve(opts_.workers);
+    const std::string inst =
+        opts_.metrics ? opts_.metrics->uniqueInstance("stream")
+                      : std::string();
     for (unsigned w = 0; w < opts_.workers; ++w) {
         auto ws = std::make_unique<WorkerState>();
         ws->table.resize(opts_.local_cache_slots);
+        if (opts_.metrics) {
+            obs::MetricsRegistry &reg = *opts_.metrics;
+            const obs::Labels labels = {{"stream", inst},
+                                        {"worker", std::to_string(w)}};
+            ws->requests = &reg.counter(
+                "srbenes_stream_requests_total", labels);
+            ws->local_hits = &reg.counter(
+                "srbenes_stream_local_hits_total", labels);
+            ws->shared_lookups = &reg.counter(
+                "srbenes_stream_shared_lookups_total", labels);
+            ws->doorbell_wakes = &reg.counter(
+                "srbenes_stream_doorbell_wakes_total", labels);
+            ws->queue_depth = &reg.gauge(
+                "srbenes_stream_queue_depth", labels);
+            ws->latency_ns = &reg.histogram(
+                "srbenes_stream_latency_ns", labels);
+        }
         workers_.push_back(std::move(ws));
     }
 }
@@ -246,14 +267,16 @@ StreamEngine::lookupPlan(WorkerState &ws, const StreamRequest &req)
             (!opts_.verify_local_hits ||
              slot.plan->perm == *req.perm)) {
             slot.stamp = ws.op;
-            ws.local_hits.fetch_add(1, std::memory_order_relaxed);
+            if (ws.local_hits)
+                ws.local_hits->inc();
             return slot.plan.get();
         }
     }
 
     // Local miss: shared sharded tier (plans if genuinely new),
     // then adopt into the probe window, evicting the stalest slot.
-    ws.shared_lookups.fetch_add(1, std::memory_order_relaxed);
+    if (ws.shared_lookups)
+        ws.shared_lookups->inc();
     std::shared_ptr<const RoutePlan> plan =
         router_.planCached(*req.perm);
     LocalSlot *victim = &ws.table[base];
@@ -289,12 +312,10 @@ StreamEngine::process(WorkerState &ws, unsigned w, StreamRequest &req)
     res.submit_ns = req.submit_ns;
     res.complete_ns = nowNs();
 
-    ws.requests.fetch_add(1, std::memory_order_relaxed);
-    if (ws.latencies.size() < opts_.latency_sample_cap) {
-        const std::uint64_t lat = res.latencyNs();
-        ws.latencies.push_back(static_cast<std::uint32_t>(
-            std::min<std::uint64_t>(lat, ~std::uint32_t{0})));
-    }
+    if (ws.requests)
+        ws.requests->inc();
+    if (ws.latency_ns)
+        ws.latency_ns->observe(res.latencyNs());
 
     SpscRing<StreamResult> &ring = resultRing(req.producer, w);
     if (!ring.tryPush(std::move(res))) {
@@ -303,6 +324,8 @@ StreamEngine::process(WorkerState &ws, unsigned w, StreamRequest &req)
         // producers must keep polling.
         do {
             ws.bell.waitUntil([&] { return !ring.full(); });
+            if (ws.doorbell_wakes)
+                ws.doorbell_wakes->inc();
         } while (!ring.tryPush(std::move(res)));
     }
     producer_bells_[req.producer]->ring();
@@ -318,14 +341,18 @@ StreamEngine::workerMain(unsigned w)
 
     for (;;) {
         bool any = false;
+        std::uint64_t depth = 0;
         for (unsigned p = 0; p < P; ++p) {
             SpscRing<StreamRequest> &ring = submitRing(p, w);
+            depth += ring.size();
             for (unsigned burst = 0;
                  burst < kBurst && ring.tryPop(req); ++burst) {
                 process(ws, w, req);
                 any = true;
             }
         }
+        if (ws.queue_depth)
+            ws.queue_depth->set(static_cast<std::int64_t>(depth));
         if (any) {
             idle = 0;
             continue;
@@ -349,6 +376,8 @@ StreamEngine::workerMain(unsigned w)
                     return true;
             return false;
         });
+        if (ws.doorbell_wakes)
+            ws.doorbell_wakes->inc();
     }
 }
 
@@ -383,12 +412,18 @@ void
 StreamEngine::resetStats()
 {
     // Quiescence (see the header contract) makes this race-free:
-    // idle workers never touch their sample buffers or counters.
+    // idle workers never touch their instruments.
     for (auto &ws : workers_) {
-        ws->latencies.clear();
-        ws->requests.store(0, std::memory_order_relaxed);
-        ws->local_hits.store(0, std::memory_order_relaxed);
-        ws->shared_lookups.store(0, std::memory_order_relaxed);
+        if (ws->requests)
+            ws->requests->reset();
+        if (ws->local_hits)
+            ws->local_hits->reset();
+        if (ws->shared_lookups)
+            ws->shared_lookups->reset();
+        if (ws->doorbell_wakes)
+            ws->doorbell_wakes->reset();
+        if (ws->latency_ns)
+            ws->latency_ns->reset();
     }
     start_ns_ = nowNs();
 }
@@ -397,16 +432,18 @@ StreamStats
 StreamEngine::stats() const
 {
     StreamStats st;
-    std::vector<std::uint32_t> lat;
+    obs::Histogram::Snapshot lat;
     for (const auto &ws : workers_) {
-        st.requests += ws->requests.load(std::memory_order_relaxed);
-        st.local_hits +=
-            ws->local_hits.load(std::memory_order_relaxed);
-        st.shared_lookups +=
-            ws->shared_lookups.load(std::memory_order_relaxed);
-        if (stopped_)
-            lat.insert(lat.end(), ws->latencies.begin(),
-                       ws->latencies.end());
+        if (ws->requests)
+            st.requests += ws->requests->value();
+        if (ws->local_hits)
+            st.local_hits += ws->local_hits->value();
+        if (ws->shared_lookups)
+            st.shared_lookups += ws->shared_lookups->value();
+        if (ws->doorbell_wakes)
+            st.doorbell_wakes += ws->doorbell_wakes->value();
+        if (ws->latency_ns)
+            lat.merge(ws->latency_ns->snapshot());
     }
     st.payload_words = st.requests * numLines();
 
@@ -419,15 +456,9 @@ StreamEngine::stats() const
             st.payload_words * 8.0 / st.elapsed_sec / 1e9;
     }
 
-    if (!lat.empty()) {
-        auto pct = [&](double q) {
-            const std::size_t k = static_cast<std::size_t>(
-                q * (lat.size() - 1));
-            std::nth_element(lat.begin(), lat.begin() + k, lat.end());
-            return static_cast<std::uint64_t>(lat[k]);
-        };
-        st.p50_ns = pct(0.50);
-        st.p99_ns = pct(0.99);
+    if (lat.count() > 0) {
+        st.p50_ns = lat.quantile(0.50);
+        st.p99_ns = lat.quantile(0.99);
     }
 
     st.shared_shards = router_.cacheStats();

@@ -28,6 +28,14 @@
  * completion, so StreamStats reports true submit→complete latency
  * (p50/p99) along with perms/sec and payload GB/s.
  *
+ * All accounting lives in an obs::MetricsRegistry
+ * (StreamOptions::metrics): per-worker request/hit counters, a
+ * submit→complete latency histogram, ring-occupancy gauges, and
+ * doorbell wake counts. StreamStats is a merged view over those
+ * instruments, and the same series are exportable as Prometheus
+ * text or JSON via obs/export.hh. Passing metrics = nullptr turns
+ * the instrumentation off (and stats() dark) for baseline runs.
+ *
  * Contract: producers must keep polling their results; a worker
  * facing a full result ring waits (backpressure) rather than drop.
  * Call stop() only after draining (received == submitted), or keep
@@ -166,6 +174,15 @@ class SpscRing
                buf_.size();
     }
 
+    /** Entries currently queued (approximate under concurrency). */
+    std::size_t
+    size() const
+    {
+        return static_cast<std::size_t>(
+            tail_.load(std::memory_order_acquire) -
+            head_.load(std::memory_order_acquire));
+    }
+
   private:
     std::vector<T> buf_;
     std::uint64_t mask_;
@@ -218,11 +235,19 @@ struct StreamOptions
      * 128-bit content hash as identity.
      */
     bool verify_local_hits = true;
-    /** Per-worker cap on retained latency samples. */
-    std::size_t latency_sample_cap = 1u << 20;
+    /**
+     * Registry receiving the engine's instruments (and, through it,
+     * the shared Router tier's). nullptr disables instrumentation
+     * and leaves stats() dark — the overhead bench's baseline.
+     */
+    obs::MetricsRegistry *metrics = obs::defaultRegistry();
 };
 
-/** Aggregate accounting over one start()..stop() run. */
+/**
+ * Aggregate accounting over one start()..stop() run — a merged view
+ * over the engine's registry instruments, not a separate counter
+ * implementation. All zeros when StreamOptions::metrics was null.
+ */
 struct StreamStats
 {
     std::uint64_t requests = 0;
@@ -230,13 +255,18 @@ struct StreamStats
     double elapsed_sec = 0;
     double perms_per_sec = 0;
     double payload_gb_per_sec = 0;
-    /** Submit→complete latency percentiles; exact after stop(). */
+    /**
+     * Submit→complete latency percentiles, estimated from the
+     * merged per-worker log2 histograms (~12% resolution).
+     */
     std::uint64_t p50_ns = 0;
     std::uint64_t p99_ns = 0;
     /** Plan lookups resolved in a worker's local table. */
     std::uint64_t local_hits = 0;
     /** Local misses that consulted the shared Router tier. */
     std::uint64_t shared_lookups = 0;
+    /** Times a worker slept on its doorbell and was woken. */
+    std::uint64_t doorbell_wakes = 0;
     /** The shared tier's per-shard counters. */
     std::vector<CacheShardStats> shared_shards;
 };
@@ -328,18 +358,20 @@ class StreamEngine
     bool running() const { return started_ && !stopped_; }
 
     /**
-     * Merged accounting. Counters are live at any time; latency
-     * percentiles and elapsed time are exact once stop() returned.
+     * Merged accounting over the registry instruments. Counters and
+     * latency estimates are live at any time; elapsed time is exact
+     * once stop() returned.
      */
     StreamStats stats() const;
 
     /**
-     * Zero the per-worker counters and latency samples and restart
-     * the elapsed-time clock, so a benchmark can exclude its warmup
-     * phase. The engine must be quiescent: every submitted request
-     * drained and no concurrent submissions. Cached plans (local
-     * tables and the shared tier) survive; the shared-tier
-     * hit/miss/eviction counters span the engine's whole lifetime.
+     * Zero the per-worker instruments (counters and latency
+     * histograms) and restart the elapsed-time clock, so a benchmark
+     * can exclude its warmup phase. The engine must be quiescent:
+     * every submitted request drained and no concurrent submissions.
+     * Cached plans (local tables and the shared tier) survive; the
+     * shared-tier hit/miss/eviction counters span the engine's whole
+     * lifetime.
      */
     void resetStats();
 
@@ -357,12 +389,17 @@ class StreamEngine
         std::vector<LocalSlot> table;
         std::uint64_t op = 0;
         std::vector<Word> scratch;
-        std::vector<std::uint32_t> latencies;
-        std::atomic<std::uint64_t> requests{0};
-        std::atomic<std::uint64_t> local_hits{0};
-        std::atomic<std::uint64_t> shared_lookups{0};
         /** Rung by producers on submit and on result-ring drain. */
         Doorbell bell;
+
+        /** @{ Registry-served instruments; null when metrics off. */
+        obs::Counter *requests = nullptr;
+        obs::Counter *local_hits = nullptr;
+        obs::Counter *shared_lookups = nullptr;
+        obs::Counter *doorbell_wakes = nullptr;
+        obs::Gauge *queue_depth = nullptr;
+        obs::Histogram *latency_ns = nullptr;
+        /** @} */
     };
 
     SpscRing<StreamRequest> &

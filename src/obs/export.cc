@@ -1,0 +1,281 @@
+#include "obs/export.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace srbenes
+{
+namespace obs
+{
+
+namespace
+{
+
+/** One series copied out of the registry for sorting/formatting. */
+struct Series
+{
+    std::string name;
+    Labels labels;
+    std::string rendered; //!< renderLabels(labels)
+    MetricType type;
+    std::uint64_t counter = 0;
+    std::int64_t gauge = 0;
+    Histogram::Snapshot hist;
+};
+
+std::vector<Series>
+collect(const MetricsRegistry &reg)
+{
+    std::vector<Series> out;
+    reg.visit([&](const MetricsRegistry::View &v) {
+        Series s;
+        s.name = v.name;
+        s.labels = v.labels;
+        s.rendered = renderLabels(v.labels);
+        s.type = v.type;
+        switch (v.type) {
+          case MetricType::Counter:
+            s.counter = v.counter->value();
+            break;
+          case MetricType::Gauge:
+            s.gauge = v.gauge->value();
+            break;
+          case MetricType::Histogram:
+            s.hist = v.histogram->snapshot();
+            break;
+        }
+        out.push_back(std::move(s));
+    });
+    std::sort(out.begin(), out.end(),
+              [](const Series &a, const Series &b) {
+                  if (a.name != b.name)
+                      return a.name < b.name;
+                  return a.rendered < b.rendered;
+              });
+    return out;
+}
+
+void
+append(std::string &out, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void
+append(std::string &out, const char *fmt, ...)
+{
+    char buf[512];
+    va_list args;
+    va_start(args, fmt);
+    const int need = std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    if (need < static_cast<int>(sizeof(buf))) {
+        out += buf;
+        return;
+    }
+    std::vector<char> big(need + 1);
+    va_start(args, fmt);
+    std::vsnprintf(big.data(), big.size(), fmt, args);
+    va_end(args);
+    out += big.data();
+}
+
+/** Rendered labels with an `le` pair appended (histogram buckets). */
+std::string
+labelsWithLe(const Labels &labels, const std::string &le)
+{
+    std::string out = "{";
+    for (const auto &[k, v] : labels) {
+        out += k;
+        out += "=\"";
+        out += escapeLabelValue(v);
+        out += "\",";
+    }
+    out += "le=\"";
+    out += le;
+    out += "\"}";
+    return out;
+}
+
+unsigned
+highestNonEmptyBucket(const Histogram::Snapshot &h)
+{
+    unsigned hi = 0;
+    for (unsigned i = 0; i < Histogram::kBuckets; ++i)
+        if (h.buckets[i])
+            hi = i;
+    return hi;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '\\':
+            out += "\\\\";
+            break;
+          case '"':
+            out += "\\\"";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                append(out, "\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+exposeText(const MetricsRegistry &reg)
+{
+    const std::vector<Series> series = collect(reg);
+    std::string out;
+    const std::string *family = nullptr;
+    for (const Series &s : series) {
+        if (!family || *family != s.name) {
+            append(out, "# TYPE %s %s\n", s.name.c_str(),
+                   metricTypeName(s.type));
+            family = &s.name;
+        }
+        switch (s.type) {
+          case MetricType::Counter:
+            append(out, "%s%s %" PRIu64 "\n", s.name.c_str(),
+                   s.rendered.c_str(), s.counter);
+            break;
+          case MetricType::Gauge:
+            append(out, "%s%s %" PRId64 "\n", s.name.c_str(),
+                   s.rendered.c_str(), s.gauge);
+            break;
+          case MetricType::Histogram: {
+            const unsigned hi = highestNonEmptyBucket(s.hist);
+            std::uint64_t cum = 0;
+            for (unsigned i = 0; i <= hi; ++i) {
+                if (s.hist.buckets[i] == 0 && i != hi)
+                    continue;
+                cum += s.hist.buckets[i];
+                char le[32];
+                std::snprintf(le, sizeof(le), "%" PRIu64,
+                              Histogram::bucketUpper(i));
+                append(out, "%s_bucket%s %" PRIu64 "\n",
+                       s.name.c_str(),
+                       labelsWithLe(s.labels, le).c_str(), cum);
+            }
+            append(out, "%s_bucket%s %" PRIu64 "\n", s.name.c_str(),
+                   labelsWithLe(s.labels, "+Inf").c_str(),
+                   s.hist.count());
+            append(out, "%s_sum%s %" PRIu64 "\n", s.name.c_str(),
+                   s.rendered.c_str(), s.hist.sum);
+            append(out, "%s_count%s %" PRIu64 "\n", s.name.c_str(),
+                   s.rendered.c_str(), s.hist.count());
+            break;
+          }
+        }
+    }
+    return out;
+}
+
+std::string
+exportJson(const MetricsRegistry &reg, const Tracer *tracer)
+{
+    const std::vector<Series> series = collect(reg);
+    std::string out = "{\n  \"benchmark\": \"obs_dump\",\n"
+                      "  \"unit\": \"mixed\",\n";
+    append(out, "  \"series\": %zu,\n  \"metrics\": [\n",
+           series.size());
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        const Series &s = series[i];
+        out += "    {\"name\": \"" + jsonEscape(s.name) +
+               "\", \"labels\": {";
+        for (std::size_t l = 0; l < s.labels.size(); ++l) {
+            if (l)
+                out += ", ";
+            out += "\"" + jsonEscape(s.labels[l].first) + "\": \"" +
+                   jsonEscape(s.labels[l].second) + "\"";
+        }
+        append(out, "}, \"type\": \"%s\", ", metricTypeName(s.type));
+        switch (s.type) {
+          case MetricType::Counter:
+            append(out, "\"value\": %" PRIu64 "}", s.counter);
+            break;
+          case MetricType::Gauge:
+            append(out, "\"value\": %" PRId64 "}", s.gauge);
+            break;
+          case MetricType::Histogram: {
+            append(out,
+                   "\"count\": %" PRIu64 ", \"sum\": %" PRIu64
+                   ", \"p50\": %" PRIu64 ", \"p99\": %" PRIu64
+                   ", \"buckets\": [",
+                   s.hist.count(), s.hist.sum, s.hist.quantile(0.50),
+                   s.hist.quantile(0.99));
+            bool first = true;
+            for (unsigned b = 0; b < Histogram::kBuckets; ++b) {
+                if (s.hist.buckets[b] == 0)
+                    continue;
+                if (!first)
+                    out += ", ";
+                first = false;
+                append(out, "{\"le\": %" PRIu64 ", \"count\": %" PRIu64 "}",
+                       Histogram::bucketUpper(b), s.hist.buckets[b]);
+            }
+            out += "]}";
+            break;
+          }
+        }
+        out += i + 1 < series.size() ? ",\n" : "\n";
+    }
+    out += "  ]";
+    if (tracer) {
+        const std::vector<SpanRecord> spans = tracer->snapshot();
+        append(out, ",\n  \"spans\": [\n");
+        for (std::size_t i = 0; i < spans.size(); ++i) {
+            const SpanRecord &r = spans[i];
+            append(out,
+                   "    {\"name\": \"%s\", \"start_ns\": %" PRIu64
+                   ", \"dur_ns\": %" PRIu64 ", \"thread\": %u}%s\n",
+                   jsonEscape(r.name ? r.name : "").c_str(),
+                   r.start_ns, r.dur_ns, r.thread,
+                   i + 1 < spans.size() ? "," : "");
+        }
+        out += "  ]";
+    }
+    out += "\n}\n";
+    return out;
+}
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot open %s for writing", path.c_str());
+        return false;
+    }
+    const bool ok =
+        std::fwrite(content.data(), 1, content.size(), f) ==
+        content.size();
+    std::fclose(f);
+    if (!ok)
+        warn("short write to %s", path.c_str());
+    return ok;
+}
+
+} // namespace obs
+} // namespace srbenes

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Exposition for the metrics registry and trace ring: Prometheus
+ * text format and a JSON dump in the BENCH_*.json house shape, both
+ * endpoint-less — callers embed the string in their own transport or
+ * write it to a file a scraper/collector picks up.
+ *
+ * Both exporters walk a point-in-time visit of the registry sorted
+ * by (family name, rendered labels), so output is deterministic for
+ * a deterministic workload — the golden tests pin the exact bytes.
+ * Histograms emit cumulative buckets up to the highest non-empty one
+ * plus +Inf (empty trailing buckets carry no information), with the
+ * standard _sum/_count companions.
+ */
+
+#ifndef SRBENES_OBS_EXPORT_HH
+#define SRBENES_OBS_EXPORT_HH
+
+#include <string>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace srbenes
+{
+namespace obs
+{
+
+/**
+ * Prometheus text exposition (version 0.0.4): one `# TYPE` line per
+ * family, series sorted by name then labels, label values escaped.
+ */
+std::string exposeText(const MetricsRegistry &reg);
+
+/**
+ * JSON dump shaped like the repo's BENCH_*.json files: a top-level
+ * object with a "metrics" array (one element per series; histograms
+ * carry count/sum/p50/p99 and their non-empty buckets) and, when
+ * @p tracer is given, a "spans" array of its snapshot.
+ */
+std::string exportJson(const MetricsRegistry &reg,
+                       const Tracer *tracer = nullptr);
+
+/** Write @p content to @p path; false (plus a warn) on failure. */
+bool writeFile(const std::string &path, const std::string &content);
+
+} // namespace obs
+} // namespace srbenes
+
+#endif // SRBENES_OBS_EXPORT_HH

@@ -1,0 +1,296 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+
+#include "common/logging.hh"
+
+namespace srbenes
+{
+namespace obs
+{
+
+const char *
+metricTypeName(MetricType t)
+{
+    switch (t) {
+      case MetricType::Counter:
+        return "counter";
+      case MetricType::Gauge:
+        return "gauge";
+      case MetricType::Histogram:
+        return "histogram";
+    }
+    return "?";
+}
+
+unsigned
+threadIndex()
+{
+    static std::atomic<unsigned> next{0};
+    thread_local const unsigned mine =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return mine;
+}
+
+std::uint64_t
+monotonicNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+unsigned
+Histogram::bucketIndex(std::uint64_t v)
+{
+    if (v < 4)
+        return static_cast<unsigned>(v);
+    const unsigned e = std::bit_width(v) - 1; // 2..63
+    const unsigned sub =
+        static_cast<unsigned>((v >> (e - 2)) & 3); // bits below MSB
+    return 4 * (e - 1) + sub;
+}
+
+std::uint64_t
+Histogram::bucketLower(unsigned idx)
+{
+    if (idx < 4)
+        return idx;
+    const unsigned e = idx / 4 + 1;
+    const unsigned sub = idx % 4;
+    return (std::uint64_t{4} + sub) << (e - 2);
+}
+
+std::uint64_t
+Histogram::bucketUpper(unsigned idx)
+{
+    if (idx < 4)
+        return idx;
+    const unsigned e = idx / 4 + 1;
+    const unsigned sub = idx % 4;
+    if (idx == kBuckets - 1)
+        return ~std::uint64_t{0};
+    return ((std::uint64_t{4} + sub + 1) << (e - 2)) - 1;
+}
+
+std::uint64_t
+Histogram::Snapshot::count() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t b : buckets)
+        total += b;
+    return total;
+}
+
+void
+Histogram::Snapshot::merge(const Snapshot &other)
+{
+    for (unsigned i = 0; i < kBuckets; ++i)
+        buckets[i] += other.buckets[i];
+    sum += other.sum;
+}
+
+std::uint64_t
+Histogram::Snapshot::quantile(double q) const
+{
+    const std::uint64_t total = count();
+    if (total == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the q-quantile observation, 0-based.
+    const std::uint64_t rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(total - 1));
+    std::uint64_t seen = 0;
+    for (unsigned i = 0; i < kBuckets; ++i) {
+        if (buckets[i] == 0)
+            continue;
+        if (seen + buckets[i] > rank) {
+            const std::uint64_t lo = bucketLower(i);
+            const std::uint64_t hi = bucketUpper(i);
+            // Interpolate by the rank's position inside the bucket.
+            const double frac =
+                buckets[i] == 1
+                    ? 0.0
+                    : static_cast<double>(rank - seen) /
+                          static_cast<double>(buckets[i] - 1);
+            return lo + static_cast<std::uint64_t>(
+                            frac * static_cast<double>(hi - lo));
+        }
+        seen += buckets[i];
+    }
+    return bucketUpper(kBuckets - 1);
+}
+
+Histogram::Snapshot
+Histogram::snapshot() const
+{
+    Snapshot s;
+    for (unsigned i = 0; i < kBuckets; ++i)
+        s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    s.sum = sum_.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry reg;
+    return reg;
+}
+
+std::string
+escapeLabelValue(const std::string &v)
+{
+    std::string out;
+    out.reserve(v.size());
+    for (char c : v) {
+        switch (c) {
+          case '\\':
+            out += "\\\\";
+            break;
+          case '"':
+            out += "\\\"";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+renderLabels(const Labels &labels)
+{
+    if (labels.empty())
+        return "";
+    std::string out = "{";
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        if (i)
+            out += ',';
+        out += labels[i].first;
+        out += "=\"";
+        out += escapeLabelValue(labels[i].second);
+        out += '"';
+    }
+    out += '}';
+    return out;
+}
+
+MetricsRegistry::Entry &
+MetricsRegistry::getOrCreate(const std::string &name, Labels &&labels,
+                             MetricType type)
+{
+    std::sort(labels.begin(), labels.end());
+    const std::string key = name + renderLabels(labels);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        if (it->second.type != type)
+            fatal("metric %s re-registered as %s (was %s)",
+                  key.c_str(), metricTypeName(type),
+                  metricTypeName(it->second.type));
+        return it->second;
+    }
+
+    Entry e;
+    e.name = name;
+    e.labels = std::move(labels);
+    e.type = type;
+    switch (type) {
+      case MetricType::Counter:
+        e.counter = std::make_unique<Counter>();
+        break;
+      case MetricType::Gauge:
+        e.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricType::Histogram:
+        e.histogram = std::make_unique<Histogram>();
+        break;
+    }
+    return entries_.emplace(key, std::move(e)).first->second;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name, Labels labels)
+{
+    return *getOrCreate(name, std::move(labels), MetricType::Counter)
+                .counter;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name, Labels labels)
+{
+    return *getOrCreate(name, std::move(labels), MetricType::Gauge)
+                .gauge;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name, Labels labels)
+{
+    return *getOrCreate(name, std::move(labels),
+                        MetricType::Histogram)
+                .histogram;
+}
+
+std::string
+MetricsRegistry::uniqueInstance(const char *prefix)
+{
+    return std::string(prefix) +
+           std::to_string(
+               instance_seq_.fetch_add(1, std::memory_order_relaxed));
+}
+
+void
+MetricsRegistry::visit(
+    const std::function<void(const View &)> &fn) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &[key, e] : entries_) {
+        View v{e.name, e.labels, e.type, e.counter.get(),
+               e.gauge.get(), e.histogram.get()};
+        fn(v);
+    }
+}
+
+std::size_t
+MetricsRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+void
+MetricsRegistry::resetAll()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto &[key, e] : entries_) {
+        switch (e.type) {
+          case MetricType::Counter:
+            e.counter->reset();
+            break;
+          case MetricType::Gauge:
+            e.gauge->reset();
+            break;
+          case MetricType::Histogram:
+            e.histogram->reset();
+            break;
+        }
+    }
+}
+
+} // namespace obs
+} // namespace srbenes

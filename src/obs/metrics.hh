@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Zero-dependency metrics registry for the routing runtime.
+ *
+ * A deployed fabric needs the same visibility a hardware switch
+ * exposes through its management plane: per-stage activity, setup
+ * latency, queue occupancy. This registry is the software analogue —
+ * one process-wide (or per-component) table of named instruments
+ * that the hot paths update lock-free and exporters snapshot on
+ * demand (Prometheus text or JSON; see obs/export.hh).
+ *
+ * Three instrument kinds, all std::atomic on the update path:
+ *
+ *  - Counter: monotonic, sharded over cacheline-padded per-thread
+ *    cells so concurrent stream workers never contend on one line;
+ *    value() folds the shards.
+ *  - Gauge: a single signed value, set/add semantics (ring
+ *    occupancy, active SIMD level).
+ *  - Histogram: fixed log2-structured buckets (4 sub-buckets per
+ *    octave, so quantile estimates carry ~12% resolution) with a
+ *    running sum; observation is two relaxed atomic adds.
+ *
+ * Registration (counter()/gauge()/histogram()) is get-or-create
+ * under a mutex — a cold operation done at component construction.
+ * The returned references are stable for the registry's lifetime, so
+ * instrumented code holds plain pointers and pays only the atomic op
+ * per event. Instrumented components take a `MetricsRegistry *`;
+ * passing nullptr compiles the call sites down to a predictable
+ * untaken branch (the overhead bench's baseline), and the default is
+ * the process-global registry().
+ */
+
+#ifndef SRBENES_OBS_METRICS_HH
+#define SRBENES_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace srbenes
+{
+namespace obs
+{
+
+/** Sorted (key, value) label pairs identifying one series. */
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricType
+{
+    Counter,
+    Gauge,
+    Histogram,
+};
+
+const char *metricTypeName(MetricType t);
+
+/**
+ * Small dense thread index for counter sharding: each thread gets
+ * the next id on first use. Callers fold it modulo their shard
+ * count.
+ */
+unsigned threadIndex();
+
+/** Steady-clock nanoseconds (the registry's only notion of time). */
+std::uint64_t monotonicNs();
+
+/**
+ * Monotonic counter, sharded across cacheline-padded atomic cells
+ * indexed by threadIndex() so stream workers on different cores
+ * update disjoint lines.
+ */
+class Counter
+{
+  public:
+    static constexpr unsigned kShards = 8;
+
+    void
+    inc(std::uint64_t delta = 1)
+    {
+        cells_[threadIndex() & (kShards - 1)].v.fetch_add(
+            delta, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        std::uint64_t total = 0;
+        for (const Cell &c : cells_)
+            total += c.v.load(std::memory_order_relaxed);
+        return total;
+    }
+
+    /**
+     * Zero every shard. Counters are monotonic for exporters;
+     * reset() exists for cache-clear style test hooks
+     * (Router::clearPlanCache) and benchmark warmup exclusion.
+     */
+    void
+    reset()
+    {
+        for (Cell &c : cells_)
+            c.v.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    struct alignas(64) Cell
+    {
+        std::atomic<std::uint64_t> v{0};
+    };
+    Cell cells_[kShards];
+};
+
+/** A single settable signed value. */
+class Gauge
+{
+  public:
+    void
+    set(std::int64_t v)
+    {
+        v_.store(v, std::memory_order_relaxed);
+    }
+
+    void
+    add(std::int64_t delta)
+    {
+        v_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    std::int64_t
+    value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { set(0); }
+
+  private:
+    std::atomic<std::int64_t> v_{0};
+};
+
+/**
+ * Fixed-bucket log2 histogram: values 0..3 get their own buckets,
+ * every higher octave [2^e, 2^(e+1)) is split into 4 sub-buckets by
+ * the two bits below the leading one. 252 buckets cover the full
+ * uint64 range; quantile() interpolates linearly inside a bucket,
+ * so estimates are exact below 4 and within ~12% above.
+ */
+class Histogram
+{
+  public:
+    static constexpr unsigned kBuckets = 252;
+
+    /** Bucket index of @p v (0 <= result < kBuckets). */
+    static unsigned bucketIndex(std::uint64_t v);
+    /** Inclusive upper bound of bucket @p idx. */
+    static std::uint64_t bucketUpper(unsigned idx);
+    /** Inclusive lower bound of bucket @p idx. */
+    static std::uint64_t bucketLower(unsigned idx);
+
+    void
+    observe(std::uint64_t v)
+    {
+        buckets_[bucketIndex(v)].fetch_add(1,
+                                           std::memory_order_relaxed);
+        sum_.fetch_add(v, std::memory_order_relaxed);
+    }
+
+    /** A coherent-enough copy for export and merging. */
+    struct Snapshot
+    {
+        std::uint64_t buckets[kBuckets] = {};
+        std::uint64_t sum = 0;
+
+        std::uint64_t count() const;
+        /** Merge another snapshot in (per-worker -> aggregate). */
+        void merge(const Snapshot &other);
+        /**
+         * Estimated q-quantile (0 <= q <= 1) with linear
+         * interpolation inside the landing bucket; 0 when empty.
+         */
+        std::uint64_t quantile(double q) const;
+    };
+
+    Snapshot snapshot() const;
+    std::uint64_t count() const { return snapshot().count(); }
+    std::uint64_t sum() const
+    {
+        return sum_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t quantile(double q) const
+    {
+        return snapshot().quantile(q);
+    }
+
+    void reset();
+
+  private:
+    std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+    std::atomic<std::uint64_t> sum_{0};
+};
+
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** The process-global registry (what defaultRegistry() hands out). */
+    static MetricsRegistry &global();
+
+    /**
+     * Get-or-create; fatal()s if @p name+labels already exists with
+     * a different type. References stay valid for the registry's
+     * lifetime.
+     */
+    Counter &counter(const std::string &name, Labels labels = {});
+    Gauge &gauge(const std::string &name, Labels labels = {});
+    Histogram &histogram(const std::string &name, Labels labels = {});
+
+    /**
+     * A fresh instance-label value ("router0", "router1", ...) so
+     * multiple instances of one component register disjoint series.
+     */
+    std::string uniqueInstance(const char *prefix);
+
+    /** One registered series, as exporters see it. */
+    struct View
+    {
+        const std::string &name;
+        const Labels &labels;
+        MetricType type;
+        const Counter *counter = nullptr;
+        const Gauge *gauge = nullptr;
+        const Histogram *histogram = nullptr;
+    };
+
+    /**
+     * Visit every series in deterministic order (name, then
+     * rendered labels). Holds the registration mutex: updates stay
+     * lock-free, but do not register new series from inside @p fn.
+     */
+    void visit(const std::function<void(const View &)> &fn) const;
+
+    std::size_t size() const;
+
+    /** Zero every instrument (test isolation). */
+    void resetAll();
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        Labels labels;
+        MetricType type;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    Entry &getOrCreate(const std::string &name, Labels &&labels,
+                       MetricType type);
+
+    mutable std::mutex mu_;
+    /** Keyed by name + rendered labels; std::map for sorted visits. */
+    std::map<std::string, Entry> entries_;
+    std::atomic<std::uint64_t> instance_seq_{0};
+};
+
+/**
+ * The registry instrumented components attach to when the caller
+ * does not pick one: the process-global registry. Components accept
+ * nullptr as "observability off".
+ */
+inline MetricsRegistry *
+defaultRegistry()
+{
+    return &MetricsRegistry::global();
+}
+
+/** Render labels as {a="x",b="y"} with Prometheus escaping. */
+std::string renderLabels(const Labels &labels);
+
+/** Escape a label value: backslash, double quote, newline. */
+std::string escapeLabelValue(const std::string &v);
+
+} // namespace obs
+} // namespace srbenes
+
+#endif // SRBENES_OBS_METRICS_HH

@@ -1,0 +1,98 @@
+#include "obs/trace.hh"
+
+#include "obs/metrics.hh"
+
+namespace srbenes
+{
+namespace obs
+{
+
+namespace
+{
+
+std::size_t
+ceilPow2(std::size_t v)
+{
+    std::size_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+Tracer::Tracer(std::size_t capacity)
+    : ring_(ceilPow2(capacity < 2 ? 2 : capacity)),
+      mask_(ring_.size() - 1)
+{
+}
+
+Tracer &
+Tracer::global()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+Tracer::Span::Span(Tracer *tracer, const char *name)
+    : tracer_(tracer), name_(name),
+      start_ns_(tracer ? monotonicNs() : 0)
+{
+}
+
+Tracer::Span::Span(Span &&other) noexcept
+    : tracer_(other.tracer_), name_(other.name_),
+      start_ns_(other.start_ns_)
+{
+    other.tracer_ = nullptr;
+}
+
+void
+Tracer::Span::finish()
+{
+    if (!tracer_)
+        return;
+    const std::uint64_t now = monotonicNs();
+    tracer_->record(name_, start_ns_, now - start_ns_);
+    tracer_ = nullptr;
+}
+
+void
+Tracer::record(const char *name, std::uint64_t start_ns,
+               std::uint64_t dur_ns)
+{
+    const std::uint64_t i =
+        widx_.fetch_add(1, std::memory_order_relaxed);
+    SpanRecord &slot = ring_[i & mask_];
+    slot.name = name;
+    slot.start_ns = start_ns;
+    slot.dur_ns = dur_ns;
+    slot.thread = threadIndex();
+}
+
+std::vector<SpanRecord>
+Tracer::snapshot() const
+{
+    const std::uint64_t w = widx_.load(std::memory_order_acquire);
+    const std::uint64_t count =
+        w < ring_.size() ? w : ring_.size();
+    std::vector<SpanRecord> out;
+    out.reserve(count);
+    for (std::uint64_t i = w - count; i < w; ++i) {
+        const SpanRecord &rec = ring_[i & mask_];
+        if (rec.name)
+            out.push_back(rec);
+    }
+    return out;
+}
+
+void
+Tracer::clear()
+{
+    for (SpanRecord &rec : ring_)
+        rec = SpanRecord{};
+    widx_.store(0, std::memory_order_relaxed);
+}
+
+} // namespace obs
+} // namespace srbenes

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Lightweight trace spans over a bounded in-memory ring.
+ *
+ * A TraceSpan brackets one interesting operation (a cold plan, a
+ * pipeline drain) with steady-clock timestamps; finishing the span
+ * claims one slot of the tracer's power-of-two ring with a relaxed
+ * fetch_add and writes the record in place. Recording therefore
+ * costs two clock reads and one atomic op — cheap enough for paths
+ * in the tens of microseconds — and the ring never grows: old spans
+ * are overwritten, which is exactly what an always-on flight
+ * recorder wants.
+ *
+ * Span names must be string literals (the ring stores the pointer).
+ * snapshot() is meant for quiescent readers — exporters after a run,
+ * a debugger mid-flight; a record being overwritten concurrently can
+ * read torn, which a flight recorder tolerates by design.
+ */
+
+#ifndef SRBENES_OBS_TRACE_HH
+#define SRBENES_OBS_TRACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace srbenes
+{
+namespace obs
+{
+
+/** One finished span. */
+struct SpanRecord
+{
+    const char *name = nullptr; //!< string literal
+    std::uint64_t start_ns = 0; //!< steady clock
+    std::uint64_t dur_ns = 0;
+    unsigned thread = 0; //!< threadIndex() of the recorder
+};
+
+class Tracer
+{
+  public:
+    /** @param capacity ring slots, rounded up to a power of two. */
+    explicit Tracer(std::size_t capacity = 4096);
+
+    /** The process-global flight recorder. */
+    static Tracer &global();
+
+    /**
+     * RAII scope: records on destruction (or finish()). A Span built
+     * with a null tracer is a no-op — instrumented code passes
+     * nullptr when observability is off.
+     */
+    class Span
+    {
+      public:
+        Span(Tracer *tracer, const char *name);
+        ~Span() { finish(); }
+
+        Span(const Span &) = delete;
+        Span &operator=(const Span &) = delete;
+        Span(Span &&other) noexcept;
+
+        /** Record now; further finish() calls are no-ops. */
+        void finish();
+
+      private:
+        Tracer *tracer_;
+        const char *name_;
+        std::uint64_t start_ns_;
+    };
+
+    Span span(const char *name) { return Span(this, name); }
+
+    void record(const char *name, std::uint64_t start_ns,
+                std::uint64_t dur_ns);
+
+    std::size_t capacity() const { return ring_.size(); }
+
+    /** Spans ever recorded (including overwritten ones). */
+    std::uint64_t recorded() const
+    {
+        return widx_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * The last min(recorded, capacity) records, oldest first. Meant
+     * for quiescent readers; see the file comment.
+     */
+    std::vector<SpanRecord> snapshot() const;
+
+    /** Forget everything (test isolation). */
+    void clear();
+
+  private:
+    std::vector<SpanRecord> ring_;
+    std::size_t mask_;
+    std::atomic<std::uint64_t> widx_{0};
+};
+
+} // namespace obs
+} // namespace srbenes
+
+#endif // SRBENES_OBS_TRACE_HH
