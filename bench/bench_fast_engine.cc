@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "sink.hh"
 #include "common/prng.hh"
 #include "common/table.hh"
 #include "core/fast_engine.hh"
@@ -40,7 +41,6 @@ namespace
 using namespace srbenes;
 
 /** Defeat dead-code elimination without perturbing the loop. */
-volatile Word g_sink;
 
 /**
  * Best-of-5 wall time of one invocation of @p f, in nanoseconds,
@@ -167,39 +167,39 @@ main()
                     const RouteResult res = net.route(d);
                     for (Word i = 0; i < N; ++i)
                         out[res.realized_dest[i]] = batch[v][i];
-                    g_sink = out[0];
+                    bench::sink(out[0]);
                 }
             });
 
             // Bit-sliced: plan once, gather per vector.
             row.bitsliced_ns = timeNs([&]() {
                 const auto outs = engine.routeBatch(d, batch);
-                g_sink = outs[0][0];
+                bench::sink(outs[0][0]);
             });
 
             // Same plan, lanes sharded across 4 workers.
             row.threaded_ns = timeNs([&]() {
                 const auto outs = engine.routeBatch(
                     d, batch, RoutingMode::SelfRouting, 4);
-                g_sink = outs[0][0];
+                bench::sink(outs[0][0]);
             });
 
             // Warm plan cache: classification and planning skipped.
             (void)router.routeBatch(d, batch);
             row.cached_ns = timeNs([&]() {
                 const auto outs = router.routeBatch(d, batch);
-                g_sink = outs[0][0];
+                bench::sink(outs[0][0]);
             });
 
             // Plan-only comparison (batch independent; measured per
             // batch row anyway to keep the JSON flat).
             row.plan_scalar_ns = timeNs([&]() {
                 const RouteResult res = net.route(d);
-                g_sink = res.realized_dest[0];
+                bench::sink(res.realized_dest[0]);
             });
             row.plan_fast_ns = timeNs([&]() {
                 const FastPlan plan = engine.routePlan(d);
-                g_sink = plan.src[0];
+                bench::sink(plan.src[0]);
             });
 
             rows.push_back(row);

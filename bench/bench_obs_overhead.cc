@@ -33,6 +33,7 @@
 #include <memory>
 #include <vector>
 
+#include "sink.hh"
 #include "common/prng.hh"
 #include "core/fast_kernels.hh"
 #include "core/stream.hh"
@@ -44,7 +45,6 @@ namespace
 
 using namespace srbenes;
 
-volatile Word g_sink;
 
 constexpr unsigned kN = 12;
 constexpr unsigned kWorkers = 2;
@@ -112,7 +112,7 @@ runOnce(const std::vector<std::shared_ptr<const Permutation>> &sched,
     std::vector<std::vector<Word>> pool;
     StreamResult res;
     auto drainOne = [&](StreamResult &r) {
-        g_sink = r.payload[0];
+        bench::sink(r.payload[0]);
         pool.push_back(std::move(r.payload));
     };
 

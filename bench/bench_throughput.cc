@@ -42,6 +42,7 @@
 #include <thread>
 #include <vector>
 
+#include "sink.hh"
 #include "common/prng.hh"
 #include "common/table.hh"
 #include "core/fast_kernels.hh"
@@ -55,7 +56,6 @@ namespace
 
 using namespace srbenes;
 
-volatile Word g_sink;
 
 constexpr unsigned kWorkers = 2;
 constexpr unsigned kHotSet = 16;
@@ -131,15 +131,17 @@ baselineRun(unsigned n,
     for (std::uint64_t r = 0; r < std::min<std::uint64_t>(
                                   sched.size(), kHotSet);
          ++r)
-        g_sink = router.route(*sched[r], iotaPayload(N, r))[0];
+        bench::sink(router.route(*sched[r], iotaPayload(N, r))[0]);
 
     std::atomic<bool> go{false};
     std::vector<std::thread> threads;
     for (unsigned t = 0; t < T; ++t) {
         threads.emplace_back([&, t] {
             std::vector<Word> payload(N);
+            // order: acquire pairs with the release store of `go`,
+            // so the start timestamp taken before it is visible.
             while (!go.load(std::memory_order_acquire))
-                std::this_thread::yield();
+                go.wait(false, std::memory_order_acquire);
             for (Word i = 0; i < N; ++i)
                 payload[i] = t + i;
             for (std::size_t r = t; r < sched.size(); r += T) {
@@ -149,12 +151,15 @@ baselineRun(unsigned n,
                 if (r % kParityEvery == 0)
                     for (Word i = 0; i < N; ++i)
                         payload[i] = r + i;
-                g_sink = router.route(*sched[r], payload)[0];
+                bench::sink(router.route(*sched[r], payload)[0]);
             }
         });
     }
     const double t0 = nowSec();
+    // order: release publishes the start barrier to the acquire
+    // loads in the workers.
     go.store(true, std::memory_order_release);
+    go.notify_all();
     for (auto &t : threads)
         t.join();
     const double dt = nowSec() - t0;
@@ -197,7 +202,7 @@ streamRun(unsigned n,
     sampled.reserve(sched.size() / kParityEvery + 1);
     StreamResult res;
     auto drainOne = [&](StreamResult &r) {
-        g_sink = r.payload[0]; // client touches its routed data
+        bench::sink(r.payload[0]); // client touches its routed data
         if (r.id % kParityEvery == 0)
             sampled.push_back(std::move(r));
         else

@@ -6,6 +6,9 @@
 #
 #     scripts/check.sh            # all presets
 #     scripts/check.sh release    # just one
+#     scripts/check.sh --lint     # static analysis: srb-lint always,
+#                                 # tidy preset + clang-tidy if clang
+#                                 # is installed (CI `analyze` job)
 #
 # A failing preset no longer aborts the run: every requested preset
 # is built and tested, a per-preset summary is printed at the end,
@@ -15,6 +18,45 @@
 # behind an asan one.
 set -uo pipefail
 cd "$(dirname "$0")/.."
+
+jobs_for_lint=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+# --lint: the static-analysis lane. srb-lint is zero-dependency and
+# always runs; the clang thread-safety build and clang-tidy need a
+# clang install and are skipped (loudly) without one — CI always has
+# it, laptops may not.
+run_lint() {
+    local rc=0
+
+    echo "== srb-lint =="
+    cmake --preset release >/dev/null &&
+        cmake --build --preset release -j "${jobs_for_lint}" \
+            --target srb_lint >/dev/null &&
+        ./build/tools/srb_lint/srb_lint --root . || rc=1
+
+    if command -v clang++ >/dev/null 2>&1; then
+        echo "== clang thread-safety (tidy preset) =="
+        cmake --preset tidy &&
+            cmake --build --preset tidy -j "${jobs_for_lint}" || rc=1
+
+        if command -v run-clang-tidy >/dev/null 2>&1; then
+            echo "== clang-tidy =="
+            run-clang-tidy -quiet -p build-tidy \
+                -j "${jobs_for_lint}" 'src/.*\.cc$' || rc=1
+        else
+            echo "== clang-tidy: run-clang-tidy not found, skipped =="
+        fi
+    else
+        echo "== tidy preset: clang++ not found, skipped (CI runs it) =="
+    fi
+
+    return "${rc}"
+}
+
+if [ "${1:-}" = "--lint" ]; then
+    run_lint
+    exit "$?"
+fi
 
 presets=("$@")
 if [ ${#presets[@]} -eq 0 ]; then

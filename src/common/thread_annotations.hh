@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Clang thread-safety capability annotations and annotated lock
+ * types — the compile-time half of the concurrency-correctness wall
+ * (the runtime half is the asan/tsan presets).
+ *
+ * The macros wrap clang's `-Wthread-safety` attributes and expand to
+ * nothing on other compilers, so the default gcc build is untouched
+ * while the `tidy` preset (clang, `-Wthread-safety
+ * -Wthread-safety-beta -Werror`) proves every annotated invariant:
+ * which mutex guards which member, which methods must (or must not)
+ * hold which lock, and that every acquire has a matching release on
+ * all paths.
+ *
+ * std::mutex / std::shared_mutex carry no capability attributes
+ * under libstdc++, so annotating a member alone teaches the analysis
+ * nothing. The Mutex / SharedMutex wrappers below are the annotated
+ * equivalents, and MutexLock / ReaderLock / WriterLock replace
+ * std::lock_guard / std::shared_lock / std::unique_lock at the use
+ * sites. They are zero-overhead: every method is an inline forward
+ * to the standard type.
+ *
+ * Conventions (enforced by srb-lint rule SRB006):
+ *  - no raw std::mutex / std::shared_mutex members outside this
+ *    shim — use Mutex / SharedMutex;
+ *  - every member a lock protects is tagged SRB_GUARDED_BY(mu);
+ *  - methods that run with the lock held take SRB_REQUIRES(mu),
+ *    methods that take it themselves get SRB_EXCLUDES(mu).
+ */
+
+#ifndef SRBENES_COMMON_THREAD_ANNOTATIONS_HH
+#define SRBENES_COMMON_THREAD_ANNOTATIONS_HH
+
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SRB_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef SRB_THREAD_ANNOTATION
+#define SRB_THREAD_ANNOTATION(x) // no-op off clang
+#endif
+
+/** Marks a type as a lockable capability ("mutex", "shared_mutex"). */
+#define SRB_CAPABILITY(x) SRB_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII type whose lifetime equals a critical section. */
+#define SRB_SCOPED_CAPABILITY SRB_THREAD_ANNOTATION(scoped_lockable)
+
+/** Data member readable/writable only with @p x held. */
+#define SRB_GUARDED_BY(x) SRB_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointer member whose pointee is protected by @p x. */
+#define SRB_PT_GUARDED_BY(x) SRB_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function acquires the capability exclusively. */
+#define SRB_ACQUIRE(...) \
+    SRB_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function acquires the capability shared (reader side). */
+#define SRB_ACQUIRE_SHARED(...) \
+    SRB_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/** Function releases the capability (exclusive or shared). */
+#define SRB_RELEASE(...) \
+    SRB_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function releases a shared hold of the capability. */
+#define SRB_RELEASE_SHARED(...) \
+    SRB_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/** Function may acquire exclusively; the bool is the success value. */
+#define SRB_TRY_ACQUIRE(...) \
+    SRB_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Caller must hold the capability exclusively. */
+#define SRB_REQUIRES(...) \
+    SRB_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Caller must hold the capability at least shared. */
+#define SRB_REQUIRES_SHARED(...) \
+    SRB_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/** Caller must NOT hold the capability (deadlock guard). */
+#define SRB_EXCLUDES(...) \
+    SRB_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Function returns a reference to the named capability. */
+#define SRB_RETURN_CAPABILITY(x) \
+    SRB_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch; every use needs a comment saying why. */
+#define SRB_NO_THREAD_SAFETY_ANALYSIS \
+    SRB_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace srbenes
+{
+
+/**
+ * std::mutex with capability annotations. Drop-in where the lock is
+ * taken through MutexLock; exposes lock()/unlock() for the analysis.
+ */
+class SRB_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() SRB_ACQUIRE() { mu_.lock(); }
+    void unlock() SRB_RELEASE() { mu_.unlock(); }
+
+    bool
+    try_lock() SRB_TRY_ACQUIRE(true)
+    {
+        return mu_.try_lock();
+    }
+
+  private:
+    std::mutex mu_; // srb-lint: allow(SRB006) the annotated shim itself
+};
+
+/** std::shared_mutex with capability annotations. */
+class SRB_CAPABILITY("shared_mutex") SharedMutex
+{
+  public:
+    SharedMutex() = default;
+    SharedMutex(const SharedMutex &) = delete;
+    SharedMutex &operator=(const SharedMutex &) = delete;
+
+    void lock() SRB_ACQUIRE() { mu_.lock(); }
+    void unlock() SRB_RELEASE() { mu_.unlock(); }
+    void lock_shared() SRB_ACQUIRE_SHARED() { mu_.lock_shared(); }
+    void unlock_shared() SRB_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+    bool
+    try_lock() SRB_TRY_ACQUIRE(true)
+    {
+        return mu_.try_lock();
+    }
+
+  private:
+    // srb-lint: allow(SRB006) the annotated shim itself
+    std::shared_mutex mu_;
+};
+
+/** std::lock_guard equivalent over Mutex, visible to the analysis. */
+class SRB_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mu) SRB_ACQUIRE(mu) : mu_(mu)
+    {
+        mu_.lock();
+    }
+    ~MutexLock() SRB_RELEASE() { mu_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mu_;
+};
+
+/** std::unique_lock-style exclusive hold of a SharedMutex. */
+class SRB_SCOPED_CAPABILITY WriterLock
+{
+  public:
+    explicit WriterLock(SharedMutex &mu) SRB_ACQUIRE(mu) : mu_(mu)
+    {
+        mu_.lock();
+    }
+    ~WriterLock() SRB_RELEASE() { mu_.unlock(); }
+
+    WriterLock(const WriterLock &) = delete;
+    WriterLock &operator=(const WriterLock &) = delete;
+
+  private:
+    SharedMutex &mu_;
+};
+
+/** std::shared_lock-style reader hold of a SharedMutex. */
+class SRB_SCOPED_CAPABILITY ReaderLock
+{
+  public:
+    explicit ReaderLock(SharedMutex &mu) SRB_ACQUIRE_SHARED(mu)
+        : mu_(mu)
+    {
+        mu_.lock_shared();
+    }
+    ~ReaderLock() SRB_RELEASE() { mu_.unlock_shared(); }
+
+    ReaderLock(const ReaderLock &) = delete;
+    ReaderLock &operator=(const ReaderLock &) = delete;
+
+  private:
+    SharedMutex &mu_;
+};
+
+} // namespace srbenes
+
+#endif // SRBENES_COMMON_THREAD_ANNOTATIONS_HH

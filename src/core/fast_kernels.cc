@@ -333,10 +333,15 @@ kernelsFor(SimdLevel level)
 const KernelTable &
 activeKernels()
 {
+    // order: acquire pairs with the release stores below and in
+    // setSimdLevel, publishing the table the pointer refers to.
     const KernelTable *t = g_active.load(std::memory_order_acquire);
     if (!t) {
         const SimdLevel level = detectSimdLevel();
         t = &kernelsFor(level);
+        // order: release publishes the selected table; racing
+        // detections pick identical tables, so the last store wins
+        // harmlessly.
         g_active.store(t, std::memory_order_release);
         recordDispatch(level);
     }
@@ -360,6 +365,7 @@ activeSimdLevel()
 void
 setSimdLevel(SimdLevel level)
 {
+    // order: release pairs with the acquire in activeKernels().
     g_active.store(&kernelsFor(level), std::memory_order_release);
     recordDispatch(level);
 }

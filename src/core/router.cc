@@ -1,7 +1,6 @@
 #include "core/router.hh"
 
 #include <algorithm>
-#include <mutex>
 
 #include "common/logging.hh"
 #include "core/waksman.hh"
@@ -184,11 +183,13 @@ Router::planCached(const Permutation &d) const
     const std::uint64_t h = hashPermutation(d);
     CacheShard &sh = shardFor(h);
     {
-        std::shared_lock<std::shared_mutex> lock(sh.mu);
+        ReaderLock lock(sh.mu);
         auto it = sh.map.find(h);
         if (it != sh.map.end() && it->second.plan->perm == d) {
             if (sh.hits)
                 sh.hits->inc();
+            // order: relaxed on clock and stamp; a stale LRU
+            // stamp only costs a suboptimal eviction.
             it->second.last_used.store(
                 tick_.fetch_add(1, std::memory_order_relaxed) + 1,
                 std::memory_order_relaxed);
@@ -201,15 +202,18 @@ Router::planCached(const Permutation &d) const
     // Plan outside the lock; concurrent misses on the same pattern
     // just plan twice and the later insert wins.
     auto planned = std::make_shared<const RoutePlan>(plan(d));
+    // order: relaxed; the recency clock only feeds the LRU
+    // heuristic (see the hit path above).
     const std::uint64_t now =
         tick_.fetch_add(1, std::memory_order_relaxed) + 1;
     {
-        std::unique_lock<std::shared_mutex> lock(sh.mu);
+        WriterLock lock(sh.mu);
         auto [it, inserted] = sh.map.try_emplace(h, planned, now);
         if (!inserted) {
             // Same hash: either a racing insert of this pattern or a
             // collision; either way the newcomer replaces the plan.
             it->second.plan = planned;
+            // order: relaxed; LRU stamp, see the hit path.
             it->second.last_used.store(now, std::memory_order_relaxed);
         }
     }
@@ -223,8 +227,10 @@ Router::planCached(const Permutation &d) const
         std::uint64_t vhash = 0;
         std::uint64_t vstamp = ~std::uint64_t{0};
         for (const auto &cand : shards_) {
-            std::shared_lock<std::shared_mutex> lock(cand->mu);
+            ReaderLock lock(cand->mu);
             for (const auto &[eh, entry] : cand->map) {
+                // order: relaxed; the eviction scan tolerates
+                // racing stamp updates (LRU is approximate).
                 const std::uint64_t stamp =
                     entry.last_used.load(std::memory_order_relaxed);
                 if (stamp < vstamp) {
@@ -236,7 +242,7 @@ Router::planCached(const Permutation &d) const
         }
         if (!vsh)
             break;
-        std::unique_lock<std::shared_mutex> lock(vsh->mu);
+        WriterLock lock(vsh->mu);
         if (vsh->map.erase(vhash) && vsh->evictions)
             vsh->evictions->inc();
     }
@@ -332,7 +338,7 @@ Router::cacheStats() const
     for (const auto &sh : shards_) {
         CacheShardStats s;
         {
-            std::shared_lock<std::shared_mutex> lock(sh->mu);
+            ReaderLock lock(sh->mu);
             s.size = sh->map.size();
         }
         s.hits = sh->hits ? sh->hits->value() : 0;
@@ -383,7 +389,7 @@ void
 Router::clearPlanCache() const
 {
     for (const auto &sh : shards_) {
-        std::unique_lock<std::shared_mutex> lock(sh->mu);
+        WriterLock lock(sh->mu);
         sh->map.clear();
         if (sh->hits)
             sh->hits->reset();

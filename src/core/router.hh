@@ -37,11 +37,11 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "core/fast_engine.hh"
 #include "core/self_routing.hh"
 #include "core/two_pass.hh"
@@ -116,8 +116,8 @@ class Router
                     obs::MetricsRegistry *metrics =
                         obs::defaultRegistry());
 
-    const SelfRoutingBenes &fabric() const { return net_; }
-    const FastEngine &engine() const { return engine_; }
+    const SelfRoutingBenes &fabric() const noexcept { return net_; }
+    const FastEngine &engine() const noexcept { return engine_; }
 
     /** Plan the cheapest strategy for @p d. */
     RoutePlan plan(const Permutation &d) const;
@@ -172,8 +172,14 @@ class Router
     std::size_t planCacheHits() const;
     std::size_t planCacheMisses() const;
     std::size_t planCacheEvictions() const;
-    std::size_t planCacheCapacity() const { return cache_capacity_; }
-    std::size_t planCacheShards() const { return shards_.size(); }
+    std::size_t planCacheCapacity() const noexcept
+    {
+        return cache_capacity_;
+    }
+    std::size_t planCacheShards() const noexcept
+    {
+        return shards_.size();
+    }
     /** Per-shard size/capacity/hits/misses/evictions. */
     std::vector<CacheShardStats> cacheStats() const;
     void clearPlanCache() const;
@@ -197,8 +203,9 @@ class Router
             std::shared_ptr<const RoutePlan> plan;
             std::atomic<std::uint64_t> last_used;
         };
-        mutable std::shared_mutex mu;
-        std::unordered_map<std::uint64_t, Entry> map;
+        mutable SharedMutex mu;
+        std::unordered_map<std::uint64_t, Entry> map
+            SRB_GUARDED_BY(mu);
         /** Registry-served counters; null when metrics are off. */
         obs::Counter *hits = nullptr;
         obs::Counter *misses = nullptr;

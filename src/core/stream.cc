@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <string>
+#include <thread>
 
 #include "common/logging.hh"
 
@@ -357,6 +358,9 @@ StreamEngine::workerMain(unsigned w)
             idle = 0;
             continue;
         }
+        // order: acquire pairs with stop()'s release store, so
+        // every request submitted before stop() is visible to the
+        // drain check below.
         if (stop_requested_.load(std::memory_order_acquire)) {
             bool drained = true;
             for (unsigned p = 0; p < P && drained; ++p)
@@ -369,6 +373,7 @@ StreamEngine::workerMain(unsigned w)
             continue;
         idle = 0;
         ws.bell.waitUntil([&] {
+            // order: acquire; see the drain check above.
             if (stop_requested_.load(std::memory_order_acquire))
                 return true;
             for (unsigned p = 0; p < P; ++p)
@@ -384,10 +389,14 @@ StreamEngine::workerMain(unsigned w)
 void
 StreamEngine::start()
 {
-    if (started_)
+    // order: relaxed; start() is owner-thread only, the flag read
+    // here races with nothing.
+    if (started_.load(std::memory_order_relaxed))
         fatal("stream engine started twice");
-    started_ = true;
-    start_ns_ = nowNs();
+    // order: stamp relaxed, then flag release — a stats() that
+    // acquires started_ == true must see this start_ns_.
+    start_ns_.store(nowNs(), std::memory_order_relaxed);
+    started_.store(true, std::memory_order_release);
     threads_.reserve(opts_.workers);
     for (unsigned w = 0; w < opts_.workers; ++w)
         threads_.emplace_back([this, w] { workerMain(w); });
@@ -396,16 +405,24 @@ StreamEngine::start()
 void
 StreamEngine::stop()
 {
-    if (!started_ || stopped_)
+    // order: relaxed; stop() is owner-thread only, these guards
+    // race with nothing.
+    if (!started_.load(std::memory_order_relaxed) ||
+        stopped_.load(std::memory_order_relaxed))
         return;
+    // order: release so work published before stop() is visible
+    // to workers that observe the flag; pairs with their acquires.
     stop_requested_.store(true, std::memory_order_release);
     for (auto &ws : workers_)
         ws->bell.ring();
     for (std::thread &t : threads_)
         t.join();
     threads_.clear();
-    stop_ns_ = nowNs();
-    stopped_ = true;
+    // order: stamp relaxed, then flag release — a stats() that
+    // acquires stopped_ == true reads the final stop_ns_, never a
+    // stale or torn one.
+    stop_ns_.store(nowNs(), std::memory_order_relaxed);
+    stopped_.store(true, std::memory_order_release);
 }
 
 void
@@ -425,7 +442,9 @@ StreamEngine::resetStats()
         if (ws->latency_ns)
             ws->latency_ns->reset();
     }
-    start_ns_ = nowNs();
+    // order: relaxed; a stats() racing with the epoch restart sees
+    // either the old or the new start — both are coherent windows.
+    start_ns_.store(nowNs(), std::memory_order_relaxed);
 }
 
 StreamStats
@@ -447,9 +466,18 @@ StreamEngine::stats() const
     }
     st.payload_words = st.requests * numLines();
 
-    const std::uint64_t end = stopped_ ? stop_ns_ : nowNs();
-    if (started_ && end > start_ns_)
-        st.elapsed_sec = (end - start_ns_) * 1e-9;
+    // order: acquire on each flag pairs with the release store in
+    // start()/stop(), so a set flag certifies the stamp it
+    // published; the stamps themselves may then be relaxed.
+    const bool stopped = stopped_.load(std::memory_order_acquire);
+    const std::uint64_t end = stopped
+        ? stop_ns_.load(std::memory_order_relaxed) // order: see above
+        : nowNs();
+    const std::uint64_t begin =
+        start_ns_.load(std::memory_order_relaxed); // order: see above
+    if (started_.load(std::memory_order_acquire) // order: see above
+        && end > begin)
+        st.elapsed_sec = (end - begin) * 1e-9;
     if (st.elapsed_sec > 0) {
         st.perms_per_sec = st.requests / st.elapsed_sec;
         st.payload_gb_per_sec =

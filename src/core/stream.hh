@@ -88,7 +88,12 @@ class Doorbell
     void
     ring()
     {
+        // order: release publishes the work enqueued before ring();
+        // pairs with the acquire loads of seq_ in waitUntil.
         seq_.fetch_add(1, std::memory_order_release);
+        // order: acquire pairs with the waiter's seq_cst
+        // registration: either this load sees the waiter (notify
+        // runs) or the waiter's wait() sees the new seq_.
         if (waiters_.load(std::memory_order_acquire) > 0)
             seq_.notify_all();
     }
@@ -102,13 +107,22 @@ class Doorbell
     waitUntil(Pred pred)
     {
         while (!pred()) {
+            // order: acquire so state published before the last
+            // ring() is visible to the pred() re-check below.
             const std::uint64_t s =
                 seq_.load(std::memory_order_acquire);
             if (pred())
                 return;
+            // order: seq_cst — the registration must be globally
+            // ordered against ring()'s seq_ increment, or both
+            // sides could miss each other (lost wakeup).
             waiters_.fetch_add(1, std::memory_order_seq_cst);
             if (!pred())
+                // order: acquire re-synchronizes with the ring()
+                // that advanced seq_ past s.
                 seq_.wait(s, std::memory_order_acquire);
+            // order: release keeps the deregistration ordered after
+            // the wait for ring()'s waiter count check.
             waiters_.fetch_sub(1, std::memory_order_release);
         }
     }
@@ -134,13 +148,19 @@ class SpscRing
     bool
     tryPush(T &&v)
     {
+        // order: relaxed; tail_ is producer-owned, this reads our
+        // own last store.
         const std::uint64_t t = tail_.load(std::memory_order_relaxed);
         if (t - head_cache_ >= buf_.size()) {
+            // order: acquire pairs with the consumer's release
+            // store of head_, so the freed slot is really empty.
             head_cache_ = head_.load(std::memory_order_acquire);
             if (t - head_cache_ >= buf_.size())
                 return false;
         }
         buf_[t & mask_] = std::move(v);
+        // order: release publishes the slot write above before the
+        // new tail_; pairs with the consumer's acquire load.
         tail_.store(t + 1, std::memory_order_release);
         return true;
     }
@@ -148,13 +168,19 @@ class SpscRing
     bool
     tryPop(T &out)
     {
+        // order: relaxed; head_ is consumer-owned, this reads our
+        // own last store.
         const std::uint64_t h = head_.load(std::memory_order_relaxed);
         if (h == tail_cache_) {
+            // order: acquire pairs with the producer's release
+            // store of tail_, so the slot contents are visible.
             tail_cache_ = tail_.load(std::memory_order_acquire);
             if (h == tail_cache_)
                 return false;
         }
         out = std::move(buf_[h & mask_]);
+        // order: release publishes the slot vacancy before the new
+        // head_; pairs with the producer's acquire load.
         head_.store(h + 1, std::memory_order_release);
         return true;
     }
@@ -162,6 +188,8 @@ class SpscRing
     bool
     empty() const
     {
+        // order: acquire on both indices so cross-thread pollers
+        // (doorbell predicates) see slots published before them.
         return head_.load(std::memory_order_acquire) ==
                tail_.load(std::memory_order_acquire);
     }
@@ -169,6 +197,7 @@ class SpscRing
     bool
     full() const
     {
+        // order: acquire on both indices; see empty().
         return tail_.load(std::memory_order_acquire) -
                    head_.load(std::memory_order_acquire) >=
                buf_.size();
@@ -179,6 +208,7 @@ class SpscRing
     size() const
     {
         return static_cast<std::size_t>(
+            // order: acquire on both indices; see empty().
             tail_.load(std::memory_order_acquire) -
             head_.load(std::memory_order_acquire));
     }
@@ -355,7 +385,15 @@ class StreamEngine
      */
     void stop();
 
-    bool running() const { return started_ && !stopped_; }
+    bool
+    running() const
+    {
+        // order: acquire; pairs with the release stores in
+        // start()/stop() so callers on other threads see the
+        // transition (stats() is documented live at any time).
+        return started_.load(std::memory_order_acquire) &&
+               !stopped_.load(std::memory_order_acquire);
+    }
 
     /**
      * Merged accounting over the registry instruments. Counters and
@@ -430,10 +468,18 @@ class StreamEngine
     std::vector<std::unique_ptr<WorkerState>> workers_;
     std::vector<std::thread> threads_;
     std::atomic<bool> stop_requested_{false};
-    bool started_ = false;
-    bool stopped_ = false;
-    std::uint64_t start_ns_ = 0;
-    std::uint64_t stop_ns_ = 0;
+    /*
+     * Lifecycle flags and clock stamps are read by stats() and
+     * running() from any thread while the owning thread runs
+     * start()/stop()/resetStats(), so all four are atomic. Each
+     * stamp is published before its flag (release) and read after
+     * it (acquire): a reader that observes the flag set also
+     * observes the stamp that transition certified.
+     */
+    std::atomic<bool> started_{false};
+    std::atomic<bool> stopped_{false};
+    std::atomic<std::uint64_t> start_ns_{0};
+    std::atomic<std::uint64_t> stop_ns_{0};
 };
 
 } // namespace srbenes

@@ -1,6 +1,7 @@
 #include "obs/metrics.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <chrono>
 
@@ -12,7 +13,7 @@ namespace obs
 {
 
 const char *
-metricTypeName(MetricType t)
+metricTypeName(MetricType t) noexcept
 {
     switch (t) {
       case MetricType::Counter:
@@ -29,6 +30,7 @@ unsigned
 threadIndex()
 {
     static std::atomic<unsigned> next{0};
+    // order: relaxed; ids only need to be unique, not ordered.
     thread_local const unsigned mine =
         next.fetch_add(1, std::memory_order_relaxed);
     return mine;
@@ -43,7 +45,7 @@ monotonicNs()
 }
 
 unsigned
-Histogram::bucketIndex(std::uint64_t v)
+Histogram::bucketIndex(std::uint64_t v) noexcept
 {
     if (v < 4)
         return static_cast<unsigned>(v);
@@ -54,7 +56,7 @@ Histogram::bucketIndex(std::uint64_t v)
 }
 
 std::uint64_t
-Histogram::bucketLower(unsigned idx)
+Histogram::bucketLower(unsigned idx) noexcept
 {
     if (idx < 4)
         return idx;
@@ -64,7 +66,7 @@ Histogram::bucketLower(unsigned idx)
 }
 
 std::uint64_t
-Histogram::bucketUpper(unsigned idx)
+Histogram::bucketUpper(unsigned idx) noexcept
 {
     if (idx < 4)
         return idx;
@@ -76,7 +78,7 @@ Histogram::bucketUpper(unsigned idx)
 }
 
 std::uint64_t
-Histogram::Snapshot::count() const
+Histogram::Snapshot::count() const noexcept
 {
     std::uint64_t total = 0;
     for (std::uint64_t b : buckets)
@@ -85,7 +87,7 @@ Histogram::Snapshot::count() const
 }
 
 void
-Histogram::Snapshot::merge(const Snapshot &other)
+Histogram::Snapshot::merge(const Snapshot &other) noexcept
 {
     for (unsigned i = 0; i < kBuckets; ++i)
         buckets[i] += other.buckets[i];
@@ -93,7 +95,7 @@ Histogram::Snapshot::merge(const Snapshot &other)
 }
 
 std::uint64_t
-Histogram::Snapshot::quantile(double q) const
+Histogram::Snapshot::quantile(double q) const noexcept
 {
     const std::uint64_t total = count();
     if (total == 0)
@@ -124,9 +126,11 @@ Histogram::Snapshot::quantile(double q) const
 }
 
 Histogram::Snapshot
-Histogram::snapshot() const
+Histogram::snapshot() const noexcept
 {
     Snapshot s;
+    // order: relaxed; a snapshot is coherent-enough by contract —
+    // buckets and sum may tear against concurrent observes.
     for (unsigned i = 0; i < kBuckets; ++i)
         s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
     s.sum = sum_.load(std::memory_order_relaxed);
@@ -134,8 +138,9 @@ Histogram::snapshot() const
 }
 
 void
-Histogram::reset()
+Histogram::reset() noexcept
 {
+    // order: relaxed; reset() is a quiescent test/warmup hook.
     for (auto &b : buckets_)
         b.store(0, std::memory_order_relaxed);
     sum_.store(0, std::memory_order_relaxed);
@@ -196,7 +201,7 @@ MetricsRegistry::getOrCreate(const std::string &name, Labels &&labels,
     std::sort(labels.begin(), labels.end());
     const std::string key = name + renderLabels(labels);
 
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
         if (it->second.type != type)
@@ -250,6 +255,7 @@ std::string
 MetricsRegistry::uniqueInstance(const char *prefix)
 {
     return std::string(prefix) +
+           // order: relaxed; instance ids only need uniqueness.
            std::to_string(
                instance_seq_.fetch_add(1, std::memory_order_relaxed));
 }
@@ -258,7 +264,7 @@ void
 MetricsRegistry::visit(
     const std::function<void(const View &)> &fn) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto &[key, e] : entries_) {
         View v{e.name, e.labels, e.type, e.counter.get(),
                e.gauge.get(), e.histogram.get()};
@@ -269,14 +275,14 @@ MetricsRegistry::visit(
 std::size_t
 MetricsRegistry::size() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return entries_.size();
 }
 
 void
 MetricsRegistry::resetAll()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (auto &[key, e] : entries_) {
         switch (e.type) {
           case MetricType::Counter:

@@ -38,10 +38,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/thread_annotations.hh"
 
 namespace srbenes
 {
@@ -58,7 +59,7 @@ enum class MetricType
     Histogram,
 };
 
-const char *metricTypeName(MetricType t);
+const char *metricTypeName(MetricType t) noexcept;
 
 /**
  * Small dense thread index for counter sharding: each thread gets
@@ -81,17 +82,21 @@ class Counter
     static constexpr unsigned kShards = 8;
 
     void
-    inc(std::uint64_t delta = 1)
+    inc(std::uint64_t delta = 1) noexcept
     {
+        // order: relaxed; counter events are independent and only
+        // folded into a statistical total at read time.
         cells_[threadIndex() & (kShards - 1)].v.fetch_add(
             delta, std::memory_order_relaxed);
     }
 
     std::uint64_t
-    value() const
+    value() const noexcept
     {
         std::uint64_t total = 0;
         for (const Cell &c : cells_)
+            // order: relaxed; value() is a statistical snapshot,
+            // shards may be mid-update while we fold.
             total += c.v.load(std::memory_order_relaxed);
         return total;
     }
@@ -102,9 +107,10 @@ class Counter
      * (Router::clearPlanCache) and benchmark warmup exclusion.
      */
     void
-    reset()
+    reset() noexcept
     {
         for (Cell &c : cells_)
+            // order: relaxed; reset() is a quiescent test hook.
             c.v.store(0, std::memory_order_relaxed);
     }
 
@@ -121,24 +127,28 @@ class Gauge
 {
   public:
     void
-    set(std::int64_t v)
+    set(std::int64_t v) noexcept
     {
+        // order: relaxed; a gauge is a standalone sampled value,
+        // never a synchronization edge.
         v_.store(v, std::memory_order_relaxed);
     }
 
     void
-    add(std::int64_t delta)
+    add(std::int64_t delta) noexcept
     {
+        // order: relaxed; see set().
         v_.fetch_add(delta, std::memory_order_relaxed);
     }
 
     std::int64_t
-    value() const
+    value() const noexcept
     {
+        // order: relaxed; see set().
         return v_.load(std::memory_order_relaxed);
     }
 
-    void reset() { set(0); }
+    void reset() noexcept { set(0); }
 
   private:
     std::atomic<std::int64_t> v_{0};
@@ -157,15 +167,17 @@ class Histogram
     static constexpr unsigned kBuckets = 252;
 
     /** Bucket index of @p v (0 <= result < kBuckets). */
-    static unsigned bucketIndex(std::uint64_t v);
+    static unsigned bucketIndex(std::uint64_t v) noexcept;
     /** Inclusive upper bound of bucket @p idx. */
-    static std::uint64_t bucketUpper(unsigned idx);
+    static std::uint64_t bucketUpper(unsigned idx) noexcept;
     /** Inclusive lower bound of bucket @p idx. */
-    static std::uint64_t bucketLower(unsigned idx);
+    static std::uint64_t bucketLower(unsigned idx) noexcept;
 
     void
-    observe(std::uint64_t v)
+    observe(std::uint64_t v) noexcept
     {
+        // order: relaxed on bucket and sum; snapshots tolerate the
+        // pair being momentarily inconsistent by design.
         buckets_[bucketIndex(v)].fetch_add(1,
                                            std::memory_order_relaxed);
         sum_.fetch_add(v, std::memory_order_relaxed);
@@ -177,20 +189,21 @@ class Histogram
         std::uint64_t buckets[kBuckets] = {};
         std::uint64_t sum = 0;
 
-        std::uint64_t count() const;
+        std::uint64_t count() const noexcept;
         /** Merge another snapshot in (per-worker -> aggregate). */
-        void merge(const Snapshot &other);
+        void merge(const Snapshot &other) noexcept;
         /**
          * Estimated q-quantile (0 <= q <= 1) with linear
          * interpolation inside the landing bucket; 0 when empty.
          */
-        std::uint64_t quantile(double q) const;
+        std::uint64_t quantile(double q) const noexcept;
     };
 
-    Snapshot snapshot() const;
-    std::uint64_t count() const { return snapshot().count(); }
-    std::uint64_t sum() const
+    Snapshot snapshot() const noexcept;
+    std::uint64_t count() const noexcept { return snapshot().count(); }
+    std::uint64_t sum() const noexcept
     {
+        // order: relaxed; statistical read, see observe().
         return sum_.load(std::memory_order_relaxed);
     }
     std::uint64_t quantile(double q) const
@@ -198,7 +211,7 @@ class Histogram
         return snapshot().quantile(q);
     }
 
-    void reset();
+    void reset() noexcept;
 
   private:
     std::atomic<std::uint64_t> buckets_[kBuckets] = {};
@@ -246,12 +259,13 @@ class MetricsRegistry
      * rendered labels). Holds the registration mutex: updates stay
      * lock-free, but do not register new series from inside @p fn.
      */
-    void visit(const std::function<void(const View &)> &fn) const;
+    void visit(const std::function<void(const View &)> &fn) const
+        SRB_EXCLUDES(mu_);
 
-    std::size_t size() const;
+    std::size_t size() const SRB_EXCLUDES(mu_);
 
     /** Zero every instrument (test isolation). */
-    void resetAll();
+    void resetAll() SRB_EXCLUDES(mu_);
 
   private:
     struct Entry
@@ -265,11 +279,11 @@ class MetricsRegistry
     };
 
     Entry &getOrCreate(const std::string &name, Labels &&labels,
-                       MetricType type);
+                       MetricType type) SRB_EXCLUDES(mu_);
 
-    mutable std::mutex mu_;
+    mutable Mutex mu_;
     /** Keyed by name + rendered labels; std::map for sorted visits. */
-    std::map<std::string, Entry> entries_;
+    std::map<std::string, Entry> entries_ SRB_GUARDED_BY(mu_);
     std::atomic<std::uint64_t> instance_seq_{0};
 };
 

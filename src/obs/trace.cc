@@ -61,6 +61,9 @@ void
 Tracer::record(const char *name, std::uint64_t start_ns,
                std::uint64_t dur_ns)
 {
+    // order: relaxed; the claim only needs atomicity. Records are
+    // written non-atomically after it and may tear under a
+    // concurrent snapshot — the flight-recorder contract.
     const std::uint64_t i =
         widx_.fetch_add(1, std::memory_order_relaxed);
     SpanRecord &slot = ring_[i & mask_];
@@ -73,6 +76,9 @@ Tracer::record(const char *name, std::uint64_t start_ns,
 std::vector<SpanRecord>
 Tracer::snapshot() const
 {
+    // order: acquire bounds the scan window; it cannot make the
+    // record writes themselves visible (they are plain stores), so
+    // snapshot() is for quiescent readers — see the file comment.
     const std::uint64_t w = widx_.load(std::memory_order_acquire);
     const std::uint64_t count =
         w < ring_.size() ? w : ring_.size();
@@ -91,6 +97,7 @@ Tracer::clear()
 {
     for (SpanRecord &rec : ring_)
         rec = SpanRecord{};
+    // order: relaxed; clear() is a quiescent test hook.
     widx_.store(0, std::memory_order_relaxed);
 }
 

@@ -76,11 +76,12 @@ class Tracer
     void record(const char *name, std::uint64_t start_ns,
                 std::uint64_t dur_ns);
 
-    std::size_t capacity() const { return ring_.size(); }
+    std::size_t capacity() const noexcept { return ring_.size(); }
 
     /** Spans ever recorded (including overwritten ones). */
-    std::uint64_t recorded() const
+    std::uint64_t recorded() const noexcept
     {
+        // order: relaxed; a statistical telemetry read.
         return widx_.load(std::memory_order_relaxed);
     }
 

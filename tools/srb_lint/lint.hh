@@ -1,0 +1,122 @@
+/**
+ * @file
+ * srb-lint: a zero-dependency structural analyzer for the repo's
+ * concurrency and hygiene invariants — the rules a compiler cannot
+ * check. clang's `-Wthread-safety` (the `tidy` preset) proves the
+ * lock/capability structure; srb-lint proves the conventions around
+ * it:
+ *
+ *   SRB001  every relaxed/acquire/release/acq_rel memory-order
+ *           argument carries an adjacent `// order:` justification
+ *   SRB002  no `volatile` (use std::atomic with a justified order)
+ *   SRB003  no `rand()`/`srand()` (use common/prng.hh)
+ *   SRB004  no naked `new`/`delete` outside allocator shims
+ *   SRB005  no spin-yield loops (use Doorbell::waitUntil)
+ *   SRB006  no raw std::mutex family member without a capability
+ *           annotation (use srbenes::Mutex/SharedMutex)
+ *   SRB007  include hygiene: no <bits/...>, and files naming
+ *           std::atomic/std::thread include <atomic>/<thread>
+ *           directly
+ *
+ * The scanner blanks comments, string/char literals, and raw
+ * strings before matching, so rule patterns quoted in code or docs
+ * never trip the rules themselves. Suppression is explicit and
+ * committed: either an inline `// srb-lint: allow(SRB00x) reason`
+ * on the offending (or preceding) line, or an entry in the baseline
+ * file keyed by rule + path + source text, so line drift never
+ * invalidates it.
+ *
+ * Built as a library so tests drive every rule against embedded
+ * fixture snippets; the `srb_lint` binary is a thin CLI over it.
+ */
+
+#ifndef SRBENES_TOOLS_SRB_LINT_LINT_HH
+#define SRBENES_TOOLS_SRB_LINT_LINT_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace srbenes
+{
+namespace lint
+{
+
+/** One rule violation at a specific source line. */
+struct Finding
+{
+    std::string rule;    //!< "SRB001" ... "SRB007"
+    std::string file;    //!< path as given to the linter
+    unsigned line = 0;   //!< 1-based
+    std::string message; //!< human-readable explanation
+    std::string code;    //!< trimmed source text of the line
+};
+
+/** Catalog entry for --list-rules and the docs. */
+struct RuleInfo
+{
+    const char *id;
+    const char *summary;
+};
+
+/** The full rule catalog, in id order. */
+const std::vector<RuleInfo> &ruleCatalog();
+
+/**
+ * Per-line views of one translation unit after lexing: `code` has
+ * comments and all literals blanked to spaces (structure preserved),
+ * `comment` holds the text of any comment touching the line.
+ */
+struct FileView
+{
+    std::vector<std::string> code;
+    std::vector<std::string> comment;
+};
+
+/** Lex @p text into blanked code and comment views. */
+FileView scanText(const std::string &text);
+
+/**
+ * Run every rule over @p text as file @p path (repo-relative; used
+ * in findings and for shim allowlists). Inline
+ * `srb-lint: allow(...)` suppressions are already applied; baseline
+ * filtering is the caller's job.
+ */
+std::vector<Finding> lintText(const std::string &path,
+                              const std::string &text);
+
+/** lintText over the contents of @p root / @p relpath. */
+std::vector<Finding> lintFile(const std::string &root,
+                              const std::string &relpath);
+
+/**
+ * Walk @p paths (files or directories, relative to @p root) for
+ * *.cc / *.hh and lint everything, findings sorted by
+ * (file, line, rule).
+ */
+std::vector<Finding> lintTree(const std::string &root,
+                              const std::vector<std::string> &paths);
+
+/** Stable baseline key: "RULE|path|trimmed source text". */
+std::string baselineKey(const Finding &f);
+
+/** Load a baseline file; '#' comments and blank lines ignored. */
+std::set<std::string> loadBaseline(const std::string &path);
+
+/** Write @p findings as a baseline file (sorted, commented header). */
+bool writeBaseline(const std::string &path,
+                   const std::vector<Finding> &findings);
+
+/**
+ * Drop findings whose key is in @p baseline; @p baselined (if
+ * non-null) receives how many were dropped.
+ */
+std::vector<Finding>
+applyBaseline(const std::vector<Finding> &findings,
+              const std::set<std::string> &baseline,
+              std::size_t *baselined);
+
+} // namespace lint
+} // namespace srbenes
+
+#endif // SRBENES_TOOLS_SRB_LINT_LINT_HH

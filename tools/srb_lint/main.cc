@@ -1,0 +1,110 @@
+/**
+ * @file
+ * CLI for srb-lint (see lint.hh for the rule catalog).
+ *
+ *   srb_lint [--root DIR] [--baseline FILE] [--update-baseline]
+ *            [--list-rules] [paths...]
+ *
+ * Paths default to src bench tests tools, relative to --root
+ * (default: the current directory). Exit status: 0 clean (all
+ * findings baselined or none), 1 findings, 2 usage/IO error.
+ */
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "srb_lint/lint.hh"
+
+namespace
+{
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: srb_lint [--root DIR] [--baseline FILE]\n"
+          "                [--update-baseline] [--list-rules]\n"
+          "                [paths...]\n"
+          "paths default to: src bench tests tools\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace srbenes::lint;
+
+    std::string root = ".";
+    std::string baseline_path;
+    bool update_baseline = false;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage(std::cerr);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--root") {
+            root = next();
+        } else if (arg == "--baseline") {
+            baseline_path = next();
+        } else if (arg == "--update-baseline") {
+            update_baseline = true;
+        } else if (arg == "--list-rules") {
+            for (const RuleInfo &r : ruleCatalog())
+                std::cout << r.id << "  " << r.summary << "\n";
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "srb_lint: unknown flag " << arg << "\n";
+            usage(std::cerr);
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty())
+        paths = {"src", "bench", "tests", "tools"};
+    if (baseline_path.empty())
+        baseline_path = (std::filesystem::path(root) / "tools" /
+                         "srb_lint" / "baseline.txt")
+                            .string();
+
+    const std::vector<Finding> all = lintTree(root, paths);
+
+    if (update_baseline) {
+        if (!writeBaseline(baseline_path, all)) {
+            std::cerr << "srb_lint: cannot write " << baseline_path
+                      << "\n";
+            return 2;
+        }
+        std::cout << "srb_lint: wrote " << all.size()
+                  << " baseline entr"
+                  << (all.size() == 1 ? "y" : "ies") << " to "
+                  << baseline_path << "\n";
+        return 0;
+    }
+
+    std::size_t baselined = 0;
+    const std::vector<Finding> findings =
+        applyBaseline(all, loadBaseline(baseline_path), &baselined);
+
+    for (const Finding &f : findings) {
+        std::cout << f.file << ":" << f.line << ": [" << f.rule
+                  << "] " << f.message << "\n";
+        if (!f.code.empty())
+            std::cout << "    " << f.code << "\n";
+    }
+    std::cout << "srb_lint: " << findings.size() << " finding"
+              << (findings.size() == 1 ? "" : "s") << " ("
+              << baselined << " baselined)\n";
+    return findings.empty() ? 0 : 1;
+}
