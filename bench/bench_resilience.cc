@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Resilient-serving throughput: ResilientRouter::route over a hot
+ * pattern set with 0, 1, and 2 injected stuck-at faults.
+ *
+ * Workload: 8 recurring patterns (half F members, half general
+ * permutations), served round-robin by Prng draw with an untimed
+ * warm prefix. The warm prefix is where the chain pays its one-off
+ * costs (the on-failure probe and the degraded-plan search); the
+ * timed region then measures steady-state serving, which for a
+ * faulty fabric is dominated by epoch-validated degraded-cache hits
+ * that are still tag-verified per serve.
+ *
+ * Every timed serve is checked: a success must be bit-exact against
+ * Permutation::applyTo, anything else must be a structured
+ * fault_detected / deadline_exceeded failure. A silent misroute
+ * exits nonzero — this bench doubles as the acceptance gate for the
+ * fallback chain.
+ *
+ * Emits a fixed-width table (tier breakdown per config) and
+ * machine-readable BENCH_resilience.json.
+ * SRBENES_BENCH_SMOKE=1 shrinks the sweep for CI.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/prng.hh"
+#include "common/table.hh"
+#include "core/resilient.hh"
+#include "perm/f_class.hh"
+
+namespace
+{
+
+using namespace srbenes;
+
+constexpr unsigned kPatterns = 8;
+
+struct Config
+{
+    unsigned n;
+    unsigned faults;
+    std::uint64_t requests;
+};
+
+struct Row
+{
+    Config cfg;
+    double serves_per_sec = 0;
+    ResilientStats stats;
+    std::uint64_t exact = 0;      //!< bit-exact successes
+    std::uint64_t structured = 0; //!< honest structured failures
+    std::uint64_t silent = 0;     //!< wrong payloads (must be 0)
+};
+
+/** The injected fault menu: first an opening-stage stuck-crossed
+ *  switch, then additionally a center-stage stuck-straight one.
+ *  Two simultaneous faults break the single-fault diagnosis model
+ *  (suspects come back empty), so serving them leans entirely on
+ *  the reseeded decomposition search; the center stage leaves that
+ *  search the most freedom, which makes the 2-fault row measure
+ *  degraded THROUGHPUT rather than fail-fast latency. */
+std::vector<StuckFault>
+faultMenu(const BenesTopology &topo, unsigned count)
+{
+    std::vector<StuckFault> faults;
+    if (count >= 1)
+        faults.push_back(StuckFault{0, 1, 1});
+    if (count >= 2)
+        faults.push_back(StuckFault{topo.numStages() / 2,
+                                    topo.switchesPerStage() - 1, 0});
+    return faults;
+}
+
+Row
+run(const Config &cfg)
+{
+    ResilientOptions opts;
+    opts.metrics = nullptr; // stats() is the scoreboard here
+    ResilientRouter rr(cfg.n, opts);
+    for (const StuckFault &f :
+         faultMenu(rr.fabric().topology(), cfg.faults))
+        rr.injectFault(f);
+
+    const Word N = Word{1} << cfg.n;
+    Prng prng(90 + cfg.faults);
+    std::vector<Permutation> patterns;
+    std::vector<std::vector<Word>> expected;
+    std::vector<Word> payload(N);
+    for (Word i = 0; i < N; ++i)
+        payload[i] = i * 3 + 1;
+    for (unsigned i = 0; i < kPatterns; ++i) {
+        patterns.push_back(i % 2 == 0
+                               ? randomFMember(cfg.n, prng)
+                               : Permutation::random(N, prng));
+        expected.push_back(patterns.back().applyTo(payload));
+    }
+
+    // Warm prefix: probes fire, degraded plans get found and cached.
+    for (unsigned i = 0; i < 2 * kPatterns; ++i)
+        (void)rr.route(patterns[i % kPatterns], payload);
+
+    Row row;
+    row.cfg = cfg;
+    Prng choose(17);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t r = 0; r < cfg.requests; ++r) {
+        const std::size_t pi = choose.below(kPatterns);
+        const RouteOutcome out = rr.route(patterns[pi], payload);
+        if (out.ok()) {
+            if (out.value() == expected[pi])
+                ++row.exact;
+            else
+                ++row.silent;
+        } else {
+            ++row.structured;
+        }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const double sec =
+        std::chrono::duration<double>(t1 - t0).count();
+    row.serves_per_sec = cfg.requests / sec;
+    row.stats = rr.stats();
+    return row;
+}
+
+std::string
+fmt(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+}
+
+std::string
+pct(std::uint64_t part, std::uint64_t whole)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f%%",
+                  whole ? 100.0 * part / whole : 0.0);
+    return buf;
+}
+
+} // namespace
+
+int
+main()
+{
+    // SRBENES_BENCH_SMOKE=1: the CI smoke configuration — the same
+    // sweep shape at a fraction of the request count.
+    const char *smoke_env = std::getenv("SRBENES_BENCH_SMOKE");
+    const bool smoke = smoke_env && smoke_env[0] != '\0' &&
+                       !(smoke_env[0] == '0' && smoke_env[1] == '\0');
+
+    std::vector<Config> configs;
+    const unsigned n = 6;
+    const std::uint64_t requests = smoke ? 500 : 20000;
+    for (unsigned faults = 0; faults <= 2; ++faults)
+        configs.push_back(Config{n, faults, requests});
+
+    std::cout << "=== resilient serving: throughput vs injected "
+                 "faults (n = "
+              << n << ") ===\n\n";
+
+    TextTable table({"faults", "requests", "serves/s", "primary",
+                     "reroute", "two-pass", "failed", "probes",
+                     "cache hits"});
+    std::vector<Row> rows;
+    for (const Config &cfg : configs) {
+        Row row = run(cfg);
+        // Tier percentages are over ALL serves the router saw,
+        // including the untimed warm prefix (stats() is monotonic).
+        const std::uint64_t serves =
+            row.stats.serves_primary + row.stats.serves_reroute +
+            row.stats.serves_two_pass + row.stats.failures_fault +
+            row.stats.failures_deadline;
+        table.newRow();
+        table.addCell(cfg.faults);
+        table.addCell(cfg.requests);
+        table.addCell(fmt(row.serves_per_sec));
+        table.addCell(pct(row.stats.serves_primary, serves));
+        table.addCell(pct(row.stats.serves_reroute, serves));
+        table.addCell(pct(row.stats.serves_two_pass, serves));
+        table.addCell(row.stats.failures_fault +
+                      row.stats.failures_deadline);
+        table.addCell(row.stats.probes);
+        table.addCell(row.stats.degraded_cache_hits);
+        if (row.silent)
+            std::fprintf(stderr,
+                         "SILENT MISROUTE: %llu wrong payloads with "
+                         "%u faults\n",
+                         static_cast<unsigned long long>(row.silent),
+                         cfg.faults);
+        rows.push_back(row);
+    }
+    table.print(std::cout);
+
+    const char *path = "BENCH_resilience.json";
+    std::FILE *jf = std::fopen(path, "w");
+    if (!jf) {
+        std::fprintf(stderr, "cannot open %s for writing\n", path);
+        return 1;
+    }
+    std::fprintf(jf,
+                 "{\n  \"benchmark\": \"resilience\",\n"
+                 "  \"unit\": \"serves_per_sec\",\n"
+                 "  \"workload\": \"%u-pattern hot set, half F "
+                 "members, warm degraded cache\",\n"
+                 "  \"n\": %u,\n  \"results\": [\n",
+                 kPatterns, n);
+    bool ok = true;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        const ResilientStats &st = r.stats;
+        ok = ok && r.silent == 0;
+        std::fprintf(
+            jf,
+            "    {\"faults\": %u, \"requests\": %llu, "
+            "\"serves_per_sec\": %.0f, \"primary\": %llu, "
+            "\"reroute\": %llu, \"two_pass\": %llu, "
+            "\"failed_fault\": %llu, \"failed_deadline\": %llu, "
+            "\"probes\": %llu, \"retries\": %llu, "
+            "\"degraded_cache_hits\": %llu, "
+            "\"silent_misroutes\": %llu}%s\n",
+            r.cfg.faults,
+            static_cast<unsigned long long>(r.cfg.requests),
+            r.serves_per_sec,
+            static_cast<unsigned long long>(st.serves_primary),
+            static_cast<unsigned long long>(st.serves_reroute),
+            static_cast<unsigned long long>(st.serves_two_pass),
+            static_cast<unsigned long long>(st.failures_fault),
+            static_cast<unsigned long long>(st.failures_deadline),
+            static_cast<unsigned long long>(st.probes),
+            static_cast<unsigned long long>(st.retries),
+            static_cast<unsigned long long>(st.degraded_cache_hits),
+            static_cast<unsigned long long>(r.silent),
+            i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(jf, "  ]\n}\n");
+    std::fclose(jf);
+    std::printf("\nwrote %s\n", path);
+    return ok ? 0 : 1;
+}

@@ -19,11 +19,7 @@
 
 #include <iostream>
 
-#include "common/prng.hh"
-#include "core/faults.hh"
-#include "core/render.hh"
-#include "perm/named_bpc.hh"
-#include "perm/omega_class.hh"
+#include "srbenes.hh"
 
 int
 main()

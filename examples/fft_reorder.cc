@@ -19,8 +19,7 @@
 
 #include <iostream>
 
-#include "core/pipeline.hh"
-#include "perm/named_bpc.hh"
+#include "srbenes.hh"
 
 int
 main()

@@ -19,8 +19,7 @@
 #include <iomanip>
 #include <iostream>
 
-#include "core/self_routing.hh"
-#include "perm/omega_class.hh"
+#include "srbenes.hh"
 
 namespace
 {

@@ -18,11 +18,8 @@
 #include <iomanip>
 #include <iostream>
 
-#include "core/self_routing.hh"
-#include "perm/compose.hh"
-#include "perm/f_class.hh"
-#include "perm/named_bpc.hh"
-#include "perm/omega_class.hh"
+#include "srbenes.hh"
+
 #include "simd/permute.hh"
 
 namespace

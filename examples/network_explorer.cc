@@ -16,13 +16,7 @@
 #include <sstream>
 #include <string>
 
-#include "common/prng.hh"
-#include "core/render.hh"
-#include "core/self_routing.hh"
-#include "core/waksman.hh"
-#include "perm/bpc.hh"
-#include "perm/f_class.hh"
-#include "perm/omega_class.hh"
+#include "srbenes.hh"
 
 namespace
 {

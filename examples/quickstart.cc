@@ -14,11 +14,7 @@
 
 #include <iostream>
 
-#include "core/render.hh"
-#include "core/self_routing.hh"
-#include "core/waksman.hh"
-#include "perm/f_class.hh"
-#include "perm/named_bpc.hh"
+#include "srbenes.hh"
 
 int
 main()

@@ -12,9 +12,8 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "common/table.hh"
-#include "perm/named_bpc.hh"
-#include "perm/omega_class.hh"
+#include "srbenes.hh"
+
 #include "simd/bitonic.hh"
 #include "simd/permute.hh"
 

@@ -17,14 +17,7 @@
 
 #include <iostream>
 
-#include "common/prng.hh"
-#include "core/parallel_setup.hh"
-#include "core/self_routing.hh"
-#include "core/two_pass.hh"
-#include "core/waksman.hh"
-#include "core/waksman_reduced.hh"
-#include "networks/gcn.hh"
-#include "perm/f_class.hh"
+#include "srbenes.hh"
 
 int
 main()

@@ -22,12 +22,18 @@ faultCounter(const char *name)
     return obs::MetricsRegistry::global().counter(name);
 }
 
-} // namespace
-
+/**
+ * Shared faulty-fabric pass. Mirror of SelfRoutingBenes::run with
+ * the fault overlay applied at state-decision time (a stuck switch
+ * corrupts everything downstream, so the override cannot be
+ * post-applied). With @p loaded non-null the self-setting logic is
+ * disabled and the switches take the loaded states (except where
+ * stuck); otherwise @p mode picks the tag-driven rule.
+ */
 RouteResult
-routeWithFaults(const SelfRoutingBenes &net, const Permutation &d,
-                const std::vector<StuckFault> &faults,
-                RoutingMode mode)
+faultyPass(const SelfRoutingBenes &net, const Permutation &d,
+           const std::vector<StuckFault> &faults, RoutingMode mode,
+           const SwitchStates *loaded)
 {
     const BenesTopology &topo = net.topology();
     const Word size = topo.numLines();
@@ -52,9 +58,6 @@ routeWithFaults(const SelfRoutingBenes &net, const Permutation &d,
         overlay[f.stage][f.switch_index] = f.stuck_value;
     }
 
-    // Mirror of SelfRoutingBenes::run with the fault overlay applied
-    // at state-decision time (a stuck switch corrupts everything
-    // downstream, so the override cannot be post-applied).
     struct Signal
     {
         Word tag;
@@ -75,6 +78,8 @@ routeWithFaults(const SelfRoutingBenes &net, const Permutation &d,
             std::uint8_t state;
             if (overlay[s][i] >= 0) {
                 state = static_cast<std::uint8_t>(overlay[s][i]);
+            } else if (loaded) {
+                state = (*loaded)[s][i];
             } else if (mode == RoutingMode::OmegaBit &&
                        s + 1 < topo.n()) {
                 state = 0;
@@ -105,6 +110,50 @@ routeWithFaults(const SelfRoutingBenes &net, const Permutation &d,
         }
     }
     return res;
+}
+
+} // namespace
+
+RouteResult
+routeWithFaults(const SelfRoutingBenes &net, const Permutation &d,
+                const std::vector<StuckFault> &faults,
+                RoutingMode mode)
+{
+    return faultyPass(net, d, faults, mode, nullptr);
+}
+
+RouteResult
+routeWithFaultsStates(const SelfRoutingBenes &net, const Permutation &d,
+                      const std::vector<StuckFault> &faults,
+                      const SwitchStates &states)
+{
+    return faultyPass(net, d, faults, RoutingMode::SelfRouting,
+                      &states);
+}
+
+RouteOutcome
+routeWithFaults(const SelfRoutingBenes &net, const Permutation &d,
+                const std::vector<StuckFault> &faults,
+                const std::vector<Word> &data, RoutingMode mode)
+{
+    if (data.size() != d.size())
+        fatal("payload size %zu does not match permutation size %zu",
+              data.size(), d.size());
+    const RouteResult res = faultyPass(net, d, faults, mode, nullptr);
+    if (!res.success) {
+        RouteError err;
+        err.code = RouteErrc::FaultDetected;
+        err.tier = ServeTier::Primary;
+        err.detail = std::to_string(res.misrouted_outputs.size()) +
+                     " outputs received a wrong tag";
+        return RouteOutcome::failure(std::move(err));
+    }
+    // Verified: every tag reached home, so realized_dest == d and
+    // the payload lands exactly where the permutation sends it.
+    std::vector<Word> out(data.size());
+    for (Word i = 0; i < data.size(); ++i)
+        out[res.realized_dest[i]] = data[i];
+    return RouteOutcome::success(std::move(out));
 }
 
 std::vector<Permutation>

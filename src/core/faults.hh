@@ -35,32 +35,58 @@
 #include <vector>
 
 #include "common/prng.hh"
+#include "core/route_outcome.hh"
 #include "core/self_routing.hh"
 
 namespace srbenes
 {
 
-/** One faulty switch: its state line is stuck at @p stuck_value. */
-struct StuckFault
-{
-    unsigned stage;
-    Word switch_index;
-    std::uint8_t stuck_value; //!< 0 = stuck straight, 1 = stuck
-                              //!< crossed
-
-    bool operator==(const StuckFault &other) const = default;
-};
-
 /**
  * Self-route @p d with the given stuck-at faults overriding the
  * Fig. 3 rule at the faulty switches. With an empty fault list the
  * result equals net.route(d, mode) exactly.
+ *
+ * This is the low-level probe primitive: it reports the raw
+ * observable RouteResult (output tags, realized destinations) that
+ * the test-set builder and the diagnosis consume. Serving layers
+ * should use the RouteOutcome overload below, which verifies the
+ * tags and answers in the unified taxonomy.
  */
 RouteResult routeWithFaults(const SelfRoutingBenes &net,
                             const Permutation &d,
                             const std::vector<StuckFault> &faults,
                             RoutingMode mode =
                                 RoutingMode::SelfRouting);
+
+/**
+ * Route with externally loaded switch states (the Waksman path)
+ * under stuck-at faults: the fabric is driven by @p states except at
+ * the faulty switches, whose stuck line overrides whatever was
+ * loaded. With an empty fault list the result equals
+ * net.routeWithStates(d, states) exactly. This is the transport the
+ * Reroute tier runs: states pinned so the stuck value IS the loaded
+ * value route exactly even on the faulty fabric.
+ */
+RouteResult routeWithFaultsStates(const SelfRoutingBenes &net,
+                                  const Permutation &d,
+                                  const std::vector<StuckFault> &faults,
+                                  const SwitchStates &states);
+
+/**
+ * Serving form: carry @p data through the faulty fabric and verify
+ * the output tags. Returns the routed payload when every tag reached
+ * its numbered output, or a fault_detected RouteError naming how
+ * many outputs misrouted. The paper's fabric carries destination
+ * tags by construction, so this per-request check is the software
+ * analogue of an output-side tag comparator — a faulty fabric is
+ * DETECTED, never silently wrong.
+ */
+RouteOutcome routeWithFaults(const SelfRoutingBenes &net,
+                             const Permutation &d,
+                             const std::vector<StuckFault> &faults,
+                             const std::vector<Word> &data,
+                             RoutingMode mode =
+                                 RoutingMode::SelfRouting);
 
 /**
  * Build a test set: the identity (covers the straight state of

@@ -5,9 +5,26 @@
 namespace srbenes
 {
 
+namespace
+{
+
+/** splitmix64 finalizer for the seeded loop-color draws. */
+std::uint64_t
+mixLoopKey(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
+} // namespace
+
 SwitchStates
 parallelSetup(const BenesTopology &topo, const Permutation &d,
-              ParallelSetupStats *stats)
+              ParallelSetupStats *stats, std::uint64_t seed)
 {
     const unsigned n = topo.n();
     const Word size = topo.numLines();
@@ -81,11 +98,23 @@ parallelSetup(const BenesTopology &topo, const Permutation &d,
 
         // Color: exactly one of each partner pair goes up. The
         // partner's orbit minimum arrives over the exchange link.
+        // The seeded flip keys on the loop-invariant
+        // min(own, partner) orbit minimum, so a constraint loop
+        // flips wholesale and the coloring stays valid.
         std::vector<Word> partner_min(minima);
         cic.gather(partner_dest, partner_min);
         std::vector<Word> up(size);
-        for (Word x = 0; x < size; ++x)
-            up[x] = minima[x] > partner_min[x];
+        for (Word x = 0; x < size; ++x) {
+            Word color = minima[x] > partner_min[x];
+            // Top bit: bit 0 of the finalizer is biased over these
+            // small structured keys (see waksman.cc seededColor).
+            if (seed != 0)
+                color ^= mixLoopKey(
+                             seed ^ (std::uint64_t{level} << 48) ^
+                             std::min(minima[x], partner_min[x])) >>
+                         63;
+            up[x] = color;
+        }
         cic.localStep();
 
         // Opening-stage states (stage = level).

@@ -52,10 +52,18 @@ struct ParallelSetupStats
  * Compute switch states realizing @p d on @p topo with the
  * data-parallel coloring, executed on an N-PE CIC; fills @p stats
  * with the measured step counts when non-null.
+ *
+ * @p seed draws the free coloring of each constraint loop (the
+ * decomposition's non-uniqueness): every seed realizes @p d, and
+ * seed 0 is the canonical minima-comparison coloring. The flip key
+ * min(own orbit minimum, partner orbit minimum) is shared by every
+ * member of a constraint loop, so a loop always flips wholesale —
+ * one extra lock-step local operation, no extra unit routes.
  */
 SwitchStates parallelSetup(const BenesTopology &topo,
                            const Permutation &d,
-                           ParallelSetupStats *stats = nullptr);
+                           ParallelSetupStats *stats = nullptr,
+                           std::uint64_t seed = 0);
 
 } // namespace srbenes
 

@@ -1,0 +1,68 @@
+#include "core/route_outcome.hh"
+
+#include "common/logging.hh"
+
+namespace srbenes
+{
+
+const char *
+routeErrcName(RouteErrc e) noexcept
+{
+    switch (e) {
+      case RouteErrc::Ok:
+        return "ok";
+      case RouteErrc::NotInF:
+        return "not_in_F";
+      case RouteErrc::FaultDetected:
+        return "fault_detected";
+      case RouteErrc::DeadlineExceeded:
+        return "deadline_exceeded";
+      case RouteErrc::Shed:
+        return "shed";
+    }
+    return "?";
+}
+
+const char *
+serveTierName(ServeTier t) noexcept
+{
+    switch (t) {
+      case ServeTier::Primary:
+        return "primary";
+      case ServeTier::Reroute:
+        return "reroute";
+      case ServeTier::TwoPass:
+        return "two_pass";
+      case ServeTier::Failed:
+        return "failed";
+    }
+    return "?";
+}
+
+const std::vector<Word> &
+RouteOutcome::value() const
+{
+    if (!ok())
+        panic("RouteOutcome::value() on a %s error",
+              routeErrcName(err_.code));
+    return payload_;
+}
+
+std::vector<Word> &&
+RouteOutcome::takeValue()
+{
+    if (!ok())
+        panic("RouteOutcome::takeValue() on a %s error",
+              routeErrcName(err_.code));
+    return std::move(payload_);
+}
+
+const RouteError &
+RouteOutcome::error() const
+{
+    if (ok())
+        panic("RouteOutcome::error() on a successful outcome");
+    return err_;
+}
+
+} // namespace srbenes

@@ -315,6 +315,16 @@ Router::executeMany(const RoutePlan &plan,
     return outs;
 }
 
+RouteOutcome
+Router::routeOutcome(const Permutation &d,
+                     const std::vector<Word> &data) const
+{
+    if (data.size() != d.size())
+        fatal("payload size %zu does not match permutation size %zu",
+              data.size(), d.size());
+    return RouteOutcome::success(execute(*planCached(d), data));
+}
+
 std::vector<Word>
 Router::route(const Permutation &d,
               const std::vector<Word> &data) const

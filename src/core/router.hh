@@ -43,6 +43,7 @@
 
 #include "common/thread_annotations.hh"
 #include "core/fast_engine.hh"
+#include "core/route_outcome.hh"
 #include "core/self_routing.hh"
 #include "core/two_pass.hh"
 #include "obs/metrics.hh"
@@ -157,7 +158,23 @@ class Router
                 const std::vector<std::vector<Word>> &batch,
                 unsigned num_threads = 1) const;
 
-    /** Convenience: cached plan + execute in one call. */
+    /**
+     * Convenience: cached plan + execute in one call, answering in
+     * the unified value-or-error taxonomy (core/route_outcome.hh).
+     * A healthy Router can plan every permutation, so the outcome is
+     * always ok with tier Primary — the shared signature is what the
+     * resilient layer and the network adapters build on.
+     */
+    RouteOutcome routeOutcome(const Permutation &d,
+                              const std::vector<Word> &data) const;
+
+    /**
+     * Cached plan + execute in one call.
+     * @deprecated Superseded by routeOutcome(); kept as a thin shim
+     * for source compatibility. The warning fires only under
+     * -DSRBENES_STRICT_DEPRECATION so in-tree builds stay clean.
+     */
+    SRB_DEPRECATED_API("use Router::routeOutcome()")
     std::vector<Word> route(const Permutation &d,
                             const std::vector<Word> &data) const;
 

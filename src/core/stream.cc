@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "core/resilient.hh"
 
 namespace srbenes
 {
@@ -91,14 +92,24 @@ hashPermutation128(const Permutation &d)
 }
 
 StreamEngine::StreamEngine(unsigned n, StreamOptions opts)
-    : router_(n, opts.prefer_waksman, opts.shared_cache_capacity,
-              opts.shared_cache_shards, opts.metrics),
-      opts_(opts)
+    : owned_router_(opts.resilient
+                        ? nullptr
+                        : std::make_unique<Router>(
+                              n, opts.prefer_waksman,
+                              opts.shared_cache_capacity,
+                              opts.shared_cache_shards, opts.metrics)),
+      router_(opts.resilient ? opts.resilient->router()
+                             : *owned_router_),
+      resilient_(opts.resilient), opts_(opts)
 {
     if (opts_.workers == 0)
         fatal("stream engine needs at least one worker");
     if (opts_.producers == 0)
         fatal("stream engine needs at least one producer");
+    if (resilient_ && resilient_->numLines() != (Word{1} << n))
+        fatal("resilient router N = %llu does not match engine n %u",
+              static_cast<unsigned long long>(resilient_->numLines()),
+              n);
     opts_.ring_capacity = ceilPow2(std::max<std::size_t>(
         2, opts_.ring_capacity));
     opts_.local_cache_slots = ceilPow2(std::max<std::size_t>(
@@ -130,6 +141,9 @@ StreamEngine::StreamEngine(unsigned n, StreamOptions opts)
     const std::string inst =
         opts_.metrics ? opts_.metrics->uniqueInstance("stream")
                       : std::string();
+    if (opts_.metrics)
+        sheds_ = &opts_.metrics->counter(
+            "srbenes_stream_sheds_total", {{"stream", inst}});
     for (unsigned w = 0; w < opts_.workers; ++w) {
         auto ws = std::make_unique<WorkerState>();
         ws->table.resize(opts_.local_cache_slots);
@@ -145,6 +159,12 @@ StreamEngine::StreamEngine(unsigned n, StreamOptions opts)
                 "srbenes_stream_shared_lookups_total", labels);
             ws->doorbell_wakes = &reg.counter(
                 "srbenes_stream_doorbell_wakes_total", labels);
+            ws->deadline_expired = &reg.counter(
+                "srbenes_stream_deadline_expired_total", labels);
+            ws->degraded = &reg.counter(
+                "srbenes_stream_degraded_serves_total", labels);
+            ws->route_failures = &reg.counter(
+                "srbenes_stream_route_failures_total", labels);
             ws->queue_depth = &reg.gauge(
                 "srbenes_stream_queue_depth", labels);
             ws->latency_ns = &reg.histogram(
@@ -174,6 +194,19 @@ StreamEngine::Producer::trySubmit(std::uint64_t id,
                                   std::shared_ptr<const Permutation> perm,
                                   std::vector<Word> &payload)
 {
+    const std::uint64_t deadline =
+        eng_->opts_.default_deadline_ns == 0
+            ? 0
+            : nowNs() + eng_->opts_.default_deadline_ns;
+    return trySubmit(id, std::move(perm), payload, deadline);
+}
+
+bool
+StreamEngine::Producer::trySubmit(std::uint64_t id,
+                                  std::shared_ptr<const Permutation> perm,
+                                  std::vector<Word> &payload,
+                                  std::uint64_t deadline_ns)
+{
     StreamEngine &eng = *eng_;
     if (perm->size() != eng.numLines())
         fatal("stream request permutation size %zu != N = %llu",
@@ -195,8 +228,11 @@ StreamEngine::Producer::trySubmit(std::uint64_t id,
     const unsigned w =
         static_cast<unsigned>(req.hash.hi % eng.opts_.workers);
     req.submit_ns = nowNs();
+    req.deadline_ns = deadline_ns;
     if (!eng.submitRing(index_, w).tryPush(std::move(req))) {
         payload = std::move(req.payload); // hand the storage back
+        if (eng.sheds_)
+            eng.sheds_->inc();
         return false;
     }
     ++submitted_;
@@ -254,6 +290,29 @@ StreamEngine::Producer::awaitResult(StreamResult &out)
     }
 }
 
+bool
+StreamEngine::Producer::awaitResultFor(StreamResult &out,
+                                       std::uint64_t timeout_ns)
+{
+    StreamEngine &eng = *eng_;
+    const std::uint64_t deadline = nowNs() + timeout_ns;
+    while (!tryPoll(out)) {
+        const bool ready = eng.producer_bells_[index_]->waitUntilFor(
+            [&] {
+                for (unsigned w = 0; w < eng.opts_.workers; ++w)
+                    if (!eng.resultRing(index_, w).empty())
+                        return true;
+                return false;
+            },
+            deadline);
+        // The handle is single-threaded: only this thread pops its
+        // result rings, so a true predicate cannot be stolen.
+        if (!ready)
+            return tryPoll(out);
+    }
+    return true;
+}
+
 const RoutePlan *
 StreamEngine::lookupPlan(WorkerState &ws, const StreamRequest &req)
 {
@@ -299,18 +358,49 @@ StreamEngine::lookupPlan(WorkerState &ws, const StreamRequest &req)
 void
 StreamEngine::process(WorkerState &ws, unsigned w, StreamRequest &req)
 {
-    const RoutePlan *plan = lookupPlan(ws, req);
-
-    // Gather into the worker's scratch, then swap storage with the
-    // request payload: steady state allocates nothing.
-    router_.engine().executeInto(*plan->fast, req.payload, ws.scratch);
-    ws.scratch.swap(req.payload);
-
     StreamResult res;
     res.id = req.id;
     res.worker = w;
-    res.payload = std::move(req.payload);
     res.submit_ns = req.submit_ns;
+
+    if (req.deadline_ns != 0 && nowNs() >= req.deadline_ns) {
+        // Expired while queued: hand the payload back unrouted.
+        res.status = RouteErrc::DeadlineExceeded;
+        res.tier = ServeTier::Failed;
+        res.payload = std::move(req.payload);
+        if (ws.deadline_expired)
+            ws.deadline_expired->inc();
+    } else if (resilient_) {
+        // Degraded-capable serving: the resilient router verifies
+        // every pass by output tags and reports the tier that won.
+        RouteOutcome out = resilient_->route(*req.perm, req.payload,
+                                             req.deadline_ns);
+        if (out) {
+            res.tier = out.tier();
+            res.payload = out.takeValue();
+            if (res.tier != ServeTier::Primary && ws.degraded)
+                ws.degraded->inc();
+        } else {
+            res.status = out.errc();
+            res.tier = ServeTier::Failed;
+            res.payload = std::move(req.payload);
+            if (out.errc() == RouteErrc::DeadlineExceeded) {
+                if (ws.deadline_expired)
+                    ws.deadline_expired->inc();
+            } else if (ws.route_failures) {
+                ws.route_failures->inc();
+            }
+        }
+    } else {
+        const RoutePlan *plan = lookupPlan(ws, req);
+
+        // Gather into the worker's scratch, then swap storage with
+        // the request payload: steady state allocates nothing.
+        router_.engine().executeInto(*plan->fast, req.payload,
+                                     ws.scratch);
+        ws.scratch.swap(req.payload);
+        res.payload = std::move(req.payload);
+    }
     res.complete_ns = nowNs();
 
     if (ws.requests)
@@ -439,9 +529,17 @@ StreamEngine::resetStats()
             ws->shared_lookups->reset();
         if (ws->doorbell_wakes)
             ws->doorbell_wakes->reset();
+        if (ws->deadline_expired)
+            ws->deadline_expired->reset();
+        if (ws->degraded)
+            ws->degraded->reset();
+        if (ws->route_failures)
+            ws->route_failures->reset();
         if (ws->latency_ns)
             ws->latency_ns->reset();
     }
+    if (sheds_)
+        sheds_->reset();
     // order: relaxed; a stats() racing with the epoch restart sees
     // either the old or the new start — both are coherent windows.
     start_ns_.store(nowNs(), std::memory_order_relaxed);
@@ -461,9 +559,17 @@ StreamEngine::stats() const
             st.shared_lookups += ws->shared_lookups->value();
         if (ws->doorbell_wakes)
             st.doorbell_wakes += ws->doorbell_wakes->value();
+        if (ws->deadline_expired)
+            st.deadline_expired += ws->deadline_expired->value();
+        if (ws->degraded)
+            st.degraded += ws->degraded->value();
+        if (ws->route_failures)
+            st.route_failures += ws->route_failures->value();
         if (ws->latency_ns)
             lat.merge(ws->latency_ns->snapshot());
     }
+    if (sheds_)
+        st.sheds = sheds_->value();
     st.payload_words = st.requests * numLines();
 
     // order: acquire on each flag pairs with the release store in

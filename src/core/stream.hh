@@ -46,6 +46,7 @@
 #define SRBENES_CORE_STREAM_HH
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <thread>
@@ -55,6 +56,8 @@
 
 namespace srbenes
 {
+
+class ResilientRouter;
 
 /**
  * 128-bit content hash of a permutation: two independent 8-lane
@@ -96,6 +99,31 @@ class Doorbell
         // runs) or the waiter's wait() sees the new seq_.
         if (waiters_.load(std::memory_order_acquire) > 0)
             seq_.notify_all();
+    }
+
+    /**
+     * waitUntil bounded by an absolute obs::monotonicNs() deadline
+     * (0 = unbounded); returns the predicate's final value. C++20
+     * atomic wait has no timed variant, so the bounded path
+     * sleep-polls at ~50us instead of futex-waiting — timed waits
+     * sit on the slow path (deadline-near requests), never in the
+     * steady-state throughput loop.
+     */
+    template <typename Pred>
+    bool
+    waitUntilFor(Pred pred, std::uint64_t deadline_ns)
+    {
+        if (deadline_ns == 0) {
+            waitUntil(pred);
+            return true;
+        }
+        while (!pred()) {
+            if (obs::monotonicNs() >= deadline_ns)
+                return pred();
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(50));
+        }
+        return true;
     }
 
     /**
@@ -231,6 +259,10 @@ struct StreamRequest
     std::shared_ptr<const Permutation> perm;
     std::vector<Word> payload;
     std::uint64_t submit_ns = 0;
+    /** Absolute obs::monotonicNs() deadline; 0 = none. Checked when
+     *  the worker pops the request (queue expiry) and forwarded to
+     *  the resilient serving path. */
+    std::uint64_t deadline_ns = 0;
 };
 
 /** One completed request. */
@@ -238,10 +270,17 @@ struct StreamResult
 {
     std::uint64_t id = 0;
     unsigned worker = 0;
-    std::vector<Word> payload; //!< routed into output order
+    /** Ok: the payload routed into output order. Otherwise: the
+     *  ORIGINAL payload handed back unrouted. */
+    std::vector<Word> payload;
+    /** Why the request failed; Ok on success. */
+    RouteErrc status = RouteErrc::Ok;
+    /** Tier that served it (resilient path; Primary otherwise). */
+    ServeTier tier = ServeTier::Primary;
     std::uint64_t submit_ns = 0;
     std::uint64_t complete_ns = 0;
 
+    bool ok() const { return status == RouteErrc::Ok; }
     std::uint64_t latencyNs() const { return complete_ns - submit_ns; }
 };
 
@@ -271,6 +310,22 @@ struct StreamOptions
      * and leaves stats() dark — the overhead bench's baseline.
      */
     obs::MetricsRegistry *metrics = obs::defaultRegistry();
+    /**
+     * Serve every request through this caller-owned resilient
+     * router (its fabric size must equal the engine's) instead of
+     * the bare fast-path Router: workers walk the degraded-mode
+     * fallback chain per request and stamp the serving tier and
+     * status into the StreamResult. The engine then builds no
+     * Router of its own — plans come from the resilient router's
+     * inner one. Must outlive the engine. nullptr = fast path.
+     */
+    ResilientRouter *resilient = nullptr;
+    /**
+     * RELATIVE deadline stamped on every trySubmit() that does not
+     * pass its own; 0 = none. Converted to an absolute
+     * obs::monotonicNs() instant at submit time.
+     */
+    std::uint64_t default_deadline_ns = 0;
 };
 
 /**
@@ -297,6 +352,15 @@ struct StreamStats
     std::uint64_t shared_lookups = 0;
     /** Times a worker slept on its doorbell and was woken. */
     std::uint64_t doorbell_wakes = 0;
+    /** trySubmit refusals on a full ring (the shed-load signal). */
+    std::uint64_t sheds = 0;
+    /** Requests that expired (queued past their deadline, or the
+     *  resilient chain ran out of time). */
+    std::uint64_t deadline_expired = 0;
+    /** Resilient serves from a fallback tier (not Primary). */
+    std::uint64_t degraded = 0;
+    /** Requests the resilient chain failed (fault_detected). */
+    std::uint64_t route_failures = 0;
     /** The shared tier's per-shard counters. */
     std::vector<CacheShardStats> shared_shards;
 };
@@ -337,6 +401,18 @@ class StreamEngine
                        std::shared_ptr<const Permutation> perm,
                        std::vector<Word> &payload);
 
+        /**
+         * trySubmit with an explicit ABSOLUTE obs::monotonicNs()
+         * deadline (0 = none), overriding
+         * StreamOptions::default_deadline_ns. A false return is the
+         * shed-load signal: the target worker's ring is full and the
+         * request was refused, counted in StreamStats::sheds.
+         */
+        bool trySubmit(std::uint64_t id,
+                       std::shared_ptr<const Permutation> perm,
+                       std::vector<Word> &payload,
+                       std::uint64_t deadline_ns);
+
         /** Pop one completed result from any worker, if available. */
         bool tryPoll(StreamResult &out);
 
@@ -346,6 +422,14 @@ class StreamEngine
          * this never returns.
          */
         void awaitResult(StreamResult &out);
+
+        /**
+         * awaitResult bounded by a RELATIVE timeout: false when no
+         * result arrived within @p timeout_ns (the request itself
+         * stays in flight — poll again later).
+         */
+        bool awaitResultFor(StreamResult &out,
+                            std::uint64_t timeout_ns);
 
         std::uint64_t submitted() const { return submitted_; }
         std::uint64_t received() const { return received_; }
@@ -435,6 +519,9 @@ class StreamEngine
         obs::Counter *local_hits = nullptr;
         obs::Counter *shared_lookups = nullptr;
         obs::Counter *doorbell_wakes = nullptr;
+        obs::Counter *deadline_expired = nullptr;
+        obs::Counter *degraded = nullptr;
+        obs::Counter *route_failures = nullptr;
         obs::Gauge *queue_depth = nullptr;
         obs::Histogram *latency_ns = nullptr;
         /** @} */
@@ -458,8 +545,18 @@ class StreamEngine
     const RoutePlan *lookupPlan(WorkerState &ws,
                                 const StreamRequest &req);
 
-    Router router_;
+    /**
+     * Fast path: the engine owns its Router. Resilient path: plans
+     * and serving come from the caller's ResilientRouter and
+     * owned_router_ stays empty; router_ then aliases its inner
+     * Router (every use is const).
+     */
+    std::unique_ptr<Router> owned_router_;
+    const Router &router_;
+    ResilientRouter *resilient_ = nullptr;
     StreamOptions opts_;
+    /** Submit refusals on full rings; null when metrics off. */
+    obs::Counter *sheds_ = nullptr;
     std::vector<std::unique_ptr<SpscRing<StreamRequest>>> submit_rings_;
     std::vector<std::unique_ptr<SpscRing<StreamResult>>> result_rings_;
     /** Rung by workers when they complete a result for producer i. */

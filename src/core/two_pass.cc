@@ -8,6 +8,18 @@ namespace srbenes
 namespace
 {
 
+/** splitmix64 finalizer for the seeded loop-color draws. */
+std::uint64_t
+mixFactorKey(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
 /**
  * Recursive worker: run the looping 2-coloring of the Waksman
  * algorithm, but instead of emitting switch states, record for each
@@ -28,11 +40,13 @@ namespace
  * @param ids  original input index carried by each local input;
  * @param level current recursion depth (0 = outermost);
  * @param n    total index width;
- * @param mid  output: M, indexed by original input.
+ * @param mid  output: M, indexed by original input;
+ * @param seed loop-coloring seed; 0 = canonical (always pick 0).
  */
 void
 factorRecurse(const std::vector<Word> &d, const std::vector<Word> &ids,
-              unsigned level, unsigned n, std::vector<Word> &mid)
+              unsigned level, unsigned n, std::vector<Word> &mid,
+              std::uint64_t seed)
 {
     const Word size = d.size();
     if (size == 2) {
@@ -48,13 +62,24 @@ factorRecurse(const std::vector<Word> &d, const std::vector<Word> &ids,
 
     // The alternating loop of the Waksman setup: inputs of one pair
     // must part ways, and so must the inputs feeding one output
-    // pair.
+    // pair. Each loop's starting color is the algorithm's free
+    // choice; the seeded draw keys on the loop's starting ORIGINAL
+    // input id, which is unique per loop across the whole level.
     std::vector<int> up(size, -1);
     for (Word p = 0; p < size / 2; ++p) {
         if (up[2 * p] != -1)
             continue;
         Word x = 2 * p;
-        int val = 0;
+        // Top bit: bit 0 of the finalizer is biased over these
+        // small structured keys (see waksman.cc seededColor).
+        int val = seed == 0
+                      ? 0
+                      : static_cast<int>(
+                            mixFactorKey(
+                                seed ^
+                                (std::uint64_t{level} << 48) ^
+                                ids[2 * p]) >>
+                            63);
         while (up[x] == -1) {
             up[x] = val;
             up[x ^ 1] = 1 - val;
@@ -74,14 +99,21 @@ factorRecurse(const std::vector<Word> &d, const std::vector<Word> &ids,
         mid[ids[x_dn]] |= Word{1} << level;
     }
 
-    factorRecurse(usub, uids, level + 1, n, mid);
-    factorRecurse(lsub, lids, level + 1, n, mid);
+    factorRecurse(usub, uids, level + 1, n, mid, seed);
+    factorRecurse(lsub, lids, level + 1, n, mid, seed);
 }
 
 } // namespace
 
 TwoPassPlan
 twoPassPlan(const SelfRoutingBenes &net, const Permutation &d)
+{
+    return twoPassPlanSeeded(net, d, 0);
+}
+
+TwoPassPlan
+twoPassPlanSeeded(const SelfRoutingBenes &net, const Permutation &d,
+                  std::uint64_t seed)
 {
     const unsigned n = net.topology().n();
     const Word size = net.numLines();
@@ -98,7 +130,7 @@ twoPassPlan(const SelfRoutingBenes &net, const Permutation &d)
     std::vector<Word> ids(size);
     for (Word i = 0; i < size; ++i)
         ids[i] = i;
-    factorRecurse(d.dest(), ids, 0, n, mid);
+    factorRecurse(d.dest(), ids, 0, n, mid, seed);
 
     std::vector<Word> second(size);
     for (Word i = 0; i < size; ++i)

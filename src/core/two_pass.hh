@@ -26,6 +26,8 @@
 #ifndef SRBENES_CORE_TWO_PASS_HH
 #define SRBENES_CORE_TWO_PASS_HH
 
+#include <cstdint>
+
 #include "core/self_routing.hh"
 
 namespace srbenes
@@ -45,6 +47,20 @@ struct TwoPassPlan
  */
 TwoPassPlan twoPassPlan(const SelfRoutingBenes &net,
                         const Permutation &d);
+
+/**
+ * twoPassPlan with the looping algorithm's free loop colorings
+ * drawn from @p seed: every seed yields a valid factorization
+ * (first in InverseOmega, second in Omega, composition == d), and
+ * different seeds generally yield different factors — so the two
+ * passes exercise DIFFERENT switch states on the fabric. Seed 0 is
+ * canonical (identical to twoPassPlan). The degraded-mode TwoPass
+ * tier samples seeds hunting for a factorization whose two
+ * tag-driven passes both verify on a faulty fabric.
+ */
+TwoPassPlan twoPassPlanSeeded(const SelfRoutingBenes &net,
+                              const Permutation &d,
+                              std::uint64_t seed);
 
 /**
  * Execute the plan: pass 1 self-routed, pass 2 with the omega bit.

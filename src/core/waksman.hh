@@ -21,6 +21,10 @@
 #ifndef SRBENES_CORE_WAKSMAN_HH
 #define SRBENES_CORE_WAKSMAN_HH
 
+#include <cstdint>
+#include <optional>
+#include <vector>
+
 #include "core/topology.hh"
 #include "perm/permutation.hh"
 
@@ -33,6 +37,50 @@ namespace srbenes
  */
 SwitchStates waksmanSetup(const BenesTopology &topo,
                           const Permutation &d);
+
+/**
+ * A constraint on the realized decomposition: switch
+ * (@p stage, @p switch_index) must end in @p state. The Benes
+ * decomposition of a permutation is not unique — every constraint
+ * loop of the looping algorithm has two valid 2-colorings — and a
+ * pin asks the setup to spend that freedom deliberately. The
+ * resilience layer uses pins to force a SUSPECT switch into its
+ * stuck state, so the loaded configuration and the fault agree and
+ * the faulty fabric routes exactly (DESIGN.md §7).
+ */
+struct StatePin
+{
+    unsigned stage;
+    Word switch_index;
+    std::uint8_t state;
+};
+
+/**
+ * waksmanSetup with the free loop colorings drawn from @p seed
+ * instead of taken canonically: every seed yields states that
+ * realize @p d, generally differing switch-by-switch. Seed 0 is the
+ * canonical choice (identical to waksmanSetup). Sampling seeds
+ * enumerates distinct decompositions cheaply — the degraded-mode
+ * tiers use this to hunt for one compatible with a faulty fabric.
+ */
+SwitchStates waksmanSetupSeeded(const BenesTopology &topo,
+                                const Permutation &d,
+                                std::uint64_t seed);
+
+/**
+ * Constrained setup: realize @p d while honoring every pin, spending
+ * the free loop colorings greedily from the outermost recursion
+ * level inward (tie-broken by @p seed). Returns std::nullopt when
+ * the pins conflict — two pins land in one constraint loop with
+ * opposite parities, or a pinned middle-stage B(1) switch is forced
+ * the other way by the sub-permutation that reaches it. A nullopt is
+ * a statement about THIS greedy descent, not a proof that no
+ * satisfying decomposition exists; callers retry with other seeds.
+ */
+std::optional<SwitchStates>
+waksmanSetupPinned(const BenesTopology &topo, const Permutation &d,
+                   const std::vector<StatePin> &pins,
+                   std::uint64_t seed = 0);
 
 } // namespace srbenes
 

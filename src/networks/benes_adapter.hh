@@ -6,12 +6,20 @@
  *  - SelfRoutingBenesNet: the paper's contribution (class F);
  *  - WaksmanBenesNet: the same fabric with self-setting disabled and
  *    states computed externally (all N! permutations, O(N log N)
- *    setup).
+ *    setup);
+ *  - RouterNet: the planning facade (cheapest-strategy selection
+ *    with plan caching — every permutation routes, 1-2 passes);
+ *  - ResilientNet: the degraded-mode serving layer (RouterNet plus
+ *    health probing and fault fallback).
  */
 
 #ifndef SRBENES_NETWORKS_BENES_ADAPTER_HH
 #define SRBENES_NETWORKS_BENES_ADAPTER_HH
 
+#include <numeric>
+
+#include "core/resilient.hh"
+#include "core/router.hh"
 #include "core/self_routing.hh"
 #include "core/waksman.hh"
 #include "networks/network_iface.hh"
@@ -74,6 +82,93 @@ class WaksmanBenesNet : public PermutationNetwork
 
   private:
     SelfRoutingBenes net_;
+};
+
+/**
+ * The planning facade as a comparison network: every permutation
+ * routes (self-routing when D is in F, omega-bit, then the two-pass
+ * or Waksman fallback), with plan caching across calls.
+ */
+class RouterNet : public PermutationNetwork
+{
+  public:
+    explicit RouterNet(unsigned n) : router_(n) {}
+
+    std::string name() const override { return "benes-router"; }
+    Word numLines() const override
+    {
+        return router_.fabric().numLines();
+    }
+    Word
+    numSwitches() const override
+    {
+        return router_.fabric().topology().numSwitches();
+    }
+    /** Worst case of the strategy menu: two self-routed passes. */
+    unsigned
+    delayStages() const override
+    {
+        return 2 * router_.fabric().topology().numStages();
+    }
+    bool
+    tryRoute(const Permutation &d) const override
+    {
+        return routeOutcome(d).ok();
+    }
+    RouteOutcome
+    routeOutcome(const Permutation &d) const override
+    {
+        std::vector<Word> data(d.size());
+        std::iota(data.begin(), data.end(), Word{0});
+        return router_.routeOutcome(d, data);
+    }
+
+    const Router &router() const { return router_; }
+
+  private:
+    Router router_;
+};
+
+/**
+ * The degraded-mode serving layer as a comparison network: RouterNet
+ * semantics plus health probing and the fault-fallback chain. On a
+ * healthy fabric it behaves exactly like RouterNet.
+ */
+class ResilientNet : public PermutationNetwork
+{
+  public:
+    explicit ResilientNet(unsigned n) : resilient_(n) {}
+
+    std::string name() const override { return "benes-resilient"; }
+    Word numLines() const override { return resilient_.numLines(); }
+    Word
+    numSwitches() const override
+    {
+        return resilient_.fabric().topology().numSwitches();
+    }
+    /** Worst case of the fallback chain: two self-routed passes. */
+    unsigned
+    delayStages() const override
+    {
+        return 2 * resilient_.fabric().topology().numStages();
+    }
+    bool
+    tryRoute(const Permutation &d) const override
+    {
+        return routeOutcome(d).ok();
+    }
+    RouteOutcome
+    routeOutcome(const Permutation &d) const override
+    {
+        std::vector<Word> data(d.size());
+        std::iota(data.begin(), data.end(), Word{0});
+        return resilient_.route(d, data);
+    }
+
+    ResilientRouter &resilient() { return resilient_; }
+
+  private:
+    ResilientRouter resilient_;
 };
 
 } // namespace srbenes

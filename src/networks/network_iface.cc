@@ -9,6 +9,24 @@
 namespace srbenes
 {
 
+RouteOutcome
+PermutationNetwork::routeOutcome(const Permutation &d) const
+{
+    if (!tryRoute(d)) {
+        RouteError err;
+        err.code = RouteErrc::NotInF;
+        err.detail =
+            name() + " cannot realize this permutation by itself";
+        return RouteOutcome::failure(std::move(err));
+    }
+    // tryRoute() verified every input reached its tagged output, so
+    // the canonical payload lands exactly where d sends it.
+    std::vector<Word> out(d.size());
+    for (Word i = 0; i < d.size(); ++i)
+        out[d[i]] = i;
+    return RouteOutcome::success(std::move(out));
+}
+
 std::vector<std::unique_ptr<PermutationNetwork>>
 allNetworks(unsigned n)
 {
@@ -19,6 +37,8 @@ allNetworks(unsigned n)
     nets.push_back(std::make_unique<BatcherNetwork>(n));
     nets.push_back(std::make_unique<OddEvenMergeNetwork>(n));
     nets.push_back(std::make_unique<Crossbar>(n));
+    nets.push_back(std::make_unique<RouterNet>(n));
+    nets.push_back(std::make_unique<ResilientNet>(n));
     return nets;
 }
 

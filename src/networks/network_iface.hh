@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "core/route_outcome.hh"
 #include "perm/permutation.hh"
 
 namespace srbenes
@@ -37,6 +38,16 @@ class PermutationNetwork
      * true iff every input reached its tagged output.
      */
     virtual bool tryRoute(const Permutation &d) const = 0;
+    /**
+     * Route the canonical payload (input i carries word i) along
+     * @p d, answering in the unified taxonomy of
+     * core/route_outcome.hh. The default adapts tryRoute(): the
+     * routed payload on success, not_in_F when the fabric's own
+     * routing cannot realize @p d. Service-grade fabrics (the
+     * Router- and ResilientRouter-backed adapters) override it with
+     * their full fallback semantics.
+     */
+    virtual RouteOutcome routeOutcome(const Permutation &d) const;
 };
 
 /** All comparison fabrics for N = 2^n lines, in presentation order. */

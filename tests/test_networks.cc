@@ -121,16 +121,61 @@ TEST(Networks, SelfRoutingAdapterMatchesFClass)
 TEST(Networks, AllNetworksFactory)
 {
     const auto nets = allNetworks(4);
-    ASSERT_EQ(nets.size(), 6u);
+    ASSERT_EQ(nets.size(), 8u);
     EXPECT_EQ(nets[0]->name(), "benes-self");
     EXPECT_EQ(nets[1]->name(), "benes-waksman");
     EXPECT_EQ(nets[2]->name(), "omega");
     EXPECT_EQ(nets[3]->name(), "batcher");
     EXPECT_EQ(nets[4]->name(), "odd-even-merge");
     EXPECT_EQ(nets[5]->name(), "crossbar");
+    EXPECT_EQ(nets[6]->name(), "benes-router");
+    EXPECT_EQ(nets[7]->name(), "benes-resilient");
     for (const auto &net : nets) {
         EXPECT_EQ(net->numLines(), 16u);
         EXPECT_TRUE(net->tryRoute(Permutation::identity(16)));
+    }
+}
+
+TEST(Networks, RouteOutcomeDefaultAdaptsTryRoute)
+{
+    Prng prng(11);
+    for (const auto &net : allNetworks(3)) {
+        for (int trial = 0; trial < 20; ++trial) {
+            const auto d = Permutation::random(8, prng);
+            const RouteOutcome out = net->routeOutcome(d);
+            EXPECT_EQ(out.ok(), net->tryRoute(d)) << net->name();
+            if (out.ok()) {
+                // Canonical payload: input i carries word i.
+                for (Word i = 0; i < 8; ++i)
+                    EXPECT_EQ(out.value()[d[i]], i) << net->name();
+            } else {
+                EXPECT_EQ(out.errc(), RouteErrc::NotInF)
+                    << net->name();
+            }
+        }
+    }
+}
+
+TEST(Networks, RouterAdaptersRouteEverything)
+{
+    Prng prng(12);
+    const RouterNet router_net(4);
+    ResilientNet resilient_net(4);
+    for (int trial = 0; trial < 20; ++trial) {
+        const auto d = Permutation::random(16, prng);
+        EXPECT_TRUE(router_net.tryRoute(d));
+        EXPECT_TRUE(resilient_net.tryRoute(d));
+    }
+    // With a stuck switch the resilient adapter still serves.
+    resilient_net.resilient().injectFault(StuckFault{0, 0, 1});
+    for (int trial = 0; trial < 5; ++trial) {
+        const auto d = Permutation::random(16, prng);
+        const RouteOutcome out = resilient_net.routeOutcome(d);
+        EXPECT_TRUE(out.ok());
+        if (out.ok()) {
+            for (Word i = 0; i < 16; ++i)
+                EXPECT_EQ(out.value()[d[i]], i);
+        }
     }
 }
 

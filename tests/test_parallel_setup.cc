@@ -147,6 +147,44 @@ TEST(ParallelSetup, StepCountIsPolylog)
     EXPECT_LT(s8.total(), 6 * s4.total());
 }
 
+TEST(ParallelSetupSeeded, EverySeedRealizesThePermutation)
+{
+    const SelfRoutingBenes net(4);
+    Prng prng(51);
+    for (int trial = 0; trial < 5; ++trial) {
+        const Permutation d = Permutation::random(16, prng);
+        for (std::uint64_t seed = 0; seed < 10; ++seed) {
+            const auto states =
+                parallelSetup(net.topology(), d, nullptr, seed);
+            EXPECT_TRUE(net.routeWithStates(d, states).success)
+                << "seed " << seed;
+        }
+    }
+}
+
+TEST(ParallelSetupSeeded, SeedZeroIsTheCanonicalSetup)
+{
+    const BenesTopology topo(5);
+    Prng prng(52);
+    for (int trial = 0; trial < 5; ++trial) {
+        const Permutation d = Permutation::random(32, prng);
+        EXPECT_EQ(parallelSetup(topo, d, nullptr, 0),
+                  parallelSetup(topo, d));
+    }
+}
+
+TEST(ParallelSetupSeeded, SeedsExerciseDifferentStates)
+{
+    const BenesTopology topo(4);
+    Prng prng(53);
+    const Permutation d = Permutation::random(16, prng);
+    const auto canonical = parallelSetup(topo, d, nullptr, 0);
+    bool varied = false;
+    for (std::uint64_t seed = 1; seed < 10 && !varied; ++seed)
+        varied = parallelSetup(topo, d, nullptr, seed) != canonical;
+    EXPECT_TRUE(varied);
+}
+
 TEST(ParallelSetup, StatsReported)
 {
     const BenesTopology topo(5);

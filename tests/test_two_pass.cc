@@ -116,6 +116,58 @@ TEST(TwoPass, IdentityFactorsTrivially)
     EXPECT_EQ(plan.first.then(plan.second), id);
 }
 
+TEST(TwoPassSeeded, EverySeedIsAValidFactorization)
+{
+    // The factorization's loop colorings are free choices, so every
+    // seed must produce class-correct factors that compose to d.
+    const SelfRoutingBenes net(4);
+    Prng prng(61);
+    for (int trial = 0; trial < 5; ++trial) {
+        const Permutation d = Permutation::random(16, prng);
+        for (std::uint64_t seed = 0; seed < 10; ++seed) {
+            const TwoPassPlan plan = twoPassPlanSeeded(net, d, seed);
+            ASSERT_EQ(plan.first.then(plan.second), d)
+                << "seed " << seed;
+            EXPECT_TRUE(isInverseOmega(plan.first));
+            EXPECT_TRUE(isOmega(plan.second));
+            const auto out = twoPassPermute(
+                net, plan, {Word{0}, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
+                            11, 12, 13, 14, 15});
+            for (Word i = 0; i < 16; ++i)
+                EXPECT_EQ(out[d[i]], i);
+        }
+    }
+}
+
+TEST(TwoPassSeeded, SeedZeroIsTheCanonicalPlan)
+{
+    const SelfRoutingBenes net(5);
+    Prng prng(62);
+    for (int trial = 0; trial < 5; ++trial) {
+        const Permutation d = Permutation::random(32, prng);
+        const TwoPassPlan canonical = twoPassPlan(net, d);
+        const TwoPassPlan seeded = twoPassPlanSeeded(net, d, 0);
+        EXPECT_EQ(seeded.first, canonical.first);
+        EXPECT_EQ(seeded.second, canonical.second);
+    }
+}
+
+TEST(TwoPassSeeded, SeedsExerciseDifferentFactors)
+{
+    // Reseeding must actually change the factorization, or the
+    // resilient TwoPass tier would retry the same failing plan.
+    const SelfRoutingBenes net(4);
+    Prng prng(63);
+    const Permutation d = Permutation::random(16, prng);
+    const TwoPassPlan canonical = twoPassPlanSeeded(net, d, 0);
+    bool varied = false;
+    for (std::uint64_t seed = 1; seed < 10 && !varied; ++seed) {
+        const TwoPassPlan plan = twoPassPlanSeeded(net, d, seed);
+        varied = !(plan.first == canonical.first);
+    }
+    EXPECT_TRUE(varied);
+}
+
 TEST(TwoPass, FMembersStillWorkInOnePassButPlanIsValid)
 {
     // Two-pass is universal, so it must also handle F members.

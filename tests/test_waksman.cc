@@ -107,6 +107,100 @@ TEST(Waksman, StateArrayShape)
         ASSERT_EQ(stage.size(), topo.switchesPerStage());
 }
 
+TEST(WaksmanSeeded, EverySeedRealizesThePermutation)
+{
+    // The looping algorithm's free choices are POLICY: any coloring
+    // realizes d, so every seed must yield a working setup.
+    const SelfRoutingBenes net(4);
+    Prng prng(31);
+    for (int trial = 0; trial < 5; ++trial) {
+        const Permutation d = Permutation::random(16, prng);
+        for (std::uint64_t seed = 0; seed < 10; ++seed) {
+            const auto states =
+                waksmanSetupSeeded(net.topology(), d, seed);
+            EXPECT_TRUE(net.routeWithStates(d, states).success)
+                << "seed " << seed;
+        }
+    }
+}
+
+TEST(WaksmanSeeded, SeedZeroIsTheCanonicalSetup)
+{
+    const BenesTopology topo(5);
+    Prng prng(32);
+    for (int trial = 0; trial < 5; ++trial) {
+        const Permutation d = Permutation::random(32, prng);
+        EXPECT_EQ(waksmanSetupSeeded(topo, d, 0),
+                  waksmanSetup(topo, d));
+    }
+}
+
+TEST(WaksmanSeeded, SeedsExerciseDifferentStates)
+{
+    // Distinct seeds must actually move some switch, or the Reroute
+    // tier's reseeding would be a no-op.
+    const BenesTopology topo(4);
+    Prng prng(33);
+    const Permutation d = Permutation::random(16, prng);
+    const auto canonical = waksmanSetupSeeded(topo, d, 0);
+    bool varied = false;
+    for (std::uint64_t seed = 1; seed < 10 && !varied; ++seed)
+        varied = waksmanSetupSeeded(topo, d, seed) != canonical;
+    EXPECT_TRUE(varied);
+}
+
+TEST(WaksmanPinned, ExhaustiveSinglePinSweep)
+{
+    // Every non-center switch sits on a constraint loop with a free
+    // coloring, so a single pin there is ALWAYS honorable; the
+    // center stage (m == 1 subnetworks) is fully determined by the
+    // sub-permutations, so a pin there may be unsatisfiable for a
+    // given seed. Whenever setup succeeds the pin must be honored
+    // bit-for-bit and the states must realize d.
+    const unsigned n = 3;
+    const SelfRoutingBenes net(n);
+    const BenesTopology &topo = net.topology();
+    Prng prng(34);
+    const Permutation d = Permutation::random(8, prng);
+
+    for (unsigned s = 0; s < topo.numStages(); ++s) {
+        for (Word sw = 0; sw < topo.switchesPerStage(); ++sw) {
+            for (std::uint8_t st : {std::uint8_t{0},
+                                    std::uint8_t{1}}) {
+                const StatePin pin{s, sw, st};
+                bool satisfied = false;
+                for (std::uint64_t seed = 0; seed < 8; ++seed) {
+                    const auto states =
+                        waksmanSetupPinned(topo, d, {pin}, seed);
+                    if (!states)
+                        continue;
+                    satisfied = true;
+                    EXPECT_EQ((*states)[s][sw], st);
+                    EXPECT_TRUE(
+                        net.routeWithStates(d, *states).success);
+                }
+                if (s != n - 1) {
+                    EXPECT_TRUE(satisfied)
+                        << "free pin (" << s << ", " << sw << ", "
+                        << int(st) << ") refused";
+                }
+            }
+        }
+    }
+}
+
+TEST(WaksmanPinned, ConflictingPinsAreRefusedNotMisrouted)
+{
+    // Pinning one switch both ways cannot be satisfied; the setup
+    // must answer nullopt rather than hand back a broken state set.
+    const BenesTopology topo(3);
+    Prng prng(35);
+    const Permutation d = Permutation::random(8, prng);
+    const std::vector<StatePin> pins{StatePin{0, 1, 0},
+                                     StatePin{0, 1, 1}};
+    EXPECT_FALSE(waksmanSetupPinned(topo, d, pins, 0).has_value());
+}
+
 TEST(Waksman, SelfRoutableInputsMayDifferInStatesButAgreeInEffect)
 {
     // For a permutation in F both drive styles succeed; the realized
