@@ -15,19 +15,35 @@
  *
  * Timed sections: BM_SelfRoute vs BM_WaksmanSetupAndRoute vs
  * BM_WaksmanSetupOnly across n.
+ *
+ * Section E2b extends the experiment to the library's own cold-plan
+ * path: the per-switch reference simulator against the bit-sliced
+ * SetupEngine (scalar and SIMD kernel dispatch, plus Router::plan
+ * end to end), and setupMany batch amortization at sizes 1/8/64.
+ * Emits machine-readable BENCH_setup.json; SRBENES_BENCH_SMOKE=1
+ * runs the reduced CI configuration.
  */
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <iostream>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "common/prng.hh"
 #include "common/table.hh"
+#include "core/fast_engine.hh"
+#include "core/fast_kernels.hh"
+#include "core/router.hh"
 #include "core/self_routing.hh"
+#include "core/setup_engine.hh"
 #include "core/waksman.hh"
 #include "perm/bpc.hh"
+#include "perm/f_class.hh"
 
 namespace
 {
@@ -47,7 +63,7 @@ timeUs(const std::function<void()> &fn, int reps)
 }
 
 void
-printSetupComparison()
+printSetupComparison(unsigned max_n)
 {
     std::cout << "=== E2: setup cost, self-routing vs external "
                  "(Section I) ===\n\n";
@@ -55,7 +71,7 @@ printSetupComparison()
     TextTable table({"n", "N", "delay stages", "self-route us",
                      "waksman setup us", "setup+route us",
                      "setup overhead"});
-    for (unsigned n = 6; n <= 16; n += 2) {
+    for (unsigned n = 6; n <= max_n; n += 2) {
         const SelfRoutingBenes net(n);
         Prng prng(n);
         const Permutation in_f =
@@ -98,6 +114,179 @@ printSetupComparison()
                  "the external path always pays an additional\n"
                  "O(N log N) pass; in hardware the self-routing "
                  "delay is the 2 lg N - 1 stage column only)\n\n";
+}
+
+struct SetupRow
+{
+    unsigned n;
+    Word N;
+    double reference_us; //!< per-switch reference simulator
+    double scalar_us;    //!< SetupEngine, scalar kernels forced
+    double simd_us;      //!< SetupEngine, dispatched kernels
+    double router_us;    //!< Router::plan end to end (uncached)
+};
+
+struct BatchRow
+{
+    unsigned batch;
+    double perms_per_sec;
+    double us_per_perm;
+};
+
+/**
+ * E2b: the library's own cold-plan path. Every sample is cold — a
+ * pool of distinct F members is cycled so no plan is ever repeated
+ * back-to-back — and the contract is identical on both sides: plan
+ * plus physical-order PackedStates for one permutation.
+ */
+void
+runBitslicedSetup(bool smoke, std::vector<SetupRow> &rows,
+                  std::vector<BatchRow> &batches)
+{
+    std::cout << "=== E2b: cold-plan production, per-switch "
+                 "reference vs bit-sliced SetupEngine ===\n\n";
+
+    TextTable table({"n", "N", "reference us", "sliced scalar us",
+                     "sliced simd us", "router.plan us", "speedup"});
+    const int reps = smoke ? 10 : 100;
+    for (unsigned n = 8; n <= 12; n += 2) {
+        const Word N = Word{1} << n;
+        const SelfRoutingBenes net(n);
+        const FastEngine eng(n);
+        const SetupEngine setup(eng, nullptr);
+        const Router router(n, false, /*plan_cache_capacity=*/0,
+                            /*cache_shards=*/1, /*metrics=*/nullptr);
+        Prng prng(100 + n);
+        std::vector<Permutation> pool;
+        for (int i = 0; i < 32; ++i)
+            pool.push_back(randomFMember(n, prng));
+        std::size_t k = 0;
+        auto next = [&]() -> const Permutation & {
+            return pool[k++ % pool.size()];
+        };
+
+        const double ref_us = timeUs(
+            [&] {
+                auto res = net.route(next());
+                benchmark::DoNotOptimize(res.success);
+            },
+            reps);
+        setSimdLevel(SimdLevel::Scalar);
+        const double scalar_us = timeUs(
+            [&] {
+                auto res = setup.setupPacked(next());
+                benchmark::DoNotOptimize(res.plan.success);
+            },
+            reps);
+        setSimdLevel(detectSimdLevel());
+        const double simd_us = timeUs(
+            [&] {
+                auto res = setup.setupPacked(next());
+                benchmark::DoNotOptimize(res.plan.success);
+            },
+            reps);
+        const double router_us = timeUs(
+            [&] {
+                auto plan = router.plan(next());
+                benchmark::DoNotOptimize(plan.fast);
+            },
+            reps);
+
+        rows.push_back(
+            {n, N, ref_us, scalar_us, simd_us, router_us});
+        table.newRow();
+        table.addCell(n);
+        table.addCell(N);
+        table.addCell(ref_us, 1);
+        table.addCell(scalar_us, 1);
+        table.addCell(simd_us, 1);
+        table.addCell(router_us, 1);
+        table.addCell(ref_us / simd_us, 2);
+    }
+    table.print(std::cout);
+    std::cout << "\n(every sample is a cold plan; 'speedup' is the "
+                 "reference simulator over the fused\n bit-sliced "
+                 "setupPacked — the acceptance floor at n = 12 is "
+                 "3x)\n\n";
+
+    std::cout << "=== E2b: setupMany batch amortization (n = 12, "
+                 "F members) ===\n\n";
+    {
+        const unsigned n = 12;
+        const FastEngine eng(n);
+        const SetupEngine setup(eng, nullptr);
+        Prng prng(2027);
+        TextTable btab({"batch", "perms/s", "us/perm"});
+        for (unsigned B : {1u, 8u, 64u}) {
+            std::vector<Permutation> batch;
+            for (unsigned i = 0; i < B; ++i)
+                batch.push_back(randomFMember(n, prng));
+            const int breps = std::max(
+                1, (smoke ? 32 : 256) / static_cast<int>(B));
+            const double us = timeUs(
+                [&] {
+                    auto plans = setup.setupMany(batch);
+                    benchmark::DoNotOptimize(plans.size());
+                },
+                breps);
+            const double pps = B / (us * 1e-6);
+            batches.push_back({B, pps, us / B});
+            btab.newRow();
+            btab.addCell(B);
+            btab.addCell(pps, 0);
+            btab.addCell(us / B, 1);
+        }
+        btab.print(std::cout);
+        std::cout << "\n";
+    }
+}
+
+bool
+writeSetupJson(const std::vector<SetupRow> &rows,
+               const std::vector<BatchRow> &batches)
+{
+    const char *path = "BENCH_setup.json";
+    std::FILE *jf = std::fopen(path, "w");
+    if (!jf) {
+        std::fprintf(stderr, "cannot open %s for writing\n", path);
+        return false;
+    }
+    std::fprintf(jf,
+                 "{\n  \"benchmark\": \"setup\",\n"
+                 "  \"unit\": \"us_per_cold_plan\",\n"
+                 "  \"workload\": \"random F(n) members, fused plan "
+                 "+ packed states, 32-perm cold pool\",\n"
+                 "  \"simd\": \"%s\",\n  \"results\": [\n",
+                 activeKernels().name);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const SetupRow &r = rows[i];
+        std::fprintf(
+            jf,
+            "    {\"n\": %u, \"N\": %llu, "
+            "\"reference_route_us\": %.1f, "
+            "\"bitsliced_scalar_us\": %.1f, "
+            "\"bitsliced_simd_us\": %.1f, "
+            "\"router_plan_cold_us\": %.1f, "
+            "\"speedup_vs_reference\": %.2f}%s\n",
+            r.n, static_cast<unsigned long long>(r.N),
+            r.reference_us, r.scalar_us, r.simd_us, r.router_us,
+            r.reference_us / r.simd_us,
+            i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(jf, "  ],\n  \"batch\": [\n");
+    for (std::size_t i = 0; i < batches.size(); ++i) {
+        const BatchRow &b = batches[i];
+        std::fprintf(jf,
+                     "    {\"n\": 12, \"batch\": %u, "
+                     "\"perms_per_sec\": %.0f, "
+                     "\"us_per_perm\": %.1f}%s\n",
+                     b.batch, b.perms_per_sec, b.us_per_perm,
+                     i + 1 < batches.size() ? "," : "");
+    }
+    std::fprintf(jf, "  ]\n}\n");
+    std::fclose(jf);
+    std::printf("wrote %s\n\n", path);
+    return true;
 }
 
 void
@@ -153,8 +342,23 @@ BENCHMARK(BM_WaksmanSetupAndRoute)->DenseRange(6, 16, 2);
 int
 main(int argc, char **argv)
 {
-    printSetupComparison();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
+    // SRBENES_BENCH_SMOKE=1: the CI smoke configuration — the same
+    // sections at reduced reps and range, proving the binary and its
+    // JSON stay healthy without tying up a runner.
+    const char *smoke_env = std::getenv("SRBENES_BENCH_SMOKE");
+    const bool smoke = smoke_env && smoke_env[0] != '\0' &&
+                       !(smoke_env[0] == '0' && smoke_env[1] == '\0');
+
+    std::vector<SetupRow> rows;
+    std::vector<BatchRow> batches;
+    runBitslicedSetup(smoke, rows, batches);
+    if (!writeSetupJson(rows, batches))
+        return 1;
+
+    printSetupComparison(smoke ? 10u : 16u);
+    if (!smoke) {
+        benchmark::Initialize(&argc, argv);
+        benchmark::RunSpecifiedBenchmarks();
+    }
     return 0;
 }

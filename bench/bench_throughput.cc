@@ -26,6 +26,10 @@
  *   stream   : per request, a memoized 128-bit hash, an SPSC ring
  *              hop, a lock-free local plan-table probe, a SIMD
  *              gather into recycled storage, and a ring hop back.
+ *              At n <= 9 the engine's inline fast path serves the
+ *              request on the producer thread instead — no ring
+ *              hops at all (the `inline_served` JSON field records
+ *              how many requests took it).
  *
  * Every ~97th streamed result is checked bit-for-bit against the
  * reference SelfRoutingBenes simulator, outside the timed region.
@@ -412,6 +416,7 @@ main()
             "\"p99_ns\": %llu, \"local_hits\": %llu, "
             "\"shared_lookups\": %llu, \"shared_hits\": %llu, "
             "\"shared_misses\": %llu, \"shared_evictions\": %llu, "
+            "\"inline_served\": %llu, "
             "\"parity_samples\": %llu, \"parity_ok\": %s}%s\n",
             r.n, static_cast<unsigned long long>(r.N),
             static_cast<unsigned long long>(r.requests),
@@ -424,6 +429,7 @@ main()
             static_cast<unsigned long long>(shared_hits),
             static_cast<unsigned long long>(shared_misses),
             static_cast<unsigned long long>(shared_evictions),
+            static_cast<unsigned long long>(st.inline_served),
             static_cast<unsigned long long>(r.stream.parity_samples),
             r.stream.parity_failures == 0 ? "true" : "false",
             i + 1 < rows.size() ? "," : "");

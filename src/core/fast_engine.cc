@@ -107,14 +107,11 @@ void
 FastEngine::loadTagPlanes(const Permutation &d,
                           std::vector<Word> &planes) const
 {
-    planes.assign(Word{n_} * lane_words_, 0);
-    for (Word x = 0; x < num_lines_; ++x) {
-        const Word v = d[x];
-        const Word w = x >> 6;
-        const unsigned sh = x & 63;
-        for (unsigned b = 0; b < n_; ++b)
-            planes[Word{b} * lane_words_ + w] |= bit(v, b) << sh;
-    }
+    // The transpose kernel writes every word of every plane row
+    // (tail lanes zeroed), so a resize without zero-fill suffices.
+    planes.resize(Word{n_} * lane_words_);
+    activeKernels().packTags(planes.data(), n_, lane_words_,
+                             d.dest().data(), num_lines_);
 }
 
 void

@@ -208,6 +208,13 @@ class FastEngine
     SwitchStates unpackStates(const PackedStates &packed) const;
 
   private:
+    /**
+     * SetupEngine reads switch_slot_ to precompute the per-stage
+     * slot-rank -> switch-index bit permutations that let it emit
+     * PackedStates word-parallel.
+     */
+    friend class SetupEngine;
+
     void loadTagPlanes(const Permutation &d,
                        std::vector<Word> &planes) const;
     void runPlanes(std::vector<Word> &planes, FastPlan &plan,

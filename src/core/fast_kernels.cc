@@ -58,8 +58,64 @@ pairSwapScalar(Word *planes, unsigned nplanes, Word stride,
     }
 }
 
+/**
+ * Column mask for transpose level k: bits at columns whose k-th
+ * index bit is clear (the "left" column of each 2^k-wide pair).
+ */
+constexpr Word kColMask[6] = {
+    0x5555555555555555ULL, 0x3333333333333333ULL,
+    0x0f0f0f0f0f0f0f0fULL, 0x00ff00ff00ff00ffULL,
+    0x0000ffff0000ffffULL, 0x00000000ffffffffULL,
+};
+
+/**
+ * In-place 64x64 bit-matrix transpose, LSB-first orientation:
+ * afterwards bit j of row b equals bit b of input row j. Each level
+ * k exchanges sub-blocks across bit k of the (row, column) pair;
+ * the levels act on disjoint index bits, so their order is free.
+ */
+void
+transpose64(Word *m)
+{
+    for (unsigned k = 0; k < 6; ++k) {
+        const unsigned j = 1u << k;
+        const Word mask = kColMask[k];
+        for (Word r = 0; r < 64; r = (r + j + 1) & ~Word{j}) {
+            const Word t = ((m[r] >> j) ^ m[r + j]) & mask;
+            m[r + j] ^= t;
+            m[r] ^= t << j;
+        }
+    }
+}
+
+/** Load lanes [base, base+64) of @p tags into @p block, zero tail. */
+void
+loadBlock(Word *block, const Word *tags, Word base, Word count)
+{
+    const Word m = (count - base < 64) ? count - base : 64;
+    for (Word r = 0; r < m; ++r)
+        block[r] = tags[base + r];
+    for (Word r = m; r < 64; ++r)
+        block[r] = 0;
+}
+
+void
+packTagsScalar(Word *planes, unsigned nplanes, Word stride,
+               const Word *tags, Word count)
+{
+    const Word out_words = (count + 63) / 64;
+    Word block[64];
+    for (Word w = 0; w < out_words; ++w) {
+        loadBlock(block, tags, w * 64, count);
+        transpose64(block);
+        for (unsigned b = 0; b < nplanes; ++b)
+            planes[Word{b} * stride + w] = block[b];
+    }
+}
+
 constexpr KernelTable kScalarTable = {gatherScalar, deltaSwapScalar,
-                                      pairSwapScalar, "scalar"};
+                                      pairSwapScalar, packTagsScalar,
+                                      "scalar"};
 
 #if SRBENES_X86_KERNELS
 
@@ -138,8 +194,62 @@ pairSwapAvx2(Word *planes, unsigned nplanes, Word stride,
     }
 }
 
+__attribute__((target("avx2"))) void
+transpose64Avx2(Word *m)
+{
+    // Levels 32/16/8/4 pair runs of >= 4 consecutive rows, so each
+    // exchange is a pair of 256-bit loads; levels 2/1 interleave at
+    // sub-vector stride and stay scalar (they are 1/3 of the work).
+    for (unsigned k = 5; k >= 2; --k) {
+        const unsigned j = 1u << k;
+        const __m256i mask = _mm256_set1_epi64x(
+            static_cast<long long>(kColMask[k]));
+        const __m128i shift = _mm_cvtsi32_si128(static_cast<int>(j));
+        for (Word base = 0; base < 64; base += 2 * Word{j})
+            for (Word r = base; r < base + j; r += 4) {
+                const __m256i a = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(m + r));
+                const __m256i b = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(m + r + j));
+                const __m256i t = _mm256_and_si256(
+                    _mm256_xor_si256(_mm256_srl_epi64(a, shift), b),
+                    mask);
+                _mm256_storeu_si256(
+                    reinterpret_cast<__m256i *>(m + r + j),
+                    _mm256_xor_si256(b, t));
+                _mm256_storeu_si256(
+                    reinterpret_cast<__m256i *>(m + r),
+                    _mm256_xor_si256(a, _mm256_sll_epi64(t, shift)));
+            }
+    }
+    for (unsigned k = 0; k < 2; ++k) {
+        const unsigned j = 1u << k;
+        const Word mask = kColMask[k];
+        for (Word r = 0; r < 64; r = (r + j + 1) & ~Word{j}) {
+            const Word t = ((m[r] >> j) ^ m[r + j]) & mask;
+            m[r + j] ^= t;
+            m[r] ^= t << j;
+        }
+    }
+}
+
+__attribute__((target("avx2"))) void
+packTagsAvx2(Word *planes, unsigned nplanes, Word stride,
+             const Word *tags, Word count)
+{
+    const Word out_words = (count + 63) / 64;
+    Word block[64];
+    for (Word w = 0; w < out_words; ++w) {
+        loadBlock(block, tags, w * 64, count);
+        transpose64Avx2(block);
+        for (unsigned b = 0; b < nplanes; ++b)
+            planes[Word{b} * stride + w] = block[b];
+    }
+}
+
 constexpr KernelTable kAvx2Table = {gatherAvx2, deltaSwapAvx2,
-                                    pairSwapAvx2, "avx2"};
+                                    pairSwapAvx2, packTagsAvx2,
+                                    "avx2"};
 
 // --------------------------------------------------------------- AVX-512
 
@@ -219,10 +329,61 @@ pairSwapAvx512(Word *planes, unsigned nplanes, Word stride,
     }
 }
 
+__attribute__((target("avx512f"))) void
+transpose64Avx512(Word *m)
+{
+    // Levels 32/16/8 pair runs of >= 8 consecutive rows (one zmm
+    // each); the remaining levels interleave below vector stride
+    // and stay scalar.
+    for (unsigned k = 5; k >= 3; --k) {
+        const unsigned j = 1u << k;
+        const __m512i mask = _mm512_set1_epi64(
+            static_cast<long long>(kColMask[k]));
+        const __m128i shift = _mm_cvtsi32_si128(static_cast<int>(j));
+        for (Word base = 0; base < 64; base += 2 * Word{j})
+            for (Word r = base; r < base + j; r += 8) {
+                const __m512i a = _mm512_loadu_si512(m + r);
+                const __m512i b = _mm512_loadu_si512(m + r + j);
+                const __m512i t = _mm512_and_si512(
+                    _mm512_xor_si512(_mm512_srl_epi64(a, shift), b),
+                    mask);
+                _mm512_storeu_si512(m + r + j,
+                                    _mm512_xor_si512(b, t));
+                _mm512_storeu_si512(
+                    m + r,
+                    _mm512_xor_si512(a, _mm512_sll_epi64(t, shift)));
+            }
+    }
+    for (unsigned k = 0; k < 3; ++k) {
+        const unsigned j = 1u << k;
+        const Word mask = kColMask[k];
+        for (Word r = 0; r < 64; r = (r + j + 1) & ~Word{j}) {
+            const Word t = ((m[r] >> j) ^ m[r + j]) & mask;
+            m[r + j] ^= t;
+            m[r] ^= t << j;
+        }
+    }
+}
+
+__attribute__((target("avx512f"))) void
+packTagsAvx512(Word *planes, unsigned nplanes, Word stride,
+               const Word *tags, Word count)
+{
+    const Word out_words = (count + 63) / 64;
+    Word block[64];
+    for (Word w = 0; w < out_words; ++w) {
+        loadBlock(block, tags, w * 64, count);
+        transpose64Avx512(block);
+        for (unsigned b = 0; b < nplanes; ++b)
+            planes[Word{b} * stride + w] = block[b];
+    }
+}
+
 #pragma GCC diagnostic pop
 
 constexpr KernelTable kAvx512Table = {gatherAvx512, deltaSwapAvx512,
-                                      pairSwapAvx512, "avx512"};
+                                      pairSwapAvx512, packTagsAvx512,
+                                      "avx512"};
 
 #endif // SRBENES_X86_KERNELS
 

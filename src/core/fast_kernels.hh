@@ -1,7 +1,8 @@
 /**
  * @file
- * Runtime-dispatched SIMD kernels for the two FastEngine hot loops:
- * the per-stage bit-plane delta swap and the final payload gather.
+ * Runtime-dispatched SIMD kernels for the FastEngine hot loops: the
+ * per-stage bit-plane delta swap, the final payload gather, and the
+ * tag-to-bit-plane transposition that seeds every cold plan.
  *
  * One binary serves any x86-64 host: scalar bodies are always
  * compiled, AVX2 and AVX-512 bodies are compiled with per-function
@@ -71,6 +72,19 @@ struct KernelTable
      */
     void (*pairSwap)(Word *planes, unsigned nplanes, Word stride,
                      const Word *ctrl, Word words, Word dw);
+
+    /**
+     * Bit-plane transposition of destination tags: for every lane
+     * j in [0, count) and plane b in [0, nplanes),
+     *     bit j of row b  =  bit b of tags[j].
+     * Each of the `nplanes` rows receives exactly ceil(count / 64)
+     * words, tail bits zero; words beyond that are left untouched.
+     * Implemented as independent 64x64 bit-matrix transposes (one
+     * per 64-lane block), so cost is O(count * log 64 / 64) word ops
+     * instead of the O(count * nplanes) scalar read-modify-writes.
+     */
+    void (*packTags)(Word *planes, unsigned nplanes, Word stride,
+                     const Word *tags, Word count);
 
     const char *name;
 };

@@ -46,7 +46,8 @@ routeStrategyName(RouteStrategy s)
 Router::Router(unsigned n, bool prefer_waksman,
                std::size_t plan_cache_capacity, unsigned cache_shards,
                obs::MetricsRegistry *metrics)
-    : net_(n), engine_(n, metrics), prefer_waksman_(prefer_waksman),
+    : net_(n), engine_(n, metrics), setup_(engine_, metrics),
+      prefer_waksman_(prefer_waksman),
       cache_capacity_(plan_cache_capacity), metrics_(metrics)
 {
     std::size_t nshards = std::max(1u, cache_shards);
@@ -83,6 +84,14 @@ Router::Router(unsigned n, bool prefer_waksman,
         {{"router", inst}, {"path", "structural"}});
     cold_plan_ns_ = &metrics_->histogram(
         "srbenes_router_plan_cold_ns", {{"router", inst}});
+    for (RouteStrategy s :
+         {RouteStrategy::SelfRouting, RouteStrategy::OmegaBit,
+          RouteStrategy::TwoPass, RouteStrategy::Waksman})
+        setup_ns_by_strategy_[static_cast<int>(s)] =
+            &metrics_->histogram(
+                "srbenes_router_setup_ns",
+                {{"router", inst},
+                 {"strategy", routeStrategyName(s)}});
 }
 
 Router::CacheShard &
@@ -106,7 +115,10 @@ Router::plan(const Permutation &d) const
     const std::uint64_t t0 = metrics_ ? obs::monotonicNs() : 0;
     RoutePlan p = planImpl(d);
     if (metrics_) {
-        cold_plan_ns_->observe(obs::monotonicNs() - t0);
+        const std::uint64_t elapsed = obs::monotonicNs() - t0;
+        cold_plan_ns_->observe(elapsed);
+        setup_ns_by_strategy_[static_cast<int>(p.strategy)]->observe(
+            elapsed);
         plans_by_strategy_[static_cast<int>(p.strategy)]->inc();
         if (p.strategy == RouteStrategy::SelfRouting)
             classified_engine_->inc();
@@ -128,16 +140,17 @@ Router::planImpl(const Permutation &d) const
     // first: the engine's conflict detection IS the F-membership
     // test (a permutation self-routes iff it is in F), and one
     // bit-sliced routing pass costs a fraction of the structural
-    // inFClass check.
+    // inFClass check. All self-routed passes go through the
+    // SetupEngine so cold planning stays on the bit-sliced path.
     {
-        auto fast = std::make_shared<FastPlan>(engine_.routePlan(d));
+        auto fast = std::make_shared<FastPlan>(setup_.plan(d));
         if (fast->success)
             return RoutePlan{RouteStrategy::SelfRouting, d, {}, {}, 1,
                              std::move(fast)};
     }
     if (isOmega(d)) {
         auto fast = std::make_shared<FastPlan>(
-            engine_.routePlan(d, RoutingMode::OmegaBit));
+            setup_.plan(d, RoutingMode::OmegaBit));
         if (!fast->success)
             panic("omega-bit plan failed for a planned Omega member");
         return RoutePlan{RouteStrategy::OmegaBit, d, {}, {}, 1,
@@ -154,9 +167,9 @@ Router::planImpl(const Permutation &d) const
     }
 
     TwoPassPlan tp = twoPassPlan(net_, d);
-    const FastPlan p1 = engine_.routePlan(tp.first);
+    const FastPlan p1 = setup_.plan(tp.first);
     const FastPlan p2 =
-        engine_.routePlan(tp.second, RoutingMode::OmegaBit);
+        setup_.plan(tp.second, RoutingMode::OmegaBit);
     if (!p1.success || !p2.success)
         panic("two-pass plan failed one of its self-routed passes");
     // Compose the two verified passes into one execution mapping;

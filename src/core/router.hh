@@ -45,6 +45,7 @@
 #include "core/fast_engine.hh"
 #include "core/route_outcome.hh"
 #include "core/self_routing.hh"
+#include "core/setup_engine.hh"
 #include "core/two_pass.hh"
 #include "obs/metrics.hh"
 
@@ -119,6 +120,8 @@ class Router
 
     const SelfRoutingBenes &fabric() const noexcept { return net_; }
     const FastEngine &engine() const noexcept { return engine_; }
+    /** The bit-sliced cold-plan engine all planning goes through. */
+    const SetupEngine &setupEngine() const noexcept { return setup_; }
 
     /** Plan the cheapest strategy for @p d. */
     RoutePlan plan(const Permutation &d) const;
@@ -234,6 +237,7 @@ class Router
 
     SelfRoutingBenes net_;
     FastEngine engine_;
+    SetupEngine setup_;
     bool prefer_waksman_;
     std::size_t cache_capacity_;
     mutable std::vector<std::unique_ptr<CacheShard>> shards_;
@@ -246,6 +250,8 @@ class Router
     obs::Counter *classified_engine_ = nullptr;
     obs::Counter *classified_structural_ = nullptr;
     obs::Histogram *cold_plan_ns_ = nullptr;
+    /** Cold-plan latency split by the strategy that won. */
+    obs::Histogram *setup_ns_by_strategy_[4] = {};
     /** @} */
 };
 

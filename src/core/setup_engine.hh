@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Bit-sliced batched setup engine: plan production at plane speed.
+ *
+ * FastEngine already routes tags through the fabric word-parallel,
+ * but everything AROUND that pass — seeding the tag planes,
+ * emitting the physical-order PackedStates a plan consumer wants —
+ * historically fell back to per-lane / per-switch scalar walks.
+ * This class is the cold-plan counterpart of the execution engine:
+ * Section III's parallel-setup story applied to the setup path
+ * itself.
+ *
+ * The structural fact it exploits: stage s pairs slots {x, x ^ 2^b}
+ * with the physical upper input on the slot whose bit b is clear
+ * (see fast_engine.hh). Because every inter-stage wiring of B(n) is
+ * a pure bit permutation of the line index, the map from a switch's
+ * physical index i to the RANK of its upper slot among all
+ * bit-b-clear slots is itself a bit permutation of the n-1 index
+ * bits of i. The constructor derives that permutation per stage
+ * (and verifies it switch-by-switch rather than assuming it), then
+ * factors it into transpositions. Producing PackedStates from a
+ * plan's slot-order control masks is then:
+ *
+ *   1. compress each stage's mask to its upper lanes (drop bit b):
+ *      a handful of shift-or folds per 64-bit word;
+ *   2. apply the stage's transposition schedule as masked delta
+ *      swaps / word swaps over the compressed vector.
+ *
+ * Both steps touch O(S / 64) words per stage — no per-switch loop
+ * ever runs (enforced by srb-lint rule SRB008 on the .cc file).
+ *
+ * setupMany() amortizes dispatch over a batch of B independent
+ * permutations, sharding the batch across worker threads in the
+ * same spirit as FastEngine::executeMany (OpenMP when compiled in,
+ * std::thread otherwise).
+ */
+
+#ifndef SRBENES_CORE_SETUP_ENGINE_HH
+#define SRBENES_CORE_SETUP_ENGINE_HH
+
+#include <utility>
+#include <vector>
+
+#include "core/fast_engine.hh"
+#include "obs/metrics.hh"
+
+namespace srbenes
+{
+
+/** A cold plan together with its packed physical switch settings. */
+struct SetupResult
+{
+    FastPlan plan;
+    PackedStates packed;
+};
+
+class SetupEngine
+{
+  public:
+    /**
+     * Build the per-stage compression/permutation schedules for
+     * @p eng's fabric. The engine reference is retained; it must
+     * outlive this object.
+     *
+     * @param metrics registry receiving this engine's instruments
+     *        (plans produced, batch-size histogram). nullptr
+     *        disables instrumentation.
+     */
+    explicit SetupEngine(const FastEngine &eng,
+                         obs::MetricsRegistry *metrics =
+                             obs::defaultRegistry());
+
+    const FastEngine &engine() const { return eng_; }
+
+    /** Cold-plan @p d through the bit-sliced fabric. */
+    FastPlan plan(const Permutation &d,
+                  RoutingMode mode = RoutingMode::SelfRouting) const;
+
+    /**
+     * Physical-order PackedStates of @p plan, produced word-parallel
+     * from its slot-order control masks. Bit-for-bit equal to
+     * FastEngine::planPackedStates (the scalar reference), which the
+     * differential tests assert.
+     */
+    PackedStates packedStates(const FastPlan &plan) const;
+
+    /** Fused cold plan + packed-state production. */
+    SetupResult setupPacked(const Permutation &d,
+                            RoutingMode mode =
+                                RoutingMode::SelfRouting) const;
+
+    /**
+     * Plan a batch of independent permutations. With
+     * @p num_threads > 1 the batch is sharded across workers
+     * (OpenMP when available, std::thread otherwise); results are
+     * returned in input order either way.
+     */
+    std::vector<FastPlan>
+    setupMany(const std::vector<Permutation> &batch,
+              RoutingMode mode = RoutingMode::SelfRouting,
+              unsigned num_threads = 1) const;
+
+  private:
+    /** Compress stage @p s's slot-order mask to upper-lane ranks. */
+    void compressStage(unsigned s, const Word *ctrl, Word *out) const;
+    /** Apply transposition (p, q), p < q, to a compressed vector. */
+    void applySwap(Word *x, unsigned p, unsigned q) const;
+
+    const FastEngine &eng_;
+    /** Words per compressed stage vector, ceil((N/2) / 64). */
+    Word packed_words_;
+    /**
+     * Per-stage factorization of the rank -> switch-index bit
+     * permutation into transpositions (p, q) of the n-1 index bits,
+     * to be applied in order.
+     */
+    std::vector<std::vector<std::pair<unsigned, unsigned>>> swaps_;
+
+    /** @{ Observability (obs/metrics.hh); null when disabled. */
+    obs::Counter *plans_ = nullptr;
+    obs::Histogram *batch_perms_ = nullptr;
+    /** @} */
+};
+
+} // namespace srbenes
+
+#endif // SRBENES_CORE_SETUP_ENGINE_HH

@@ -114,6 +114,8 @@ StreamEngine::StreamEngine(unsigned n, StreamOptions opts)
         2, opts_.ring_capacity));
     opts_.local_cache_slots = ceilPow2(std::max<std::size_t>(
         8, opts_.local_cache_slots));
+    inline_enabled_ =
+        opts_.inline_max_n > 0 && n <= opts_.inline_max_n;
 
     const std::size_t pairs =
         std::size_t{opts_.producers} * opts_.workers;
@@ -135,15 +137,24 @@ StreamEngine::StreamEngine(unsigned n, StreamOptions opts)
     for (unsigned p = 0; p < opts_.producers; ++p) {
         producers_[p].eng_ = this;
         producers_[p].index_ = p;
+        if (inline_enabled_) {
+            producers_[p].table_.resize(opts_.local_cache_slots);
+            producers_[p].inline_results_ =
+                std::make_unique<SpscRing<StreamResult>>(
+                    opts_.ring_capacity);
+        }
     }
 
     workers_.reserve(opts_.workers);
     const std::string inst =
         opts_.metrics ? opts_.metrics->uniqueInstance("stream")
                       : std::string();
-    if (opts_.metrics)
+    if (opts_.metrics) {
         sheds_ = &opts_.metrics->counter(
             "srbenes_stream_sheds_total", {{"stream", inst}});
+        inline_served_ = &opts_.metrics->counter(
+            "srbenes_stream_inline_served_total", {{"stream", inst}});
+    }
     for (unsigned w = 0; w < opts_.workers; ++w) {
         auto ws = std::make_unique<WorkerState>();
         ws->table.resize(opts_.local_cache_slots);
@@ -216,6 +227,42 @@ StreamEngine::Producer::trySubmit(std::uint64_t id,
         fatal("stream request payload size %zu != N = %zu",
               payload.size(), perm->size());
 
+    if (eng.inline_enabled_) {
+        // Small-N inline path: a ring round-trip costs more than the
+        // route itself, so do the work right here. The full check
+        // comes FIRST so a shed leaves @p payload untouched, exactly
+        // like a refused ring push.
+        if (inline_results_->full()) {
+            if (eng.sheds_)
+                eng.sheds_->inc();
+            return false;
+        }
+        StreamRequest req;
+        req.id = id;
+        req.producer = index_;
+        req.hash = memoizedHash(perm);
+        req.perm = std::move(perm);
+        req.payload = std::move(payload);
+        // Counters still attribute to the affine worker (its
+        // instruments are thread-sharded, so cross-thread increments
+        // are safe); the plan table and scratch are this handle's.
+        const unsigned w =
+            static_cast<unsigned>(req.hash.hi % eng.opts_.workers);
+        req.submit_ns = nowNs();
+        req.deadline_ns = deadline_ns;
+        StreamResult res;
+        eng.serve(*eng.workers_[w], w, req, res, table_, op_,
+                  scratch_);
+        // Cannot fail: full() was false above and this handle is the
+        // queue's only pusher.
+        if (!inline_results_->tryPush(std::move(res)))
+            fatal("inline result queue overflow");
+        ++submitted_;
+        if (eng.inline_served_)
+            eng.inline_served_->inc();
+        return true;
+    }
+
     StreamRequest req;
     req.id = id;
     req.producer = index_;
@@ -230,6 +277,18 @@ StreamEngine::Producer::trySubmit(std::uint64_t id,
     req.submit_ns = nowNs();
     req.deadline_ns = deadline_ns;
     if (!eng.submitRing(index_, w).tryPush(std::move(req))) {
+        // Affine ring full: spill once to the next worker before
+        // shedding. The spill target misses locally and pulls the
+        // plan from the shared tier — the cross-worker shared hit
+        // that load-balances a burst.
+        const unsigned K = eng.opts_.workers;
+        const unsigned spill = (w + 1) % K;
+        if (K > 1 &&
+            eng.submitRing(index_, spill).tryPush(std::move(req))) {
+            ++submitted_;
+            eng.workers_[spill]->bell.ring();
+            return true;
+        }
         payload = std::move(req.payload); // hand the storage back
         if (eng.sheds_)
             eng.sheds_->inc();
@@ -261,6 +320,10 @@ bool
 StreamEngine::Producer::tryPoll(StreamResult &out)
 {
     StreamEngine &eng = *eng_;
+    if (inline_results_ && inline_results_->tryPop(out)) {
+        ++received_;
+        return true;
+    }
     const unsigned K = eng.opts_.workers;
     for (unsigned i = 0; i < K; ++i) {
         const unsigned w = (poll_rr_ + i) % K;
@@ -316,17 +379,25 @@ StreamEngine::Producer::awaitResultFor(StreamResult &out,
 const RoutePlan *
 StreamEngine::lookupPlan(WorkerState &ws, const StreamRequest &req)
 {
-    const std::size_t mask = ws.table.size() - 1;
+    return lookupIn(ws.table, ws.op, ws, req);
+}
+
+const RoutePlan *
+StreamEngine::lookupIn(std::vector<LocalSlot> &table,
+                       std::uint64_t &op, WorkerState &ws,
+                       const StreamRequest &req)
+{
+    const std::size_t mask = table.size() - 1;
     const std::size_t base = req.hash.lo & mask;
     constexpr std::size_t kProbe = 4;
 
-    ++ws.op;
+    ++op;
     for (std::size_t i = 0; i < kProbe; ++i) {
-        LocalSlot &slot = ws.table[(base + i) & mask];
+        LocalSlot &slot = table[(base + i) & mask];
         if (slot.plan && slot.hash == req.hash &&
             (!opts_.verify_local_hits ||
              slot.plan->perm == *req.perm)) {
-            slot.stamp = ws.op;
+            slot.stamp = op;
             if (ws.local_hits)
                 ws.local_hits->inc();
             return slot.plan.get();
@@ -339,9 +410,9 @@ StreamEngine::lookupPlan(WorkerState &ws, const StreamRequest &req)
         ws.shared_lookups->inc();
     std::shared_ptr<const RoutePlan> plan =
         router_.planCached(*req.perm);
-    LocalSlot *victim = &ws.table[base];
+    LocalSlot *victim = &table[base];
     for (std::size_t i = 0; i < kProbe; ++i) {
-        LocalSlot &slot = ws.table[(base + i) & mask];
+        LocalSlot &slot = table[(base + i) & mask];
         if (!slot.plan) {
             victim = &slot;
             break;
@@ -351,14 +422,16 @@ StreamEngine::lookupPlan(WorkerState &ws, const StreamRequest &req)
     }
     victim->hash = req.hash;
     victim->plan = std::move(plan);
-    victim->stamp = ws.op;
+    victim->stamp = op;
     return victim->plan.get();
 }
 
 void
-StreamEngine::process(WorkerState &ws, unsigned w, StreamRequest &req)
+StreamEngine::serve(WorkerState &ws, unsigned w, StreamRequest &req,
+                    StreamResult &res,
+                    std::vector<LocalSlot> &table, std::uint64_t &op,
+                    std::vector<Word> &scratch)
 {
-    StreamResult res;
     res.id = req.id;
     res.worker = w;
     res.submit_ns = req.submit_ns;
@@ -392,13 +465,13 @@ StreamEngine::process(WorkerState &ws, unsigned w, StreamRequest &req)
             }
         }
     } else {
-        const RoutePlan *plan = lookupPlan(ws, req);
+        const RoutePlan *plan = lookupIn(table, op, ws, req);
 
-        // Gather into the worker's scratch, then swap storage with
+        // Gather into the caller's scratch, then swap storage with
         // the request payload: steady state allocates nothing.
         router_.engine().executeInto(*plan->fast, req.payload,
-                                     ws.scratch);
-        ws.scratch.swap(req.payload);
+                                     scratch);
+        scratch.swap(req.payload);
         res.payload = std::move(req.payload);
     }
     res.complete_ns = nowNs();
@@ -407,6 +480,13 @@ StreamEngine::process(WorkerState &ws, unsigned w, StreamRequest &req)
         ws.requests->inc();
     if (ws.latency_ns)
         ws.latency_ns->observe(res.latencyNs());
+}
+
+void
+StreamEngine::process(WorkerState &ws, unsigned w, StreamRequest &req)
+{
+    StreamResult res;
+    serve(ws, w, req, res, ws.table, ws.op, ws.scratch);
 
     SpscRing<StreamResult> &ring = resultRing(req.producer, w);
     if (!ring.tryPush(std::move(res))) {
@@ -540,6 +620,8 @@ StreamEngine::resetStats()
     }
     if (sheds_)
         sheds_->reset();
+    if (inline_served_)
+        inline_served_->reset();
     // order: relaxed; a stats() racing with the epoch restart sees
     // either the old or the new start — both are coherent windows.
     start_ns_.store(nowNs(), std::memory_order_relaxed);
@@ -570,6 +652,8 @@ StreamEngine::stats() const
     }
     if (sheds_)
         st.sheds = sheds_->value();
+    if (inline_served_)
+        st.inline_served = inline_served_->value();
     st.payload_words = st.requests * numLines();
 
     // order: acquire on each flag pairs with the release store in

@@ -16,9 +16,19 @@
  *    hash, so a recurring pattern always lands on the same worker and
  *    its THREAD-LOCAL plan cache: a hit costs a probe of a small
  *    open-addressed table — no lock, no reference-count traffic.
+ *    When the affine worker's ring is full the request spills to the
+ *    next worker instead of shedding immediately: the spill target
+ *    misses locally, pulls the plan from the shared tier (a
+ *    cross-worker shared hit), and load balances the burst.
  *  - Local misses fall through to the Router's sharded read-mostly
  *    tier (shared across workers), and only a genuinely new pattern
  *    pays for planning.
+ *  - For small fabrics (n <= StreamOptions::inline_max_n) a ring
+ *    round-trip costs more than the route itself, so trySubmit()
+ *    executes the request INLINE on the producer thread — same plan
+ *    tiers (a producer-local table over the shared Router tier),
+ *    same deadline, shed and tier-stamping semantics, with results
+ *    delivered through the normal poll interface.
  *  - Execution is one contiguous payload gather through the
  *    runtime-dispatched SIMD kernels, into a worker-owned scratch
  *    buffer that is swapped with the request's payload storage —
@@ -326,6 +336,16 @@ struct StreamOptions
      * obs::monotonicNs() instant at submit time.
      */
     std::uint64_t default_deadline_ns = 0;
+    /**
+     * Fabrics with n <= inline_max_n execute every request inline
+     * on the producer thread instead of crossing the worker rings —
+     * below this size plan + gather is cheaper than a ring
+     * round-trip plus wakeup. 0 disables the inline path. Outcomes
+     * are indistinguishable from the ring path (deadlines, shed,
+     * tier stamping, counters); only the thread that does the work
+     * changes.
+     */
+    unsigned inline_max_n = 9;
 };
 
 /**
@@ -354,6 +374,8 @@ struct StreamStats
     std::uint64_t doorbell_wakes = 0;
     /** trySubmit refusals on a full ring (the shed-load signal). */
     std::uint64_t sheds = 0;
+    /** Requests served inline on a producer thread (small-N path). */
+    std::uint64_t inline_served = 0;
     /** Requests that expired (queued past their deadline, or the
      *  resilient chain ran out of time). */
     std::uint64_t deadline_expired = 0;
@@ -367,6 +389,9 @@ struct StreamStats
 
 class StreamEngine
 {
+    /** One slot of an open-addressed plan table (defined below). */
+    struct LocalSlot;
+
   public:
     explicit StreamEngine(unsigned n, StreamOptions opts = {});
     ~StreamEngine();
@@ -389,13 +414,17 @@ class StreamEngine
       public:
         /**
          * Hash @p perm, stamp the submit time, and enqueue on the
-         * owning worker's ring. @p payload is consumed only on
-         * success; false means that worker's ring is full and the
-         * caller should poll results, then retry. Re-submissions of
-         * a recently seen shared Permutation object skip re-hashing:
-         * the handle memoizes hashes by pointer identity in a small
-         * direct-mapped table, holding a reference per slot so a
-         * memoized address can never be recycled under it.
+         * owning worker's ring — or, on a small fabric (n <=
+         * StreamOptions::inline_max_n), execute it inline right here
+         * and stage the result for tryPoll. @p payload is consumed
+         * only on success; false means the request was shed: the
+         * affine worker's ring AND its spillover neighbour were
+         * full (or the inline result queue was), so poll results,
+         * then retry. Re-submissions of a recently seen shared
+         * Permutation object skip re-hashing: the handle memoizes
+         * hashes by pointer identity in a small direct-mapped
+         * table, holding a reference per slot so a memoized address
+         * can never be recycled under it.
          */
         bool trySubmit(std::uint64_t id,
                        std::shared_ptr<const Permutation> perm,
@@ -454,6 +483,19 @@ class StreamEngine
         std::uint64_t submitted_ = 0;
         std::uint64_t received_ = 0;
         MemoSlot memo_[kMemoSlots];
+
+        /**
+         * @{ Small-N inline path (producer-thread-owned): a private
+         * plan table in front of the shared Router tier, a scratch
+         * vector for the gather, and a bounded queue of completed
+         * results drained by tryPoll. Its capacity mirrors
+         * ring_capacity, preserving shed-on-full semantics.
+         */
+        std::vector<LocalSlot> table_;
+        std::uint64_t op_ = 0;
+        std::vector<Word> scratch_;
+        std::unique_ptr<SpscRing<StreamResult>> inline_results_;
+        /** @} */
     };
 
     /** Producer handle @p i (0 <= i < options().producers). */
@@ -498,7 +540,10 @@ class StreamEngine
     void resetStats();
 
   private:
-    /** One slot of a worker's open-addressed local plan table. */
+    /**
+     * One slot of an open-addressed plan table — worker-local on
+     * the ring path, producer-local on the inline path.
+     */
     struct LocalSlot
     {
         Hash128 hash;
@@ -542,8 +587,22 @@ class StreamEngine
 
     void workerMain(unsigned w);
     void process(WorkerState &ws, unsigned w, StreamRequest &req);
+    /**
+     * The serving core shared by the ring and inline paths: deadline
+     * expiry, resilient chain or plan-lookup + gather, tier and
+     * timestamp stamping, counter attribution to @p ws. The plan
+     * table / scratch are the caller's (worker-owned or
+     * producer-owned); @p ws's instruments are thread-sharded, so
+     * attribution from a producer thread is safe.
+     */
+    void serve(WorkerState &ws, unsigned w, StreamRequest &req,
+               StreamResult &res, std::vector<LocalSlot> &table,
+               std::uint64_t &op, std::vector<Word> &scratch);
     const RoutePlan *lookupPlan(WorkerState &ws,
                                 const StreamRequest &req);
+    const RoutePlan *lookupIn(std::vector<LocalSlot> &table,
+                              std::uint64_t &op, WorkerState &ws,
+                              const StreamRequest &req);
 
     /**
      * Fast path: the engine owns its Router. Resilient path: plans
@@ -555,8 +614,12 @@ class StreamEngine
     const Router &router_;
     ResilientRouter *resilient_ = nullptr;
     StreamOptions opts_;
+    /** True when this fabric takes the small-N inline path. */
+    bool inline_enabled_ = false;
     /** Submit refusals on full rings; null when metrics off. */
     obs::Counter *sheds_ = nullptr;
+    /** Requests served inline; null when metrics off. */
+    obs::Counter *inline_served_ = nullptr;
     std::vector<std::unique_ptr<SpscRing<StreamRequest>>> submit_rings_;
     std::vector<std::unique_ptr<SpscRing<StreamResult>>> result_rings_;
     /** Rung by workers when they complete a result for producer i. */

@@ -15,8 +15,9 @@
  *                 setup algorithms (waksman, two_pass,
  *                 parallel_setup), the fault model (faults.hh), the
  *                 unified outcome taxonomy (route_outcome.hh), the
- *                 planning Router, the ResilientRouter serving
- *                 layer, and the StreamEngine;
+ *                 planning Router, the batched SetupEngine, the
+ *                 ResilientRouter serving layer, and the
+ *                 StreamEngine;
  *   - networks/   the PermutationNetwork comparison interface and
  *                 every adapter behind allNetworks();
  *   - obs/        metrics registry, exporters, tracing.
@@ -54,6 +55,7 @@
 #include "core/route_outcome.hh"
 #include "core/router.hh"
 #include "core/self_routing.hh"
+#include "core/setup_engine.hh"
 #include "core/state_io.hh"
 #include "core/stats.hh"
 #include "core/stream.hh"

@@ -136,6 +136,53 @@ TEST(FastKernels, PairSwapMatchesScalar)
     }
 }
 
+TEST(FastKernels, PackTagsMatchesScalarAndNaive)
+{
+    Prng prng(76);
+    const KernelTable &ref = kernelsFor(SimdLevel::Scalar);
+    for (SimdLevel level : supportedLevels()) {
+        const KernelTable &k = kernelsFor(level);
+        for (Word count : {Word{1}, Word{3}, Word{63}, Word{64},
+                           Word{65}, Word{100}, Word{256}}) {
+            for (unsigned nplanes : {1u, 4u, 9u}) {
+                const Word used = (count + 63) / 64;
+                const Word stride = used + 2; // canary tail words
+                std::vector<Word> tags(count);
+                for (auto &t : tags)
+                    t = prng() & ((Word{1} << nplanes) - 1);
+                constexpr Word kCanary = 0xdeadbeefdeadbeefULL;
+                std::vector<Word> expect(nplanes * stride, kCanary);
+                std::vector<Word> got = expect;
+                ref.packTags(expect.data(), nplanes, stride,
+                             tags.data(), count);
+                k.packTags(got.data(), nplanes, stride, tags.data(),
+                           count);
+                ASSERT_EQ(got, expect)
+                    << k.name << " count=" << count
+                    << " nplanes=" << nplanes;
+                // Pin the scalar reference itself to the contract:
+                // bit j of plane b is bit b of tags[j], tail bits of
+                // the last used word are zero, and words past the
+                // used span are untouched.
+                for (unsigned b = 0; b < nplanes; ++b) {
+                    const Word *row = expect.data() + b * stride;
+                    for (Word j = 0; j < count; ++j)
+                        ASSERT_EQ((row[j >> 6] >> (j & 63)) & 1,
+                                  (tags[j] >> b) & 1)
+                            << "plane " << b << " lane " << j;
+                    for (Word j = count; j < used * 64; ++j)
+                        ASSERT_EQ((row[j >> 6] >> (j & 63)) & 1, 0u)
+                            << "tail bit " << j << " plane " << b;
+                    for (Word w = used; w < stride; ++w)
+                        ASSERT_EQ(row[w], kCanary)
+                            << "overwrote word " << w << " plane "
+                            << b;
+                }
+            }
+        }
+    }
+}
+
 void
 expectSameRoute(const RouteResult &a, const RouteResult &b,
                 const char *what)

@@ -430,6 +430,7 @@ TEST(ResilientStream, ServesThroughFaultsWithTierStamps)
     StreamOptions opts;
     opts.workers = 2;
     opts.resilient = &rr;
+    opts.inline_max_n = 0; // worker-thread serving under test
     StreamEngine eng(n, opts);
     eng.start();
 
@@ -484,6 +485,7 @@ TEST(ResilientStream, ExpiredDeadlineComesBackStructured)
     ResilientRouter rr(n, quietOptions());
     StreamOptions opts;
     opts.resilient = &rr;
+    opts.inline_max_n = 0; // the queued-expiry path under test
     StreamEngine eng(n, opts);
     eng.start();
 
@@ -506,14 +508,68 @@ TEST(ResilientStream, ExpiredDeadlineComesBackStructured)
     EXPECT_EQ(eng.stats().deadline_expired, 1u);
 }
 
+TEST(ResilientStream, InlinePathWalksTheFallbackChainIdentically)
+{
+    // The small-N inline path must serve through the resilient
+    // chain exactly like a worker: tier stamps (including degraded
+    // fallbacks under a fault), structured deadline failures, and
+    // the degraded/deadline counters.
+    const unsigned n = 4;
+    const Word N = Word{1} << n;
+    ResilientRouter rr(n, quietOptions());
+    rr.injectFault(StuckFault{0, 1, 1});
+
+    StreamOptions opts;
+    opts.resilient = &rr;
+    StreamEngine eng(n, opts); // default inline_max_n covers n = 4
+    eng.start();
+
+    Prng prng(82);
+    auto &prod = eng.producer(0);
+    StreamResult res;
+    std::uint64_t degraded = 0;
+    for (std::uint64_t id = 0; id < 40; ++id) {
+        const Permutation d = Permutation::random(N, prng);
+        auto perm = std::make_shared<const Permutation>(d);
+        std::vector<Word> payload = iotaPayload(N, id);
+        ASSERT_TRUE(prod.trySubmit(id, perm, payload));
+        ASSERT_TRUE(prod.tryPoll(res)) << "inline result is instant";
+        ASSERT_TRUE(res.ok()) << routeErrcName(res.status);
+        EXPECT_EQ(res.payload, d.applyTo(iotaPayload(N, id)));
+        if (res.tier != ServeTier::Primary)
+            ++degraded;
+    }
+    // A long-expired deadline fails structured, same as the ring.
+    auto perm = std::make_shared<const Permutation>(
+        Permutation::identity(N));
+    std::vector<Word> payload = iotaPayload(N, 7);
+    ASSERT_TRUE(prod.trySubmit(99, perm, payload, 1));
+    ASSERT_TRUE(prod.tryPoll(res));
+    EXPECT_EQ(res.status, RouteErrc::DeadlineExceeded);
+    EXPECT_EQ(res.tier, ServeTier::Failed);
+    EXPECT_EQ(res.payload, iotaPayload(N, 7));
+    eng.stop();
+
+    EXPECT_GT(degraded, 0u) << "the stuck switch must force a "
+                               "fallback tier on some request";
+    const StreamStats st = eng.stats();
+    EXPECT_EQ(st.inline_served, 41u);
+    EXPECT_EQ(st.degraded, degraded);
+    EXPECT_EQ(st.deadline_expired, 1u);
+    EXPECT_EQ(st.route_failures, 0u);
+}
+
 TEST(ResilientStream, FullRingShedsInsteadOfBlocking)
 {
     const unsigned n = 3;
     const Word N = Word{1} << n;
     StreamOptions opts;
     opts.ring_capacity = 4;
+    opts.inline_max_n = 0; // ring shed (not inline shed) under test
     StreamEngine eng(n, opts);
-    // Deliberately NOT started: the ring fills and stays full.
+    // Deliberately NOT started: the rings fill and stay full. One
+    // pattern targets one affine worker, whose full ring spills once
+    // to the neighbour — so 2 rings' worth are accepted, then sheds.
     auto perm = std::make_shared<const Permutation>(
         Permutation::identity(N));
     auto &prod = eng.producer(0);
@@ -523,8 +579,8 @@ TEST(ResilientStream, FullRingShedsInsteadOfBlocking)
         if (prod.trySubmit(id, perm, payload, 0))
             ++accepted;
     }
-    EXPECT_EQ(accepted, 4u);
-    EXPECT_EQ(eng.stats().sheds, 12u);
+    EXPECT_EQ(accepted, 8u);
+    EXPECT_EQ(eng.stats().sheds, 8u);
 }
 
 TEST(ResilientStream, AwaitResultForTimesOutEmpty)
@@ -557,6 +613,7 @@ TEST(ResilientConcurrency, ProbesRaceInjectionAndServing)
     opts.workers = 2;
     opts.producers = 2;
     opts.resilient = &rr;
+    opts.inline_max_n = 0; // worker threads must race the chaos
     StreamEngine eng(n, opts);
     eng.start();
 

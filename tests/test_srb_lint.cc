@@ -265,6 +265,57 @@ std::thread t;
                          "SRB007"));
 }
 
+// ----------------------------------------- SRB008 bitsliced files
+
+TEST(Srb008, FlagsScalarWalksInTaggedFiles)
+{
+    EXPECT_TRUE(hasRule(R"__(// srb-lint: bitsliced
+void f(const FastEngine &e)
+{
+    for (Word i = 0; i < e.switchesPerStage(); ++i) {}
+}
+)__",
+                        "SRB008"));
+    EXPECT_TRUE(hasRule(R"__(// srb-lint: bitsliced
+SwitchStates states = engine.planStates(plan);
+)__",
+                        "SRB008"));
+}
+
+TEST(Srb008, UntaggedFilesAreExempt)
+{
+    EXPECT_FALSE(hasRule(R"__(
+void f(const FastEngine &e)
+{
+    for (Word i = 0; i < e.switchesPerStage(); ++i) {}
+}
+)__",
+                         "SRB008"));
+}
+
+TEST(Srb008, TagOnlyCountsOnTheOpeningLines)
+{
+    // A doc comment that merely QUOTES the tag deeper in the file
+    // does not opt the file in.
+    EXPECT_FALSE(hasRule(R"__(
+int a;
+int b;
+int c;
+// files tagged srb-lint: bitsliced promise word-parallel states
+SwitchStates states;
+)__",
+                         "SRB008"));
+}
+
+TEST(Srb008, AllowSuppressesConstructionTimeUse)
+{
+    EXPECT_FALSE(hasRule(R"__(// srb-lint: bitsliced
+// srb-lint: allow(SRB008) construction-time schedule derivation
+const Word S = eng.switchesPerStage();
+)__",
+                         "SRB008"));
+}
+
 // --------------------------------------------- inline suppressions
 
 TEST(Allow, SameLineSuppresses)
@@ -315,9 +366,9 @@ int b = rand();
 TEST(Findings, RuleCatalogMatchesEmittedIds)
 {
     const std::vector<RuleInfo> &cat = ruleCatalog();
-    ASSERT_EQ(cat.size(), 7u);
+    ASSERT_EQ(cat.size(), 8u);
     EXPECT_STREQ(cat.front().id, "SRB001");
-    EXPECT_STREQ(cat.back().id, "SRB007");
+    EXPECT_STREQ(cat.back().id, "SRB008");
 }
 
 // ------------------------------------------------------- baseline

@@ -10,6 +10,7 @@
 #include <atomic>
 #include <map>
 #include <memory>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -266,6 +267,7 @@ TEST(StreamEngineTest, RoutesEveryRequestExactly)
     StreamOptions opts;
     opts.workers = 2;
     opts.ring_capacity = 32; // small: exercises backpressure
+    opts.inline_max_n = 0;   // ring mechanics under test
     StreamEngine eng(n, opts);
 
     Prng prng(44);
@@ -333,7 +335,9 @@ TEST(StreamEngineTest, MatchesReferenceSimulatorForFMembers)
     const unsigned n = 4;
     const Word N = Word{1} << n;
     const SelfRoutingBenes net(n);
-    StreamEngine eng(n, {});
+    StreamOptions opts;
+    opts.inline_max_n = 0; // ring mechanics under test
+    StreamEngine eng(n, opts);
 
     Prng prng(46);
     std::vector<std::shared_ptr<const Permutation>> patterns;
@@ -383,6 +387,7 @@ TEST(StreamEngineTest, MultipleProducersAndColdPatterns)
     opts.producers = 2;
     opts.shared_cache_capacity = 16;
     opts.local_cache_slots = 8;
+    opts.inline_max_n = 0; // ring mechanics under test
     StreamEngine eng(n, opts);
     eng.start();
 
@@ -443,7 +448,9 @@ TEST(StreamEngineTest, ResultsRemainPollableAfterStop)
 {
     const unsigned n = 3;
     const Word N = Word{1} << n;
-    StreamEngine eng(n, {});
+    StreamOptions opts;
+    opts.inline_max_n = 0; // ring mechanics under test
+    StreamEngine eng(n, opts);
     auto perm = std::make_shared<const Permutation>(
         Permutation::identity(N));
     eng.start();
@@ -474,6 +481,7 @@ TEST(StreamEngineTest, PumpHelperSurvivesRandomMix)
     const unsigned n = 7;
     StreamOptions opts;
     opts.workers = 3;
+    opts.inline_max_n = 0; // ring mechanics under test
     StreamEngine eng(n, opts);
     Prng prng(49);
     std::vector<std::shared_ptr<const Permutation>> patterns;
@@ -497,7 +505,9 @@ TEST(StreamEngineTest, StatsAreSafeAgainstLifecycleTransitions)
     // tsan). The stamps are atomic now; hammer the exact interleave.
     const unsigned n = 4;
     const Word N = Word{1} << n;
-    StreamEngine eng(n, {});
+    StreamOptions opts;
+    opts.inline_max_n = 0; // worker threads must race stats()
+    StreamEngine eng(n, opts);
     auto perm = std::make_shared<const Permutation>(
         Permutation::identity(N));
     eng.start();
@@ -534,6 +544,213 @@ TEST(StreamEngineTest, StatsAreSafeAgainstLifecycleTransitions)
 
     EXPECT_FALSE(eng.running());
     EXPECT_GT(eng.stats().elapsed_sec, 0.0);
+}
+
+// ------------------------------------------- spillover + shared tier
+
+TEST(StreamEngineTest, SpilloverPromotesSharedCacheHits)
+{
+    // Regression: pattern-affine dispatch alone sends each pattern
+    // to exactly ONE worker, so the shared tier records plans but
+    // never a cross-worker hit (shared_hits == 0 in the throughput
+    // bench). A full affine ring must now spill to the next worker,
+    // whose local miss HITS the shared tier instead of re-planning.
+    const unsigned n = 5;
+    const Word N = Word{1} << n;
+    StreamOptions opts;
+    opts.workers = 2;
+    opts.ring_capacity = 2; // the clamp floor: 3rd submit spills
+    opts.inline_max_n = 0;  // the spill is a ring-path mechanism
+    StreamEngine eng(n, opts);
+
+    Prng prng(50);
+    auto perm = std::make_shared<const Permutation>(
+        randomFMember(n, prng));
+    // Warm the pattern into the shared tier from this thread — the
+    // stand-in for another worker having planned it earlier.
+    (void)eng.router().planCached(*perm);
+    const std::size_t hits0 = eng.router().planCacheHits();
+
+    // Pre-start so nothing drains: the affine ring fills at 2 and
+    // the next two submissions spill to the second worker.
+    auto &prod = eng.producer(0);
+    for (std::uint64_t id = 0; id < 4; ++id) {
+        std::vector<Word> payload = iotaPayload(N, id);
+        ASSERT_TRUE(prod.trySubmit(id, perm, payload)) << "id " << id;
+    }
+    eng.start();
+    StreamResult res;
+    std::set<unsigned> served_by;
+    for (unsigned got = 0; got < 4; ++got) {
+        prod.awaitResult(res);
+        EXPECT_EQ(res.payload, perm->applyTo(iotaPayload(N, res.id)));
+        served_by.insert(res.worker);
+    }
+    eng.stop();
+
+    const StreamStats st = eng.stats();
+    EXPECT_EQ(st.sheds, 0u);
+    EXPECT_EQ(st.requests, 4u);
+    EXPECT_EQ(served_by.size(), 2u)
+        << "the spill must reach the second worker";
+    // Both workers' first-touch local misses consulted the shared
+    // tier and HIT the pre-planned entry.
+    EXPECT_GE(eng.router().planCacheHits(), hits0 + 2);
+    EXPECT_GE(st.shared_lookups, 2u);
+}
+
+// ------------------------------------------------- inline small-N path
+
+TEST(StreamEngineTest, InlinePathMatchesRingPathOutcomes)
+{
+    // The same request sequence through an inline-path engine and a
+    // ring-path engine must produce indistinguishable outcomes:
+    // payloads, status, tier, and the plan-tier counter identity.
+    const unsigned n = 4;
+    const Word N = Word{1} << n;
+    ASSERT_LE(n, StreamOptions{}.inline_max_n)
+        << "n must sit under the default inline threshold";
+
+    Prng prng(51);
+    std::vector<std::shared_ptr<const Permutation>> patterns;
+    for (int i = 0; i < 4; ++i)
+        patterns.push_back(std::make_shared<const Permutation>(
+            randomFMember(n, prng)));
+
+    StreamOptions ring_opts;
+    ring_opts.inline_max_n = 0;
+    StreamEngine ring_eng(n, ring_opts);
+    StreamEngine inline_eng(n, {}); // default: inline at n = 4
+
+    constexpr std::uint64_t kTotal = 200;
+    Prng choose(52);
+    std::vector<std::size_t> pattern_of;
+    std::vector<std::uint64_t> deadline_of;
+    for (std::uint64_t id = 0; id < kTotal; ++id) {
+        pattern_of.push_back(choose.below(patterns.size()));
+        // Every 16th request carries a long-expired absolute
+        // deadline; both paths must fail it identically.
+        deadline_of.push_back(id % 16 == 15 ? 1 : 0);
+    }
+
+    auto run = [&](StreamEngine &eng) {
+        eng.start();
+        auto &prod = eng.producer(0);
+        std::vector<StreamResult> results(kTotal);
+        StreamResult res;
+        for (std::uint64_t id = 0; id < kTotal; ++id) {
+            std::vector<Word> payload = iotaPayload(N, id * N);
+            while (!prod.trySubmit(id, patterns[pattern_of[id]],
+                                   payload, deadline_of[id]))
+                if (prod.tryPoll(res))
+                    results[res.id] = std::move(res);
+            if (prod.tryPoll(res))
+                results[res.id] = std::move(res);
+        }
+        while (prod.received() < prod.submitted())
+            if (prod.tryPoll(res))
+                results[res.id] = std::move(res);
+        eng.stop();
+        return results;
+    };
+    const auto ring_results = run(ring_eng);
+    const auto inline_results = run(inline_eng);
+
+    for (std::uint64_t id = 0; id < kTotal; ++id) {
+        const StreamResult &a = ring_results[id];
+        const StreamResult &b = inline_results[id];
+        EXPECT_EQ(a.status, b.status) << "id " << id;
+        EXPECT_EQ(a.tier, b.tier) << "id " << id;
+        EXPECT_EQ(a.payload, b.payload) << "id " << id;
+        if (deadline_of[id] != 0) {
+            // Expired before service on both paths: the original
+            // payload comes back unrouted.
+            EXPECT_EQ(b.status, RouteErrc::DeadlineExceeded);
+            EXPECT_EQ(b.tier, ServeTier::Failed);
+            EXPECT_EQ(b.payload, iotaPayload(N, id * N));
+        } else {
+            EXPECT_EQ(b.status, RouteErrc::Ok);
+            EXPECT_EQ(b.tier, ServeTier::Primary);
+            EXPECT_EQ(b.payload, patterns[pattern_of[id]]->applyTo(
+                                     iotaPayload(N, id * N)));
+        }
+    }
+
+    const StreamStats rs = ring_eng.stats();
+    const StreamStats is = inline_eng.stats();
+    EXPECT_EQ(rs.inline_served, 0u);
+    EXPECT_EQ(is.inline_served, kTotal);
+    EXPECT_EQ(is.requests, kTotal);
+    // Deadline-expired requests never reach the plan tiers; every
+    // other request resolves in exactly one of them — on both paths.
+    EXPECT_EQ(is.local_hits + is.shared_lookups + is.deadline_expired,
+              is.requests);
+    EXPECT_EQ(rs.local_hits + rs.shared_lookups + rs.deadline_expired,
+              rs.requests);
+    EXPECT_EQ(is.deadline_expired, rs.deadline_expired);
+    EXPECT_GT(is.local_hits, 0u);
+}
+
+TEST(StreamEngineTest, InlinePathShedsOnFullResultQueue)
+{
+    // The inline result queue mirrors ring_capacity, preserving the
+    // shed-on-full contract: a refused submit leaves the payload
+    // untouched and counts a shed, and draining reopens the path.
+    const unsigned n = 3;
+    const Word N = Word{1} << n;
+    StreamOptions opts;
+    opts.ring_capacity = 2; // inline queue capacity after the clamp
+    StreamEngine eng(n, opts);
+    auto perm = std::make_shared<const Permutation>(
+        Permutation::identity(N));
+    auto &prod = eng.producer(0);
+
+    std::vector<Word> payload = iotaPayload(N, 0);
+    ASSERT_TRUE(prod.trySubmit(0, perm, payload));
+    payload = iotaPayload(N, 1);
+    ASSERT_TRUE(prod.trySubmit(1, perm, payload));
+    std::vector<Word> third = iotaPayload(N, 2);
+    EXPECT_FALSE(prod.trySubmit(2, perm, third));
+    EXPECT_EQ(third, iotaPayload(N, 2)) << "shed must not consume";
+    EXPECT_EQ(eng.stats().sheds, 1u);
+    EXPECT_EQ(eng.stats().inline_served, 2u);
+
+    StreamResult res;
+    ASSERT_TRUE(prod.tryPoll(res));
+    EXPECT_EQ(res.payload, iotaPayload(N, res.id));
+    ASSERT_TRUE(prod.tryPoll(res));
+    EXPECT_FALSE(prod.tryPoll(res));
+    EXPECT_TRUE(prod.trySubmit(2, perm, third));
+    ASSERT_TRUE(prod.tryPoll(res));
+    EXPECT_EQ(res.id, 2u);
+    EXPECT_EQ(prod.submitted(), prod.received());
+}
+
+TEST(StreamEngineTest, InlinePathServesWithoutWorkerRoundTrip)
+{
+    // Results are available to tryPoll immediately after trySubmit —
+    // no start() and no worker wakeup involved — and the blocking
+    // pollers see them too.
+    const unsigned n = 5;
+    const Word N = Word{1} << n;
+    StreamEngine eng(n, {});
+    Prng prng(53);
+    auto perm = std::make_shared<const Permutation>(
+        randomFMember(n, prng));
+    eng.start();
+    auto &prod = eng.producer(0);
+    for (std::uint64_t id = 0; id < 8; ++id) {
+        std::vector<Word> payload = iotaPayload(N, id);
+        ASSERT_TRUE(prod.trySubmit(id, perm, payload));
+        StreamResult res;
+        ASSERT_TRUE(prod.awaitResultFor(res, 1'000'000'000ull));
+        EXPECT_EQ(res.id, id);
+        EXPECT_EQ(res.payload, perm->applyTo(iotaPayload(N, id)));
+    }
+    eng.stop();
+    const StreamStats st = eng.stats();
+    EXPECT_EQ(st.inline_served, 8u);
+    EXPECT_EQ(st.requests, 8u);
 }
 
 } // namespace

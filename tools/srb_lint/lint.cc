@@ -380,6 +380,37 @@ ruleIncludeHygiene(Ctx &ctx)
     }
 }
 
+/**
+ * SRB008: a file tagged `// srb-lint: bitsliced` promises
+ * word-parallel state production — that promise is the whole point
+ * of the setup engine. A per-switch scalar walk (a loop bounded by
+ * switchesPerStage, or materializing the one-entry-per-switch
+ * SwitchStates form) silently forfeits the speedup; flag it so the
+ * regression needs a reviewed allow() to land.
+ */
+void
+ruleBitslicedNoScalarWalk(Ctx &ctx)
+{
+    // The tag must sit on one of the file's first three lines — a
+    // deliberate marker, not a doc comment that merely quotes it.
+    bool tagged = false;
+    for (std::size_t i = 0;
+         i < ctx.view.comment.size() && i < 3 && !tagged; ++i)
+        tagged = ctx.view.comment[i].find("srb-lint: bitsliced") !=
+                 std::string::npos;
+    if (!tagged)
+        return;
+    static const std::regex re(
+        R"(\bswitchesPerStage\b|\bSwitchStates\b)");
+    for (std::size_t i = 0; i < ctx.view.code.size(); ++i)
+        if (std::regex_search(ctx.view.code[i], re))
+            ctx.report("SRB008", i,
+                       "per-switch scalar state walk in a file "
+                       "tagged bitsliced; produce states "
+                       "word-parallel (or justify construction-time "
+                       "use with an allow)");
+}
+
 } // namespace
 
 const std::vector<RuleInfo> &
@@ -396,6 +427,8 @@ ruleCatalog()
                    "annotations (srbenes::Mutex/SharedMutex)"},
         {"SRB007", "include hygiene: no <bits/>, direct "
                    "<atomic>/<thread> includes"},
+        {"SRB008", "no per-switch scalar walks in files tagged "
+                   "'srb-lint: bitsliced'"},
     };
     return catalog;
 }
@@ -423,6 +456,7 @@ lintText(const std::string &path, const std::string &text)
     ruleNoSpinYield(ctx);
     ruleAnnotatedMutexMembers(ctx);
     ruleIncludeHygiene(ctx);
+    ruleBitslicedNoScalarWalk(ctx);
 
     // Inline suppressions: an allow on the finding's line or within
     // the two lines above it (room for a wrapped reason).

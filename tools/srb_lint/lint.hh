@@ -17,6 +17,10 @@
  *   SRB007  include hygiene: no <bits/...>, and files naming
  *           std::atomic/std::thread include <atomic>/<thread>
  *           directly
+ *   SRB008  files opening with a `// srb-lint: bitsliced` tag (on
+ *           one of the first three lines) must produce switch
+ *           states word-parallel: no per-switch scalar walks
+ *           (switchesPerStage loops, SwitchStates)
  *
  * The scanner blanks comments, string/char literals, and raw
  * strings before matching, so rule patterns quoted in code or docs
@@ -45,7 +49,7 @@ namespace lint
 /** One rule violation at a specific source line. */
 struct Finding
 {
-    std::string rule;    //!< "SRB001" ... "SRB007"
+    std::string rule;    //!< "SRB001" ... "SRB008"
     std::string file;    //!< path as given to the linter
     unsigned line = 0;   //!< 1-based
     std::string message; //!< human-readable explanation
