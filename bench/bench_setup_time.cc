@@ -19,9 +19,11 @@
  * Section E2b extends the experiment to the library's own cold-plan
  * path: the per-switch reference simulator against the bit-sliced
  * SetupEngine (scalar and SIMD kernel dispatch, plus Router::plan
- * end to end), and setupMany batch amortization at sizes 1/8/64.
- * Emits machine-readable BENCH_setup.json; SRBENES_BENCH_SMOKE=1
- * runs the reduced CI configuration.
+ * end to end), and the batch sweep (1/8/64/256 at n = 12 and 14)
+ * comparing the tiled-arena pipeline against flat setupMany, with
+ * per-row working-set and arena accounting. Emits machine-readable
+ * BENCH_setup.json; SRBENES_BENCH_SMOKE=1 runs the reduced CI
+ * configuration.
  */
 
 #include <algorithm>
@@ -128,9 +130,16 @@ struct SetupRow
 
 struct BatchRow
 {
+    unsigned n;
     unsigned batch;
-    double perms_per_sec;
-    double us_per_perm;
+    double perms_per_sec;        //!< tiled pipeline
+    double us_per_perm;          //!< tiled pipeline (the headline)
+    double legacy_us_per_perm;   //!< setupMany FastPlan path
+    std::size_t working_set_bytes;        //!< tiled plan bytes/rep
+    std::size_t legacy_working_set_bytes; //!< FastPlan bytes/rep
+    std::size_t arena_resident_bytes;
+    std::size_t arena_capacity_bytes;
+    double arena_occupancy;
 };
 
 /**
@@ -209,36 +218,88 @@ runBitslicedSetup(bool smoke, std::vector<SetupRow> &rows,
                  "setupPacked — the acceptance floor at n = 12 is "
                  "3x)\n\n";
 
-    std::cout << "=== E2b: setupMany batch amortization (n = 12, "
-                 "F members) ===\n\n";
-    {
-        const unsigned n = 12;
+    std::cout << "=== E2b: batch setup, tiled arena pipeline vs "
+                 "flat setupMany (F members) ===\n\n";
+    for (const unsigned n : {12u, 14u}) {
+        const Word N = Word{1} << n;
         const FastEngine eng(n);
         const SetupEngine setup(eng, nullptr);
-        Prng prng(2027);
-        TextTable btab({"batch", "perms/s", "us/perm"});
-        for (unsigned B : {1u, 8u, 64u}) {
+        Prng prng(2015 + n);
+        TextTable btab({"n", "batch", "tiled us/perm",
+                        "flat us/perm", "tiled ws KiB",
+                        "flat ws KiB", "arena occ"});
+        for (unsigned B : {1u, 8u, 64u, 256u}) {
             std::vector<Permutation> batch;
             for (unsigned i = 0; i < B; ++i)
                 batch.push_back(randomFMember(n, prng));
             const int breps = std::max(
-                1, (smoke ? 32 : 256) / static_cast<int>(B));
-            const double us = timeUs(
+                2, (smoke ? 64 : 256) / static_cast<int>(B));
+
+            // The tiled path: succinct stage-major plans in a
+            // PlanArena, no per-plan FastPlan materialization. The
+            // arena persists across reps (blocks recycle through
+            // its free lists), the cache-steady state a server has.
+            // One untimed rep first so tile allocation and page
+            // faults land outside the measurement at every B alike.
+            auto arena = std::make_shared<PlanArena>();
+            {
+                auto warm = setup.setupTiled(
+                    batch, RoutingMode::SelfRouting, 1, arena);
+                benchmark::DoNotOptimize(warm.size());
+            }
+            const double tiled_us = timeUs(
+                [&] {
+                    auto plans = setup.setupTiled(
+                        batch, RoutingMode::SelfRouting, 1, arena);
+                    benchmark::DoNotOptimize(plans.size());
+                },
+                breps);
+
+            // The flat path this PR's tiling fixes: one full
+            // FastPlan (slot-order ctrl + dest/src tables) per perm.
+            {
+                auto warm = setup.setupMany(batch);
+                benchmark::DoNotOptimize(warm.size());
+            }
+            const double flat_us = timeUs(
                 [&] {
                     auto plans = setup.setupMany(batch);
                     benchmark::DoNotOptimize(plans.size());
                 },
                 breps);
-            const double pps = B / (us * 1e-6);
-            batches.push_back({B, pps, us / B});
+
+            // Working sets: bytes of plan state one rep writes.
+            const TiledPlans probe = setup.setupTiled(
+                batch, RoutingMode::SelfRouting, 1, arena);
+            const std::size_t tiled_ws = probe.planBytes();
+            const PlanArenaStats astats = probe.arenaStats();
+            const std::size_t flat_ws =
+                std::size_t{B} *
+                ((Word{2 * n - 1} * eng.laneWords() + 2 * N) *
+                 sizeof(Word));
+
+            const double tpps = B / (tiled_us * 1e-6);
+            batches.push_back({n, B, tpps, tiled_us / B,
+                               flat_us / B, tiled_ws, flat_ws,
+                               astats.resident_bytes,
+                               astats.capacity_bytes,
+                               astats.occupancy});
             btab.newRow();
+            btab.addCell(n);
             btab.addCell(B);
-            btab.addCell(pps, 0);
-            btab.addCell(us / B, 1);
+            btab.addCell(tiled_us / B, 1);
+            btab.addCell(flat_us / B, 1);
+            btab.addCell(tiled_ws / 1024.0, 0);
+            btab.addCell(flat_ws / 1024.0, 0);
+            btab.addCell(astats.occupancy, 2);
         }
         btab.print(std::cout);
         std::cout << "\n";
     }
+    std::cout << "(the tiled column is the fused-pipeline batch "
+                 "path; its us/perm must stay flat across batch\n"
+                 "sizes — the CI smoke gate asserts n = 12 "
+                 "batch-64 <= 1.25x batch-8)\n\n";
 }
 
 bool
@@ -276,12 +337,22 @@ writeSetupJson(const std::vector<SetupRow> &rows,
     std::fprintf(jf, "  ],\n  \"batch\": [\n");
     for (std::size_t i = 0; i < batches.size(); ++i) {
         const BatchRow &b = batches[i];
-        std::fprintf(jf,
-                     "    {\"n\": 12, \"batch\": %u, "
-                     "\"perms_per_sec\": %.0f, "
-                     "\"us_per_perm\": %.1f}%s\n",
-                     b.batch, b.perms_per_sec, b.us_per_perm,
-                     i + 1 < batches.size() ? "," : "");
+        std::fprintf(
+            jf,
+            "    {\"n\": %u, \"batch\": %u, "
+            "\"perms_per_sec\": %.0f, "
+            "\"us_per_perm\": %.1f, "
+            "\"legacy_us_per_perm\": %.1f, "
+            "\"working_set_bytes\": %zu, "
+            "\"legacy_working_set_bytes\": %zu, "
+            "\"arena_resident_bytes\": %zu, "
+            "\"arena_capacity_bytes\": %zu, "
+            "\"arena_occupancy\": %.2f}%s\n",
+            b.n, b.batch, b.perms_per_sec, b.us_per_perm,
+            b.legacy_us_per_perm, b.working_set_bytes,
+            b.legacy_working_set_bytes, b.arena_resident_bytes,
+            b.arena_capacity_bytes, b.arena_occupancy,
+            i + 1 < batches.size() ? "," : "");
     }
     std::fprintf(jf, "  ]\n}\n");
     std::fclose(jf);

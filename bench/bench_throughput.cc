@@ -31,6 +31,16 @@
  *              hops at all (the `inline_served` JSON field records
  *              how many requests took it).
  *
+ * A final CROSS-WORKER PRESSURE row reruns n = 12 with deliberately
+ * hostile stream knobs — tiny per-worker rings (4), a local plan
+ * table smaller than the hot set (8 slots), and a deep in-flight
+ * window (64) — so affine rings overflow, requests spill to the
+ * neighbouring worker, and thrashed local tables fall through to the
+ * shared Router tier for plans another worker already planted. This
+ * exercises the shared tier's HIT path end-to-end (shared_hits was
+ * structurally zero under the affinity-friendly default knobs); the
+ * bench exits nonzero if the pressure row records no shared hits.
+ *
  * Every ~97th streamed result is checked bit-for-bit against the
  * reference SelfRoutingBenes simulator, outside the timed region.
  * Emits a fixed-width table and machine-readable
@@ -178,20 +188,42 @@ struct StreamRun
 };
 
 /**
+ * Hostile knobs for the cross-worker pressure row: rings small
+ * enough to overflow (spilling requests to the neighbouring worker),
+ * a local plan table too small for the hot set (so it thrashes and
+ * keeps consulting the shared tier), and an in-flight window deep
+ * enough to keep both rings saturated.
+ */
+struct PressureKnobs
+{
+    std::size_t ring_capacity = 4;
+    std::size_t local_cache_slots = 8;
+    std::uint64_t max_out = 64;
+};
+
+/**
  * One producer (this thread) pumping the whole schedule through a
  * StreamEngine with kWorkers workers; payload storage is recycled
- * from polled results, so steady state allocates nothing.
+ * from polled results, so steady state allocates nothing. When
+ * @p pressure is set its knobs replace the throughput-tuned
+ * defaults (the cross-worker pressure row).
  */
 StreamRun
 streamRun(unsigned n,
-          const std::vector<std::shared_ptr<const Permutation>> &sched)
+          const std::vector<std::shared_ptr<const Permutation>> &sched,
+          const PressureKnobs *pressure = nullptr)
 {
     const Word N = Word{1} << n;
-    const std::uint64_t max_out = maxOutstandingFor(N);
+    const std::uint64_t max_out =
+        pressure ? pressure->max_out : maxOutstandingFor(N);
     StreamOptions opts;
     opts.workers = kWorkers;
     opts.shared_cache_capacity = 512;
     opts.shared_cache_shards = 8;
+    if (pressure) {
+        opts.ring_capacity = pressure->ring_capacity;
+        opts.local_cache_slots = pressure->local_cache_slots;
+    }
     // Correctness here is covered by the sampled parity check below;
     // trust the 128-bit content hash on local hits, as a throughput
     // deployment would.
@@ -286,6 +318,7 @@ streamRun(unsigned n,
 
 struct Row
 {
+    const char *workload = "hotset";
     unsigned n;
     Word N;
     std::uint64_t requests;
@@ -324,9 +357,10 @@ main()
 
     Prng prng(2026);
     std::vector<Row> rows;
-    TextTable table({"n", "N", "requests", "baseline p/s",
-                     "stream p/s", "speedup", "GB/s", "p50 us",
-                     "p99 us", "local hit%"});
+    TextTable table({"workload", "n", "N", "requests",
+                     "baseline p/s", "stream p/s", "speedup", "GB/s",
+                     "p50 us", "p99 us", "local hit%",
+                     "shared hits"});
 
     struct Config
     {
@@ -342,19 +376,16 @@ main()
     std::vector<Config> configs{{8, 60000}, {10, 30000}, {12, 15000}};
     if (smoke)
         configs = {{8, 4000}, {10, 2000}, {12, 1000}};
-    for (const Config cfg : configs) {
-        const auto sched = makeSchedule(cfg.n, cfg.requests, prng);
-
-        Row row;
-        row.n = cfg.n;
-        row.N = Word{1} << cfg.n;
-        row.requests = cfg.requests;
-        row.baseline_ps = baselineRun(cfg.n, sched);
-        row.stream = streamRun(cfg.n, sched);
-        rows.push_back(row);
-
+    const auto sharedHitsOf = [](const StreamStats &st) {
+        std::uint64_t hits = 0;
+        for (const auto &s : st.shared_shards)
+            hits += s.hits;
+        return hits;
+    };
+    const auto emitRow = [&](const Row &row) {
         const StreamStats &st = row.stream.stats;
         table.newRow();
+        table.addCell(row.workload);
         table.addCell(row.n);
         table.addCell(row.N);
         table.addCell(row.requests);
@@ -366,6 +397,7 @@ main()
         table.addCell(fmt2(st.p99_ns / 1e3));
         table.addCell(
             fmt2(100.0 * st.local_hits / st.requests) + "%");
+        table.addCell(sharedHitsOf(st));
         if (row.stream.parity_failures)
             std::fprintf(stderr,
                          "PARITY FAILURE: n=%u: %llu of %llu sampled "
@@ -375,6 +407,47 @@ main()
                              row.stream.parity_failures),
                          static_cast<unsigned long long>(
                              row.stream.parity_samples));
+    };
+
+    for (const Config cfg : configs) {
+        const auto sched = makeSchedule(cfg.n, cfg.requests, prng);
+
+        Row row;
+        row.n = cfg.n;
+        row.N = Word{1} << cfg.n;
+        row.requests = cfg.requests;
+        row.baseline_ps = baselineRun(cfg.n, sched);
+        row.stream = streamRun(cfg.n, sched);
+        rows.push_back(row);
+        emitRow(row);
+    }
+
+    // Cross-worker pressure: same schedule shape at n = 12, hostile
+    // knobs. Affine rings overflow and spill, so the neighbouring
+    // worker serves patterns it never planned — shared-tier hits.
+    bool pressure_ok = true;
+    {
+        const PressureKnobs knobs;
+        const unsigned n = 12;
+        const std::uint64_t requests = smoke ? 1000 : 15000;
+        const auto sched = makeSchedule(n, requests, prng);
+
+        Row row;
+        row.workload = "pressure";
+        row.n = n;
+        row.N = Word{1} << n;
+        row.requests = requests;
+        row.baseline_ps = baselineRun(n, sched);
+        row.stream = streamRun(n, sched, &knobs);
+        rows.push_back(row);
+        emitRow(row);
+
+        if (sharedHitsOf(row.stream.stats) == 0) {
+            pressure_ok = false;
+            std::fprintf(stderr,
+                         "PRESSURE FAILURE: the cross-worker row "
+                         "recorded no shared-tier hits\n");
+        }
     }
 
     table.print(std::cout);
@@ -409,16 +482,17 @@ main()
         parity_ok = parity_ok && r.stream.parity_failures == 0;
         std::fprintf(
             jf,
-            "    {\"n\": %u, \"N\": %llu, \"requests\": %llu, "
+            "    {\"workload\": \"%s\", \"n\": %u, \"N\": %llu, "
+            "\"requests\": %llu, "
             "\"baseline_perms_per_sec\": %.0f, "
             "\"stream_perms_per_sec\": %.0f, \"speedup\": %.2f, "
             "\"payload_gb_per_sec\": %.3f, \"p50_ns\": %llu, "
             "\"p99_ns\": %llu, \"local_hits\": %llu, "
             "\"shared_lookups\": %llu, \"shared_hits\": %llu, "
             "\"shared_misses\": %llu, \"shared_evictions\": %llu, "
-            "\"inline_served\": %llu, "
+            "\"inline_served\": %llu, \"sheds\": %llu, "
             "\"parity_samples\": %llu, \"parity_ok\": %s}%s\n",
-            r.n, static_cast<unsigned long long>(r.N),
+            r.workload, r.n, static_cast<unsigned long long>(r.N),
             static_cast<unsigned long long>(r.requests),
             r.baseline_ps, st.perms_per_sec,
             st.perms_per_sec / r.baseline_ps, st.payload_gb_per_sec,
@@ -430,6 +504,7 @@ main()
             static_cast<unsigned long long>(shared_misses),
             static_cast<unsigned long long>(shared_evictions),
             static_cast<unsigned long long>(st.inline_served),
+            static_cast<unsigned long long>(st.sheds),
             static_cast<unsigned long long>(r.stream.parity_samples),
             r.stream.parity_failures == 0 ? "true" : "false",
             i + 1 < rows.size() ? "," : "");
@@ -437,5 +512,5 @@ main()
     std::fprintf(jf, "  ]\n}\n");
     std::fclose(jf);
     std::printf("\nwrote %s\n", path);
-    return parity_ok ? 0 : 1;
+    return parity_ok && pressure_ok ? 0 : 1;
 }

@@ -48,4 +48,29 @@ for f in "${jsons[@]}"; do
     fi
 done
 
+# Batch-scaling guard: the tiled arena pipeline exists so large
+# batches stop falling out of L2. Assert the committed acceptance
+# ratio — n=12 batch-64 us/perm within 1.25x of batch-8 — on every
+# run, so a regression back to the per-plan-FastPlan cliff (2.3x)
+# cannot land silently.
+if [ -f BENCH_setup.json ]; then
+    echo
+    echo "== batch-scaling guard (n=12, batch-64 : batch-8) =="
+    if ! python3 - <<'EOF'
+import json, sys
+rows = json.load(open("BENCH_setup.json")).get("batch", [])
+us = {r["batch"]: r["us_per_perm"] for r in rows if r["n"] == 12}
+if 8 not in us or 64 not in us:
+    sys.exit("missing n=12 batch-8/batch-64 rows in BENCH_setup.json")
+ratio = us[64] / us[8]
+print(f"  batch-8: {us[8]:.1f} us/perm  batch-64: {us[64]:.1f} "
+      f"us/perm  ratio: {ratio:.2f} (limit 1.25)")
+sys.exit(0 if ratio <= 1.25 else f"batch-64:batch-8 ratio {ratio:.2f} "
+         "exceeds 1.25 -- the tiled pipeline regressed")
+EOF
+    then
+        failed=1
+    fi
+fi
+
 exit "${failed}"

@@ -115,46 +115,99 @@ FastEngine::loadTagPlanes(const Permutation &d,
 }
 
 void
+FastEngine::stageCtrl(unsigned s, const Word *planes, RoutingMode mode,
+                      Word *ctrl) const
+{
+    const unsigned b = std::min(s, 2 * n_ - 2 - s);
+    const Word W = lane_words_;
+    const Word *pb = planes + Word{b} * W;
+
+    // Control masks: bit b of the tag on each upper input, read
+    // before any exchange of this stage (Fig. 3), unless the omega
+    // bit holds the stage open.
+    if (mode == RoutingMode::OmegaBit && s + 1 < n_) {
+        std::memset(ctrl, 0, W * sizeof(Word));
+    } else if (b < 6) {
+        const Word m = kUpperMask[b];
+        for (Word w = 0; w < W; ++w)
+            ctrl[w] = pb[w] & m;
+    } else {
+        const Word dw = Word{1} << (b - 6);
+        for (Word w = 0; w < W; ++w)
+            ctrl[w] = (w & dw) ? 0 : pb[w];
+    }
+}
+
+void
+FastEngine::stageExchange(unsigned s, Word *planes,
+                          const Word *ctrl) const
+{
+    // Conditional exchange of every plane at distance 2^b, through
+    // the runtime-dispatched kernel table.
+    const unsigned b = std::min(s, 2 * n_ - 2 - s);
+    const KernelTable &kern = activeKernels();
+    if (b < 6)
+        kern.deltaSwap(planes, n_, lane_words_, ctrl, lane_words_,
+                       1u << b);
+    else
+        kern.pairSwap(planes, n_, lane_words_, ctrl, lane_words_,
+                      Word{1} << (b - 6));
+}
+
+bool
+FastEngine::planesAtHome(const std::vector<Word> &planes) const
+{
+    return std::equal(planes.begin(), planes.end(),
+                      success_pattern_.begin());
+}
+
+void
+FastEngine::srcFromPlanes(const Permutation &d,
+                          const std::vector<Word> &planes,
+                          std::vector<Word> &src) const
+{
+    const Word size = num_lines_;
+    src.resize(size);
+    std::vector<Word> dinv(size);
+    for (Word i = 0; i < size; ++i)
+        dinv[d[i]] = i;
+    for (Word x = 0; x < size; ++x) {
+        const Word w = x >> 6;
+        const unsigned sh = x & 63;
+        Word tag = 0;
+        for (unsigned b = 0; b < n_; ++b)
+            tag |= ((planes[Word{b} * lane_words_ + w] >> sh) & 1u) << b;
+        src[output_of_slot_[x]] = dinv[tag];
+    }
+}
+
+void
+FastEngine::inverseInto(const Permutation &d,
+                        std::vector<Word> &src) const
+{
+    src.resize(num_lines_);
+    for (Word i = 0; i < num_lines_; ++i)
+        src[d[i]] = i;
+}
+
+void
 FastEngine::runPlanes(std::vector<Word> &planes, FastPlan &plan,
                       const std::vector<Word> *forced,
                       RoutingMode mode) const
 {
     const unsigned stages = numStages();
     const Word W = lane_words_;
-    const KernelTable &kern = activeKernels();
     plan.n = n_;
-    plan.ctrl.assign(Word{stages} * W, 0);
+    plan.ctrl.resize(Word{stages} * W);
 
     for (unsigned s = 0; s < stages; ++s) {
-        const unsigned b = std::min(s, 2 * n_ - 2 - s);
         Word *ctrl = plan.ctrl.data() + Word{s} * W;
-        const Word *pb = planes.data() + Word{b} * W;
-
-        // Control masks: bit b of the tag on each upper input, read
-        // before any exchange of this stage (Fig. 3), unless the
-        // states are forced or the omega bit holds the stage open.
-        if (forced) {
+        if (forced)
             std::memcpy(ctrl, forced->data() + Word{s} * W,
                         W * sizeof(Word));
-        } else if (mode == RoutingMode::OmegaBit && s + 1 < n_) {
-            // stages 0 .. n-2 stay straight; masks remain zero
-        } else if (b < 6) {
-            const Word m = kUpperMask[b];
-            for (Word w = 0; w < W; ++w)
-                ctrl[w] = pb[w] & m;
-        } else {
-            const Word dw = Word{1} << (b - 6);
-            for (Word w = 0; w < W; ++w)
-                ctrl[w] = (w & dw) ? 0 : pb[w];
-        }
-
-        // Conditional exchange of every plane at distance 2^b,
-        // through the runtime-dispatched kernel table.
-        if (b < 6)
-            kern.deltaSwap(planes.data(), n_, W, ctrl, W, 1u << b);
         else
-            kern.pairSwap(planes.data(), n_, W, ctrl, W,
-                          Word{1} << (b - 6));
+            stageCtrl(s, planes.data(), mode, ctrl);
+        stageExchange(s, planes.data(), ctrl);
     }
 }
 
@@ -169,8 +222,7 @@ FastEngine::finishPlan(FastPlan &plan, const Permutation &d,
 
     // Success iff the final planes equal the home pattern: every
     // output's tag is its own index.
-    plan.success =
-        std::equal(planes.begin(), planes.end(), success_pattern_.begin());
+    plan.success = planesAtHome(planes);
     if (plan.success) {
         // Tags ride with their signals, and d is a permutation, so
         // success pins the whole lane mapping to d itself.
@@ -326,8 +378,12 @@ FastEngine::executeMany(const FastPlan &plan,
     if (batch_vectors_)
         batch_vectors_->observe(batch.size());
     if (num_threads <= 1 || batch.empty()) {
-        for (std::size_t v = 0; v < batch.size(); ++v)
+        for (std::size_t v = 0; v < batch.size(); ++v) {
+            // Start the next payload's stream while this gather runs.
+            if (v + 1 < batch.size())
+                prefetchWords(batch[v + 1].data(), num_lines_);
             executeInto(plan, batch[v], outs[v]);
+        }
         return outs;
     }
 
@@ -343,9 +399,12 @@ FastEngine::executeMany(const FastPlan &plan,
     const Word *src = plan.src.data();
     const KernelTable &kern = activeKernels();
     auto worker = [&](Word lo, Word hi) {
-        for (std::size_t v = 0; v < batch.size(); ++v)
+        for (std::size_t v = 0; v < batch.size(); ++v) {
+            if (v + 1 < batch.size())
+                prefetchWords(batch[v + 1].data() + lo, hi - lo);
             kern.gather(outs[v].data() + lo, batch[v].data(), src + lo,
                         hi - lo);
+        }
     };
     std::vector<std::thread> threads;
     threads.reserve(T);

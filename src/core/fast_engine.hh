@@ -51,6 +51,7 @@
 
 #include <vector>
 
+#include "core/plan_arena.hh"
 #include "core/self_routing.hh"
 #include "core/topology.hh"
 #include "obs/metrics.hh"
@@ -58,35 +59,6 @@
 
 namespace srbenes
 {
-
-/**
- * Switch states packed one bit per switch, stage-major, switch i of
- * a stage at word i/64 bit i%64 — the same bit order state_io uses,
- * but word-addressed so a stage's 64-switch groups are single loads.
- */
-struct PackedStates
-{
-    unsigned n = 0;
-    /** Words per stage, ceil((N/2) / 64). */
-    Word words_per_stage = 0;
-    /** (2n-1) * words_per_stage words, contiguous. */
-    std::vector<Word> words;
-
-    bool
-    get(unsigned stage, Word sw) const
-    {
-        const Word w = words[stage * words_per_stage + (sw >> 6)];
-        return (w >> (sw & 63)) & 1u;
-    }
-
-    void
-    set(unsigned stage, Word sw, bool v)
-    {
-        Word &w = words[stage * words_per_stage + (sw >> 6)];
-        const Word m = Word{1} << (sw & 63);
-        w = v ? (w | m) : (w & ~m);
-    }
-};
 
 /**
  * One routed configuration, kept in the engine's native form. The
@@ -220,6 +192,26 @@ class FastEngine
     void runPlanes(std::vector<Word> &planes, FastPlan &plan,
                    const std::vector<Word> *forced,
                    RoutingMode mode) const;
+    /**
+     * @{ Stage-granular pieces of runPlanes, shared with the tiled
+     * setup pipeline (SetupEngine::setupTiled) so the Fig. 3 control
+     * rule and the exchange have exactly one implementation whether
+     * the masks land in a FastPlan or in an arena tile row.
+     */
+    void stageCtrl(unsigned s, const Word *planes, RoutingMode mode,
+                   Word *ctrl) const;
+    void stageExchange(unsigned s, Word *planes,
+                       const Word *ctrl) const;
+    /** True iff @p planes equal the all-tags-home pattern. */
+    bool planesAtHome(const std::vector<Word> &planes) const;
+    /** Gather table realized by final @p planes (misroute-safe). */
+    void srcFromPlanes(const Permutation &d,
+                       const std::vector<Word> &planes,
+                       std::vector<Word> &src) const;
+    /** Gather table of a SUCCESS plan: src[d[i]] = i, no plan
+     *  bytes needed beyond the permutation itself. */
+    void inverseInto(const Permutation &d, std::vector<Word> &src) const;
+    /** @} */
     void finishPlan(FastPlan &plan, const Permutation &d,
                     const std::vector<Word> &planes) const;
     RouteResult toRouteResult(const FastPlan &plan,

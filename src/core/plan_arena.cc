@@ -1,0 +1,223 @@
+// srb-lint: arena — SRB009: plan bytes come from PlanArena here.
+/** @file PlanArena / TiledPlans implementation; see plan_arena.hh. */
+
+#include "core/plan_arena.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace srbenes
+{
+
+PlanArena::PlanArena(std::size_t tile_bytes)
+    : tile_bytes_(tile_bytes),
+      tile_words_(std::max<std::size_t>(1, tile_bytes / sizeof(Word)))
+{
+}
+
+Word *
+PlanArena::alloc(std::size_t words)
+{
+    if (words == 0)
+        fatal("PlanArena::alloc: zero-word block requested");
+    MutexLock lock(mu_);
+    return allocLocked(words);
+}
+
+Word *
+PlanArena::allocLocked(std::size_t words)
+{
+    auto it = free_.find(words);
+    if (it != free_.end() && !it->second.empty())
+    {
+        Word *block = it->second.back();
+        it->second.pop_back();
+        live_words_ += words;
+        ++live_blocks_;
+        publishGaugesLocked();
+        return block;
+    }
+
+    if (tiles_.empty() || tiles_.back().used + words > tiles_.back().cap)
+    {
+        Tile tile;
+        tile.cap = std::max(tile_words_, words);
+        // srb-lint: allow(SRB009) the tile backing store itself is the
+        // one place arena bytes may come from the heap.
+        tile.words = std::make_unique<Word[]>(tile.cap);
+        capacity_words_ += tile.cap;
+        tiles_.push_back(std::move(tile));
+    }
+
+    Tile &open = tiles_.back();
+    Word *block = open.words.get() + open.used;
+    open.used += words;
+    live_words_ += words;
+    ++live_blocks_;
+    publishGaugesLocked();
+    return block;
+}
+
+void
+PlanArena::release(Word *block, std::size_t words)
+{
+    if (block == nullptr || words == 0)
+        fatal("PlanArena::release: null block or zero words");
+    MutexLock lock(mu_);
+    free_[words].push_back(block);
+    live_words_ -= words;
+    --live_blocks_;
+    publishGaugesLocked();
+}
+
+void
+PlanArena::publishGaugesLocked()
+{
+    if (g_resident_ != nullptr)
+        g_resident_->set(
+            static_cast<std::int64_t>(live_words_ * sizeof(Word)));
+    if (g_capacity_ != nullptr)
+        g_capacity_->set(
+            static_cast<std::int64_t>(capacity_words_ * sizeof(Word)));
+}
+
+PlanArenaStats
+PlanArena::stats() const
+{
+    MutexLock lock(mu_);
+    PlanArenaStats s;
+    s.resident_bytes = live_words_ * sizeof(Word);
+    s.capacity_bytes = capacity_words_ * sizeof(Word);
+    s.tiles = tiles_.size();
+    s.live_blocks = live_blocks_;
+    s.occupancy = capacity_words_ == 0
+                      ? 0.0
+                      : static_cast<double>(live_words_) /
+                            static_cast<double>(capacity_words_);
+    return s;
+}
+
+std::size_t
+PlanArena::residentBytes() const
+{
+    MutexLock lock(mu_);
+    return live_words_ * sizeof(Word);
+}
+
+std::size_t
+PlanArena::capacityBytes() const
+{
+    MutexLock lock(mu_);
+    return capacity_words_ * sizeof(Word);
+}
+
+void
+PlanArena::attachGauges(obs::Gauge *resident, obs::Gauge *capacity)
+{
+    MutexLock lock(mu_);
+    g_resident_ = resident;
+    g_capacity_ = capacity;
+    publishGaugesLocked();
+}
+
+TiledPlans::~TiledPlans() { releaseBlocks(); }
+
+TiledPlans::TiledPlans(TiledPlans &&other) noexcept
+    : n_(other.n_), stages_(other.stages_),
+      words_per_stage_(other.words_per_stage_), tile_cap_(other.tile_cap_),
+      arena_(std::move(other.arena_)),
+      tile_base_(std::move(other.tile_base_)),
+      success_(std::move(other.success_))
+{
+    other.n_ = 0;
+    other.stages_ = 0;
+    other.words_per_stage_ = 0;
+    other.tile_cap_ = 0;
+    other.tile_base_.clear();
+    other.success_.clear();
+}
+
+TiledPlans &
+TiledPlans::operator=(TiledPlans &&other) noexcept
+{
+    if (this != &other)
+    {
+        releaseBlocks();
+        n_ = other.n_;
+        stages_ = other.stages_;
+        words_per_stage_ = other.words_per_stage_;
+        tile_cap_ = other.tile_cap_;
+        arena_ = std::move(other.arena_);
+        tile_base_ = std::move(other.tile_base_);
+        success_ = std::move(other.success_);
+        other.n_ = 0;
+        other.stages_ = 0;
+        other.words_per_stage_ = 0;
+        other.tile_cap_ = 0;
+        other.tile_base_.clear();
+        other.success_.clear();
+    }
+    return *this;
+}
+
+void
+TiledPlans::releaseBlocks()
+{
+    if (!arena_ || tile_base_.empty())
+    {
+        tile_base_.clear();
+        return;
+    }
+    const std::size_t block_words =
+        static_cast<std::size_t>(stages_) * tile_cap_ * words_per_stage_;
+    for (Word *base : tile_base_)
+        arena_->release(base, block_words);
+    tile_base_.clear();
+}
+
+PackedPlanBits
+TiledPlans::bits(std::size_t i) const
+{
+    if (i >= success_.size())
+        fatal("TiledPlans::bits: plan %zu out of range (size %zu)", i,
+              success_.size());
+    const std::size_t tile = i / tile_cap_;
+    const std::size_t off = i % tile_cap_;
+    PackedPlanBits b;
+    b.n = n_;
+    b.words_per_stage = words_per_stage_;
+    b.stage_stride = tile_cap_ * words_per_stage_;
+    b.words = tile_base_[tile] + off * words_per_stage_;
+    return b;
+}
+
+PackedStates
+TiledPlans::packedStates(std::size_t i) const
+{
+    const PackedPlanBits b = bits(i);
+    PackedStates out;
+    out.n = n_;
+    out.words_per_stage = words_per_stage_;
+    out.words.resize(static_cast<std::size_t>(stages_) * words_per_stage_);
+    for (unsigned s = 0; s < stages_; ++s)
+        for (Word w = 0; w < words_per_stage_; ++w)
+            out.words[s * words_per_stage_ + w] =
+                b.words[Word{s} * b.stage_stride + w];
+    return out;
+}
+
+PlanArenaStats
+TiledPlans::arenaStats() const
+{
+    return arena_ ? arena_->stats() : PlanArenaStats{};
+}
+
+std::size_t
+TiledPlans::planBytes() const noexcept
+{
+    return tile_base_.size() * static_cast<std::size_t>(stages_) *
+           tile_cap_ * words_per_stage_ * sizeof(Word);
+}
+
+} // namespace srbenes

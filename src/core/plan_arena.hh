@@ -1,0 +1,263 @@
+// srb-lint: arena — SRB009: plan bytes come from PlanArena here.
+/**
+ * @file
+ * Tiled arena for plan bytes: the resident form of routing plans.
+ *
+ * Waksman's succinct-plan bound (N lg N - N + 1 control bits) says a
+ * rearrangeable network's configuration is tiny next to the flat
+ * FastPlan working set (slot-order control masks plus materialized
+ * dest/src gather tables: ~76 KiB per plan at n = 12 against ~6 KiB
+ * of switch-packed control bits). BENCH_setup.json showed where that
+ * difference bites: a 64-plan batch writes ~5 MiB of plan bytes, the
+ * working set falls out of L2, and the per-plan cost more than
+ * doubles. This arena is the fix's storage half: plan bytes live in
+ * cache-budget-sized tiles, carved out with a bump pointer and
+ * recycled through exact-size free lists, with byte-level accounting
+ * the cache layer can expose and evict against.
+ *
+ * Two consumers:
+ *
+ *  - TiledPlans (below): a batch of succinct plans produced by
+ *    SetupEngine::setupTiled, stored STAGE-MAJOR inside each tile —
+ *    all plans' stage-0 rows contiguous, then stage-1, ... — so the
+ *    fused setup→execute pipeline streams one stage of a whole tile
+ *    per pass and the tile never leaves cache while it is hot.
+ *  - Router's sharded plan cache: each shard owns an arena holding
+ *    the switch-packed control bits of its resident plans; entries
+ *    account their bytes, eviction can run against a byte budget,
+ *    and gauges export arena residency/occupancy.
+ *
+ * alloc()/release() are thread-safe (a small mutex; both are
+ * cold-path operations: plan insertion, eviction, final release of a
+ * shared plan on whichever thread drops the last reference). The
+ * returned blocks themselves are synchronized by whatever publishes
+ * them (the shard lock, or the batch hand-off of TiledPlans).
+ */
+
+#ifndef SRBENES_CORE_PLAN_ARENA_HH
+#define SRBENES_CORE_PLAN_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitops.hh"
+#include "common/thread_annotations.hh"
+#include "obs/metrics.hh"
+
+namespace srbenes
+{
+
+/**
+ * Switch states packed one bit per switch, stage-major, switch i of
+ * a stage at word i/64 bit i%64 — the same bit order state_io uses,
+ * but word-addressed so a stage's 64-switch groups are single loads.
+ * This flat, self-owning form is the compatibility currency between
+ * the engines and state_io; the arena-resident forms below carry the
+ * same bits without the per-plan vector.
+ */
+struct PackedStates
+{
+    unsigned n = 0;
+    /** Words per stage, ceil((N/2) / 64). */
+    Word words_per_stage = 0;
+    /** (2n-1) * words_per_stage words, contiguous. */
+    // srb-lint: allow(SRB009) the materialized compat form is the
+    // one deliberate heap escape hatch out of the arena.
+    std::vector<Word> words;
+
+    bool
+    get(unsigned stage, Word sw) const
+    {
+        const Word w = words[stage * words_per_stage + (sw >> 6)];
+        return (w >> (sw & 63)) & 1u;
+    }
+
+    void
+    set(unsigned stage, Word sw, bool v)
+    {
+        Word &w = words[stage * words_per_stage + (sw >> 6)];
+        const Word m = Word{1} << (sw & 63);
+        w = v ? (w | m) : (w & ~m);
+    }
+};
+
+/** One byte-accounting snapshot of a PlanArena. */
+struct PlanArenaStats
+{
+    /** Bytes inside live (allocated, unreleased) blocks. */
+    std::size_t resident_bytes = 0;
+    /** Bytes backing every tile, live or free. */
+    std::size_t capacity_bytes = 0;
+    std::size_t tiles = 0;
+    std::size_t live_blocks = 0;
+    /** resident / capacity; 0 before the first tile exists. */
+    double occupancy = 0.0;
+};
+
+class PlanArena
+{
+  public:
+    /**
+     * The default tile: sized so one tile of plan bytes plus the
+     * producer's scratch planes sit comfortably inside a commodity
+     * per-core L2 (tiles are the unit the fused pipeline keeps
+     * resident, not the whole batch).
+     */
+    static constexpr std::size_t kDefaultTileBytes = 256 * 1024;
+
+    explicit PlanArena(std::size_t tile_bytes = kDefaultTileBytes);
+
+    PlanArena(const PlanArena &) = delete;
+    PlanArena &operator=(const PlanArena &) = delete;
+
+    std::size_t tileBytes() const noexcept { return tile_bytes_; }
+    /** Whole words one tile can hold (alloc() ceiling is soft:
+     *  larger requests get a dedicated oversize tile). */
+    std::size_t tileWords() const noexcept { return tile_words_; }
+
+    /**
+     * Carve a block of @p words Words out of the arena: an exact-size
+     * free-list hit when a released block of this size exists, a bump
+     * allocation from the open tile otherwise (opening a new tile —
+     * oversized if needed — when the open one cannot fit it).
+     * Returned memory is NOT zeroed. words == 0 is a fatal() (a
+     * zero-byte plan is a caller bug, and nullptr would be
+     * indistinguishable from failure).
+     */
+    Word *alloc(std::size_t words);
+
+    /**
+     * Return @p block (a pointer previously produced by alloc() with
+     * the same @p words) to the exact-size free list. The arena never
+     * shrinks: tiles persist and freed blocks are recycled, which is
+     * the steady state a plan cache wants.
+     */
+    void release(Word *block, std::size_t words);
+
+    PlanArenaStats stats() const;
+    std::size_t residentBytes() const;
+    std::size_t capacityBytes() const;
+
+    /**
+     * Attach residency gauges (obs/metrics.hh); the arena keeps them
+     * current from inside alloc()/release(), so a final release on a
+     * foreign thread still lands in the export. Either may be null.
+     */
+    void attachGauges(obs::Gauge *resident, obs::Gauge *capacity);
+
+  private:
+    struct Tile
+    {
+        std::unique_ptr<Word[]> words;
+        std::size_t cap = 0;  //!< words in this tile
+        std::size_t used = 0; //!< bump offset
+    };
+
+    Word *allocLocked(std::size_t words) SRB_REQUIRES(mu_);
+    void publishGaugesLocked() SRB_REQUIRES(mu_);
+
+    const std::size_t tile_bytes_;
+    const std::size_t tile_words_;
+
+    mutable Mutex mu_;
+    std::vector<Tile> tiles_ SRB_GUARDED_BY(mu_);
+    /** Exact-size free lists: word count -> recycled blocks. */
+    std::unordered_map<std::size_t, std::vector<Word *>> free_
+        SRB_GUARDED_BY(mu_);
+    std::size_t live_words_ SRB_GUARDED_BY(mu_) = 0;
+    std::size_t live_blocks_ SRB_GUARDED_BY(mu_) = 0;
+    std::size_t capacity_words_ SRB_GUARDED_BY(mu_) = 0;
+
+    /** Registry-served residency gauges; null when unattached. */
+    obs::Gauge *g_resident_ SRB_GUARDED_BY(mu_) = nullptr;
+    obs::Gauge *g_capacity_ SRB_GUARDED_BY(mu_) = nullptr;
+};
+
+/**
+ * The succinct, arena-resident form of one plan's configuration:
+ * switch-packed control bits (PackedStates bit order), stage s's row
+ * at words + s * stage_stride. Produced by the Router's plan-cache
+ * compaction and by TiledPlans; the flat PackedStates form is
+ * materialized on demand only.
+ */
+struct PackedPlanBits
+{
+    unsigned n = 0;
+    Word words_per_stage = 0;
+    /** Words between consecutive stages (== words_per_stage for a
+     *  lone plan; tile_capacity * words_per_stage inside a tile). */
+    Word stage_stride = 0;
+    const Word *words = nullptr;
+
+    bool
+    get(unsigned stage, Word sw) const
+    {
+        const Word w = words[Word{stage} * stage_stride + (sw >> 6)];
+        return (w >> (sw & 63)) & 1u;
+    }
+};
+
+/**
+ * A batch of succinct plans produced by SetupEngine::setupTiled: the
+ * per-plan heap allocations of the FastPlan path replaced by
+ * stage-major tile blocks in a PlanArena. Movable, not copyable; the
+ * blocks return to the arena on destruction, and the arena (owned or
+ * caller-provided) outlives every view handed out.
+ */
+class TiledPlans
+{
+  public:
+    TiledPlans() = default;
+    ~TiledPlans();
+    TiledPlans(TiledPlans &&other) noexcept;
+    TiledPlans &operator=(TiledPlans &&other) noexcept;
+    TiledPlans(const TiledPlans &) = delete;
+    TiledPlans &operator=(const TiledPlans &) = delete;
+
+    unsigned n() const noexcept { return n_; }
+    std::size_t size() const noexcept { return success_.size(); }
+    bool empty() const noexcept { return success_.empty(); }
+    Word wordsPerStage() const noexcept { return words_per_stage_; }
+    /** Plans per full tile. */
+    Word tileCapacity() const noexcept { return tile_cap_; }
+    std::size_t tiles() const noexcept { return tile_base_.size(); }
+
+    /** True iff plan @p i realized its permutation exactly. */
+    bool success(std::size_t i) const { return success_[i] != 0; }
+
+    /** Zero-copy view of plan @p i's packed control bits. */
+    PackedPlanBits bits(std::size_t i) const;
+
+    /** Materialized flat PackedStates of plan @p i (compat form for
+     *  state_io consumers and the differential tests). */
+    PackedStates packedStates(std::size_t i) const;
+
+    /** Byte accounting of the arena behind this batch. */
+    PlanArenaStats arenaStats() const;
+
+    /** Live plan bytes of this batch alone (its tile blocks). */
+    std::size_t planBytes() const noexcept;
+
+  private:
+    friend class SetupEngine;
+
+    void releaseBlocks();
+
+    unsigned n_ = 0;
+    unsigned stages_ = 0;
+    Word words_per_stage_ = 0;
+    Word tile_cap_ = 0;
+    /** Shared so views stay valid however the batch travels. */
+    std::shared_ptr<PlanArena> arena_;
+    /** One stage-major block per tile; tile t holds plans
+     *  [t * tile_cap, min(size, (t+1) * tile_cap)). */
+    std::vector<Word *> tile_base_;
+    std::vector<std::uint8_t> success_;
+};
+
+} // namespace srbenes
+
+#endif // SRBENES_CORE_PLAN_ARENA_HH

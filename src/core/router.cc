@@ -45,17 +45,21 @@ routeStrategyName(RouteStrategy s)
 
 Router::Router(unsigned n, bool prefer_waksman,
                std::size_t plan_cache_capacity, unsigned cache_shards,
-               obs::MetricsRegistry *metrics)
+               obs::MetricsRegistry *metrics,
+               std::size_t plan_cache_bytes)
     : net_(n), engine_(n, metrics), setup_(engine_, metrics),
       prefer_waksman_(prefer_waksman),
-      cache_capacity_(plan_cache_capacity), metrics_(metrics)
+      cache_capacity_(plan_cache_capacity),
+      cache_bytes_budget_(plan_cache_bytes), metrics_(metrics)
 {
     std::size_t nshards = std::max(1u, cache_shards);
     if (cache_capacity_ > 0)
         nshards = std::min(nshards, cache_capacity_);
     shards_.reserve(nshards);
-    for (std::size_t i = 0; i < nshards; ++i)
+    for (std::size_t i = 0; i < nshards; ++i) {
         shards_.push_back(std::make_unique<CacheShard>());
+        shards_[i]->arena = std::make_shared<PlanArena>();
+    }
 
     if (!metrics_)
         return;
@@ -69,6 +73,13 @@ Router::Router(unsigned n, bool prefer_waksman,
             "srbenes_router_plan_cache_misses_total", labels);
         shards_[i]->evictions = &metrics_->counter(
             "srbenes_router_plan_cache_evictions_total", labels);
+        shards_[i]->bytes_g = &metrics_->gauge(
+            "srbenes_router_plan_cache_resident_bytes", labels);
+        shards_[i]->arena->attachGauges(
+            &metrics_->gauge("srbenes_router_plan_arena_resident_bytes",
+                             labels),
+            &metrics_->gauge("srbenes_router_plan_arena_capacity_bytes",
+                             labels));
     }
     for (RouteStrategy s :
          {RouteStrategy::SelfRouting, RouteStrategy::OmegaBit,
@@ -187,6 +198,109 @@ Router::planImpl(const Permutation &d) const
                      std::move(fast)};
 }
 
+void
+Router::compactForCache(RoutePlan &p, CacheShard &sh) const
+{
+    if (!p.fast || p.fast->ctrl.empty())
+        return; // composed TwoPass mappings carry no masks to pack
+    // Insert-time slimming of a plan planImpl built a moment ago:
+    // this planCached call still holds the only reference, so the
+    // const on the element type (which guards the aliases handed
+    // out to callers later) can be set aside for the compaction.
+    FastPlan &fp = const_cast<FastPlan &>(*p.fast);
+
+    // The switch settings survive in succinct switch-packed form
+    // ((2n-1) * N/2 bits, a word-rounding of Waksman's
+    // N lg N - N + 1 bound) inside the shard's arena; the flat
+    // masks, the dest table (== perm on a success plan), and the
+    // (empty) misroute list are dropped. src stays flat — it is the
+    // gather table execute reads on every hit.
+    PackedStates packed = setup_.packedStates(fp);
+    const std::size_t words = packed.words.size();
+    Word *block = sh.arena->alloc(words);
+    std::copy(packed.words.begin(), packed.words.end(), block);
+    std::shared_ptr<PlanArena> arena = sh.arena;
+    p.packed_block = std::shared_ptr<const Word>(
+        block, [arena, words](const Word *b) {
+            arena->release(const_cast<Word *>(b), words);
+        });
+    p.packed_ctrl.n = fp.n;
+    p.packed_ctrl.words_per_stage = packed.words_per_stage;
+    p.packed_ctrl.stage_stride = packed.words_per_stage;
+    p.packed_ctrl.words = p.packed_block.get();
+
+    fp.ctrl = {};
+    if (fp.success)
+        fp.dest = {};
+    fp.misrouted_outputs = {};
+}
+
+std::size_t
+Router::planResidentBytes(const RoutePlan &p)
+{
+    std::size_t b = sizeof(RoutePlan);
+    b += p.perm.dest().size() * sizeof(Word);
+    if (p.fast) {
+        b += sizeof(FastPlan);
+        b += (p.fast->ctrl.size() + p.fast->dest.size() +
+              p.fast->src.size() + p.fast->misrouted_outputs.size()) *
+             sizeof(Word);
+    }
+    if (p.packed_ctrl.words)
+        b += std::size_t{2} * p.packed_ctrl.n *
+             p.packed_ctrl.words_per_stage * sizeof(Word);
+    if (p.two_pass)
+        b += (p.two_pass->first.dest().size() +
+              p.two_pass->second.dest().size()) *
+             sizeof(Word);
+    if (p.states)
+        for (const auto &stage : *p.states)
+            b += stage.size() * sizeof(std::uint8_t);
+    return b;
+}
+
+template <typename Over>
+void
+Router::evictWhile(Over over) const
+{
+    // Capacity is global, not per shard: evict the globally
+    // least-recently-stamped entries. Scanning every shard is fine
+    // here — insertion already paid for a full plan, and hits never
+    // reach this path.
+    while (over()) {
+        CacheShard *vsh = nullptr;
+        std::uint64_t vhash = 0;
+        std::uint64_t vstamp = ~std::uint64_t{0};
+        for (const auto &cand : shards_) {
+            ReaderLock lock(cand->mu);
+            for (const auto &[eh, entry] : cand->map) {
+                // order: relaxed; the eviction scan tolerates
+                // racing stamp updates (LRU is approximate).
+                const std::uint64_t stamp =
+                    entry.last_used.load(std::memory_order_relaxed);
+                if (stamp < vstamp) {
+                    vsh = cand.get();
+                    vhash = eh;
+                    vstamp = stamp;
+                }
+            }
+        }
+        if (!vsh)
+            break;
+        WriterLock lock(vsh->mu);
+        auto it = vsh->map.find(vhash);
+        if (it != vsh->map.end()) {
+            vsh->bytes -= it->second.bytes;
+            if (vsh->bytes_g)
+                vsh->bytes_g->set(
+                    static_cast<std::int64_t>(vsh->bytes));
+            vsh->map.erase(it);
+            if (vsh->evictions)
+                vsh->evictions->inc();
+        }
+    }
+}
+
 std::shared_ptr<const RoutePlan>
 Router::planCached(const Permutation &d) const
 {
@@ -213,52 +327,39 @@ Router::planCached(const Permutation &d) const
         sh.misses->inc();
 
     // Plan outside the lock; concurrent misses on the same pattern
-    // just plan twice and the later insert wins.
-    auto planned = std::make_shared<const RoutePlan>(plan(d));
+    // just plan twice and the later insert wins. Cache residents are
+    // compacted: control bits move into the shard arena in succinct
+    // form and the derivable tables are dropped.
+    RoutePlan fresh = plan(d);
+    compactForCache(fresh, sh);
+    const std::size_t bytes = planResidentBytes(fresh);
+    auto planned = std::make_shared<const RoutePlan>(std::move(fresh));
     // order: relaxed; the recency clock only feeds the LRU
     // heuristic (see the hit path above).
     const std::uint64_t now =
         tick_.fetch_add(1, std::memory_order_relaxed) + 1;
     {
         WriterLock lock(sh.mu);
-        auto [it, inserted] = sh.map.try_emplace(h, planned, now);
+        auto [it, inserted] = sh.map.try_emplace(h, planned, now, bytes);
         if (!inserted) {
             // Same hash: either a racing insert of this pattern or a
             // collision; either way the newcomer replaces the plan.
+            sh.bytes -= it->second.bytes;
             it->second.plan = planned;
+            it->second.bytes = bytes;
             // order: relaxed; LRU stamp, see the hit path.
             it->second.last_used.store(now, std::memory_order_relaxed);
         }
+        sh.bytes += bytes;
+        if (sh.bytes_g)
+            sh.bytes_g->set(static_cast<std::int64_t>(sh.bytes));
     }
 
-    // Capacity is global, not per shard: evict the globally
-    // least-recently-stamped entries. Scanning every shard is fine
-    // here — insertion already paid for a full plan, and hits never
-    // reach this path.
-    while (planCacheSize() > cache_capacity_) {
-        CacheShard *vsh = nullptr;
-        std::uint64_t vhash = 0;
-        std::uint64_t vstamp = ~std::uint64_t{0};
-        for (const auto &cand : shards_) {
-            ReaderLock lock(cand->mu);
-            for (const auto &[eh, entry] : cand->map) {
-                // order: relaxed; the eviction scan tolerates
-                // racing stamp updates (LRU is approximate).
-                const std::uint64_t stamp =
-                    entry.last_used.load(std::memory_order_relaxed);
-                if (stamp < vstamp) {
-                    vsh = cand.get();
-                    vhash = eh;
-                    vstamp = stamp;
-                }
-            }
-        }
-        if (!vsh)
-            break;
-        WriterLock lock(vsh->mu);
-        if (vsh->map.erase(vhash) && vsh->evictions)
-            vsh->evictions->inc();
-    }
+    evictWhile([this] { return planCacheSize() > cache_capacity_; });
+    if (cache_bytes_budget_ > 0)
+        evictWhile([this] {
+            return planCacheBytes() > cache_bytes_budget_;
+        });
     return planned;
 }
 
@@ -363,13 +464,28 @@ Router::cacheStats() const
         {
             ReaderLock lock(sh->mu);
             s.size = sh->map.size();
+            s.bytes = sh->bytes;
         }
         s.hits = sh->hits ? sh->hits->value() : 0;
         s.misses = sh->misses ? sh->misses->value() : 0;
         s.evictions = sh->evictions ? sh->evictions->value() : 0;
+        const PlanArenaStats a = sh->arena->stats();
+        s.arena_resident_bytes = a.resident_bytes;
+        s.arena_capacity_bytes = a.capacity_bytes;
         stats.push_back(s);
     }
     return stats;
+}
+
+std::size_t
+Router::planCacheBytes() const
+{
+    std::size_t total = 0;
+    for (const auto &sh : shards_) {
+        ReaderLock lock(sh->mu);
+        total += sh->bytes;
+    }
+    return total;
 }
 
 std::size_t
@@ -414,6 +530,9 @@ Router::clearPlanCache() const
     for (const auto &sh : shards_) {
         WriterLock lock(sh->mu);
         sh->map.clear();
+        sh->bytes = 0;
+        if (sh->bytes_g)
+            sh->bytes_g->set(0);
         if (sh->hits)
             sh->hits->reset();
         if (sh->misses)

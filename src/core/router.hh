@@ -43,6 +43,7 @@
 
 #include "common/thread_annotations.hh"
 #include "core/fast_engine.hh"
+#include "core/plan_arena.hh"
 #include "core/route_outcome.hh"
 #include "core/self_routing.hh"
 #include "core/setup_engine.hh"
@@ -80,8 +81,27 @@ struct RoutePlan
      * ctrl masks are then empty). Plans built by Router always carry
      * it; a hand-assembled plan without it falls back to the
      * reference fabric simulation in execute().
+     *
+     * Plans resident in the Router's cache are COMPACTED: the flat
+     * ctrl masks and the dest table (derivable from perm on a
+     * success plan) are dropped and the switch settings live on as
+     * packed_ctrl below. Only the src gather table — what execute
+     * actually reads — stays flat.
      */
     std::shared_ptr<const FastPlan> fast;
+    /**
+     * Succinct switch-packed control bits of a cache-compacted plan
+     * (a view into a per-shard PlanArena block; words == nullptr on
+     * uncompacted plans and on composed TwoPass mappings, which
+     * carry per-pass states in two_pass instead).
+     */
+    PackedPlanBits packed_ctrl;
+    /**
+     * Owner of packed_ctrl.words: its deleter returns the block to
+     * the shard's arena (and keeps the arena alive), so a plan
+     * handed out by planCached stays valid across eviction.
+     */
+    std::shared_ptr<const Word> packed_block;
 };
 
 /** One plan-cache shard's counters, as returned by cacheStats(). */
@@ -91,6 +111,12 @@ struct CacheShardStats
     std::size_t hits = 0;
     std::size_t misses = 0;
     std::size_t evictions = 0;
+    /** Resident bytes of the shard's cached plans (perm + src +
+     *  packed control bits + strategy extras). */
+    std::size_t bytes = 0;
+    /** Shard plan-arena residency/footprint (packed_ctrl blocks). */
+    std::size_t arena_resident_bytes = 0;
+    std::size_t arena_capacity_bytes = 0;
 };
 
 class Router
@@ -107,16 +133,22 @@ class Router
      *        working sets never serialize. Clamped to
      *        [1, plan_cache_capacity] when the cache is enabled.
      * @param metrics registry receiving this router's instruments
-     *        (plan-cache hit/miss/eviction per shard, strategy
-     *        counts, cold-plan latency). nullptr disables
-     *        instrumentation; the default is the process-global
-     *        registry.
+     *        (plan-cache hit/miss/eviction per shard, resident-byte
+     *        and arena gauges, strategy counts, cold-plan latency).
+     *        nullptr disables instrumentation; the default is the
+     *        process-global registry.
+     * @param plan_cache_bytes resident-byte budget across all
+     *        shards: after an insert pushes the cache past it, the
+     *        globally least-recently-used plans are evicted until
+     *        the cache fits again (entry-count capacity still
+     *        applies independently). 0 disables the byte budget.
      */
     explicit Router(unsigned n, bool prefer_waksman = false,
                     std::size_t plan_cache_capacity = 64,
                     unsigned cache_shards = 8,
                     obs::MetricsRegistry *metrics =
-                        obs::defaultRegistry());
+                        obs::defaultRegistry(),
+                    std::size_t plan_cache_bytes = 0);
 
     const SelfRoutingBenes &fabric() const noexcept { return net_; }
     const FastEngine &engine() const noexcept { return engine_; }
@@ -192,6 +224,12 @@ class Router
     std::size_t planCacheHits() const;
     std::size_t planCacheMisses() const;
     std::size_t planCacheEvictions() const;
+    /** Resident bytes of all cached plans across shards. */
+    std::size_t planCacheBytes() const;
+    std::size_t planCacheByteBudget() const noexcept
+    {
+        return cache_bytes_budget_;
+    }
     std::size_t planCacheCapacity() const noexcept
     {
         return cache_capacity_;
@@ -216,30 +254,54 @@ class Router
     {
         struct Entry
         {
-            Entry(std::shared_ptr<const RoutePlan> p, std::uint64_t t)
-                : plan(std::move(p)), last_used(t)
+            Entry(std::shared_ptr<const RoutePlan> p, std::uint64_t t,
+                  std::size_t b)
+                : plan(std::move(p)), last_used(t), bytes(b)
             {
             }
             std::shared_ptr<const RoutePlan> plan;
             std::atomic<std::uint64_t> last_used;
+            /** Resident bytes this entry accounts for. */
+            std::size_t bytes;
         };
         mutable SharedMutex mu;
         std::unordered_map<std::uint64_t, Entry> map
             SRB_GUARDED_BY(mu);
+        /** Sum of the entries' bytes, maintained incrementally. */
+        std::size_t bytes SRB_GUARDED_BY(mu) = 0;
+        /** Arena holding the packed_ctrl blocks of this shard's
+         *  compacted plans; blocks outlive eviction through each
+         *  plan's packed_block deleter. */
+        std::shared_ptr<PlanArena> arena;
         /** Registry-served counters; null when metrics are off. */
         obs::Counter *hits = nullptr;
         obs::Counter *misses = nullptr;
         obs::Counter *evictions = nullptr;
+        /** Resident plan bytes of this shard, for the export. */
+        obs::Gauge *bytes_g = nullptr;
     };
 
     CacheShard &shardFor(std::uint64_t hash) const;
     RoutePlan planImpl(const Permutation &d) const;
+    /**
+     * Compact a freshly planned RoutePlan for cache residency: the
+     * flat ctrl masks become switch-packed bits in @p sh's arena
+     * (packed_ctrl / packed_block) and the derivable dest table and
+     * misroute list are dropped; only src stays flat. No-op for
+     * mappings that carry no masks (TwoPass compositions).
+     */
+    void compactForCache(RoutePlan &p, CacheShard &sh) const;
+    /** Resident bytes of one plan as cached (heap payloads only). */
+    static std::size_t planResidentBytes(const RoutePlan &p);
+    /** Evict globally-LRU entries while @p over() says so. */
+    template <typename Over> void evictWhile(Over over) const;
 
     SelfRoutingBenes net_;
     FastEngine engine_;
     SetupEngine setup_;
     bool prefer_waksman_;
     std::size_t cache_capacity_;
+    std::size_t cache_bytes_budget_;
     mutable std::vector<std::unique_ptr<CacheShard>> shards_;
     /** Global recency clock for the stamps. */
     mutable std::atomic<std::uint64_t> tick_{0};

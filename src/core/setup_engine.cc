@@ -4,9 +4,11 @@
 
 #include <algorithm>
 #include <thread>
+#include <unordered_map>
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "core/fast_kernels.hh"
 
 namespace srbenes
 {
@@ -274,6 +276,229 @@ SetupEngine::setupMany(const std::vector<Permutation> &batch,
         th.join();
 #endif
     return out;
+}
+
+Word
+SetupEngine::tileCapacity(const PlanArena &arena) const
+{
+    const Word plan_words = Word{eng_.numStages()} * packed_words_;
+    return std::max<Word>(1, arena.tileWords() / plan_words);
+}
+
+TiledPlans
+SetupEngine::makeTiled(std::size_t count,
+                       std::shared_ptr<PlanArena> arena) const
+{
+    if (!arena)
+        arena = std::make_shared<PlanArena>();
+    TiledPlans out;
+    out.n_ = eng_.n_;
+    out.stages_ = eng_.numStages();
+    out.words_per_stage_ = packed_words_;
+    // A short batch never pays for a full tile's worth of rows.
+    out.tile_cap_ = std::min<Word>(
+        tileCapacity(*arena), std::max<std::size_t>(1, count));
+    out.arena_ = std::move(arena);
+    out.success_.assign(count, 0);
+    if (count == 0)
+        return out;
+
+    const std::size_t tiles =
+        (count + out.tile_cap_ - 1) / out.tile_cap_;
+    const std::size_t block_words = std::size_t{out.stages_} *
+                                    out.tile_cap_ * packed_words_;
+    out.tile_base_.reserve(tiles);
+    for (std::size_t t = 0; t < tiles; ++t)
+        out.tile_base_.push_back(out.arena_->alloc(block_words));
+    return out;
+}
+
+void
+SetupEngine::setupPlanRows(const Permutation &d, RoutingMode mode,
+                           std::vector<Word> &planes,
+                           std::vector<Word> &ctrl, Word *rows,
+                           Word row_stride, bool &success) const
+{
+    const unsigned stages = eng_.numStages();
+    eng_.loadTagPlanes(d, planes);
+    ctrl.resize(eng_.lane_words_);
+    for (unsigned s = 0; s < stages; ++s) {
+        // Control masks read before the exchange (Fig. 3), then
+        // compressed and rank-permuted straight into the tile row —
+        // the succinct form is the ONLY one ever written.
+        eng_.stageCtrl(s, planes.data(), mode, ctrl.data());
+        Word *row = rows + Word{s} * row_stride;
+        compressStage(s, ctrl.data(), row);
+        for (const auto &pq : swaps_[s])
+            applySwap(row, pq.first, pq.second);
+        eng_.stageExchange(s, planes.data(), ctrl.data());
+    }
+    success = eng_.planesAtHome(planes);
+}
+
+TiledPlans
+SetupEngine::setupTiled(const std::vector<Permutation> &batch,
+                        RoutingMode mode, unsigned num_threads,
+                        std::shared_ptr<PlanArena> arena) const
+{
+    for (const Permutation &d : batch)
+        if (d.size() != eng_.numLines())
+            fatal("permutation size %zu does not match network "
+                  "N = %llu",
+                  d.size(),
+                  static_cast<unsigned long long>(eng_.numLines()));
+
+    TiledPlans out = makeTiled(batch.size(), std::move(arena));
+    if (batch.empty())
+        return out;
+    if (plans_)
+        plans_->inc(batch.size());
+    if (batch_perms_)
+        batch_perms_->observe(batch.size());
+
+    const Word cap = out.tile_cap_;
+    const std::size_t tiles = out.tile_base_.size();
+    const Word row_stride = cap * packed_words_;
+    auto runTiles = [&](std::size_t t0, std::size_t step) {
+        std::vector<Word> planes;
+        std::vector<Word> ctrl;
+        for (std::size_t t = t0; t < tiles; t += step) {
+            Word *base = out.tile_base_[t];
+            const std::size_t lo = t * cap;
+            const std::size_t hi = std::min(batch.size(), lo + cap);
+            for (std::size_t i = lo; i < hi; ++i) {
+                // One-plan prefetch lead on the tag stream.
+                if (i + 1 < hi)
+                    prefetchWords(batch[i + 1].dest().data(),
+                                  eng_.numLines());
+                bool ok = false;
+                setupPlanRows(batch[i], mode, planes, ctrl,
+                              base + (i - lo) * packed_words_,
+                              row_stride, ok);
+                out.success_[i] = ok ? 1 : 0;
+            }
+        }
+    };
+
+    const unsigned hw =
+        std::max(1u, std::thread::hardware_concurrency());
+    const unsigned T = static_cast<unsigned>(std::min<std::size_t>(
+        std::min(num_threads, hw), tiles));
+    if (T <= 1) {
+        runTiles(0, 1);
+        return out;
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(T);
+    for (unsigned t = 0; t < T; ++t)
+        threads.emplace_back(runTiles, t, T);
+    for (auto &th : threads)
+        th.join();
+    return out;
+}
+
+std::vector<std::vector<Word>>
+SetupEngine::setupExecuteMany(const std::vector<Permutation> &batch,
+                              const std::vector<std::vector<Word>> &payloads,
+                              RoutingMode mode, unsigned num_threads,
+                              TiledPlans *plans_out,
+                              std::shared_ptr<PlanArena> arena) const
+{
+    const Word N = eng_.numLines();
+    if (payloads.size() != batch.size())
+        fatal("fused batch: %zu payloads for %zu permutations",
+              payloads.size(), batch.size());
+    for (const Permutation &d : batch)
+        if (d.size() != N)
+            fatal("permutation size %zu does not match network "
+                  "N = %llu",
+                  d.size(), static_cast<unsigned long long>(N));
+    for (const std::vector<Word> &p : payloads)
+        if (p.size() != N)
+            fatal("payload vector size %zu != N = %llu", p.size(),
+                  static_cast<unsigned long long>(N));
+
+    TiledPlans plans = makeTiled(batch.size(), std::move(arena));
+    std::vector<std::vector<Word>> outs(batch.size());
+    if (batch.empty()) {
+        if (plans_out)
+            *plans_out = std::move(plans);
+        return outs;
+    }
+    if (plans_)
+        plans_->inc(batch.size());
+    if (batch_perms_)
+        batch_perms_->observe(batch.size());
+
+    const Word cap = plans.tile_cap_;
+    const std::size_t tiles = plans.tile_base_.size();
+    const Word row_stride = cap * packed_words_;
+    const KernelTable &kern = activeKernels();
+    auto runTiles = [&](std::size_t t0, std::size_t step) {
+        std::vector<Word> planes;
+        std::vector<Word> ctrl;
+        std::vector<Word> src;
+        // Realized gather tables of the (rare) misrouting plans,
+        // captured while their final tag planes are still in scratch.
+        std::unordered_map<std::size_t, std::vector<Word>> miss_src;
+        for (std::size_t t = t0; t < tiles; t += step) {
+            Word *base = plans.tile_base_[t];
+            const std::size_t lo = t * cap;
+            const std::size_t hi = std::min(batch.size(), lo + cap);
+
+            // Setup half of the tile.
+            for (std::size_t i = lo; i < hi; ++i) {
+                if (i + 1 < hi)
+                    prefetchWords(batch[i + 1].dest().data(), N);
+                bool ok = false;
+                setupPlanRows(batch[i], mode, planes, ctrl,
+                              base + (i - lo) * packed_words_,
+                              row_stride, ok);
+                plans.success_[i] = ok ? 1 : 0;
+                if (!ok)
+                    eng_.srcFromPlanes(batch[i], planes, miss_src[i]);
+            }
+
+            // Transport half: the tile's permutations are still
+            // resident, so a success plan's gather table is just the
+            // inverse of its permutation — no plan bytes re-read, no
+            // dest/src ever stored. Prefetch leads one payload.
+            for (std::size_t i = lo; i < hi; ++i) {
+                if (i + 1 < batch.size())
+                    prefetchWords(payloads[i + 1].data(), N);
+                const Word *sp;
+                if (plans.success_[i]) {
+                    eng_.inverseInto(batch[i], src);
+                    sp = src.data();
+                } else {
+                    sp = miss_src[i].data();
+                }
+                outs[i].resize(N);
+                kern.gather(outs[i].data(), payloads[i].data(), sp, N);
+            }
+            miss_src.clear();
+        }
+    };
+
+    const unsigned hw =
+        std::max(1u, std::thread::hardware_concurrency());
+    const unsigned T = static_cast<unsigned>(std::min<std::size_t>(
+        std::min(num_threads, hw), tiles));
+    if (T <= 1) {
+        runTiles(0, 1);
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(T);
+        for (unsigned t = 0; t < T; ++t)
+            threads.emplace_back(runTiles, t, T);
+        for (auto &th : threads)
+            th.join();
+    }
+    if (eng_.executes_)
+        eng_.executes_->inc(batch.size());
+    if (plans_out)
+        *plans_out = std::move(plans);
+    return outs;
 }
 
 } // namespace srbenes

@@ -33,15 +33,31 @@
  * permutations, sharding the batch across worker threads in the
  * same spirit as FastEngine::executeMany (OpenMP when compiled in,
  * std::thread otherwise).
+ *
+ * setupTiled() / setupExecuteMany() are the cache-conscious batch
+ * path. setupMany materializes a full FastPlan per permutation —
+ * slot-order control masks plus dest/src gather tables, ~76 KiB at
+ * n = 12 — so a 64-plan batch writes ~5 MiB and falls out of L2
+ * (BENCH_setup.json's batch cliff). The tiled path writes each plan
+ * once, already in its succinct switch-packed form ((2n-1) * N/2
+ * bits, within a word-rounding of Waksman's N lg N - N + 1 bound),
+ * stage-major inside cache-budget-sized PlanArena tiles, and never
+ * allocates per plan. The fused variant then routes one payload per
+ * permutation tile-by-tile — a tile's plans are set up, then its
+ * payloads are transported while the tile's working set is still
+ * resident, with the next tile's permutation/payload streams
+ * prefetched under the current tile's compute.
  */
 
 #ifndef SRBENES_CORE_SETUP_ENGINE_HH
 #define SRBENES_CORE_SETUP_ENGINE_HH
 
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "core/fast_engine.hh"
+#include "core/plan_arena.hh"
 #include "obs/metrics.hh"
 
 namespace srbenes
@@ -100,7 +116,60 @@ class SetupEngine
               RoutingMode mode = RoutingMode::SelfRouting,
               unsigned num_threads = 1) const;
 
+    /**
+     * Plan a batch straight into arena-resident succinct form: one
+     * switch-packed row per stage, stage-major inside tiles of
+     * @p arena (a fresh default-budget arena when null). No FastPlan
+     * and no per-plan heap allocation is ever materialized; each
+     * plan's packed bits are produced word-parallel as the planes
+     * pass each stage. success(i) records whether permutation i
+     * self-routed exactly. With @p num_threads > 1, workers each own
+     * whole tiles (a resident tile per shard). Results are
+     * bit-for-bit identical to packedStates(setupMany(...)[i]),
+     * which the differential tests assert.
+     */
+    TiledPlans
+    setupTiled(const std::vector<Permutation> &batch,
+               RoutingMode mode = RoutingMode::SelfRouting,
+               unsigned num_threads = 1,
+               std::shared_ptr<PlanArena> arena = nullptr) const;
+
+    /**
+     * Fused setup→execute tile pipeline: route payloads[i] by a
+     * fresh plan for batch[i], processing the batch as cache-sized
+     * tiles — a tile's plans are set up, then its payloads
+     * transported while the tile is resident, with the next tile's
+     * permutation and payload streams prefetched under the current
+     * tile's compute. Outputs are bit-for-bit what
+     * executeMany-after-setupMany produces. @p plans_out (optional)
+     * receives the batch's TiledPlans for reuse/inspection.
+     */
+    std::vector<std::vector<Word>>
+    setupExecuteMany(const std::vector<Permutation> &batch,
+                     const std::vector<std::vector<Word>> &payloads,
+                     RoutingMode mode = RoutingMode::SelfRouting,
+                     unsigned num_threads = 1,
+                     TiledPlans *plans_out = nullptr,
+                     std::shared_ptr<PlanArena> arena = nullptr) const;
+
+    /** Plans per tile for this fabric under @p arena's tile budget. */
+    Word tileCapacity(const PlanArena &arena) const;
+
   private:
+    /** Allocate the tile skeleton of a @p count-plan batch. */
+    TiledPlans makeTiled(std::size_t count,
+                         std::shared_ptr<PlanArena> arena) const;
+    /**
+     * Plan one permutation, writing stage s's switch-packed row at
+     * rows + s * row_stride (the stage-major tile layout); @p planes
+     * and @p ctrl are reusable scratch. On return @p planes holds
+     * the final tag planes (the misroute-execute fallback reads
+     * them) and @p success says whether every tag reached home.
+     */
+    void setupPlanRows(const Permutation &d, RoutingMode mode,
+                       std::vector<Word> &planes,
+                       std::vector<Word> &ctrl, Word *rows,
+                       Word row_stride, bool &success) const;
     /** Compress stage @p s's slot-order mask to upper-lane ranks. */
     void compressStage(unsigned s, const Word *ctrl, Word *out) const;
     /** Apply transposition (p, q), p < q, to a compressed vector. */

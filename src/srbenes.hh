@@ -50,6 +50,7 @@
 #include "core/parallel_setup.hh"
 #include "core/partial.hh"
 #include "core/pipeline.hh"
+#include "core/plan_arena.hh"
 #include "core/render.hh"
 #include "core/resilient.hh"
 #include "core/route_outcome.hh"

@@ -201,6 +201,135 @@ TEST(SetupEngine, SetupManyMatchesPerItemPlansInOrder)
     EXPECT_TRUE(setup.setupMany({}).empty());
 }
 
+/**
+ * The tiled differential oracle: setupTiled's arena-resident packed
+ * bits must be bit-for-bit what the flat path would have produced
+ * (packedStates over setupMany's FastPlans), success flags included.
+ */
+void
+expectTiledMatchesFlat(const SetupEngine &setup,
+                       const std::vector<Permutation> &batch,
+                       RoutingMode mode, unsigned threads,
+                       const std::shared_ptr<PlanArena> &arena,
+                       const char *what)
+{
+    const TiledPlans tiled = setup.setupTiled(batch, mode, threads,
+                                              arena);
+    const std::vector<FastPlan> flat =
+        setup.setupMany(batch, mode, threads);
+    ASSERT_EQ(tiled.size(), batch.size()) << what;
+    ASSERT_EQ(flat.size(), batch.size()) << what;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        EXPECT_EQ(tiled.success(i), flat[i].success)
+            << what << " plan " << i;
+        const PackedStates a = tiled.packedStates(i);
+        const PackedStates b = setup.packedStates(flat[i]);
+        EXPECT_EQ(a.n, b.n) << what;
+        EXPECT_EQ(a.words_per_stage, b.words_per_stage) << what;
+        EXPECT_EQ(a.words, b.words) << what << " plan " << i;
+    }
+}
+
+TEST(SetupEngine, TiledMatchesFlatExhaustivelyAtSmallN)
+{
+    for (unsigned n = 1; n <= 3; ++n) {
+        const Word N = Word{1} << n;
+        const FastEngine eng(n);
+        const SetupEngine setup(eng);
+        // Every permutation of N lines in ONE batch, against a tiny
+        // arena so even this small batch straddles tile boundaries.
+        std::vector<Word> dest(N);
+        for (Word i = 0; i < N; ++i)
+            dest[i] = i;
+        std::vector<Permutation> batch;
+        do {
+            batch.emplace_back(dest);
+        } while (std::next_permutation(dest.begin(), dest.end()));
+        const auto arena = std::make_shared<PlanArena>(64);
+        expectTiledMatchesFlat(setup, batch,
+                               RoutingMode::SelfRouting, 1, arena,
+                               "exhaustive");
+    }
+}
+
+TEST(SetupEngine, TiledMatchesFlatRandomizedAcrossTileBoundaries)
+{
+    Prng prng(97);
+    for (unsigned n = 4; n <= 12; n += 2) {
+        const Word N = Word{1} << n;
+        const FastEngine eng(n);
+        const SetupEngine setup(eng);
+        // Odd batch sizes so the last tile is partial; a small arena
+        // forces several tiles; a mix of F members (success) and
+        // arbitrary permutations (mostly misroutes).
+        for (const std::size_t B : {1u, 17u, 33u}) {
+            std::vector<Permutation> batch;
+            for (std::size_t i = 0; i < B; ++i)
+                batch.push_back(i % 4 == 3
+                                    ? Permutation::random(N, prng)
+                                    : randomFMember(n, prng));
+            const auto arena = std::make_shared<PlanArena>(
+                (2 * n - 1) * (N / 2 / 8 + 8) * 3);
+            for (unsigned threads : {1u, 4u}) {
+                expectTiledMatchesFlat(setup, batch,
+                                       RoutingMode::SelfRouting,
+                                       threads, arena, "randomized");
+                expectTiledMatchesFlat(setup, batch,
+                                       RoutingMode::OmegaBit,
+                                       threads, arena, "omega-bit");
+            }
+        }
+    }
+    const FastEngine eng(4);
+    const SetupEngine setup(eng);
+    EXPECT_TRUE(setup.setupTiled({}).empty());
+}
+
+TEST(SetupEngine, FusedSetupExecuteMatchesTheSeparatePhases)
+{
+    Prng prng(98);
+    for (unsigned n : {3u, 5u, 8u, 12u}) {
+        const Word N = Word{1} << n;
+        const FastEngine eng(n);
+        const SetupEngine setup(eng);
+        // Odd batch straddling tile boundaries under a small arena.
+        const std::size_t B = n <= 5 ? 11 : 65;
+        std::vector<Permutation> batch;
+        std::vector<std::vector<Word>> payloads;
+        for (std::size_t i = 0; i < B; ++i) {
+            batch.push_back(i % 4 == 3 ? Permutation::random(N, prng)
+                                       : randomFMember(n, prng));
+            std::vector<Word> payload(N);
+            for (Word x = 0; x < N; ++x)
+                payload[x] = (i << 20) + x;
+            payloads.push_back(std::move(payload));
+        }
+
+        // Reference: flat plans, executed one by one.
+        const std::vector<FastPlan> plans = setup.setupMany(batch);
+        std::vector<std::vector<Word>> want(B);
+        for (std::size_t i = 0; i < B; ++i)
+            eng.executeInto(plans[i], payloads[i], want[i]);
+
+        const auto arena = std::make_shared<PlanArena>(
+            n >= 8 ? PlanArena::kDefaultTileBytes / 4 : 512);
+        for (unsigned threads : {1u, 3u}) {
+            TiledPlans tiled;
+            const std::vector<std::vector<Word>> got =
+                setup.setupExecuteMany(batch, payloads,
+                                       RoutingMode::SelfRouting,
+                                       threads, &tiled, arena);
+            ASSERT_EQ(got.size(), B) << "n=" << n;
+            for (std::size_t i = 0; i < B; ++i) {
+                EXPECT_EQ(got[i], want[i])
+                    << "n=" << n << " plan " << i
+                    << " threads=" << threads;
+                EXPECT_EQ(tiled.success(i), plans[i].success);
+            }
+        }
+    }
+}
+
 TEST(SetupEngine, ConstructionVerifiesLargerFabrics)
 {
     // The constructor re-derives and VERIFIES the per-stage bit

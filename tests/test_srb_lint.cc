@@ -316,6 +316,57 @@ const Word S = eng.switchesPerStage();
                          "SRB008"));
 }
 
+// --------------------------------------------- SRB009 arena files
+
+TEST(Srb009, FlagsHeapPlanBytesInTaggedFiles)
+{
+    EXPECT_TRUE(hasRule(R"__(// srb-lint: arena
+std::vector<Word> plan_bytes(words);
+)__",
+                        "SRB009"));
+    EXPECT_TRUE(hasRule(R"__(// srb-lint: arena
+auto backing = std::make_unique<Word[]>(words);
+)__",
+                        "SRB009"));
+    EXPECT_TRUE(hasRule(R"__(// srb-lint: arena
+Word *raw = new Word[words];
+)__",
+                        "SRB009"));
+}
+
+TEST(Srb009, UntaggedFilesAndNonPlanVectorsAreExempt)
+{
+    EXPECT_FALSE(hasRule("std::vector<Word> fine(words);\n",
+                         "SRB009"));
+    // Pointer tables and other element types are not plan bytes.
+    EXPECT_FALSE(hasRule(R"__(// srb-lint: arena
+std::vector<Word *> tile_base;
+std::vector<std::uint8_t> success;
+)__",
+                         "SRB009"));
+}
+
+TEST(Srb009, TagOnlyCountsOnTheOpeningLines)
+{
+    EXPECT_FALSE(hasRule(R"__(
+int a;
+int b;
+int c;
+// files tagged srb-lint: arena must use PlanArena
+std::vector<Word> words;
+)__",
+                         "SRB009"));
+}
+
+TEST(Srb009, AllowSuppressesTheCompatForm)
+{
+    EXPECT_FALSE(hasRule(R"__(// srb-lint: arena
+// srb-lint: allow(SRB009) the materialized compat form
+std::vector<Word> words;
+)__",
+                         "SRB009"));
+}
+
 // --------------------------------------------- inline suppressions
 
 TEST(Allow, SameLineSuppresses)
@@ -366,9 +417,9 @@ int b = rand();
 TEST(Findings, RuleCatalogMatchesEmittedIds)
 {
     const std::vector<RuleInfo> &cat = ruleCatalog();
-    ASSERT_EQ(cat.size(), 8u);
+    ASSERT_EQ(cat.size(), 9u);
     EXPECT_STREQ(cat.front().id, "SRB001");
-    EXPECT_STREQ(cat.back().id, "SRB008");
+    EXPECT_STREQ(cat.back().id, "SRB009");
 }
 
 // ------------------------------------------------------- baseline

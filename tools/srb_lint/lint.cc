@@ -411,6 +411,38 @@ ruleBitslicedNoScalarWalk(Ctx &ctx)
                        "use with an allow)");
 }
 
+/**
+ * SRB009: a file tagged `// srb-lint: arena` stores plan bytes in a
+ * PlanArena — the contract that keeps batched plans in tiled,
+ * cache-budget-sized blocks. A std::vector<Word> buffer or a naked
+ * new/make_unique Word[] allocation reintroduces exactly the
+ * per-plan heap traffic the arena exists to remove; flag it so the
+ * escape hatch (the flat PackedStates compat form) needs a reviewed
+ * allow() to land.
+ */
+void
+ruleArenaNoHeapPlanBytes(Ctx &ctx)
+{
+    // Same opt-in discipline as SRB008: the tag must sit on one of
+    // the file's first three lines.
+    bool tagged = false;
+    for (std::size_t i = 0;
+         i < ctx.view.comment.size() && i < 3 && !tagged; ++i)
+        tagged = ctx.view.comment[i].find("srb-lint: arena") !=
+                 std::string::npos;
+    if (!tagged)
+        return;
+    static const std::regex re(
+        R"(std::vector<\s*Word\s*>|\bnew\s+Word\s*\[)"
+        R"(|make_unique<\s*Word\s*\[\s*\]\s*>)");
+    for (std::size_t i = 0; i < ctx.view.code.size(); ++i)
+        if (std::regex_search(ctx.view.code[i], re))
+            ctx.report("SRB009", i,
+                       "heap-allocated plan bytes in a file tagged "
+                       "arena; carve the block from a PlanArena (or "
+                       "justify the compat form with an allow)");
+}
+
 } // namespace
 
 const std::vector<RuleInfo> &
@@ -429,6 +461,8 @@ ruleCatalog()
                    "<atomic>/<thread> includes"},
         {"SRB008", "no per-switch scalar walks in files tagged "
                    "'srb-lint: bitsliced'"},
+        {"SRB009", "no heap-allocated plan bytes in files tagged "
+                   "'srb-lint: arena'; use PlanArena"},
     };
     return catalog;
 }
@@ -457,6 +491,7 @@ lintText(const std::string &path, const std::string &text)
     ruleAnnotatedMutexMembers(ctx);
     ruleIncludeHygiene(ctx);
     ruleBitslicedNoScalarWalk(ctx);
+    ruleArenaNoHeapPlanBytes(ctx);
 
     // Inline suppressions: an allow on the finding's line or within
     // the two lines above it (room for a wrapped reason).
