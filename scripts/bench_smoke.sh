@@ -14,7 +14,7 @@ set -uo pipefail
 build_dir="${1:-build}"
 cd "$(dirname "$0")/.."
 
-benches=(bench_fast_engine bench_setup_time bench_throughput bench_resilience bench_obs_overhead)
+benches=(bench_fast_engine bench_setup_time bench_throughput bench_resilience bench_obs_overhead bench_service)
 failed=0
 
 for bench in "${benches[@]}"; do

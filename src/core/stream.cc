@@ -377,6 +377,17 @@ StreamEngine::Producer::awaitResultFor(StreamResult &out,
     return true;
 }
 
+void
+StreamEngine::Producer::drain(
+    const std::function<void(StreamResult &&)> &sink)
+{
+    StreamResult res;
+    while (inFlight() > 0) {
+        awaitResult(res);
+        sink(std::move(res));
+    }
+}
+
 const RoutePlan *
 StreamEngine::lookupPlan(WorkerState &ws, const StreamRequest &req)
 {
@@ -501,6 +512,8 @@ StreamEngine::process(WorkerState &ws, unsigned w, StreamRequest &req)
         } while (!ring.tryPush(std::move(res)));
     }
     producer_bells_[req.producer]->ring();
+    if (opts_.result_notify)
+        opts_.result_notify(req.producer);
 }
 
 void

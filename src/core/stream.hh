@@ -58,6 +58,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -349,6 +350,17 @@ struct StreamOptions
      * changes.
      */
     unsigned inline_max_n = 9;
+    /**
+     * Called on the WORKER thread right after a result becomes
+     * pollable for producer p (doorbell already rung). For callers
+     * whose producer thread blocks somewhere other than
+     * awaitResult — the srbd server sleeps in epoll_wait — this is
+     * the hook that turns a completion into an external wakeup
+     * (e.g. an eventfd write). Must be cheap and thread-safe.
+     * Inline-path results never notify: they are pollable before
+     * trySubmit returns on the producer's own thread.
+     */
+    std::function<void(unsigned producer)> result_notify;
 };
 
 /**
@@ -465,6 +477,17 @@ class StreamEngine
 
         std::uint64_t submitted() const { return submitted_; }
         std::uint64_t received() const { return received_; }
+
+        /** Requests submitted but not yet polled back. */
+        std::uint64_t inFlight() const { return submitted_ - received_; }
+
+        /**
+         * The drain hook: await every in-flight result and hand
+         * each to @p sink. On return nothing this handle submitted
+         * is still queued anywhere in the engine — the graceful-
+         * shutdown guarantee srbd's SIGTERM path is built on.
+         */
+        void drain(const std::function<void(StreamResult &&)> &sink);
 
       private:
         friend class StreamEngine;

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Connection I/O. Both directions run until EAGAIN so the server
+ * can use level-triggered epoll without starving anyone: reads stop
+ * when the kernel buffer is dry, writes stop when the socket stops
+ * accepting.
+ */
+
+#include "net/connection.hh"
+
+#include <cerrno>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace srbenes
+{
+namespace net
+{
+
+Connection::Connection(int fd, std::uint64_t id,
+                       std::size_t max_frame)
+    : fd_(fd), id_(id), decoder_(max_frame)
+{
+}
+
+Connection::~Connection()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+Connection::ReadResult
+Connection::readReady(std::vector<Message> &msgs, std::string *error)
+{
+    std::uint8_t chunk[65536];
+    for (;;) {
+        const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (got > 0) {
+            decoder_.feed(chunk, static_cast<std::size_t>(got));
+            if (static_cast<std::size_t>(got) < sizeof(chunk))
+                break; // kernel buffer drained
+            continue;
+        }
+        if (got == 0)
+            return ReadResult::Closed;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        if (errno == EINTR)
+            continue;
+        return ReadResult::Closed;
+    }
+    for (;;) {
+        Message m;
+        switch (decoder_.next(m, error)) {
+          case DecodeStatus::Ok:
+            msgs.push_back(std::move(m));
+            continue;
+          case DecodeStatus::NeedMore:
+            return ReadResult::Ok;
+          case DecodeStatus::Error:
+            return ReadResult::ProtocolError;
+        }
+    }
+}
+
+void
+Connection::queue(const Message &m)
+{
+    // Compact the flushed prefix before it dominates the buffer.
+    if (out_pos_ > 65536 && out_pos_ * 2 > out_.size()) {
+        out_.erase(out_.begin(),
+                   out_.begin() +
+                       static_cast<std::ptrdiff_t>(out_pos_));
+        out_pos_ = 0;
+    }
+    encode(m, out_);
+}
+
+bool
+Connection::flush()
+{
+    while (pendingOut() > 0) {
+        const ssize_t sent =
+            ::send(fd_, out_.data() + out_pos_, pendingOut(),
+                   MSG_NOSIGNAL);
+        if (sent > 0) {
+            out_pos_ += static_cast<std::size_t>(sent);
+            continue;
+        }
+        if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return true;
+        if (sent < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    if (out_pos_ == out_.size()) {
+        out_.clear();
+        out_pos_ = 0;
+    }
+    return true;
+}
+
+} // namespace net
+} // namespace srbenes

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * One accepted client connection: a nonblocking fd plus buffered,
+ * framed I/O.
+ *
+ * Reads feed the protocol Decoder; a protocol error (malformed
+ * frame, oversized length, unknown type) poisons the connection —
+ * the server counts it and closes the socket, because a
+ * length-prefixed stream cannot resynchronize.
+ *
+ * Writes queue into an out-buffer flushed opportunistically: the
+ * server tries an inline flush after queueing and falls back to
+ * EPOLLOUT when the socket would block. The out-buffer size is the
+ * per-connection backpressure signal — above the server's high
+ * watermark the connection stops being read (its EPOLLIN is
+ * dropped), which in turn stops admission from that client, the
+ * socket analogue of the stream engine's shed-on-full-ring.
+ *
+ * Owned and driven exclusively by the server's event-loop thread.
+ */
+
+#ifndef SRBENES_NET_CONNECTION_HH
+#define SRBENES_NET_CONNECTION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/protocol.hh"
+
+namespace srbenes
+{
+namespace net
+{
+
+class Connection
+{
+  public:
+    Connection(int fd, std::uint64_t id, std::size_t max_frame);
+    ~Connection();
+
+    Connection(const Connection &) = delete;
+    Connection &operator=(const Connection &) = delete;
+
+    int fd() const { return fd_; }
+    std::uint64_t id() const { return id_; }
+
+    enum class ReadResult
+    {
+        Ok,            //!< messages (possibly zero) extracted
+        Closed,        //!< orderly EOF or a socket error
+        ProtocolError, //!< poisoned framing; close and count
+    };
+
+    /**
+     * Drain the socket's readable bytes and append every complete
+     * message to @p msgs. On ProtocolError @p error carries the
+     * decoder's explanation.
+     */
+    ReadResult readReady(std::vector<Message> &msgs,
+                         std::string *error = nullptr);
+
+    /** Encode @p m onto the out-buffer (no I/O). */
+    void queue(const Message &m);
+
+    /**
+     * Flush as much of the out-buffer as the socket accepts.
+     * False on a socket error (close the connection).
+     */
+    bool flush();
+
+    /** Bytes queued but not yet written. */
+    std::size_t pendingOut() const { return out_.size() - out_pos_; }
+
+    bool wantsWrite() const { return pendingOut() > 0; }
+
+    /** @{ Server-maintained admission state. */
+    std::size_t inflight = 0;
+    bool reading_paused = false;
+    /** @} */
+
+  private:
+    int fd_;
+    std::uint64_t id_;
+    Decoder decoder_;
+    std::vector<std::uint8_t> out_;
+    std::size_t out_pos_ = 0;
+};
+
+} // namespace net
+} // namespace srbenes
+
+#endif // SRBENES_NET_CONNECTION_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * epoll wrapper implementation. The wakeup eventfd is registered
+ * like any other fd; its handler just drains the counter so the
+ * loop's caller can inspect whatever flags prompted the wakeup.
+ */
+
+#include "net/event_loop.hh"
+
+#include <cerrno>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace srbenes
+{
+namespace net
+{
+
+EventLoop::EventLoop()
+{
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (epoll_fd_ < 0 || wake_fd_ < 0) {
+        warn("EventLoop: epoll/eventfd creation failed");
+        return;
+    }
+    add(wake_fd_, EPOLLIN, [this](std::uint32_t) {
+        std::uint64_t v;
+        // Drain the counter; the POINT of the wakeup is the return
+        // from epoll_wait, not the value.
+        while (::read(wake_fd_, &v, sizeof(v)) == sizeof(v)) {
+        }
+    });
+}
+
+EventLoop::~EventLoop()
+{
+    if (wake_fd_ >= 0)
+        ::close(wake_fd_);
+    if (epoll_fd_ >= 0)
+        ::close(epoll_fd_);
+}
+
+bool
+EventLoop::add(int fd, std::uint32_t events, Handler handler)
+{
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0)
+        return false;
+    handlers_[fd] = std::move(handler);
+    return true;
+}
+
+bool
+EventLoop::mod(int fd, std::uint32_t events)
+{
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.fd = fd;
+    return ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0;
+}
+
+void
+EventLoop::del(int fd)
+{
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+    handlers_.erase(fd);
+}
+
+int
+EventLoop::runOnce(int timeout_ms)
+{
+    epoll_event events[64];
+    const int count =
+        ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    if (count < 0)
+        return errno == EINTR ? 0 : -1;
+    for (int i = 0; i < count; ++i) {
+        // Look the handler up per event: an earlier handler in this
+        // batch may have closed this fd (and a reused fd number gets
+        // at worst one spurious, EAGAIN-absorbed callback).
+        auto it = handlers_.find(events[i].data.fd);
+        if (it != handlers_.end())
+            it->second(events[i].events);
+    }
+    return count;
+}
+
+void
+EventLoop::wakeup()
+{
+    const std::uint64_t one = 1;
+    // write(2) is async-signal-safe; ignore EAGAIN (counter already
+    // nonzero means a wakeup is pending anyway).
+    [[maybe_unused]] ssize_t rc =
+        ::write(wake_fd_, &one, sizeof(one));
+}
+
+} // namespace net
+} // namespace srbenes

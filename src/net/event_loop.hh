@@ -1,0 +1,74 @@
+/**
+ * @file
+ * A minimal epoll event loop for the routing daemon.
+ *
+ * Single-threaded by design: every handler runs on the thread
+ * inside run()/runOnce(), so the server above it needs no locks on
+ * its connection state. The only cross-thread (and async-signal)
+ * entry point is wakeup(): an eventfd write that pops the loop out
+ * of epoll_wait so it re-reads whatever flags the caller set —
+ * this is how SIGTERM turns into a graceful drain without the
+ * signal handler touching any server state.
+ *
+ * Handlers are keyed by fd. A handler may add or remove fds
+ * (including its own) while the loop is dispatching a batch:
+ * dispatch looks each fd up again per event and skips entries that
+ * vanished mid-batch.
+ */
+
+#ifndef SRBENES_NET_EVENT_LOOP_HH
+#define SRBENES_NET_EVENT_LOOP_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+namespace srbenes
+{
+namespace net
+{
+
+class EventLoop
+{
+  public:
+    using Handler = std::function<void(std::uint32_t events)>;
+
+    EventLoop();
+    ~EventLoop();
+
+    EventLoop(const EventLoop &) = delete;
+    EventLoop &operator=(const EventLoop &) = delete;
+
+    /** True when epoll and the wakeup eventfd came up. */
+    bool valid() const { return epoll_fd_ >= 0 && wake_fd_ >= 0; }
+
+    /** Register @p fd for @p events (EPOLLIN/EPOLLOUT/...). */
+    bool add(int fd, std::uint32_t events, Handler handler);
+    /** Change the event mask of a registered fd. */
+    bool mod(int fd, std::uint32_t events);
+    /** Deregister; the caller still owns and closes the fd. */
+    void del(int fd);
+
+    /**
+     * Wait up to @p timeout_ms (-1 = forever) and dispatch one
+     * batch of events. Returns the number of events dispatched, or
+     * -1 on an epoll error other than EINTR.
+     */
+    int runOnce(int timeout_ms);
+
+    /**
+     * Make the current or next runOnce() return immediately.
+     * Async-signal-safe and callable from any thread.
+     */
+    void wakeup();
+
+  private:
+    int epoll_fd_ = -1;
+    int wake_fd_ = -1;
+    std::unordered_map<int, Handler> handlers_;
+};
+
+} // namespace net
+} // namespace srbenes
+
+#endif // SRBENES_NET_EVENT_LOOP_HH

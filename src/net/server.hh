@@ -1,0 +1,213 @@
+/**
+ * @file
+ * srbd: the network front door of the routing fabric (DESIGN.md
+ * "serving" layer). One epoll thread owns every socket and acts as
+ * the single producer of a StreamEngine; the engine's worker
+ * threads do the routing and wake the loop back up through
+ * StreamOptions::result_notify.
+ *
+ *   clients ──TCP──▶ event loop ──StreamEngine rings──▶ workers
+ *      ▲                 │  ▲                              │
+ *      └── SubmitResult ─┘  └──── result_notify (eventfd) ─┘
+ *
+ * Admission runs in strict order before a request touches a ring:
+ *
+ *   draining?            → Status::Draining
+ *   shape/validity wrong → Status::BadRequest
+ *   tenant bucket empty  → Status::OverQuota   (QuotaManager)
+ *   connection at cap, or
+ *   engine rings full    → Status::Shed        (backpressure)
+ *
+ * so the engine's shed-on-full-ring semantics surface on the wire
+ * unchanged, and a slow READER is handled one layer up: when a
+ * connection's out-buffer passes the high watermark the server
+ * stops reading that socket (EPOLLIN off) until it drains — TCP
+ * then pushes back on the client.
+ *
+ * Graceful drain (SIGTERM → requestDrain(), async-signal-safe):
+ * stop accepting, answer new submits with Draining, let every
+ * in-flight request finish through the engine
+ * (Producer::inFlight() == 0), flush every out-buffer, close, and
+ * return from serve() — the daemon then exits 0 with no request
+ * unanswered.
+ */
+
+#ifndef SRBENES_NET_SERVER_HH
+#define SRBENES_NET_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/stream.hh"
+#include "net/connection.hh"
+#include "net/event_loop.hh"
+#include "net/session.hh"
+
+namespace srbenes
+{
+namespace net
+{
+
+struct ServerOptions
+{
+    /** Loopback by default; the daemon flag widens it. */
+    std::string bind_address = "127.0.0.1";
+    /** 0 = ephemeral (read the result from port()). */
+    std::uint16_t port = 0;
+    /** Fabric size exponent (N = 2^n lines). */
+    unsigned n = 10;
+    /** Engine configuration; producers is forced to 1 (the loop). */
+    StreamOptions stream;
+    QuotaOptions quota;
+    std::size_t max_frame_bytes = kDefaultMaxFrame;
+    std::size_t max_connections = 256;
+    /** Per-connection in-flight cap before submits shed. */
+    std::size_t max_conn_inflight = 4096;
+    /** Pause reading a connection above this many queued-out bytes. */
+    std::size_t write_high_watermark = 4u << 20;
+    /** Resume reading below this. */
+    std::size_t write_low_watermark = 1u << 20;
+    /** Force-close connections still unflushed this long into a
+     *  drain. */
+    std::uint64_t drain_grace_ms = 10000;
+    obs::MetricsRegistry *metrics = obs::defaultRegistry();
+};
+
+/**
+ * Counter snapshot for tests and the bench (not an exporter) — a
+ * view over the registry instruments, all zeros when
+ * ServerOptions::metrics was nullptr. Safe to read from any thread
+ * at any time.
+ */
+struct ServerStats
+{
+    std::uint64_t accepted = 0;
+    std::uint64_t closed = 0;
+    std::uint64_t rejected_connections = 0;
+    std::uint64_t protocol_errors = 0;
+    std::uint64_t submits = 0;
+    std::uint64_t responses = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t bad_requests = 0;
+    std::uint64_t quota_rejected = 0;
+    std::uint64_t sheds = 0;
+    std::uint64_t draining_rejected = 0;
+    std::uint64_t orphaned_results = 0;
+    std::uint64_t inflight = 0;
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerOptions opts);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** False when the listen socket or epoll failed to come up. */
+    bool valid() const { return listen_fd_ >= 0 && loop_.valid(); }
+
+    /** The bound port (resolves an ephemeral request). */
+    std::uint16_t port() const { return port_; }
+
+    unsigned n() const { return opts_.n; }
+    Word numLines() const { return Word{1} << opts_.n; }
+
+    /**
+     * Run the accept/serve/drain loop on the calling thread until a
+     * drain completes. Returns true iff the drain finished with no
+     * request unanswered and every response flushed.
+     */
+    bool serve();
+
+    /** serve() on a background thread (tests, in-process bench). */
+    void start();
+    /** Join the background thread; returns serve()'s result. */
+    bool awaitStop();
+
+    /**
+     * Begin graceful shutdown. Async-signal-safe and callable from
+     * any thread: flips an atomic and pokes the loop's eventfd.
+     */
+    void requestDrain();
+
+    bool draining() const
+    {
+        // order: relaxed; an advisory cross-thread peek, the loop
+        // re-reads it after every wakeup.
+        return drain_requested_.load(std::memory_order_relaxed);
+    }
+
+    ServerStats stats() const;
+
+  private:
+    struct Pending
+    {
+        std::uint64_t conn_id;
+        std::uint64_t client_id;
+        bool had_payload;
+    };
+
+    void onAccept();
+    void onConnEvent(std::uint64_t conn_id, std::uint32_t events);
+    void handleMessage(Connection &conn, Message &&msg);
+    void handleSubmit(Connection &conn, SubmitMsg &&m);
+    void respond(Connection &conn, SubmitResultMsg &&m);
+    void pumpResults();
+    void flushConnection(Connection &conn);
+    void updateMask(Connection &conn);
+    void closeConnection(std::uint64_t conn_id);
+    bool drainComplete();
+
+    ServerOptions opts_;
+    EventLoop loop_;
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::unique_ptr<StreamEngine> engine_;
+    StreamEngine::Producer *producer_ = nullptr;
+    QuotaManager quotas_;
+
+    std::unordered_map<std::uint64_t, std::unique_ptr<Connection>>
+        conns_;
+    std::unordered_map<std::uint64_t, Pending> pending_;
+    std::uint64_t next_conn_id_ = 1;
+    std::uint64_t next_request_id_ = 1;
+    std::uint64_t start_ns_ = 0;
+
+    std::atomic<bool> drain_requested_{false};
+    bool accepting_ = true;
+    std::uint64_t drain_begin_ns_ = 0;
+    bool drain_clean_ = true;
+
+    std::thread thread_;
+    bool serve_result_ = false;
+
+    /** @{ Registry instruments; null when metrics are off. */
+    obs::Counter *c_accepted_ = nullptr;
+    obs::Counter *c_closed_ = nullptr;
+    obs::Counter *c_conn_rejected_ = nullptr;
+    obs::Counter *c_protocol_errors_ = nullptr;
+    obs::Counter *c_submits_ = nullptr;
+    obs::Counter *c_ok_ = nullptr;
+    obs::Counter *c_bad_requests_ = nullptr;
+    obs::Counter *c_quota_rejected_ = nullptr;
+    obs::Counter *c_sheds_ = nullptr;
+    obs::Counter *c_draining_rejected_ = nullptr;
+    obs::Counter *c_orphaned_ = nullptr;
+    obs::Counter *c_responses_ = nullptr;
+    obs::Gauge *g_connections_ = nullptr;
+    obs::Gauge *g_inflight_ = nullptr;
+    obs::Histogram *h_serve_ns_ = nullptr;
+    /** @} */
+};
+
+} // namespace net
+} // namespace srbenes
+
+#endif // SRBENES_NET_SERVER_HH

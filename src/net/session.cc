@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Token-bucket quota implementation. Refill is computed lazily from
+ * the elapsed time at each admission attempt — no timers, no
+ * background thread, exact at the resolution of the event loop.
+ */
+
+#include "net/session.hh"
+
+#include <algorithm>
+
+namespace srbenes
+{
+namespace net
+{
+
+QuotaManager::QuotaManager(QuotaOptions opts,
+                           obs::MetricsRegistry *metrics)
+    : opts_(opts), metrics_(metrics)
+{
+    if (opts_.burst <= 0)
+        opts_.burst = std::max(1.0, opts_.rate_per_sec);
+}
+
+QuotaManager::Bucket
+QuotaManager::makeBucket(const std::string &label,
+                         std::uint64_t now_ns) const
+{
+    Bucket b;
+    b.tokens = opts_.burst;
+    b.last_ns = now_ns;
+    if (metrics_ != nullptr) {
+        b.admitted = &metrics_->counter("srbd_tenant_admitted_total",
+                                        {{"tenant", label}});
+        b.rejected = &metrics_->counter("srbd_tenant_rejected_total",
+                                        {{"tenant", label}});
+        b.level = &metrics_->gauge("srbd_tenant_tokens",
+                                   {{"tenant", label}});
+        b.level->set(static_cast<std::int64_t>(b.tokens));
+    }
+    return b;
+}
+
+QuotaManager::Bucket &
+QuotaManager::bucketFor(std::uint64_t tenant, std::uint64_t now_ns)
+{
+    auto it = buckets_.find(tenant);
+    if (it != buckets_.end())
+        return it->second;
+    if (buckets_.size() < opts_.max_tenants) {
+        auto [ins, _] = buckets_.emplace(
+            tenant, makeBucket(std::to_string(tenant), now_ns));
+        return ins->second;
+    }
+    if (!overflow_ready_) {
+        overflow_ = makeBucket("overflow", now_ns);
+        overflow_ready_ = true;
+    }
+    return overflow_;
+}
+
+bool
+QuotaManager::charge(Bucket &b, std::uint64_t now_ns)
+{
+    if (now_ns > b.last_ns) {
+        const double dt = static_cast<double>(now_ns - b.last_ns) * 1e-9;
+        b.tokens = std::min(opts_.burst,
+                            b.tokens + dt * opts_.rate_per_sec);
+        b.last_ns = now_ns;
+    }
+    const bool ok = b.tokens >= 1.0;
+    if (ok) {
+        b.tokens -= 1.0;
+        if (b.admitted != nullptr)
+            b.admitted->inc();
+    } else if (b.rejected != nullptr) {
+        b.rejected->inc();
+    }
+    if (b.level != nullptr)
+        b.level->set(static_cast<std::int64_t>(b.tokens));
+    return ok;
+}
+
+bool
+QuotaManager::tryAdmit(std::uint64_t tenant, std::uint64_t now_ns)
+{
+    if (!enabled())
+        return true;
+    return charge(bucketFor(tenant, now_ns), now_ns);
+}
+
+} // namespace net
+} // namespace srbenes

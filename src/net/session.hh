@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Per-tenant admission control: token buckets over the submit
+ * stream, instrumented per tenant through srb_obs.
+ *
+ * Every Submit names a tenant (a caller-chosen u64); the quota
+ * manager keeps one token bucket per tenant, refilled continuously
+ * at `rate_per_sec` up to `burst`. A submit that finds the bucket
+ * empty is refused with Status::OverQuota BEFORE it touches the
+ * stream engine, so one chatty tenant cannot occupy ring slots that
+ * back other tenants' SLOs — quota refusal is admission control,
+ * distinct from Status::Shed which means the fabric itself (rings
+ * full) pushed back.
+ *
+ * The tenant table is bounded: the first `max_tenants` distinct
+ * tenants get their own bucket and their own labeled metric series
+ * (`srbd_tenant_admitted_total{tenant="..."}`,
+ * `srbd_tenant_rejected_total`, `srbd_tenant_tokens`); tenants past
+ * the cap share one "overflow" bucket and series, keeping the
+ * registry's series count — and the exposition size — bounded no
+ * matter what tenant ids clients invent.
+ *
+ * Single-threaded: called only from the server's event-loop thread,
+ * so the table needs no lock. Metric reads are cross-thread-safe as
+ * all registry instruments are.
+ */
+
+#ifndef SRBENES_NET_SESSION_HH
+#define SRBENES_NET_SESSION_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "obs/metrics.hh"
+
+namespace srbenes
+{
+namespace net
+{
+
+struct QuotaOptions
+{
+    /** Sustained submits/sec per tenant; 0 disables quotas. */
+    double rate_per_sec = 0;
+    /** Bucket depth: the burst a quiet tenant may spend at once.
+     *  0 defaults to one second of rate. */
+    double burst = 0;
+    /** Distinct tenants with private buckets and metric series. */
+    std::size_t max_tenants = 64;
+};
+
+class QuotaManager
+{
+  public:
+    QuotaManager(QuotaOptions opts, obs::MetricsRegistry *metrics);
+
+    /**
+     * Charge one submit to @p tenant at time @p now_ns
+     * (obs::monotonicNs domain). True = admitted.
+     */
+    bool tryAdmit(std::uint64_t tenant, std::uint64_t now_ns);
+
+    bool enabled() const { return opts_.rate_per_sec > 0; }
+
+    /** Distinct tenants holding a private bucket. */
+    std::size_t tenants() const { return buckets_.size(); }
+
+  private:
+    struct Bucket
+    {
+        double tokens = 0;
+        std::uint64_t last_ns = 0;
+        obs::Counter *admitted = nullptr;
+        obs::Counter *rejected = nullptr;
+        obs::Gauge *level = nullptr;
+    };
+
+    Bucket &bucketFor(std::uint64_t tenant, std::uint64_t now_ns);
+    Bucket makeBucket(const std::string &label,
+                      std::uint64_t now_ns) const;
+    bool charge(Bucket &b, std::uint64_t now_ns);
+
+    QuotaOptions opts_;
+    obs::MetricsRegistry *metrics_;
+    std::unordered_map<std::uint64_t, Bucket> buckets_;
+    Bucket overflow_;
+    bool overflow_ready_ = false;
+};
+
+} // namespace net
+} // namespace srbenes
+
+#endif // SRBENES_NET_SESSION_HH

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * SRBENES_RAND_ITERS: the nightly-CI knob for the randomized
+ * differential suites. The env var is an integer multiplier applied
+ * to each suite's baseline trial count — unset (or <= 1) leaves the
+ * fast PR-lane counts untouched; the scheduled nightly sets it to
+ * widen the random search without forking the test code.
+ */
+
+#ifndef SRBENES_TESTS_RAND_ITERS_HH
+#define SRBENES_TESTS_RAND_ITERS_HH
+
+#include <cstdlib>
+
+namespace srbenes
+{
+
+inline int
+randIters(int base)
+{
+    const char *env = std::getenv("SRBENES_RAND_ITERS");
+    if (env == nullptr || *env == '\0')
+        return base;
+    const int mult = std::atoi(env);
+    return mult > 1 ? base * mult : base;
+}
+
+} // namespace srbenes
+
+#endif // SRBENES_TESTS_RAND_ITERS_HH

@@ -19,6 +19,8 @@
 
 #include <gtest/gtest.h>
 
+#include "rand_iters.hh"
+
 #include "common/prng.hh"
 #include "core/self_routing.hh"
 #include "core/two_pass.hh"
@@ -74,7 +76,7 @@ TEST_P(Differential, SixWayAgreementOnSuccess)
     const BenesGateModel gates(n, false);
     Prng prng(n * 1013);
 
-    for (const auto &d : workloads(n, prng, 24)) {
+    for (const auto &d : workloads(n, prng, randIters(24))) {
         const bool theory = inFClass(d);
         const bool behavioral = net.route(d).success;
 
@@ -118,7 +120,7 @@ TEST_P(Differential, DataAgreementOnMembers)
     for (std::size_t i = 0; i < size; ++i)
         data[i] = 7000 + i;
 
-    for (int trial = 0; trial < 10; ++trial) {
+    for (int trial = 0; trial < randIters(10); ++trial) {
         const Permutation d = randomFMember(n, prng);
         const auto net_out = net.permutePayloads(d, data);
         ASSERT_TRUE(net_out.has_value());
@@ -148,7 +150,7 @@ TEST_P(Differential, UniversalPathsAgreeOnEverything)
     for (std::size_t i = 0; i < size; ++i)
         data[i] = 9000 + i;
 
-    for (const auto &d : workloads(n, prng, 12)) {
+    for (const auto &d : workloads(n, prng, randIters(12))) {
         // Reference layout.
         const auto expect = d.applyTo(data);
 

@@ -14,6 +14,8 @@
 
 #include <gtest/gtest.h>
 
+#include "rand_iters.hh"
+
 #include "common/prng.hh"
 #include "core/fast_engine.hh"
 #include "core/router.hh"
@@ -74,7 +76,7 @@ TEST(FastEngine, RandomizedDifferentialAllClasses)
         const SelfRoutingBenes net(n);
         const FastEngine eng(n);
         const std::size_t size = std::size_t{1} << n;
-        const int trials = n <= 7 ? 20 : 6;
+        const int trials = randIters(n <= 7 ? 20 : 6);
         for (int t = 0; t < trials; ++t) {
             const Permutation any = Permutation::random(size, prng);
             const TwoPassPlan tp = twoPassPlan(net, any);
@@ -101,7 +103,7 @@ TEST(FastEngine, WaksmanForcedStatesDifferential)
     for (unsigned n = 2; n <= 9; ++n) {
         const SelfRoutingBenes net(n);
         const FastEngine eng(n);
-        for (int t = 0; t < 8; ++t) {
+        for (int t = 0; t < randIters(8); ++t) {
             const auto d =
                 Permutation::random(std::size_t{1} << n, prng);
             const SwitchStates states =
@@ -243,7 +245,7 @@ TEST(FastEngine, RouteIntoReusesResultBuffers)
     const unsigned n = 6;
     const SelfRoutingBenes net(n);
     RouteResult reused;
-    for (int t = 0; t < 5; ++t) {
+    for (int t = 0; t < randIters(5); ++t) {
         const auto d = Permutation::random(64, prng);
         net.routeInto(d, reused);
         const RouteResult fresh = net.route(d);

@@ -16,6 +16,8 @@
 
 #include <gtest/gtest.h>
 
+#include "rand_iters.hh"
+
 #include "common/prng.hh"
 #include "core/fast_engine.hh"
 #include "core/fast_kernels.hh"
@@ -112,7 +114,7 @@ TEST(SetupEngine, RandomizedPackedParityIncludingMisroutes)
         const Word N = Word{1} << n;
         const FastEngine eng(n);
         const SetupEngine setup(eng);
-        for (int rep = 0; rep < (n <= 8 ? 6 : 2); ++rep) {
+        for (int rep = 0, reps = randIters(n <= 8 ? 6 : 2); rep < reps; ++rep) {
             // An F member self-routes; an arbitrary permutation
             // usually does not — both must plan and pack identically
             // to the scalar reference, rejection included.
@@ -142,7 +144,7 @@ TEST(SetupEngine, NonFMembersAreRejectedIdentically)
     const FastEngine eng(n);
     const SetupEngine setup(eng);
     unsigned rejected = 0;
-    for (int rep = 0; rep < 40; ++rep) {
+    for (int rep = 0; rep < randIters(40); ++rep) {
         const Permutation any = Permutation::random(N, prng);
         const FastPlan a = setup.plan(any);
         const FastPlan b = eng.routePlan(any);
@@ -167,7 +169,7 @@ TEST(SetupEngine, DisableSimdEnvKeepsParity)
     for (unsigned n : {4u, 7u, 10u}) {
         const FastEngine eng(n);
         const SetupEngine setup(eng);
-        for (int rep = 0; rep < 4; ++rep)
+        for (int rep = 0; rep < randIters(4); ++rep)
             expectPackedParity(eng, setup, randomFMember(n, prng),
                                RoutingMode::SelfRouting,
                                "SRBENES_DISABLE_SIMD");
