@@ -1,4 +1,5 @@
 // srb-lint: arena — SRB009: plan bytes come from PlanArena here.
+// srb-lint: modeled — SRB010: locking goes through common/sync.hh.
 /** @file PlanArena / TiledPlans implementation; see plan_arena.hh. */
 
 #include "core/plan_arena.hh"
@@ -21,7 +22,7 @@ PlanArena::alloc(std::size_t words)
 {
     if (words == 0)
         fatal("PlanArena::alloc: zero-word block requested");
-    MutexLock lock(mu_);
+    sync::MutexLock lock(mu_);
     return allocLocked(words);
 }
 
@@ -64,7 +65,7 @@ PlanArena::release(Word *block, std::size_t words)
 {
     if (block == nullptr || words == 0)
         fatal("PlanArena::release: null block or zero words");
-    MutexLock lock(mu_);
+    sync::MutexLock lock(mu_);
     free_[words].push_back(block);
     live_words_ -= words;
     --live_blocks_;
@@ -85,7 +86,7 @@ PlanArena::publishGaugesLocked()
 PlanArenaStats
 PlanArena::stats() const
 {
-    MutexLock lock(mu_);
+    sync::MutexLock lock(mu_);
     PlanArenaStats s;
     s.resident_bytes = live_words_ * sizeof(Word);
     s.capacity_bytes = capacity_words_ * sizeof(Word);
@@ -101,21 +102,21 @@ PlanArena::stats() const
 std::size_t
 PlanArena::residentBytes() const
 {
-    MutexLock lock(mu_);
+    sync::MutexLock lock(mu_);
     return live_words_ * sizeof(Word);
 }
 
 std::size_t
 PlanArena::capacityBytes() const
 {
-    MutexLock lock(mu_);
+    sync::MutexLock lock(mu_);
     return capacity_words_ * sizeof(Word);
 }
 
 void
 PlanArena::attachGauges(obs::Gauge *resident, obs::Gauge *capacity)
 {
-    MutexLock lock(mu_);
+    sync::MutexLock lock(mu_);
     g_resident_ = resident;
     g_capacity_ = capacity;
     publishGaugesLocked();

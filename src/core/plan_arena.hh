@@ -1,4 +1,5 @@
 // srb-lint: arena — SRB009: plan bytes come from PlanArena here.
+// srb-lint: modeled — SRB010: locking goes through common/sync.hh.
 /**
  * @file
  * Tiled arena for plan bytes: the resident form of routing plans.
@@ -44,6 +45,7 @@
 #include <vector>
 
 #include "common/bitops.hh"
+#include "common/sync.hh"
 #include "common/thread_annotations.hh"
 #include "obs/metrics.hh"
 
@@ -162,7 +164,7 @@ class PlanArena
     const std::size_t tile_bytes_;
     const std::size_t tile_words_;
 
-    mutable Mutex mu_;
+    mutable sync::Mutex mu_;
     std::vector<Tile> tiles_ SRB_GUARDED_BY(mu_);
     /** Exact-size free lists: word count -> recycled blocks. */
     std::unordered_map<std::size_t, std::vector<Word *>> free_

@@ -1,3 +1,5 @@
+// srb-lint: modeled — SRB010: the plan cache's lock-free recency
+// stamps go through common/sync.hh (core/cache_recency.hh).
 #include "core/router.hh"
 
 #include <algorithm>
@@ -274,10 +276,9 @@ Router::evictWhile(Over over) const
         for (const auto &cand : shards_) {
             ReaderLock lock(cand->mu);
             for (const auto &[eh, entry] : cand->map) {
-                // order: relaxed; the eviction scan tolerates
-                // racing stamp updates (LRU is approximate).
-                const std::uint64_t stamp =
-                    entry.last_used.load(std::memory_order_relaxed);
+                // The eviction scan tolerates racing stamp updates
+                // (LRU is approximate; see cache_recency.hh).
+                const std::uint64_t stamp = entry.last_used.value();
                 if (stamp < vstamp) {
                     vsh = cand.get();
                     vhash = eh;
@@ -315,11 +316,9 @@ Router::planCached(const Permutation &d) const
         if (it != sh.map.end() && it->second.plan->perm == d) {
             if (sh.hits)
                 sh.hits->inc();
-            // order: relaxed on clock and stamp; a stale LRU
-            // stamp only costs a suboptimal eviction.
-            it->second.last_used.store(
-                tick_.fetch_add(1, std::memory_order_relaxed) + 1,
-                std::memory_order_relaxed);
+            // Relaxed clock and stamp; a stale LRU stamp only
+            // costs a suboptimal eviction (cache_recency.hh).
+            it->second.last_used.touch(tick_);
             return it->second.plan;
         }
     }
@@ -334,10 +333,9 @@ Router::planCached(const Permutation &d) const
     compactForCache(fresh, sh);
     const std::size_t bytes = planResidentBytes(fresh);
     auto planned = std::make_shared<const RoutePlan>(std::move(fresh));
-    // order: relaxed; the recency clock only feeds the LRU
-    // heuristic (see the hit path above).
-    const std::uint64_t now =
-        tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+    // The recency clock only feeds the LRU heuristic (see the hit
+    // path above).
+    const std::uint64_t now = tick_.next();
     {
         WriterLock lock(sh.mu);
         auto [it, inserted] = sh.map.try_emplace(h, planned, now, bytes);
@@ -347,8 +345,8 @@ Router::planCached(const Permutation &d) const
             sh.bytes -= it->second.bytes;
             it->second.plan = planned;
             it->second.bytes = bytes;
-            // order: relaxed; LRU stamp, see the hit path.
-            it->second.last_used.store(now, std::memory_order_relaxed);
+            // LRU stamp drawn before the lock; see the hit path.
+            it->second.last_used.stamp(now);
         }
         sh.bytes += bytes;
         if (sh.bytes_g)

@@ -1,3 +1,5 @@
+// srb-lint: modeled — SRB010: the plan cache's lock-free recency
+// stamps go through common/sync.hh (core/cache_recency.hh).
 /**
  * @file
  * The one-stop routing facade.
@@ -42,6 +44,7 @@
 #include <vector>
 
 #include "common/thread_annotations.hh"
+#include "core/cache_recency.hh"
 #include "core/fast_engine.hh"
 #include "core/plan_arena.hh"
 #include "core/route_outcome.hh"
@@ -260,7 +263,7 @@ class Router
             {
             }
             std::shared_ptr<const RoutePlan> plan;
-            std::atomic<std::uint64_t> last_used;
+            RecencyStamp last_used;
             /** Resident bytes this entry accounts for. */
             std::size_t bytes;
         };
@@ -304,7 +307,7 @@ class Router
     std::size_t cache_bytes_budget_;
     mutable std::vector<std::unique_ptr<CacheShard>> shards_;
     /** Global recency clock for the stamps. */
-    mutable std::atomic<std::uint64_t> tick_{0};
+    RecencyClock tick_;
 
     /** @{ Observability (obs/metrics.hh); null when disabled. */
     obs::MetricsRegistry *metrics_;

@@ -1,3 +1,5 @@
+// srb-lint: modeled — SRB010: concurrency here goes through the
+// common/sync.hh shim and is exercised by the srb_model suite.
 #include "core/stream.hh"
 
 #include <algorithm>
@@ -188,7 +190,7 @@ StreamEngine::StreamEngine(unsigned n, StreamOptions opts)
 
 StreamEngine::~StreamEngine()
 {
-    if (started_ && !stopped_)
+    if (life_.started() && !life_.stopped())
         stop();
 }
 
@@ -573,14 +575,11 @@ StreamEngine::workerMain(unsigned w)
 void
 StreamEngine::start()
 {
-    // order: relaxed; start() is owner-thread only, the flag read
-    // here races with nothing.
-    if (started_.load(std::memory_order_relaxed))
+    if (life_.started())
         fatal("stream engine started twice");
-    // order: stamp relaxed, then flag release — a stats() that
-    // acquires started_ == true must see this start_ns_.
-    start_ns_.store(nowNs(), std::memory_order_relaxed);
-    started_.store(true, std::memory_order_release);
+    // Stamp-then-flag publication: a stats() that observes
+    // started() == true sees this start stamp (LifecycleStamps).
+    life_.markStarted(nowNs());
     threads_.reserve(opts_.workers);
     for (unsigned w = 0; w < opts_.workers; ++w)
         threads_.emplace_back([this, w] { workerMain(w); });
@@ -589,10 +588,7 @@ StreamEngine::start()
 void
 StreamEngine::stop()
 {
-    // order: relaxed; stop() is owner-thread only, these guards
-    // race with nothing.
-    if (!started_.load(std::memory_order_relaxed) ||
-        stopped_.load(std::memory_order_relaxed))
+    if (!life_.started() || life_.stopped())
         return;
     // order: release so work published before stop() is visible
     // to workers that observe the flag; pairs with their acquires.
@@ -602,11 +598,10 @@ StreamEngine::stop()
     for (std::thread &t : threads_)
         t.join();
     threads_.clear();
-    // order: stamp relaxed, then flag release — a stats() that
-    // acquires stopped_ == true reads the final stop_ns_, never a
-    // stale or torn one.
-    stop_ns_.store(nowNs(), std::memory_order_relaxed);
-    stopped_.store(true, std::memory_order_release);
+    // Stamp-then-flag publication: a stats() that observes
+    // stopped() == true reads the final stop stamp, never a stale
+    // or torn one (LifecycleStamps).
+    life_.markStopped(nowNs());
 }
 
 void
@@ -636,9 +631,9 @@ StreamEngine::resetStats()
         sheds_->reset();
     if (inline_served_)
         inline_served_->reset();
-    // order: relaxed; a stats() racing with the epoch restart sees
-    // either the old or the new start — both are coherent windows.
-    start_ns_.store(nowNs(), std::memory_order_relaxed);
+    // A stats() racing with the epoch restart sees either the old
+    // or the new start — both are coherent windows.
+    life_.restartClock(nowNs());
 }
 
 StreamStats
@@ -670,17 +665,12 @@ StreamEngine::stats() const
         st.inline_served = inline_served_->value();
     st.payload_words = st.requests * numLines();
 
-    // order: acquire on each flag pairs with the release store in
-    // start()/stop(), so a set flag certifies the stamp it
-    // published; the stamps themselves may then be relaxed.
-    const bool stopped = stopped_.load(std::memory_order_acquire);
-    const std::uint64_t end = stopped
-        ? stop_ns_.load(std::memory_order_relaxed) // order: see above
-        : nowNs();
-    const std::uint64_t begin =
-        start_ns_.load(std::memory_order_relaxed); // order: see above
-    if (started_.load(std::memory_order_acquire) // order: see above
-        && end > begin)
+    // The acquire flag reads certify the stamps they published
+    // (LifecycleStamps' stamp-before-flag protocol).
+    const bool stopped = life_.stopped();
+    const std::uint64_t end = stopped ? life_.stopNs() : nowNs();
+    const std::uint64_t begin = life_.startNs();
+    if (life_.started() && end > begin)
         st.elapsed_sec = (end - begin) * 1e-9;
     if (st.elapsed_sec > 0) {
         st.perms_per_sec = st.requests / st.elapsed_sec;

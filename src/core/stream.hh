@@ -1,3 +1,5 @@
+// srb-lint: modeled — SRB010: concurrency here goes through the
+// common/sync.hh shim and is exercised by the srb_model suite.
 /**
  * @file
  * Streaming throughput engine: sustained routing of many independent
@@ -63,6 +65,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/sync.hh"
 #include "core/router.hh"
 
 namespace srbenes
@@ -88,6 +91,105 @@ struct Hash128
 Hash128 hashPermutation128(const Permutation &d);
 
 /**
+ * Start/stop lifecycle for a component whose running()/stats() are
+ * documented readable from any thread: each clock stamp is published
+ * BEFORE its flag (release) and read back after it (acquire), so a
+ * reader that observes a flag set also observes the stamp that
+ * transition certified. This publication protocol regressed once
+ * (the stamp's visibility no longer certified by the flag) — the
+ * model suite pins it: test_model_mutation re-breaks it under
+ * SRBENES_MODEL_MUTATE and asserts srb_model finds the stale-stamp
+ * schedule.
+ */
+class LifecycleStamps
+{
+  public:
+    bool
+    started() const
+    {
+        // order: acquire pairs with markStarted()'s release, so a
+        // true return certifies startNs().
+        return started_.load(std::memory_order_acquire);
+    }
+
+    bool
+    stopped() const
+    {
+        // order: acquire pairs with markStopped()'s release; see
+        // started().
+        return stopped_.load(std::memory_order_acquire);
+    }
+
+    /** Stamp the start clock, then raise the flag. */
+    void
+    markStarted(std::uint64_t ns)
+    {
+        // order: stamp relaxed, then flag release (kPublish) — a
+        // reader that acquires started() == true sees this stamp.
+        start_ns_.store(ns, std::memory_order_relaxed);
+        started_.store(true, kPublish);
+    }
+
+    void
+    markStopped(std::uint64_t ns)
+    {
+        // order: stamp relaxed, then flag release (kPublish); see
+        // markStarted().
+        stop_ns_.store(ns, std::memory_order_relaxed);
+        stopped_.store(true, kPublish);
+    }
+
+    /**
+     * Restart the elapsed-time clock (benchmark warmup exclusion).
+     * The caller guarantees quiescence; a racing reader sees either
+     * the old or the new epoch, both coherent windows.
+     */
+    void
+    restartClock(std::uint64_t ns)
+    {
+        // order: relaxed; quiescent epoch restart, see above.
+        start_ns_.store(ns, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    startNs() const
+    {
+        // order: relaxed; certified by the acquire in started().
+        return start_ns_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    stopNs() const
+    {
+        // order: relaxed; certified by the acquire in stopped().
+        return stop_ns_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    /**
+     * Publication order of the flag stores. SRBENES_MODEL_MUTATE
+     * reintroduces the historical regression (flag no longer
+     * certifies its stamp) so the mutation suite can prove the
+     * model checker catches it; never defined in production builds.
+     */
+#ifdef SRBENES_MODEL_MUTATE
+    // order: deliberately broken publication for the mutation suite.
+    static constexpr std::memory_order kPublish =
+        std::memory_order_relaxed;
+#else
+    // order: release publishes the stamp stored just before the
+    // flag; pairs with the acquire in started()/stopped().
+    static constexpr std::memory_order kPublish =
+        std::memory_order_release;
+#endif
+
+    sync::Atomic<bool> started_{false};
+    sync::Atomic<bool> stopped_{false};
+    sync::Atomic<std::uint64_t> start_ns_{0};
+    sync::Atomic<std::uint64_t> stop_ns_{0};
+};
+
+/**
  * Eventcount doorbell: lets a consumer block (futex, via C++20
  * atomic wait) when its rings run dry, without the classic
  * single-core spin-yield pathology — sched_yield under CFS often
@@ -98,6 +200,15 @@ Hash128 hashPermutation128(const Permutation &d);
 class Doorbell
 {
   public:
+    Doorbell() = default;
+
+    /**
+     * Test-only: start the sequence counter at @p initial_seq so
+     * wraparound schedules (seq_ near its uint64 maximum) are
+     * reachable in the model suite without 2^64 rings.
+     */
+    explicit Doorbell(std::uint64_t initial_seq) : seq_(initial_seq) {}
+
     /** Wake any sleeper; call after publishing work. */
     void
     ring()
@@ -167,8 +278,8 @@ class Doorbell
     }
 
   private:
-    std::atomic<std::uint64_t> seq_{0};
-    std::atomic<std::uint32_t> waiters_{0};
+    sync::Atomic<std::uint64_t> seq_{0};
+    sync::Atomic<std::uint32_t> waiters_{0};
 };
 
 /**
@@ -255,10 +366,10 @@ class SpscRing
   private:
     std::vector<T> buf_;
     std::uint64_t mask_;
-    alignas(64) std::atomic<std::uint64_t> head_{0}; //!< consumer
-    alignas(64) std::uint64_t tail_cache_ = 0;       //!< consumer-owned
-    alignas(64) std::atomic<std::uint64_t> tail_{0}; //!< producer
-    alignas(64) std::uint64_t head_cache_ = 0;       //!< producer-owned
+    alignas(64) sync::Atomic<std::uint64_t> head_{0}; //!< consumer
+    alignas(64) std::uint64_t tail_cache_ = 0;        //!< consumer-owned
+    alignas(64) sync::Atomic<std::uint64_t> tail_{0}; //!< producer
+    alignas(64) std::uint64_t head_cache_ = 0;        //!< producer-owned
 };
 
 /** One routing request in flight. */
@@ -540,11 +651,9 @@ class StreamEngine
     bool
     running() const
     {
-        // order: acquire; pairs with the release stores in
-        // start()/stop() so callers on other threads see the
-        // transition (stats() is documented live at any time).
-        return started_.load(std::memory_order_acquire) &&
-               !stopped_.load(std::memory_order_acquire);
+        // Acquire flag reads (LifecycleStamps); callers on other
+        // threads see the transition (stats() is live at any time).
+        return life_.started() && !life_.stopped();
     }
 
     /**
@@ -653,19 +762,14 @@ class StreamEngine
     std::vector<Producer> producers_;
     std::vector<std::unique_ptr<WorkerState>> workers_;
     std::vector<std::thread> threads_;
-    std::atomic<bool> stop_requested_{false};
-    /*
+    sync::Atomic<bool> stop_requested_{false};
+    /**
      * Lifecycle flags and clock stamps are read by stats() and
      * running() from any thread while the owning thread runs
-     * start()/stop()/resetStats(), so all four are atomic. Each
-     * stamp is published before its flag (release) and read after
-     * it (acquire): a reader that observes the flag set also
-     * observes the stamp that transition certified.
+     * start()/stop()/resetStats(); LifecycleStamps carries the
+     * stamp-before-flag publication protocol.
      */
-    std::atomic<bool> started_{false};
-    std::atomic<bool> stopped_{false};
-    std::atomic<std::uint64_t> start_ns_{0};
-    std::atomic<std::uint64_t> stop_ns_{0};
+    LifecycleStamps life_;
 };
 
 } // namespace srbenes

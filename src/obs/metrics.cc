@@ -1,3 +1,5 @@
+// srb-lint: modeled — SRB010: instrument atomics go through the
+// common/sync.hh shim and are exercised by the srb_model suite.
 #include "obs/metrics.hh"
 
 #include <algorithm>
@@ -29,7 +31,15 @@ metricTypeName(MetricType t) noexcept
 unsigned
 threadIndex()
 {
-    static std::atomic<unsigned> next{0};
+#ifdef SRBENES_MODEL
+    // Virtual lanes are re-run on recycled OS threads, so the
+    // thread_local below would be stale (and nondeterministic)
+    // across schedules; inside a model run the checker's dense lane
+    // index is the sharding key instead.
+    if (model::active())
+        return model::laneIndex();
+#endif
+    static sync::Atomic<unsigned> next{0};
     // order: relaxed; ids only need to be unique, not ordered.
     thread_local const unsigned mine =
         next.fetch_add(1, std::memory_order_relaxed);
@@ -201,7 +211,7 @@ MetricsRegistry::getOrCreate(const std::string &name, Labels &&labels,
     std::sort(labels.begin(), labels.end());
     const std::string key = name + renderLabels(labels);
 
-    MutexLock lock(mu_);
+    sync::MutexLock lock(mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
         if (it->second.type != type)
@@ -264,7 +274,7 @@ void
 MetricsRegistry::visit(
     const std::function<void(const View &)> &fn) const
 {
-    MutexLock lock(mu_);
+    sync::MutexLock lock(mu_);
     for (const auto &[key, e] : entries_) {
         View v{e.name, e.labels, e.type, e.counter.get(),
                e.gauge.get(), e.histogram.get()};
@@ -275,14 +285,14 @@ MetricsRegistry::visit(
 std::size_t
 MetricsRegistry::size() const
 {
-    MutexLock lock(mu_);
+    sync::MutexLock lock(mu_);
     return entries_.size();
 }
 
 void
 MetricsRegistry::resetAll()
 {
-    MutexLock lock(mu_);
+    sync::MutexLock lock(mu_);
     for (auto &[key, e] : entries_) {
         switch (e.type) {
           case MetricType::Counter:

@@ -1,3 +1,5 @@
+// srb-lint: modeled — SRB010: instrument atomics go through the
+// common/sync.hh shim and are exercised by the srb_model suite.
 /**
  * @file
  * Zero-dependency metrics registry for the routing runtime.
@@ -9,7 +11,8 @@
  * that the hot paths update lock-free and exporters snapshot on
  * demand (Prometheus text or JSON; see obs/export.hh).
  *
- * Three instrument kinds, all std::atomic on the update path:
+ * Three instrument kinds, all atomic (via common/sync.hh, plain
+ * std::atomic in production builds) on the update path:
  *
  *  - Counter: monotonic, sharded over cacheline-padded per-thread
  *    cells so concurrent stream workers never contend on one line;
@@ -42,6 +45,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/sync.hh"
 #include "common/thread_annotations.hh"
 
 namespace srbenes
@@ -117,7 +121,7 @@ class Counter
   private:
     struct alignas(64) Cell
     {
-        std::atomic<std::uint64_t> v{0};
+        sync::Atomic<std::uint64_t> v{0};
     };
     Cell cells_[kShards];
 };
@@ -151,7 +155,7 @@ class Gauge
     void reset() noexcept { set(0); }
 
   private:
-    std::atomic<std::int64_t> v_{0};
+    sync::Atomic<std::int64_t> v_{0};
 };
 
 /**
@@ -214,8 +218,8 @@ class Histogram
     void reset() noexcept;
 
   private:
-    std::atomic<std::uint64_t> buckets_[kBuckets] = {};
-    std::atomic<std::uint64_t> sum_{0};
+    sync::Atomic<std::uint64_t> buckets_[kBuckets];
+    sync::Atomic<std::uint64_t> sum_{0};
 };
 
 class MetricsRegistry
@@ -281,10 +285,10 @@ class MetricsRegistry
     Entry &getOrCreate(const std::string &name, Labels &&labels,
                        MetricType type) SRB_EXCLUDES(mu_);
 
-    mutable Mutex mu_;
+    mutable sync::Mutex mu_;
     /** Keyed by name + rendered labels; std::map for sorted visits. */
     std::map<std::string, Entry> entries_ SRB_GUARDED_BY(mu_);
-    std::atomic<std::uint64_t> instance_seq_{0};
+    sync::Atomic<std::uint64_t> instance_seq_{0};
 };
 
 /**

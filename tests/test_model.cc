@@ -1,0 +1,393 @@
+/**
+ * @file
+ * Unit tests for the srb_model checker itself (src/model): the
+ * exploration must find classic concurrency bugs (store-buffer
+ * reordering, unsynchronized publication, data races, ABBA
+ * deadlock, lost futex wakeups, lost updates) and must stay silent
+ * on their correctly synchronized twins. Compiled with
+ * -DSRBENES_MODEL so sync.hh routes into the checker.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/sync.hh"
+#include "model/model.hh"
+
+namespace srbenes
+{
+namespace
+{
+
+using model::explore;
+using model::joinAll;
+using model::modelAssert;
+using model::Options;
+using model::Result;
+using model::spawn;
+
+TEST(ModelCore, SequentialBodyRunsOnce)
+{
+    int runs = 0;
+    const Result res = explore([&runs] {
+        sync::Atomic<int> x(0);
+        x.store(7);
+        modelAssert(x.load() == 7, "sequential readback");
+        ++runs;
+    });
+    EXPECT_TRUE(res.ok) << res.report();
+    EXPECT_EQ(res.schedules, 1u);
+    EXPECT_EQ(runs, 1);
+}
+
+TEST(ModelCore, AtomicIncrementsAreExactInAllInterleavings)
+{
+    const Result res = explore([] {
+        sync::Atomic<int> x(0);
+        spawn([&x] {
+            // order: RMW atomicity under test
+            x.fetch_add(1, std::memory_order_relaxed);
+        });
+        spawn([&x] {
+            // order: RMW atomicity under test
+            x.fetch_add(1, std::memory_order_relaxed);
+        });
+        joinAll();
+        modelAssert(x.load() == 2, "both increments must land");
+    });
+    EXPECT_TRUE(res.ok) << res.report();
+    EXPECT_GT(res.schedules, 1u);
+}
+
+/** Dekker/store-buffering: both loads may see the initial values
+ *  under relaxed ordering — the checker must reach that outcome. */
+TEST(ModelCore, StoreBufferingReachableUnderRelaxed)
+{
+    const Result res = explore([] {
+        sync::Atomic<int> x(0);
+        sync::Atomic<int> y(0);
+        sync::Cell<int> r2(-1);
+        spawn([&] {
+            // order: litmus under test
+            y.store(1, std::memory_order_relaxed);
+            // order: litmus under test
+            r2.write(x.load(std::memory_order_relaxed));
+        });
+        // order: litmus under test
+        x.store(1, std::memory_order_relaxed);
+        // order: litmus under test
+        const int r1 = y.load(std::memory_order_relaxed);
+        joinAll();
+        modelAssert(!(r1 == 0 && r2.read() == 0),
+                    "store buffering: both loads stale");
+    });
+    EXPECT_FALSE(res.ok);
+    EXPECT_NE(res.failure.find("store buffering"), std::string::npos)
+        << res.report();
+    EXPECT_FALSE(res.decisions.empty());
+    EXPECT_FALSE(res.trace.empty());
+}
+
+TEST(ModelCore, StoreBufferingForbiddenUnderSeqCst)
+{
+    const Result res = explore([] {
+        sync::Atomic<int> x(0);
+        sync::Atomic<int> y(0);
+        sync::Cell<int> r2(-1);
+        spawn([&] {
+            y.store(1);
+            r2.write(x.load());
+        });
+        x.store(1);
+        const int r1 = y.load();
+        joinAll();
+        modelAssert(!(r1 == 0 && r2.read() == 0),
+                    "seq_cst forbids the both-stale outcome");
+    });
+    EXPECT_TRUE(res.ok) << res.report();
+}
+
+TEST(ModelCore, MessagePassingReleaseAcquireIsSound)
+{
+    const Result res = explore([] {
+        sync::Atomic<std::uint64_t> data(0);
+        sync::Atomic<int> flag(0);
+        spawn([&] {
+            // order: payload published by the release store below
+            data.store(42, std::memory_order_relaxed);
+            // order: release publishes data; pairs with acquire
+            flag.store(1, std::memory_order_release);
+        });
+        // order: acquire pairs with the release store of flag
+        if (flag.load(std::memory_order_acquire) == 1) {
+            // order: certified by the acquire load above
+            modelAssert(data.load(std::memory_order_relaxed) == 42,
+                        "acquire must certify the payload");
+        }
+        joinAll();
+    });
+    EXPECT_TRUE(res.ok) << res.report();
+}
+
+TEST(ModelCore, MessagePassingRelaxedPublicationCaught)
+{
+    const Result res = explore([] {
+        sync::Atomic<std::uint64_t> data(0);
+        sync::Atomic<int> flag(0);
+        spawn([&] {
+            // order: deliberately broken publication under test
+            data.store(42, std::memory_order_relaxed);
+            // order: deliberately broken publication under test
+            flag.store(1, std::memory_order_relaxed);
+        });
+        // order: acquire of a relaxed store synchronizes nothing
+        if (flag.load(std::memory_order_acquire) == 1) {
+            // order: deliberately broken publication under test
+            modelAssert(data.load(std::memory_order_relaxed) == 42,
+                        "stale payload behind relaxed flag");
+        }
+        joinAll();
+    });
+    EXPECT_FALSE(res.ok);
+    EXPECT_NE(res.failure.find("stale payload"), std::string::npos)
+        << res.report();
+}
+
+TEST(ModelCore, PlainDataRaceCaught)
+{
+    const Result res = explore([] {
+        sync::Cell<int> c(0);
+        spawn([&c] { c.write(1); });
+        c.write(2);
+        joinAll();
+    });
+    EXPECT_FALSE(res.ok);
+    EXPECT_NE(res.failure.find("data race"), std::string::npos)
+        << res.report();
+}
+
+TEST(ModelCore, MutexExcludesPlainDataRace)
+{
+    const Result res = explore([] {
+        sync::Mutex mu;
+        sync::Cell<int> c(0);
+        spawn([&] {
+            sync::MutexLock lk(mu);
+            c.write(c.read() + 1);
+        });
+        {
+            sync::MutexLock lk(mu);
+            c.write(c.read() + 1);
+        }
+        joinAll();
+        sync::MutexLock lk(mu);
+        modelAssert(c.read() == 2, "serialized increments");
+    });
+    EXPECT_TRUE(res.ok) << res.report();
+}
+
+TEST(ModelCore, AbbaDeadlockCaught)
+{
+    const Result res = explore([] {
+        sync::Mutex a;
+        sync::Mutex b;
+        spawn([&] {
+            sync::MutexLock lb(b);
+            sync::MutexLock la(a);
+        });
+        sync::MutexLock la(a);
+        sync::MutexLock lb(b);
+        joinAll();
+    });
+    EXPECT_FALSE(res.ok);
+    EXPECT_NE(res.failure.find("deadlock"), std::string::npos)
+        << res.report();
+}
+
+/** A store without a notify must not wake a futex waiter: the
+ *  blocked waiter is reported as a deadlock (lost wakeup). */
+TEST(ModelCore, LostFutexWakeupCaught)
+{
+    const Result res = explore([] {
+        sync::Atomic<std::uint64_t> seq(0);
+        spawn([&seq] {
+            // order: wake-path bug under test: store, no notify
+            seq.store(1, std::memory_order_release);
+        });
+        // order: waiter under test
+        seq.wait(0, std::memory_order_acquire);
+        joinAll();
+    });
+    EXPECT_FALSE(res.ok);
+    EXPECT_NE(res.failure.find("deadlock"), std::string::npos)
+        << res.report();
+    EXPECT_NE(res.failure.find("futex"), std::string::npos)
+        << res.report();
+}
+
+TEST(ModelCore, NotifyAfterStoreWakesWaiter)
+{
+    const Result res = explore([] {
+        sync::Atomic<std::uint64_t> seq(0);
+        spawn([&seq] {
+            // order: release publishes work before the wake
+            seq.store(1, std::memory_order_release);
+            seq.notify_all();
+        });
+        // order: pairs with the release store above
+        seq.wait(0, std::memory_order_acquire);
+        modelAssert(seq.load() == 1, "woken waiter sees the store");
+        joinAll();
+    });
+    EXPECT_TRUE(res.ok) << res.report();
+}
+
+/** Lost update via a torn seq_cst read-modify-write: seq_cst loads
+ *  always see the newest store, so the only way to lose an update
+ *  is a context switch between the load and the store — exactly one
+ *  preemption. Bound 0 must miss it and bound 1 find it. (A relaxed
+ *  version would be reachable at bound 0 through a stale load —
+ *  value choices deliberately cost no preemption budget.) */
+TEST(ModelCore, LostUpdateRespectsPreemptionBound)
+{
+    const auto body = [] {
+        sync::Atomic<int> x(0);
+        const auto bump = [&x] {
+            const int r = x.load();
+            x.store(r + 1);
+        };
+        spawn(bump);
+        spawn(bump);
+        joinAll();
+        modelAssert(x.load() == 2, "lost update");
+    };
+
+    Options strict;
+    strict.preemption_bound = 0;
+    EXPECT_TRUE(explore(strict, body).ok);
+
+    Options relaxed;
+    relaxed.preemption_bound = 1;
+    const Result res = explore(relaxed, body);
+    EXPECT_FALSE(res.ok);
+    EXPECT_NE(res.failure.find("lost update"), std::string::npos)
+        << res.report();
+}
+
+TEST(ModelCore, SleepSetsPruneCommutingSchedules)
+{
+    const auto body = [] {
+        sync::Atomic<int> x(0);
+        sync::Atomic<int> y(0);
+        spawn([&x] {
+            // order: independence under test
+            x.store(1, std::memory_order_relaxed);
+            // order: independence under test
+            x.store(2, std::memory_order_relaxed);
+        });
+        spawn([&y] {
+            // order: independence under test
+            y.store(1, std::memory_order_relaxed);
+            // order: independence under test
+            y.store(2, std::memory_order_relaxed);
+        });
+        joinAll();
+    };
+
+    Options with;
+    Options without;
+    without.sleep_sets = false;
+    const Result pruned = explore(with, body);
+    const Result full = explore(without, body);
+    EXPECT_TRUE(pruned.ok) << pruned.report();
+    EXPECT_TRUE(full.ok) << full.report();
+    EXPECT_LT(pruned.schedules, full.schedules);
+}
+
+TEST(ModelCore, ScheduleBudgetSetsExhausted)
+{
+    Options opts;
+    opts.max_schedules = 1;
+    const Result res = explore(opts, [] {
+        sync::Atomic<int> x(0);
+        spawn([&x] {
+            // order: schedule-count fodder
+            x.store(1, std::memory_order_relaxed);
+        });
+        spawn([&x] {
+            // order: schedule-count fodder
+            x.store(2, std::memory_order_relaxed);
+        });
+        joinAll();
+    });
+    EXPECT_TRUE(res.ok) << res.report();
+    EXPECT_TRUE(res.exhausted);
+    EXPECT_EQ(res.schedules, 1u);
+}
+
+TEST(ModelCore, LivelockCaughtByStepBudget)
+{
+    Options opts;
+    opts.max_steps = 20;
+    const Result res = explore(opts, [] {
+        sync::Atomic<int> x(0);
+        for (int i = 0; i < 100; ++i) {
+            // order: step fodder for the livelock bound
+            x.store(i, std::memory_order_relaxed);
+        }
+    });
+    EXPECT_FALSE(res.ok);
+    EXPECT_NE(res.failure.find("livelock"), std::string::npos)
+        << res.report();
+}
+
+TEST(ModelCore, ReplayReproducesTheFailingSchedule)
+{
+    const auto body = [] {
+        sync::Atomic<int> x(0);
+        sync::Atomic<int> y(0);
+        sync::Cell<int> r2(-1);
+        spawn([&] {
+            // order: litmus under test
+            y.store(1, std::memory_order_relaxed);
+            // order: litmus under test
+            r2.write(x.load(std::memory_order_relaxed));
+        });
+        // order: litmus under test
+        x.store(1, std::memory_order_relaxed);
+        // order: litmus under test
+        const int r1 = y.load(std::memory_order_relaxed);
+        joinAll();
+        modelAssert(!(r1 == 0 && r2.read() == 0),
+                    "store buffering: both loads stale");
+    };
+
+    const Result first = explore(body);
+    ASSERT_FALSE(first.ok);
+    ASSERT_FALSE(first.decisions.empty());
+
+    Options replay;
+    replay.replay = first.decisions;
+    const Result again = explore(replay, body);
+    EXPECT_FALSE(again.ok);
+    EXPECT_EQ(again.schedules, 1u);
+    EXPECT_EQ(again.failure, first.failure) << again.report();
+}
+
+TEST(ModelCore, PreemptionBoundFromEnv)
+{
+    ::unsetenv("SRBENES_MODEL_PREEMPTIONS");
+    EXPECT_EQ(model::preemptionBoundFromEnv(3), 3u);
+    ::setenv("SRBENES_MODEL_PREEMPTIONS", "5", 1);
+    EXPECT_EQ(model::preemptionBoundFromEnv(3), 5u);
+    ::setenv("SRBENES_MODEL_PREEMPTIONS", "99", 1);
+    EXPECT_EQ(model::preemptionBoundFromEnv(3), 8u);
+    ::setenv("SRBENES_MODEL_PREEMPTIONS", "junk", 1);
+    EXPECT_EQ(model::preemptionBoundFromEnv(3), 3u);
+    ::unsetenv("SRBENES_MODEL_PREEMPTIONS");
+}
+
+} // namespace
+} // namespace srbenes

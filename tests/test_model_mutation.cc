@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Mutation regression for the model checker: this target compiles
+ * with SRBENES_MODEL_MUTATE, which re-introduces the historical
+ * StreamEngine lifecycle-stamp race inside LifecycleStamps (the flag
+ * store degrades from release to relaxed, so the flag no longer
+ * certifies its clock stamp). The suite asserts srb_model FINDS the
+ * stale-stamp schedule — proving the checker would have caught the
+ * original regression — and prints the replayable failure trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include <iostream>
+
+#include "core/stream.hh"
+#include "model/model.hh"
+
+#ifndef SRBENES_MODEL_MUTATE
+#error "test_model_mutation must be compiled with SRBENES_MODEL_MUTATE"
+#endif
+
+namespace srbenes
+{
+namespace
+{
+
+using model::explore;
+using model::joinAll;
+using model::modelAssert;
+using model::Options;
+using model::Result;
+using model::spawn;
+
+/** The exact stats()-vs-start() scenario: a reader that observes
+ *  started() == true reads the start stamp. With the mutated
+ *  relaxed flag store nothing certifies the stamp, and the checker
+ *  must reach the schedule where the reader sees the flag but a
+ *  stale (zero) stamp. */
+TEST(ModelMutation, SeededLifecycleStampRaceIsDetected)
+{
+    Options opts;
+    opts.name = "lifecycle-mutant";
+    opts.preemption_bound = model::preemptionBoundFromEnv(3);
+    const Result res = explore(opts, [] {
+        LifecycleStamps life;
+        spawn([&] {
+            if (life.started())
+                modelAssert(life.startNs() == 7,
+                            "stale stamp behind mutated flag");
+        });
+        life.markStarted(7);
+        joinAll();
+    });
+
+    ASSERT_FALSE(res.ok)
+        << "the seeded lifecycle-stamp race was NOT detected — the "
+           "model checker lost its sensitivity to the PR-4 class of "
+           "publication bugs";
+    EXPECT_NE(res.failure.find("stale stamp"), std::string::npos)
+        << res.report();
+    EXPECT_FALSE(res.decisions.empty());
+    EXPECT_FALSE(res.trace.empty());
+
+    // The replayable trace is the artifact a developer debugs from;
+    // print it so the ctest log shows what detection looks like.
+    std::cout << "seeded mutant detected as expected; replay with "
+                 "Options::replay = \""
+              << res.decisions << "\"\n"
+              << res.report() << "\n";
+
+    // And prove the recipe works: replaying the recorded decisions
+    // reproduces the same failure in a single schedule.
+    Options replay;
+    replay.name = "lifecycle-mutant-replay";
+    replay.replay = res.decisions;
+    const Result again = explore(replay, [] {
+        LifecycleStamps life;
+        spawn([&] {
+            if (life.started())
+                modelAssert(life.startNs() == 7,
+                            "stale stamp behind mutated flag");
+        });
+        life.markStarted(7);
+        joinAll();
+    });
+    EXPECT_FALSE(again.ok);
+    EXPECT_EQ(again.schedules, 1u);
+    EXPECT_EQ(again.failure, res.failure) << again.report();
+}
+
+} // namespace
+} // namespace srbenes

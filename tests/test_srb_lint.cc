@@ -367,6 +367,71 @@ std::vector<Word> words;
                          "SRB009"));
 }
 
+// ------------------------------------------- SRB010 modeled files
+
+TEST(Srb010, FlagsRawPrimitivesInTaggedFiles)
+{
+    EXPECT_TRUE(hasRule(R"__(// srb-lint: modeled
+std::atomic<std::uint64_t> seq{0};
+)__",
+                        "SRB010"));
+    EXPECT_TRUE(hasRule(R"__(// srb-lint: modeled
+std::mutex mu; // srb-lint: allow(SRB006) fixture
+)__",
+                        "SRB010"));
+    EXPECT_TRUE(hasRule(R"__(// srb-lint: modeled
+long r = syscall(SYS_futex, addr, FUTEX_WAIT, v, nullptr);
+)__",
+                        "SRB010"));
+    EXPECT_TRUE(hasRule(R"__(// srb-lint: modeled
+std::lock_guard<std::mutex> lk(mu);
+)__",
+                        "SRB010"));
+}
+
+TEST(Srb010, ShimTypesAndUntaggedFilesAreExempt)
+{
+    // The shim is the sanctioned spelling in modeled files.
+    EXPECT_FALSE(hasRule(R"__(// srb-lint: modeled
+sync::Atomic<std::uint64_t> seq{0};
+sync::Mutex mu;
+sync::MutexLock lock(mu);
+sync::Cell<int> c;
+)__",
+                         "SRB010"));
+    // Untagged files may use raw primitives freely (SRB010 is
+    // opt-in; other rules still apply to them).
+    EXPECT_FALSE(hasRule("std::atomic<int> x{0};\n", "SRB010"));
+    // memory_order tokens are not std::atomic uses.
+    EXPECT_FALSE(hasRule(R"__(// srb-lint: modeled
+// order: fixture
+seq.load(std::memory_order_acquire);
+)__",
+                         "SRB010"));
+}
+
+TEST(Srb010, TagOnlyCountsOnTheOpeningLines)
+{
+    EXPECT_FALSE(hasRule(R"__(
+int a;
+int b;
+int c;
+// files tagged srb-lint: modeled go through common/sync.hh
+std::atomic<int> x{0};
+)__",
+                         "SRB010"));
+}
+
+TEST(Srb010, AllowSuppressesAJustifiedEscape)
+{
+    EXPECT_FALSE(hasRule(R"__(// srb-lint: modeled
+// srb-lint: allow(SRB010) scheduler-internal handshake, not a
+// modeled code path.
+std::mutex handshake; // srb-lint: allow(SRB006) fixture
+)__",
+                         "SRB010"));
+}
+
 // --------------------------------------------- inline suppressions
 
 TEST(Allow, SameLineSuppresses)
@@ -417,9 +482,9 @@ int b = rand();
 TEST(Findings, RuleCatalogMatchesEmittedIds)
 {
     const std::vector<RuleInfo> &cat = ruleCatalog();
-    ASSERT_EQ(cat.size(), 9u);
+    ASSERT_EQ(cat.size(), 10u);
     EXPECT_STREQ(cat.front().id, "SRB001");
-    EXPECT_STREQ(cat.back().id, "SRB009");
+    EXPECT_STREQ(cat.back().id, "SRB010");
 }
 
 // ------------------------------------------------------- baseline

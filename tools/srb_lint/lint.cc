@@ -443,6 +443,41 @@ ruleArenaNoHeapPlanBytes(Ctx &ctx)
                        "justify the compat form with an allow)");
 }
 
+/**
+ * SRB010: a file tagged `// srb-lint: modeled` promises that its
+ * concurrency goes through the common/sync.hh shim, so the srb_model
+ * suite actually exercises the synchronization the production build
+ * runs. A raw std::atomic / std::mutex / condition_variable member
+ * or a direct SYS_futex call would compile and pass every test while
+ * silently escaping the checker; flag it so bypassing the model
+ * needs a reviewed allow() to land.
+ */
+void
+ruleModeledSyncShim(Ctx &ctx)
+{
+    // Same opt-in discipline as SRB008/SRB009: the tag must sit on
+    // one of the file's first three lines.
+    bool tagged = false;
+    for (std::size_t i = 0;
+         i < ctx.view.comment.size() && i < 3 && !tagged; ++i)
+        tagged = ctx.view.comment[i].find("srb-lint: modeled") !=
+                 std::string::npos;
+    if (!tagged)
+        return;
+    static const std::regex re(
+        R"(std::atomic\b|std::mutex\b|std::shared_mutex\b)"
+        R"(|std::condition_variable\b|std::scoped_lock\b)"
+        R"(|std::lock_guard\b|std::unique_lock\b)"
+        R"(|syscall\s*\(\s*SYS_futex)");
+    for (std::size_t i = 0; i < ctx.view.code.size(); ++i)
+        if (std::regex_search(ctx.view.code[i], re))
+            ctx.report("SRB010", i,
+                       "raw synchronization primitive in a file "
+                       "tagged modeled; use the common/sync.hh shim "
+                       "(sync::Atomic/Mutex/Cell) so srb_model "
+                       "checks it (or justify with an allow)");
+}
+
 } // namespace
 
 const std::vector<RuleInfo> &
@@ -463,6 +498,8 @@ ruleCatalog()
                    "'srb-lint: bitsliced'"},
         {"SRB009", "no heap-allocated plan bytes in files tagged "
                    "'srb-lint: arena'; use PlanArena"},
+        {"SRB010", "no raw std::atomic/std::mutex/SYS_futex in files "
+                   "tagged 'srb-lint: modeled'; use common/sync.hh"},
     };
     return catalog;
 }
@@ -492,6 +529,7 @@ lintText(const std::string &path, const std::string &text)
     ruleIncludeHygiene(ctx);
     ruleBitslicedNoScalarWalk(ctx);
     ruleArenaNoHeapPlanBytes(ctx);
+    ruleModeledSyncShim(ctx);
 
     // Inline suppressions: an allow on the finding's line or within
     // the two lines above it (room for a wrapped reason).
