@@ -1,132 +1,275 @@
 /**
  * @file
- * Experiment E17 (extension) -- packet-switched operation of the
- * same fabric: per-packet tag routing with input FIFOs and
- * backpressure delivers ALL N! permutations (no setup, no class
- * restriction), at the price of contention. The comparison against
- * the paper's circuit discipline:
+ * Packet-mode capacity: sustained throughput and loss vs offered
+ * load for every traffic matrix in the library, under both
+ * contention policies.
  *
- *  - circuit mode: F members in exactly 2n-1 stage delays, non-F
- *    impossible (single pass);
- *  - packet mode: everything delivers, but even F members stall
- *    (bit reversal collides at stage 0), and tails stretch with
- *    load.
+ * Each row drives a fresh packet::Fabric (least-occupancy midpath)
+ * from one TrafficSource at a target offered load for a fixed
+ * injection window, then drains. Measured quantities come from the
+ * fabric's conservation-grade accounting:
  *
- * Timed section: packet simulation throughput.
+ *  - throughput: delivered packets per simulated cycle (and the
+ *    wall-clock simulation rate in packets/sec);
+ *  - loss: in-fabric drops / injected (Drop policy), plus the
+ *    ingress rejection fraction, which is where Backpressure sheds
+ *    overload instead;
+ *  - delay: exact avg/max latency in cycles.
+ *
+ * The bench doubles as an acceptance gate and exits nonzero when
+ *  - any row breaks conservation (offered != injected + rejected or
+ *    injected != delivered + dropped + in-flight after drain), or
+ *  - the uniform matrix drops or rejects packets at or below load
+ *    0.3 under the Drop policy: uniform traffic this far below
+ *    saturation must fit in the default rings, so a loss there is a
+ *    routing or queueing regression, not congestion.
+ *
+ * Emits a fixed-width table per policy and machine-readable
+ * BENCH_packet.json. SRBENES_BENCH_SMOKE=1 shrinks the sweep for
+ * CI (smaller n, fewer cycles, coarser load grid).
  */
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
 
-#include <benchmark/benchmark.h>
-
-#include "common/prng.hh"
 #include "common/table.hh"
-#include "packet/packet_benes.hh"
-#include "perm/f_class.hh"
-#include "perm/linear.hh"
-#include "perm/named_bpc.hh"
-#include "perm/omega_class.hh"
+#include "packet/fabric.hh"
+#include "packet/traffic.hh"
 
 namespace
 {
 
 using namespace srbenes;
 
-void
-printPacketStudy()
+/** Loads at or below this must be loss-free for uniform + Drop. */
+constexpr double kLosslessLoad = 0.3;
+/** BurstyTraffic caps at B / (B + 1) with B = 8; clamp the grid. */
+constexpr double kBurstyMaxLoad = 0.85;
+
+struct Row
 {
-    const unsigned n = 6;
-    const Word size = Word{1} << n;
-    std::cout << "=== E17: packet mode vs circuit mode (B(6), "
-                 "N = 64, FIFO depth 2) ===\n"
-              << "(circuit-mode delay for comparison: 2n-1 = "
-              << 2 * n - 1 << " stage delays, F members only)\n\n";
+    std::string matrix;
+    packet::ContentionPolicy policy;
+    double actual_load = 0; //!< what the generator was built with
+    double measured_load = 0;
+    std::uint64_t inject_cycles = 0;
+    packet::FabricStats st;
+    double pkts_per_cycle = 0;
+    double pkts_per_sec = 0; //!< wall-clock simulation rate
+    double drop_frac = 0;
+    double reject_frac = 0;
+};
 
-    Prng prng(17);
-    struct Row
-    {
-        std::string name;
-        Permutation perm;
-    };
-    const std::vector<Row> rows{
-        {"identity", Permutation::identity(size)},
-        {"cyclic shift +1", named::cyclicShift(n, 1)},
-        {"bit reversal (in F)",
-         named::bitReversal(n).toPermutation()},
-        {"matrix transpose (in F)",
-         named::matrixTranspose(n).toPermutation()},
-        {"gray code (in F)",
-         LinearSpec::grayCode(n).toPermutation()},
-        {"random F member", randomFMember(n, prng)},
-        {"uniform random (not in F)",
-         Permutation::random(size, prng)},
-        {"worst-case funnel",
-         named::perfectShuffle(n).toPermutation()},
-    };
-
-    TextTable table({"workload", "avg latency", "max latency",
-                     "stalls", "vs circuit"});
-    PacketBenes fabric(n);
-    for (const auto &row : rows) {
-        const auto stats = fabric.runPermutation(row.perm);
-        table.newRow();
-        table.addCell(row.name);
-        table.addCell(stats.avg_latency, 2);
-        table.addCell(stats.max_latency);
-        table.addCell(stats.stalls);
-        table.addCell(static_cast<double>(stats.max_latency) /
-                          (2 * n - 1),
-                      2);
-    }
-    table.print(std::cout);
-
-    // Streaming saturation.
-    std::cout << "\nstreaming load (batches of random "
-                 "permutations, one injected per cycle):\n";
-    TextTable stream_tbl({"batches", "cycles", "cycles/batch",
-                          "avg latency", "max occupancy"});
-    for (int batches : {1, 4, 16, 64}) {
-        std::vector<Permutation> stream;
-        for (int b = 0; b < batches; ++b)
-            stream.push_back(Permutation::random(size, prng));
-        const auto stats = fabric.runStream(stream);
-        stream_tbl.newRow();
-        stream_tbl.addCell(batches);
-        stream_tbl.addCell(stats.cycles);
-        stream_tbl.addCell(
-            static_cast<double>(stats.cycles) / batches, 2);
-        stream_tbl.addCell(stats.avg_latency, 2);
-        stream_tbl.addCell(stats.max_occupancy);
-    }
-    stream_tbl.print(std::cout);
-    std::cout << "\n(the paper's circuit discipline wins whenever "
-                 "the workload lives in F: zero stalls and a "
-                 "deterministic\n2n-1 delay; packet mode buys "
-                 "universality with contention tails)\n\n";
+std::unique_ptr<packet::TrafficSource>
+makeMatrix(const std::string &name, unsigned n, double load,
+           std::uint64_t seed)
+{
+    if (name == "uniform")
+        return std::make_unique<packet::UniformTraffic>(n, load,
+                                                        seed);
+    if (name == "hotspot")
+        return std::make_unique<packet::HotSpotTraffic>(
+            n, load, 0.25, 0, seed);
+    if (name == "bursty")
+        return std::make_unique<packet::BurstyTraffic>(n, load, 8.0,
+                                                       seed);
+    if (name == "partial")
+        return std::make_unique<packet::PartialTraffic>(n, load, 0.5,
+                                                        seed);
+    if (name == "multicast")
+        return std::make_unique<packet::MulticastTraffic>(n, load, 4,
+                                                          seed);
+    std::fprintf(stderr, "unknown matrix %s\n", name.c_str());
+    std::exit(1);
 }
 
-void
-BM_PacketPermutation(benchmark::State &state)
+Row
+run(const std::string &matrix, packet::ContentionPolicy policy,
+    unsigned n, double target_load, std::uint64_t inject_cycles)
 {
-    const unsigned n = static_cast<unsigned>(state.range(0));
-    PacketBenes fabric(n);
-    Prng prng(n);
-    const auto d = Permutation::random(std::size_t{1} << n, prng);
-    for (auto _ : state) {
-        auto stats = fabric.runPermutation(d);
-        benchmark::DoNotOptimize(stats.cycles);
-    }
-    state.SetItemsProcessed(state.iterations() * d.size());
+    Row row;
+    row.matrix = matrix;
+    row.policy = policy;
+    row.actual_load = matrix == "bursty"
+                          ? std::min(target_load, kBurstyMaxLoad)
+                          : target_load;
+    row.inject_cycles = inject_cycles;
+
+    packet::PacketOptions opts;
+    opts.contention = policy;
+    packet::Fabric fabric(n, opts, nullptr);
+    auto source = makeMatrix(matrix, n, row.actual_load, 1905);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    row.st = fabric.run(*source, inject_cycles);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double sec =
+        std::chrono::duration<double>(t1 - t0).count();
+
+    const double ports = static_cast<double>(Word{1} << n);
+    row.measured_load =
+        static_cast<double>(row.st.offered) /
+        (static_cast<double>(inject_cycles) * ports);
+    row.pkts_per_cycle = static_cast<double>(row.st.delivered) /
+                         static_cast<double>(row.st.cycles);
+    row.pkts_per_sec =
+        sec > 0 ? static_cast<double>(row.st.delivered) / sec : 0;
+    if (row.st.injected > 0)
+        row.drop_frac = static_cast<double>(row.st.dropped) /
+                        static_cast<double>(row.st.injected);
+    if (row.st.offered > 0)
+        row.reject_frac = static_cast<double>(row.st.rejected) /
+                          static_cast<double>(row.st.offered);
+    return row;
 }
-BENCHMARK(BM_PacketPermutation)->Arg(6)->Arg(8)->Arg(10);
+
+std::string
+fmt(double v, const char *spec)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), spec, v);
+    return buf;
+}
 
 } // namespace
 
 int
-main(int argc, char **argv)
+main()
 {
-    printPacketStudy();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    // SRBENES_BENCH_SMOKE=1: the CI smoke configuration — the same
+    // sweep shape at a fraction of the cycle count.
+    const char *smoke_env = std::getenv("SRBENES_BENCH_SMOKE");
+    const bool smoke = smoke_env && smoke_env[0] != '\0' &&
+                       !(smoke_env[0] == '0' && smoke_env[1] == '\0');
+
+    const unsigned n = smoke ? 6 : 8;
+    const std::uint64_t cycles = smoke ? 400 : 4000;
+    const std::vector<double> loads =
+        smoke ? std::vector<double>{0.2, 0.3, 0.6, 0.9}
+              : std::vector<double>{0.1, 0.2, 0.3, 0.4, 0.5,
+                                    0.6, 0.7, 0.8, 0.9, 0.95};
+    const std::vector<std::string> matrices{
+        "uniform", "hotspot", "bursty", "partial", "multicast"};
+    const packet::ContentionPolicy policies[] = {
+        packet::ContentionPolicy::Backpressure,
+        packet::ContentionPolicy::Drop,
+    };
+
+    std::cout << "=== packet fabric: throughput and loss vs "
+                 "offered load (n = "
+              << n << ", " << cycles << " inject cycles, "
+              << midpathPolicyName(packet::PacketOptions{}.midpath)
+              << " midpath) ===\n";
+
+    std::vector<Row> rows;
+    bool ok = true;
+    std::string gate_msg;
+    for (const packet::ContentionPolicy policy : policies) {
+        std::cout << "\n--- " << contentionPolicyName(policy)
+                  << " ---\n";
+        TextTable table({"matrix", "load", "measured", "pkts/cyc",
+                         "sim pkts/s", "drop%", "reject%",
+                         "avg lat", "max lat", "stalls"});
+        for (const std::string &matrix : matrices)
+            for (const double load : loads) {
+                Row row = run(matrix, policy, n, load, cycles);
+                table.newRow();
+                table.addCell(row.matrix);
+                table.addCell(fmt(row.actual_load, "%.2f"));
+                table.addCell(fmt(row.measured_load, "%.3f"));
+                table.addCell(fmt(row.pkts_per_cycle, "%.1f"));
+                table.addCell(fmt(row.pkts_per_sec, "%.2e"));
+                table.addCell(fmt(100 * row.drop_frac, "%.2f"));
+                table.addCell(fmt(100 * row.reject_frac, "%.2f"));
+                table.addCell(fmt(row.st.avg_latency, "%.1f"));
+                table.addCell(row.st.max_latency);
+                table.addCell(row.st.stalls);
+
+                if (!row.st.conserved) {
+                    ok = false;
+                    gate_msg += "conservation broken: " +
+                                row.matrix + " @ " +
+                                fmt(row.actual_load, "%.2f") + " " +
+                                contentionPolicyName(policy) + "\n";
+                }
+                if (row.matrix == "uniform" &&
+                    policy == packet::ContentionPolicy::Drop &&
+                    row.actual_load <= kLosslessLoad + 1e-9 &&
+                    (row.st.dropped > 0 || row.st.rejected > 0)) {
+                    ok = false;
+                    gate_msg +=
+                        "uniform load " +
+                        fmt(row.actual_load, "%.2f") +
+                        " lost packets below saturation (dropped " +
+                        std::to_string(row.st.dropped) +
+                        ", rejected " +
+                        std::to_string(row.st.rejected) + ")\n";
+                }
+                rows.push_back(row);
+            }
+        table.print(std::cout);
+    }
+
+    const char *path = "BENCH_packet.json";
+    std::FILE *jf = std::fopen(path, "w");
+    if (!jf) {
+        std::fprintf(stderr, "cannot open %s for writing\n", path);
+        return 1;
+    }
+    std::fprintf(jf,
+                 "{\n  \"benchmark\": \"packet\",\n"
+                 "  \"unit\": \"pkts_per_cycle\",\n"
+                 "  \"workload\": \"traffic matrices at controlled "
+                 "offered load, least-occupancy midpath\",\n"
+                 "  \"n\": %u,\n  \"inject_cycles\": %llu,\n"
+                 "  \"queue_capacity\": %zu,\n"
+                 "  \"ingress_capacity\": %zu,\n"
+                 "  \"lossless_gate_load\": %.2f,\n"
+                 "  \"results\": [\n",
+                 n, static_cast<unsigned long long>(cycles),
+                 packet::PacketOptions{}.queue_capacity,
+                 packet::PacketOptions{}.ingress_capacity,
+                 kLosslessLoad);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        std::fprintf(
+            jf,
+            "    {\"matrix\": \"%s\", \"policy\": \"%s\", "
+            "\"offered_load\": %.3f, \"measured_load\": %.4f, "
+            "\"offered\": %llu, \"injected\": %llu, "
+            "\"rejected\": %llu, \"delivered\": %llu, "
+            "\"dropped\": %llu, \"stalls\": %llu, "
+            "\"cycles\": %llu, "
+            "\"pkts_per_cycle\": %.2f, \"pkts_per_sec\": %.0f, "
+            "\"drop_frac\": %.5f, \"reject_frac\": %.5f, "
+            "\"avg_latency\": %.2f, \"max_latency\": %llu, "
+            "\"max_occupancy\": %llu, \"conserved\": %s}%s\n",
+            r.matrix.c_str(), contentionPolicyName(r.policy),
+            r.actual_load, r.measured_load,
+            static_cast<unsigned long long>(r.st.offered),
+            static_cast<unsigned long long>(r.st.injected),
+            static_cast<unsigned long long>(r.st.rejected),
+            static_cast<unsigned long long>(r.st.delivered),
+            static_cast<unsigned long long>(r.st.dropped),
+            static_cast<unsigned long long>(r.st.stalls),
+            static_cast<unsigned long long>(r.st.cycles),
+            r.pkts_per_cycle, r.pkts_per_sec, r.drop_frac,
+            r.reject_frac, r.st.avg_latency,
+            static_cast<unsigned long long>(r.st.max_latency),
+            static_cast<unsigned long long>(r.st.max_occupancy),
+            r.st.conserved ? "true" : "false",
+            i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(jf, "  ]\n}\n");
+    std::fclose(jf);
+    std::printf("\nwrote %s\n", path);
+    if (!ok)
+        std::fprintf(stderr, "\nACCEPTANCE GATE FAILED:\n%s",
+                     gate_msg.c_str());
+    return ok ? 0 : 1;
 }

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Packet mode in one page: run a hot-spot traffic matrix through
+ * packet::Fabric under both contention policies and print what the
+ * obs layer sees.
+ *
+ *   1. build the fabric for B(6) with a metrics registry attached;
+ *   2. drive a hot-spot matrix (25% of packets aim at line 0) at
+ *      offered load 0.6 for a few thousand cycles;
+ *   3. read the per-run accounting (conservation included);
+ *   4. dump the Prometheus text exposition a scraper would see.
+ *
+ * Build & run:  ./build/examples/packet_hotspot
+ */
+
+#include <iostream>
+
+#include "srbenes.hh"
+
+namespace
+{
+
+void
+runPolicy(srbenes::packet::ContentionPolicy policy,
+          srbenes::obs::MetricsRegistry &reg)
+{
+    using namespace srbenes;
+
+    const unsigned n = 6;
+    packet::PacketOptions opts;
+    opts.contention = policy;
+
+    packet::Fabric fabric(n, opts, &reg);
+    packet::HotSpotTraffic matrix(n, /*load=*/0.6,
+                                  /*hot_fraction=*/0.25,
+                                  /*hot=*/0);
+    const packet::FabricStats st = fabric.run(matrix, 3000);
+
+    std::cout << "policy " << contentionPolicyName(policy) << " ("
+              << midpathPolicyName(opts.midpath) << " midpath)\n"
+              << "  injected   " << st.injected << "\n"
+              << "  delivered  " << st.delivered << "\n"
+              << "  dropped    " << st.dropped << "\n"
+              << "  stalls     " << st.stalls << "\n"
+              << "  avg lat    " << st.avg_latency << " cycles (p99 "
+              << st.p99_latency << ")\n"
+              << "  conserved  " << std::boolalpha << st.conserved
+              << "\n\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace srbenes;
+
+    obs::MetricsRegistry reg;
+    runPolicy(packet::ContentionPolicy::Backpressure, reg);
+    runPolicy(packet::ContentionPolicy::Drop, reg);
+
+    std::cout << "--- Prometheus exposition "
+                 "----------------------------------\n"
+              << obs::exposeText(reg);
+    return 0;
+}

@@ -14,7 +14,7 @@ set -uo pipefail
 build_dir="${1:-build}"
 cd "$(dirname "$0")/.."
 
-benches=(bench_fast_engine bench_setup_time bench_throughput bench_resilience bench_obs_overhead bench_service)
+benches=(bench_fast_engine bench_setup_time bench_throughput bench_resilience bench_obs_overhead bench_service bench_packet)
 failed=0
 
 for bench in "${benches[@]}"; do
@@ -67,6 +67,39 @@ print(f"  batch-8: {us[8]:.1f} us/perm  batch-64: {us[64]:.1f} "
       f"us/perm  ratio: {ratio:.2f} (limit 1.25)")
 sys.exit(0 if ratio <= 1.25 else f"batch-64:batch-8 ratio {ratio:.2f} "
          "exceeds 1.25 -- the tiled pipeline regressed")
+EOF
+    then
+        failed=1
+    fi
+fi
+
+# Packet-loss guard: the packet fabric must not shed uniform
+# traffic below saturation. bench_packet already exits nonzero on
+# the same condition; re-checking the committed JSON here keeps the
+# gate alive even if the bench's own exit path regresses.
+if [ -f BENCH_packet.json ]; then
+    echo
+    echo "== packet lossless-load guard (uniform + drop) =="
+    if ! python3 - <<'EOF'
+import json, sys
+doc = json.load(open("BENCH_packet.json"))
+limit = doc["lossless_gate_load"]
+rows = [r for r in doc["results"]
+        if r["matrix"] == "uniform" and r["policy"] == "drop"
+        and r["offered_load"] <= limit + 1e-9]
+if not rows:
+    sys.exit("no uniform+drop rows at or below load "
+             f"{limit} in BENCH_packet.json")
+bad = [r for r in doc["results"] if not r["conserved"]]
+if bad:
+    sys.exit(f"{len(bad)} rows broke conservation")
+for r in rows:
+    lost = r["dropped"] + r["rejected"]
+    print(f"  load {r['offered_load']:.2f}: dropped {r['dropped']} "
+          f"rejected {r['rejected']}")
+    if lost:
+        sys.exit(f"uniform load {r['offered_load']} lost {lost} "
+                 "packets below saturation")
 EOF
     then
         failed=1

@@ -1,0 +1,509 @@
+#include "packet/fabric.hh"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/logging.hh"
+#include "packet/traffic.hh"
+
+namespace srbenes
+{
+namespace packet
+{
+
+const char *
+contentionPolicyName(ContentionPolicy p) noexcept
+{
+    switch (p) {
+    case ContentionPolicy::Backpressure:
+        return "backpressure";
+    case ContentionPolicy::Drop:
+        return "drop";
+    }
+    return "?";
+}
+
+const char *
+midpathPolicyName(MidpathPolicy p) noexcept
+{
+    switch (p) {
+    case MidpathPolicy::LeastOccupancy:
+        return "least-occupancy";
+    case MidpathPolicy::Random:
+        return "random";
+    case MidpathPolicy::TagBits:
+        return "tag-bits";
+    }
+    return "?";
+}
+
+Fabric::Fabric(unsigned n, PacketOptions opts,
+               obs::MetricsRegistry *metrics)
+    : topo_(n), opts_(opts), first_delivery_stage_(n - 1),
+      prng_(opts.seed)
+{
+    if (opts_.queue_capacity < 1 || opts_.ingress_capacity < 1)
+        fatal("packet fabric rings need capacity >= 1");
+
+    const unsigned stages = topo_.numStages();
+    const Word size = topo_.numLines();
+    const std::size_t queues = std::size_t{stages} * size;
+    slot_base_.resize(queues);
+    head_.assign(queues, 0);
+    len_.assign(queues, 0);
+    stage_occ_.assign(stages, 0);
+    std::size_t total = 0;
+    for (unsigned s = 0; s < stages; ++s)
+        for (Word line = 0; line < size; ++line) {
+            slot_base_[qIndex(s, line)] = total;
+            total += qCapacity(s);
+        }
+    slots_.resize(total);
+
+    if (metrics != nullptr) {
+        const std::string inst = metrics->uniqueInstance("packet");
+        const obs::Labels labels{{"instance", inst}};
+        c_offered_ =
+            &metrics->counter("srbenes_packet_offered_total", labels);
+        c_injected_ = &metrics->counter(
+            "srbenes_packet_injected_total", labels);
+        c_rejected_ = &metrics->counter(
+            "srbenes_packet_rejected_total", labels);
+        c_delivered_ = &metrics->counter(
+            "srbenes_packet_delivered_total", labels);
+        c_dropped_ =
+            &metrics->counter("srbenes_packet_dropped_total", labels);
+        c_stalls_ =
+            &metrics->counter("srbenes_packet_stalls_total", labels);
+        g_in_flight_ =
+            &metrics->gauge("srbenes_packet_in_flight", labels);
+        g_max_occupancy_ =
+            &metrics->gauge("srbenes_packet_max_occupancy", labels);
+        h_latency_ = &metrics->histogram(
+            "srbenes_packet_latency_cycles", labels);
+        g_stage_depth_.resize(stages);
+        for (unsigned s = 0; s < stages; ++s)
+            g_stage_depth_[s] = &metrics->gauge(
+                "srbenes_packet_queue_depth",
+                obs::Labels{{"instance", inst},
+                            {"stage", std::to_string(s)}});
+    }
+}
+
+void
+Fabric::setDeliverySink(std::function<void(const Delivery &)> sink)
+{
+    sink_ = std::move(sink);
+}
+
+bool
+Fabric::pushQueue(std::size_t q, unsigned stage, const Pkt &p)
+{
+    const std::size_t cap = qCapacity(stage);
+    if (len_[q] >= cap)
+        return false;
+    slot(q, static_cast<std::uint32_t>((head_[q] + len_[q]) % cap)) =
+        p;
+    ++len_[q];
+    ++stage_occ_[stage];
+    if (stage == 0) {
+        if (len_[q] > acct_.max_ingress_occupancy) {
+            acct_.max_ingress_occupancy = len_[q];
+            run_max_ingress_occ_ =
+                std::max<std::uint64_t>(run_max_ingress_occ_, len_[q]);
+        } else if (len_[q] > run_max_ingress_occ_) {
+            run_max_ingress_occ_ = len_[q];
+        }
+    } else {
+        if (len_[q] > acct_.max_occupancy) {
+            acct_.max_occupancy = len_[q];
+            if (g_max_occupancy_ != nullptr)
+                g_max_occupancy_->set(
+                    static_cast<std::int64_t>(len_[q]));
+        }
+        run_max_occ_ = std::max<std::uint64_t>(run_max_occ_, len_[q]);
+    }
+    return true;
+}
+
+void
+Fabric::popQueue(std::size_t q, unsigned stage)
+{
+    const std::size_t cap = qCapacity(stage);
+    head_[q] = static_cast<std::uint32_t>((head_[q] + 1) % cap);
+    --len_[q];
+    --stage_occ_[stage];
+}
+
+bool
+Fabric::offer(Word src, Word dst, Word payload)
+{
+    const Word size = topo_.numLines();
+    if (src >= size || dst >= size)
+        fatal("packet src/dst %llu/%llu out of range (N = %llu)",
+              static_cast<unsigned long long>(src),
+              static_cast<unsigned long long>(dst),
+              static_cast<unsigned long long>(size));
+    ++acct_.offered;
+    if (c_offered_ != nullptr)
+        c_offered_->inc();
+    const Pkt p{dst, payload, cycle_ + 1};
+    if (!pushQueue(qIndex(0, src), 0, p)) {
+        ++acct_.rejected;
+        if (c_rejected_ != nullptr)
+            c_rejected_->inc();
+        return false;
+    }
+    ++acct_.injected;
+    ++acct_.in_flight;
+    if (c_injected_ != nullptr) {
+        c_injected_->inc();
+        g_in_flight_->add(1);
+    }
+    return true;
+}
+
+void
+Fabric::deliver(unsigned stage, Word out_line, const Pkt &p)
+{
+    if (p.dst != out_line)
+        panic("packet for line %llu delivered on line %llu "
+              "(stage %u): the omega half must self-route",
+              static_cast<unsigned long long>(p.dst),
+              static_cast<unsigned long long>(out_line), stage);
+    const std::uint64_t lat = cycle_ - p.inject_cycle + 1;
+    ++acct_.delivered;
+    --acct_.in_flight;
+    acct_.lat_sum += lat;
+    acct_.lat_min = std::min(acct_.lat_min, lat);
+    acct_.lat_max = std::max(acct_.lat_max, lat);
+    run_lat_min_ = std::min(run_lat_min_, lat);
+    run_lat_max_ = std::max(run_lat_max_, lat);
+    if (c_delivered_ != nullptr) {
+        c_delivered_->inc();
+        g_in_flight_->add(-1);
+        h_latency_->observe(lat);
+    }
+    if (sink_)
+        sink_(Delivery{out_line, p.payload, lat});
+}
+
+bool
+Fabric::advanceHead(unsigned stage, Word sw, Word in,
+                    bool port_used[2])
+{
+    const std::size_t q = qIndex(stage, 2 * sw + in);
+    if (len_[q] == 0)
+        return false;
+    const Pkt &p = slot(q, head_[q]);
+
+    // Port preference: forced by the tag in the omega (delivery)
+    // half; a balancing choice with the other port as fallback in
+    // the first n-1 stages.
+    unsigned pref[2] = {0, 0};
+    unsigned nprefs = 1;
+    if (stage >= first_delivery_stage_) {
+        pref[0] = static_cast<unsigned>(
+            bit(p.dst, topo_.controlBit(stage)));
+    } else {
+        switch (opts_.midpath) {
+        case MidpathPolicy::TagBits:
+            pref[0] = static_cast<unsigned>(
+                bit(p.dst, topo_.controlBit(stage)));
+            break;
+        case MidpathPolicy::Random:
+            pref[0] = static_cast<unsigned>(prng_() & 1);
+            pref[1] = pref[0] ^ 1u;
+            nprefs = 2;
+            break;
+        case MidpathPolicy::LeastOccupancy: {
+            const std::size_t q0 = qIndex(
+                stage + 1, topo_.wireToNext(stage, 2 * sw + 0));
+            const std::size_t q1 = qIndex(
+                stage + 1, topo_.wireToNext(stage, 2 * sw + 1));
+            if (len_[q0] != len_[q1])
+                pref[0] = len_[q0] < len_[q1] ? 0u : 1u;
+            else
+                pref[0] = static_cast<unsigned>(prng_() & 1);
+            pref[1] = pref[0] ^ 1u;
+            nprefs = 2;
+            break;
+        }
+        }
+    }
+
+    bool blocked_full = false;
+    bool blocked_contended = false;
+    for (unsigned k = 0; k < nprefs; ++k) {
+        const unsigned port = pref[k];
+        if (port_used[port]) {
+            blocked_contended = true;
+            continue;
+        }
+        const Word out_line = 2 * sw + port;
+        if (stage + 1 == topo_.numStages()) {
+            deliver(stage, out_line, p);
+            popQueue(q, stage);
+            port_used[port] = true;
+            return true;
+        }
+        const std::size_t nq =
+            qIndex(stage + 1, topo_.wireToNext(stage, out_line));
+        if (len_[nq] >= qCapacity(stage + 1)) {
+            blocked_full = true;
+            continue;
+        }
+        pushQueue(nq, stage + 1, p);
+        popQueue(q, stage);
+        port_used[port] = true;
+        return true;
+    }
+
+    // The head failed to move. Losing arbitration always means
+    // waiting a cycle; a full downstream ring is where the policy
+    // splits: Drop discards the packet (and only then -- a
+    // contended port may be free next cycle), Backpressure holds it.
+    if (opts_.contention == ContentionPolicy::Drop && blocked_full &&
+        !blocked_contended) {
+        popQueue(q, stage);
+        ++acct_.dropped;
+        --acct_.in_flight;
+        if (c_dropped_ != nullptr) {
+            c_dropped_->inc();
+            g_in_flight_->add(-1);
+        }
+        return true;
+    }
+    ++acct_.stalls;
+    if (c_stalls_ != nullptr)
+        c_stalls_->inc();
+    return false;
+}
+
+void
+Fabric::step()
+{
+    ++cycle_;
+    const unsigned stages = topo_.numStages();
+    const Word sw_per_stage = topo_.switchesPerStage();
+    // Alternate input priority by cycle parity so neither port of a
+    // switch can starve the other under sustained contention.
+    const Word rot = cycle_ & 1;
+    // Last stage first, so a slot freed downstream this cycle can be
+    // refilled by the upstream stage within the same cycle
+    // (standard pipelined flow).
+    for (unsigned s = stages; s-- > 0;)
+        for (Word sw = 0; sw < sw_per_stage; ++sw) {
+            bool port_used[2] = {false, false};
+            for (Word i = 0; i < 2; ++i)
+                (void)advanceHead(s, sw, i ^ rot, port_used);
+        }
+    if (!g_stage_depth_.empty())
+        for (unsigned s = 0; s < stages; ++s)
+            g_stage_depth_[s]->set(stage_occ_[s]);
+}
+
+void
+Fabric::drainAll()
+{
+    const std::uint64_t limit =
+        100 * (topo_.numStages() + acct_.in_flight + 10);
+    std::uint64_t used = 0;
+    while (acct_.in_flight > 0) {
+        if (used++ > limit)
+            panic("packet fabric failed to drain (bug: feed-forward "
+                  "wires cannot deadlock)");
+        step();
+    }
+}
+
+void
+Fabric::reset()
+{
+    // Queued packets are flushed, not forgotten: they move to the
+    // dropped tally so the conservation invariant survives reset().
+    if (acct_.in_flight > 0) {
+        acct_.dropped += acct_.in_flight;
+        if (c_dropped_ != nullptr) {
+            c_dropped_->inc(acct_.in_flight);
+            g_in_flight_->add(
+                -static_cast<std::int64_t>(acct_.in_flight));
+        }
+        acct_.in_flight = 0;
+    }
+    std::fill(head_.begin(), head_.end(), 0u);
+    std::fill(len_.begin(), len_.end(), 0u);
+    std::fill(stage_occ_.begin(), stage_occ_.end(), std::int64_t{0});
+    if (!g_stage_depth_.empty())
+        for (unsigned s = 0; s < topo_.numStages(); ++s)
+            g_stage_depth_[s]->set(0);
+    cycle_ = 0;
+    prng_ = Prng(opts_.seed);
+}
+
+obs::Histogram::Snapshot
+Fabric::latencySnapshot() const
+{
+    if (h_latency_ == nullptr)
+        return obs::Histogram::Snapshot{};
+    return h_latency_->snapshot();
+}
+
+namespace
+{
+
+obs::Histogram::Snapshot
+diffSnapshots(const obs::Histogram::Snapshot &now,
+              const obs::Histogram::Snapshot &then)
+{
+    obs::Histogram::Snapshot d;
+    for (unsigned i = 0; i < obs::Histogram::kBuckets; ++i)
+        d.buckets[i] = now.buckets[i] - then.buckets[i];
+    d.sum = now.sum - then.sum;
+    return d;
+}
+
+} // namespace
+
+FabricStats
+Fabric::stats() const
+{
+    FabricStats s;
+    s.offered = acct_.offered;
+    s.injected = acct_.injected;
+    s.rejected = acct_.rejected;
+    s.delivered = acct_.delivered;
+    s.dropped = acct_.dropped;
+    s.stalls = acct_.stalls;
+    s.cycles = cycle_;
+    s.in_flight = acct_.in_flight;
+    s.max_occupancy = acct_.max_occupancy;
+    s.max_ingress_occupancy = acct_.max_ingress_occupancy;
+    s.conserved =
+        acct_.offered == acct_.injected + acct_.rejected &&
+        acct_.injected ==
+            acct_.delivered + acct_.dropped + acct_.in_flight;
+    if (acct_.delivered > 0) {
+        s.avg_latency = static_cast<double>(acct_.lat_sum) /
+                        static_cast<double>(acct_.delivered);
+        s.min_latency = acct_.lat_min;
+        s.max_latency = acct_.lat_max;
+    }
+    if (h_latency_ != nullptr) {
+        const obs::Histogram::Snapshot snap = h_latency_->snapshot();
+        s.p50_latency = snap.quantile(0.5);
+        s.p99_latency = snap.quantile(0.99);
+    }
+    return s;
+}
+
+FabricStats
+Fabric::finishRun(const Accounting &before,
+                  std::uint64_t cycles_before,
+                  const obs::Histogram::Snapshot &hist_before) const
+{
+    FabricStats s;
+    s.offered = acct_.offered - before.offered;
+    s.injected = acct_.injected - before.injected;
+    s.rejected = acct_.rejected - before.rejected;
+    s.delivered = acct_.delivered - before.delivered;
+    s.dropped = acct_.dropped - before.dropped;
+    s.stalls = acct_.stalls - before.stalls;
+    s.cycles = cycle_ - cycles_before;
+    s.in_flight = acct_.in_flight;
+    s.max_occupancy = run_max_occ_;
+    s.max_ingress_occupancy = run_max_ingress_occ_;
+    s.conserved = s.offered == s.injected + s.rejected &&
+                  s.injected ==
+                      s.delivered + s.dropped + s.in_flight;
+    if (s.delivered > 0) {
+        s.avg_latency =
+            static_cast<double>(acct_.lat_sum - before.lat_sum) /
+            static_cast<double>(s.delivered);
+        s.min_latency = run_lat_min_;
+        s.max_latency = run_lat_max_;
+    }
+    if (h_latency_ != nullptr) {
+        const obs::Histogram::Snapshot snap =
+            diffSnapshots(h_latency_->snapshot(), hist_before);
+        s.p50_latency = snap.quantile(0.5);
+        s.p99_latency = snap.quantile(0.99);
+    }
+    return s;
+}
+
+FabricStats
+Fabric::runPermutation(const Permutation &d)
+{
+    if (d.size() != numLines())
+        fatal("permutation size %zu != N = %llu", d.size(),
+              static_cast<unsigned long long>(numLines()));
+    if (!empty())
+        panic("Fabric run helpers require an empty fabric");
+    const Accounting before = snapshot();
+    const std::uint64_t cyc0 = cycle_;
+    const obs::Histogram::Snapshot hist0 = latencySnapshot();
+    run_lat_min_ = ~std::uint64_t{0};
+    run_lat_max_ = 0;
+    run_max_occ_ = 0;
+    run_max_ingress_occ_ = 0;
+    for (Word i = 0; i < numLines(); ++i)
+        (void)offer(i, d[i], i); // an empty ingress ring never refuses
+    drainAll();
+    return finishRun(before, cyc0, hist0);
+}
+
+FabricStats
+Fabric::runPermutation(const Permutation &d,
+                       const std::vector<Word> &data,
+                       std::vector<Word> &out, Word fill)
+{
+    if (data.size() != numLines())
+        fatal("payload size %zu != N = %llu", data.size(),
+              static_cast<unsigned long long>(numLines()));
+    if (!empty())
+        panic("Fabric run helpers require an empty fabric");
+    out.assign(numLines(), fill);
+    std::function<void(const Delivery &)> saved = std::move(sink_);
+    sink_ = [&out](const Delivery &del) { out[del.dst] = del.payload; };
+    const Accounting before = snapshot();
+    const std::uint64_t cyc0 = cycle_;
+    const obs::Histogram::Snapshot hist0 = latencySnapshot();
+    run_lat_min_ = ~std::uint64_t{0};
+    run_lat_max_ = 0;
+    run_max_occ_ = 0;
+    run_max_ingress_occ_ = 0;
+    for (Word i = 0; i < numLines(); ++i)
+        (void)offer(i, d[i], data[i]);
+    drainAll();
+    sink_ = std::move(saved);
+    return finishRun(before, cyc0, hist0);
+}
+
+FabricStats
+Fabric::run(TrafficSource &source, std::uint64_t inject_cycles)
+{
+    if (!empty())
+        panic("Fabric run helpers require an empty fabric");
+    const Accounting before = snapshot();
+    const std::uint64_t cyc0 = cycle_;
+    const obs::Histogram::Snapshot hist0 = latencySnapshot();
+    run_lat_min_ = ~std::uint64_t{0};
+    run_lat_max_ = 0;
+    run_max_occ_ = 0;
+    run_max_ingress_occ_ = 0;
+    std::vector<Arrival> buf;
+    for (std::uint64_t c = 0; c < inject_cycles; ++c) {
+        buf.clear();
+        source.arrivals(cycle_, buf);
+        for (const Arrival &a : buf)
+            (void)offer(a.src, a.dst, a.src);
+        step();
+    }
+    drainAll();
+    return finishRun(before, cyc0, hist0);
+}
+
+} // namespace packet
+} // namespace srbenes

@@ -1,157 +1,84 @@
 #include "packet/packet_benes.hh"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.hh"
+#include "packet/traffic.hh"
 
 namespace srbenes
 {
 
 PacketBenes::PacketBenes(unsigned n, PacketConfig cfg)
-    : topo_(n), cfg_(cfg)
+    : n_(n), topo_(n), cfg_(cfg)
 {
     if (cfg_.fifo_capacity < 1)
         fatal("packet fabric needs FIFO capacity >= 1");
+    ensureIngress(1);
+}
+
+void
+PacketBenes::ensureIngress(std::size_t batches)
+{
+    // The old source queues were unbounded; an ingress ring with one
+    // slot per batch can never refuse an offer, which preserves the
+    // old lossless semantics exactly.
+    const std::size_t needed = std::max<std::size_t>(batches, 1);
+    if (fabric_ != nullptr &&
+        fabric_->options().ingress_capacity >= needed)
+        return;
+    packet::PacketOptions opts;
+    opts.queue_capacity = cfg_.fifo_capacity;
+    opts.ingress_capacity = needed;
+    opts.contention = packet::ContentionPolicy::Backpressure;
+    opts.midpath = packet::MidpathPolicy::TagBits;
+    fabric_ = std::make_unique<packet::Fabric>(n_, opts, nullptr);
 }
 
 namespace
 {
 
-struct Fifo
+PacketStats
+toPacketStats(const packet::FabricStats &fs)
 {
-    std::deque<std::pair<Word, std::uint64_t>> q; // (tag, injected)
-};
+    PacketStats stats;
+    stats.all_delivered = fs.allDelivered();
+    stats.cycles = fs.cycles;
+    stats.stalls = fs.stalls;
+    stats.max_occupancy = fs.max_occupancy;
+    stats.avg_latency = fs.avg_latency;
+    stats.min_latency = fs.min_latency;
+    stats.max_latency = fs.max_latency;
+    return stats;
+}
 
 } // namespace
 
 PacketStats
-PacketBenes::runStream(const std::vector<Permutation> &batches)
+PacketBenes::runPermutation(const Permutation &d)
 {
-    const unsigned stages = topo_.numStages();
-    const Word size = topo_.numLines();
-
-    // queues[s][line]: input FIFO of stage s at that line position
-    // (line = 2*switch + port). Stage 0 queues are the unbounded
-    // source buffers.
-    std::vector<std::vector<Fifo>> queues(
-        stages, std::vector<Fifo>(size));
-
-    PacketStats stats;
-    std::uint64_t delivered = 0;
-    std::uint64_t latency_sum = 0;
-    stats.min_latency = ~std::uint64_t{0};
-
-    const std::uint64_t total_packets =
-        static_cast<std::uint64_t>(batches.size()) * size;
-    const std::uint64_t cycle_limit =
-        100 * (stages + total_packets + 10);
-
-    std::size_t next_batch = 0;
-    std::uint64_t cycle = 0;
-    while (delivered < total_packets) {
-        if (cycle++ > cycle_limit)
-            panic("packet fabric failed to drain (bug: the "
-                  "feed-forward network cannot deadlock)");
-
-        // Inject one batch per cycle at the sources.
-        if (next_batch < batches.size()) {
-            const Permutation &d = batches[next_batch];
-            if (d.size() != size)
-                fatal("batch size %zu != N", d.size());
-            for (Word i = 0; i < size; ++i)
-                queues[0][i].q.emplace_back(d[i], cycle);
-            ++next_batch;
-        }
-
-        // Advance packets, last stage first, so a freed slot can be
-        // refilled by the upstream stage within the same cycle
-        // (standard pipelined flow).
-        for (unsigned s = stages; s-- > 0;) {
-            const unsigned b = topo_.controlBit(s);
-            for (Word sw = 0; sw < topo_.switchesPerStage(); ++sw) {
-                // Arbitrate the two output ports among the two
-                // head packets; alternate priority by cycle parity
-                // for fairness.
-                const Word first_port = cycle & 1;
-                bool sent[2] = {false, false}; // one move per input
-                for (Word pp = 0; pp < 2; ++pp) {
-                    const Word port = pp ^ first_port;
-                    // Pick the head packet that wants this output
-                    // port, preferring inputs alternately across
-                    // cycles for fairness.
-                    int chosen = -1;
-                    for (Word cand = 0; cand < 2; ++cand) {
-                        const Word in = (cand + first_port) % 2;
-                        auto &fifo = queues[s][2 * sw + in];
-                        if (!sent[in] && !fifo.q.empty() &&
-                            bit(fifo.q.front().first, b) == port) {
-                            chosen = static_cast<int>(in);
-                            break;
-                        }
-                    }
-                    if (chosen < 0)
-                        continue;
-                    auto &src = queues[s][2 * sw + chosen];
-                    const auto pkt = src.q.front();
-
-                    const Word out_line = 2 * sw + port;
-                    if (s + 1 == stages) {
-                        // Delivery.
-                        if (pkt.first != out_line)
-                            panic("packet with tag %llu left at "
-                                  "output %llu",
-                                  static_cast<unsigned long long>(
-                                      pkt.first),
-                                  static_cast<unsigned long long>(
-                                      out_line));
-                        src.q.pop_front();
-                        sent[chosen] = true;
-                        ++delivered;
-                        // Inclusive of the injection cycle's own
-                        // stage-0 traversal: a stall-free pass
-                        // reads 2n-1, the circuit-mode gate delay.
-                        const std::uint64_t lat =
-                            cycle - pkt.second + 1;
-                        latency_sum += lat;
-                        stats.min_latency =
-                            std::min(stats.min_latency, lat);
-                        stats.max_latency =
-                            std::max(stats.max_latency, lat);
-                        continue;
-                    }
-
-                    const Word next_line =
-                        topo_.wireToNext(s, out_line);
-                    auto &dst = queues[s + 1][next_line];
-                    if (dst.q.size() >= cfg_.fifo_capacity) {
-                        ++stats.stalls; // backpressure
-                        continue;
-                    }
-                    dst.q.push_back(pkt);
-                    src.q.pop_front();
-                    sent[chosen] = true;
-                    stats.max_occupancy = std::max(
-                        stats.max_occupancy,
-                        static_cast<std::uint64_t>(dst.q.size()));
-                }
-            }
-        }
-    }
-
-    stats.all_delivered = true;
-    stats.cycles = cycle;
-    stats.avg_latency =
-        static_cast<double>(latency_sum) /
-        static_cast<double>(total_packets);
-    if (total_packets == 0)
-        stats.min_latency = 0;
-    return stats;
+    ensureIngress(1);
+    return toPacketStats(fabric_->runPermutation(d));
 }
 
 PacketStats
-PacketBenes::runPermutation(const Permutation &d)
+PacketBenes::runStream(const std::vector<Permutation> &batches)
 {
-    return runStream({d});
+    const Word size = topo_.numLines();
+    ensureIngress(batches.size());
+    std::vector<std::vector<packet::Arrival>> schedule;
+    schedule.reserve(batches.size());
+    for (const Permutation &d : batches) {
+        if (d.size() != size)
+            fatal("batch size %zu != N", d.size());
+        std::vector<packet::Arrival> batch;
+        batch.reserve(size);
+        for (Word i = 0; i < size; ++i)
+            batch.push_back(packet::Arrival{i, d[i]});
+        schedule.push_back(std::move(batch));
+    }
+    packet::ScheduleTraffic source(std::move(schedule));
+    return toPacketStats(fabric_->run(source, batches.size()));
 }
 
 } // namespace srbenes

@@ -1,48 +1,48 @@
 /**
  * @file
- * Packet-switched operation of the Benes fabric.
+ * Deprecated packet-mode entry point, now a shim over
+ * packet::Fabric.
  *
- * The paper's network is circuit-switched: the Fig. 3 rule sets a
- * switch from its UPPER input's tag, both signals flow in lockstep,
- * and exactly the class F(n) is conflict-free. An asynchronous
- * alternative treats each destination tag as a PACKET that routes
- * itself: at a stage with control bit b the packet requests the
- * output port equal to bit b of its own tag, input FIFOs buffer
- * head-of-line losers, and backpressure stalls full links. Because
- * the fabric is feed-forward this is deadlock-free, and because the
- * omega half gives every middle line a path to every output, every
- * packet eventually arrives -- ALL N! permutations deliver, at the
- * price of stalls.
+ * PacketBenes was the toy that proved the wires could run
+ * packet-switched: tag-bit routing at every stage, backpressure
+ * everywhere, permutation workloads only. That role has moved to
+ * packet::Fabric (src/packet/fabric.hh), which adds bounded ring
+ * queues, load-balanced midpath policies, a drop policy, arbitrary
+ * traffic matrices (src/packet/traffic.hh), and obs wiring. This
+ * header keeps the old surface -- PacketConfig, PacketStats,
+ * runPermutation(), runStream() -- compiling for one release by
+ * delegating to a Fabric configured for the old behavior (TagBits
+ * midpath + Backpressure, metrics off).
  *
- * The interesting measurement (bench_packet): even F members pay
- * contention in packet mode (bit reversal collides at stage 0,
- * where the circuit rule would cross cleanly), so the self-routing
- * circuit discipline is strictly stronger than per-packet tag
- * routing on the same wires -- the quantified version of the
- * paper's choice.
+ * New code should construct packet::Fabric directly. Builds that
+ * define SRBENES_STRICT_DEPRECATION get compiler warnings here.
  */
 
 #ifndef SRBENES_PACKET_PACKET_BENES_HH
 #define SRBENES_PACKET_PACKET_BENES_HH
 
 #include <cstdint>
-#include <deque>
+#include <memory>
 #include <vector>
 
+#include "core/route_outcome.hh"
 #include "core/topology.hh"
+#include "packet/fabric.hh"
 #include "perm/permutation.hh"
 
 namespace srbenes
 {
 
-/** Tunables of the packet fabric. */
+/** Tunables of the old packet fabric.
+ *  @deprecated Use packet::PacketOptions. */
 struct PacketConfig
 {
     /** Input-FIFO depth per switch port at stages >= 1. */
     std::size_t fifo_capacity = 2;
 };
 
-/** Aggregate results of one packet-mode run. */
+/** Aggregate results of one old-style packet-mode run.
+ *  @deprecated Use packet::FabricStats. */
 struct PacketStats
 {
     bool all_delivered = false;
@@ -54,36 +54,36 @@ struct PacketStats
     std::uint64_t max_latency = 0;
 };
 
+/** @deprecated Use packet::Fabric. */
 class PacketBenes
 {
   public:
+    SRB_DEPRECATED_API("use packet::Fabric")
     explicit PacketBenes(unsigned n, PacketConfig cfg = {});
 
     const BenesTopology &topology() const { return topo_; }
 
     /**
      * One packet per input, destinations from @p d; runs to full
-     * delivery (panics past a generous cycle bound, which a
-     * feed-forward fabric cannot legitimately hit).
+     * delivery. @deprecated Use packet::Fabric::runPermutation().
      */
     PacketStats runPermutation(const Permutation &d);
 
     /**
-     * Stream @p batches permutation loads, injecting one full
-     * batch per cycle at the sources (source queues are unbounded;
-     * internal FIFOs exert backpressure).
+     * Stream @p batches permutation loads, injecting one full batch
+     * per cycle at the sources. @deprecated Use
+     * packet::Fabric::run() with a packet::ScheduleTraffic.
      */
     PacketStats runStream(const std::vector<Permutation> &batches);
 
   private:
-    struct Packet
-    {
-        Word tag;
-        std::uint64_t inject_cycle;
-    };
+    /** (Re)build fabric_ with room for @p batches ingress slots. */
+    void ensureIngress(std::size_t batches);
 
+    unsigned n_;
     BenesTopology topo_;
     PacketConfig cfg_;
+    std::unique_ptr<packet::Fabric> fabric_;
 };
 
 } // namespace srbenes

@@ -1,0 +1,233 @@
+#include "packet/traffic.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace srbenes
+{
+namespace packet
+{
+
+RandomTrafficBase::RandomTrafficBase(unsigned n, double load,
+                                     std::uint64_t seed)
+    : size_(Word{1} << n), load_(load), seed_(seed), prng_(seed)
+{
+    if (n < 1 || n > 20)
+        fatal("traffic source n = %u out of range", n);
+    if (load < 0.0 || load > 1.0)
+        fatal("offered load %g outside [0, 1]", load);
+}
+
+bool
+RandomTrafficBase::coin(double p)
+{
+    if (p <= 0.0)
+        return false;
+    // 2^64 as a double; p == 1 makes the threshold exceed every
+    // possible draw, so the coin is exactly always-true there.
+    return static_cast<double>(prng_()) <
+           p * 18446744073709551616.0;
+}
+
+UniformTraffic::UniformTraffic(unsigned n, double load,
+                               std::uint64_t seed)
+    : RandomTrafficBase(n, load, seed)
+{
+}
+
+void
+UniformTraffic::arrivals(std::uint64_t cycle,
+                         std::vector<Arrival> &out)
+{
+    (void)cycle;
+    for (Word src = 0; src < size_; ++src)
+        if (coin(load_))
+            out.push_back(Arrival{src, prng_.below(size_)});
+}
+
+HotSpotTraffic::HotSpotTraffic(unsigned n, double load,
+                               double hot_fraction, Word hot,
+                               std::uint64_t seed)
+    : RandomTrafficBase(n, load, seed), hot_fraction_(hot_fraction),
+      hot_(hot)
+{
+    if (hot_fraction < 0.0 || hot_fraction > 1.0)
+        fatal("hot fraction %g outside [0, 1]", hot_fraction);
+    if (hot >= size_)
+        fatal("hot line %llu out of range",
+              static_cast<unsigned long long>(hot));
+}
+
+void
+HotSpotTraffic::arrivals(std::uint64_t cycle,
+                         std::vector<Arrival> &out)
+{
+    (void)cycle;
+    for (Word src = 0; src < size_; ++src)
+        if (coin(load_)) {
+            const Word dst =
+                coin(hot_fraction_) ? hot_ : prng_.below(size_);
+            out.push_back(Arrival{src, dst});
+        }
+}
+
+BurstyTraffic::BurstyTraffic(unsigned n, double load,
+                             double mean_burst, std::uint64_t seed)
+    : RandomTrafficBase(n, load, seed)
+{
+    if (mean_burst < 1.0)
+        fatal("mean burst length %g < 1 cycle", mean_burst);
+    if (load >= mean_burst / (mean_burst + 1.0))
+        fatal("bursty load %g unreachable with mean burst %g "
+              "(needs load <= B / (B + 1))",
+              load, mean_burst);
+    p_off_ = 1.0 / mean_burst;
+    // Stationary ON probability p_on / (p_on + p_off) == load.
+    p_on_ = load < 1.0 ? load / (mean_burst * (1.0 - load)) : 1.0;
+    onReset();
+}
+
+void
+BurstyTraffic::onReset()
+{
+    // Start at the stationary distribution so the measured load is
+    // flat from cycle 0 instead of ramping up.
+    on_.assign(size_, 0);
+    burst_dst_.assign(size_, 0);
+    for (Word src = 0; src < size_; ++src)
+        if (coin(load_)) {
+            on_[src] = 1;
+            burst_dst_[src] = prng_.below(size_);
+        }
+}
+
+void
+BurstyTraffic::arrivals(std::uint64_t cycle,
+                        std::vector<Arrival> &out)
+{
+    (void)cycle;
+    for (Word src = 0; src < size_; ++src) {
+        if (on_[src]) {
+            if (coin(p_off_))
+                on_[src] = 0;
+        } else if (coin(p_on_)) {
+            on_[src] = 1;
+            burst_dst_[src] = prng_.below(size_);
+        }
+        if (on_[src])
+            out.push_back(Arrival{src, burst_dst_[src]});
+    }
+}
+
+PartialTraffic::PartialTraffic(unsigned n, double load,
+                               double active_fraction,
+                               std::uint64_t seed)
+    : RandomTrafficBase(n, load, seed)
+{
+    if (active_fraction < 0.0 || active_fraction > 1.0)
+        fatal("active fraction %g outside [0, 1]", active_fraction);
+    active_ = static_cast<Word>(
+        static_cast<double>(size_) * active_fraction + 0.5);
+    onReset();
+}
+
+void
+PartialTraffic::onReset()
+{
+    // A random partial permutation: shuffle sources, shuffle
+    // destinations, pair off the first active_ of each.
+    std::vector<Word> srcs(size_);
+    std::vector<Word> dsts(size_);
+    for (Word i = 0; i < size_; ++i)
+        srcs[i] = dsts[i] = i;
+    std::shuffle(srcs.begin(), srcs.end(), prng_);
+    std::shuffle(dsts.begin(), dsts.end(), prng_);
+    dst_.assign(size_, ~Word{0});
+    for (Word i = 0; i < active_; ++i)
+        dst_[srcs[i]] = dsts[i];
+}
+
+void
+PartialTraffic::arrivals(std::uint64_t cycle,
+                         std::vector<Arrival> &out)
+{
+    (void)cycle;
+    for (Word src = 0; src < size_; ++src)
+        if (dst_[src] != ~Word{0} && coin(load_))
+            out.push_back(Arrival{src, dst_[src]});
+}
+
+MulticastTraffic::MulticastTraffic(unsigned n, double load,
+                                   Word fanout, std::uint64_t seed)
+    : RandomTrafficBase(n, load, seed), fanout_(fanout)
+{
+    if (fanout < 1 || fanout > size_)
+        fatal("multicast fanout %llu outside [1, N]",
+              static_cast<unsigned long long>(fanout));
+}
+
+void
+MulticastTraffic::arrivals(std::uint64_t cycle,
+                           std::vector<Arrival> &out)
+{
+    (void)cycle;
+    const double event_p =
+        load_ / static_cast<double>(fanout_);
+    for (Word src = 0; src < size_; ++src) {
+        if (!coin(event_p))
+            continue;
+        // Distinct destinations by rejection; fanout << N in any
+        // sane configuration, so retries are rare.
+        pick_.clear();
+        while (pick_.size() < fanout_) {
+            const Word d = prng_.below(size_);
+            if (std::find(pick_.begin(), pick_.end(), d) ==
+                pick_.end())
+                pick_.push_back(d);
+        }
+        for (const Word d : pick_)
+            out.push_back(Arrival{src, d});
+    }
+}
+
+PermutationTraffic::PermutationTraffic(unsigned n, double load,
+                                       Permutation d,
+                                       std::uint64_t seed)
+    : RandomTrafficBase(n, load, seed), d_(std::move(d))
+{
+    if (d_.size() != size_)
+        fatal("permutation size %zu != N = %llu", d_.size(),
+              static_cast<unsigned long long>(size_));
+}
+
+void
+PermutationTraffic::arrivals(std::uint64_t cycle,
+                             std::vector<Arrival> &out)
+{
+    (void)cycle;
+    for (Word src = 0; src < size_; ++src)
+        if (coin(load_))
+            out.push_back(Arrival{src, d_[src]});
+}
+
+ScheduleTraffic::ScheduleTraffic(
+    std::vector<std::vector<Arrival>> schedule)
+    : schedule_(std::move(schedule))
+{
+}
+
+void
+ScheduleTraffic::arrivals(std::uint64_t cycle,
+                          std::vector<Arrival> &out)
+{
+    (void)cycle;
+    if (next_ >= schedule_.size())
+        return;
+    const std::vector<Arrival> &batch = schedule_[next_++];
+    out.insert(out.end(), batch.begin(), batch.end());
+}
+
+} // namespace packet
+} // namespace srbenes

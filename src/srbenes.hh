@@ -20,12 +20,14 @@
  *                 StreamEngine;
  *   - networks/   the PermutationNetwork comparison interface and
  *                 every adapter behind allNetworks();
+ *   - packet/     the packet-switched Fabric, the TrafficSource
+ *                 matrices, and the deprecated PacketBenes shim;
  *   - obs/        metrics registry, exporters, tracing.
  *
  *  INTERNAL -- reachable but NOT part of the stable surface; shapes
  *  may change without deprecation: core/fast_engine.hh and
  *  core/fast_kernels.hh (bit-sliced engine internals),
- *  core/half_network.hh, simd/ machine models, gates/, packet/, and
+ *  core/half_network.hh, simd/ machine models, gates/, and
  *  everything under common/. Include those headers directly when you
  *  opt into the churn.
  */
@@ -74,6 +76,11 @@
 #include "networks/network_iface.hh"
 #include "networks/odd_even.hh"
 #include "networks/omega_network.hh"
+
+// Packet-switched operation under non-permutation traffic.
+#include "packet/fabric.hh"
+#include "packet/packet_benes.hh"
+#include "packet/traffic.hh"
 
 // Observability.
 #include "obs/export.hh"
